@@ -1,0 +1,115 @@
+#include "bench/bench_support.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/cdf.h"
+#include "graph/degree_stats.h"
+
+namespace privrec {
+namespace bench {
+
+void PrintDatasetBanner(const std::string& name, const CsrGraph& graph) {
+  DegreeStats stats = ComputeDegreeStats(graph);
+  std::printf("dataset %s: %s nodes, %s %s edges, d_max=%s, mean degree %s, "
+              "%.1f%% of nodes below ln(n)=%.1f\n",
+              name.c_str(), FormatCount(graph.num_nodes()).c_str(),
+              FormatCount(graph.num_edges()).c_str(),
+              graph.directed() ? "directed" : "undirected",
+              FormatCount(stats.max).c_str(),
+              FormatDouble(stats.mean, 1).c_str(),
+              stats.fraction_below_log_n * 100.0,
+              std::log(static_cast<double>(graph.num_nodes())));
+}
+
+void PrintCdfTable(const std::string& title,
+                   const std::vector<double>& thresholds,
+                   const std::vector<CdfSeries>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> header = {"accuracy<="};
+  for (const CdfSeries& s : series) header.push_back(s.label);
+  TablePrinter table(std::move(header));
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    std::vector<std::string> row = {FormatDouble(thresholds[i], 1)};
+    for (const CdfSeries& s : series) {
+      row.push_back(FormatDouble(s.fraction_at_or_below[i] * 100.0, 1) + "%");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+std::vector<double> ExponentialAccuracies(
+    const std::vector<TargetEvaluation>& evals) {
+  std::vector<double> out;
+  out.reserve(evals.size());
+  for (const TargetEvaluation& e : evals) {
+    if (!e.skipped) out.push_back(e.exponential_accuracy);
+  }
+  return out;
+}
+
+std::vector<double> LaplaceAccuracies(
+    const std::vector<TargetEvaluation>& evals) {
+  std::vector<double> out;
+  out.reserve(evals.size());
+  for (const TargetEvaluation& e : evals) {
+    if (!e.skipped && !std::isnan(e.laplace_accuracy)) {
+      out.push_back(e.laplace_accuracy);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Bounds(const std::vector<TargetEvaluation>& evals) {
+  std::vector<double> out;
+  out.reserve(evals.size());
+  for (const TargetEvaluation& e : evals) {
+    if (!e.skipped) out.push_back(e.bound);
+  }
+  return out;
+}
+
+size_t CountSkipped(const std::vector<TargetEvaluation>& evals) {
+  size_t skipped = 0;
+  for (const TargetEvaluation& e : evals) {
+    if (e.skipped) ++skipped;
+  }
+  return skipped;
+}
+
+void MaybeWriteCsv(const std::string& csv_dir, const std::string& name,
+                   const std::vector<double>& thresholds,
+                   const std::vector<CdfSeries>& series) {
+  if (csv_dir.empty()) return;
+  const std::string path = csv_dir + "/" + name + ".csv";
+  CsvWriter writer(path);
+  if (!writer.ok()) {
+    PRIVREC_WLOG << "cannot write CSV to " << path << "; skipping";
+    return;
+  }
+  std::vector<std::string> header = {"threshold"};
+  for (const CdfSeries& s : series) header.push_back(s.label);
+  writer.WriteRow(header);
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    std::vector<double> row = {thresholds[i]};
+    for (const CdfSeries& s : series) row.push_back(s.fraction_at_or_below[i]);
+    writer.WriteRow(row);
+  }
+  PRIVREC_CHECK_OK(writer.Close());
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void PrintShapeCheck(const std::string& description, double paper_value,
+                     double measured) {
+  std::printf("shape  [paper ~%s]  measured %s   %s\n",
+              FormatDouble(paper_value, 2).c_str(),
+              FormatDouble(measured, 2).c_str(), description.c_str());
+}
+
+}  // namespace bench
+}  // namespace privrec

@@ -1,0 +1,67 @@
+#ifndef PRIVREC_BENCH_BENCH_SUPPORT_H_
+#define PRIVREC_BENCH_BENCH_SUPPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "graph/csr_graph.h"
+#include "utility/utility_function.h"
+
+namespace privrec {
+namespace bench {
+
+/// One CDF series of a Figure 1/2 style plot.
+struct CdfSeries {
+  std::string label;
+  std::vector<double> fraction_at_or_below;  // aligned with thresholds
+};
+
+/// Prints the dataset banner (nodes/edges/direction/max degree) the paper
+/// reports in Section 7.1.
+void PrintDatasetBanner(const std::string& name, const CsrGraph& graph);
+
+/// Prints a Figure 1/2 style CDF table: one row per accuracy threshold,
+/// one column per series ("% of nodes receiving accuracy <= x").
+void PrintCdfTable(const std::string& title,
+                   const std::vector<double>& thresholds,
+                   const std::vector<CdfSeries>& series);
+
+/// Extracts the exponential-mechanism accuracies / theoretical bounds from
+/// evaluations (skipping omitted targets).
+std::vector<double> ExponentialAccuracies(
+    const std::vector<TargetEvaluation>& evals);
+std::vector<double> LaplaceAccuracies(
+    const std::vector<TargetEvaluation>& evals);
+std::vector<double> Bounds(const std::vector<TargetEvaluation>& evals);
+
+/// Counts skipped (no-candidate) targets.
+size_t CountSkipped(const std::vector<TargetEvaluation>& evals);
+
+/// If `csv_dir` is non-empty, writes the CDF series to
+/// `<csv_dir>/<name>.csv` (header: threshold,<series labels...>), ready
+/// for plotting. Errors are logged, not fatal (benches must not fail on a
+/// read-only filesystem).
+void MaybeWriteCsv(const std::string& csv_dir, const std::string& name,
+                   const std::vector<double>& thresholds,
+                   const std::vector<CdfSeries>& series);
+
+/// Prints a "shape check" line comparing a measured quantity against the
+/// paper's reported ballpark, e.g.
+///   shape  [paper ~0.60]  measured 0.57   fraction of nodes with acc<0.1
+void PrintShapeCheck(const std::string& description, double paper_value,
+                     double measured);
+
+/// Standard seeds so every bench binary regenerates identical datasets.
+inline constexpr uint64_t kWikiSeed = 20110829;   // VLDB'11 week 1 day
+inline constexpr uint64_t kTwitterSeed = 20110830;
+inline constexpr uint64_t kTargetSeed = 424242;
+
+/// Paths where real SNAP datasets are picked up if the user provides them.
+inline constexpr const char* kWikiVotePath = "data/wiki-Vote.txt";
+inline constexpr const char* kTwitterPath = "data/twitter-sample.txt";
+
+}  // namespace bench
+}  // namespace privrec
+
+#endif  // PRIVREC_BENCH_BENCH_SUPPORT_H_

@@ -1,0 +1,117 @@
+// The Section 8 dynamic-graph thought experiment made executable: a user's
+// neighborhood grows over time, the recommender re-answers after every
+// burst of edge arrivals, and a sequential-composition accountant tracks
+// the cumulative ε spent against a lifetime budget.
+//
+// Two findings the paper's future-work discussion anticipates:
+//  1. per-release accuracy improves as the target's degree grows
+//     (the Figure 2(c) effect playing out along the time axis), and
+//  2. the lifetime budget is exhausted after budget/ε_release answers —
+//     re-answering on every graph change is untenable under pure ε-DP.
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/exponential_mechanism.h"
+#include "core/privacy_accountant.h"
+#include "eval/accuracy.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+
+namespace privrec {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const double release_epsilon = flags.GetDouble("release-epsilon", 0.5);
+  const double lifetime_budget = flags.GetDouble("budget", 5.0);
+
+  std::printf("=== Dynamic graph + privacy budget (Section 8 extension) "
+              "===\n");
+  Rng rng(2718);
+  auto base = ErdosRenyiGnm(2000, 8000, /*directed=*/false, rng);
+  PRIVREC_CHECK_OK(base.status());
+  DynamicGraph graph(*base);
+  const NodeId target = 0;
+
+  // Strip the target down to a single edge so the timeline starts as a
+  // low-degree "newcomer".
+  {
+    CsrGraph snap = graph.Snapshot();
+    auto nbrs = snap.OutNeighbors(target);
+    std::vector<NodeId> to_remove(nbrs.begin() + 1, nbrs.end());
+    for (NodeId v : to_remove) PRIVREC_CHECK_OK(graph.RemoveEdge(target, v));
+  }
+
+  CommonNeighborsUtility utility;
+  PrivacyAccountant accountant(lifetime_budget);
+  std::printf("target starts with degree %u; each epoch it gains 3 "
+              "friends; every release is eps=%.2f; lifetime budget %.1f\n\n",
+              graph.OutDegree(target), release_epsilon, lifetime_budget);
+
+  TablePrinter table({"epoch", "degree", "release accuracy",
+                      "eps spent", "status"});
+  Rng friend_rng(321);
+  for (int epoch = 0; epoch < 16; ++epoch) {
+    // The social network keeps moving: the target makes friends, the rest
+    // of the graph churns.
+    for (int j = 0; j < 3; ++j) {
+      NodeId v = static_cast<NodeId>(
+          friend_rng.NextBounded(graph.num_nodes()));
+      if (v != target && !graph.HasEdge(target, v)) {
+        PRIVREC_CHECK_OK(graph.AddEdge(target, v));
+      }
+      NodeId a = static_cast<NodeId>(
+          friend_rng.NextBounded(graph.num_nodes()));
+      NodeId b = static_cast<NodeId>(
+          friend_rng.NextBounded(graph.num_nodes()));
+      if (a != b && !graph.HasEdge(a, b)) {
+        PRIVREC_CHECK_OK(graph.AddEdge(a, b));
+      }
+    }
+    CsrGraph snapshot = graph.Snapshot();
+    Status charge = accountant.Charge(
+        release_epsilon, "epoch " + std::to_string(epoch) + " release");
+    if (!charge.ok()) {
+      table.AddRow({std::to_string(epoch),
+                    std::to_string(snapshot.OutDegree(target)), "-",
+                    FormatDouble(accountant.spent(), 2),
+                    "REFUSED: budget exhausted"});
+      continue;
+    }
+    ExponentialMechanism mechanism(release_epsilon,
+                                   utility.SensitivityBound(snapshot));
+    UtilityVector utilities = utility.Compute(snapshot, target);
+    double accuracy = 0;
+    if (!utilities.empty()) {
+      auto acc = ExactExpectedAccuracy(mechanism, utilities);
+      PRIVREC_CHECK_OK(acc.status());
+      accuracy = *acc;
+    }
+    table.AddRow({std::to_string(epoch),
+                  std::to_string(snapshot.OutDegree(target)),
+                  FormatDouble(accuracy, 4),
+                  FormatDouble(accountant.spent(), 2), "released"});
+  }
+  table.Print();
+  std::printf("\nshape: accuracy climbs with degree over time, and the "
+              "accountant hard-stops after %.0f releases — the dynamic "
+              "setting needs new privacy definitions, exactly the paper's "
+              "closing open problem.\n",
+              lifetime_budget / release_epsilon);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::bench::Run(argc, argv); }

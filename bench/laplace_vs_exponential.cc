@@ -1,0 +1,109 @@
+// Reproduces the Section 7.2 "Exponential vs Laplace mechanism" comparison
+// and the Appendix E non-equivalence analysis.
+//
+// Paper claims:
+//  - "We verified in all experiments that the Laplace mechanism achieves
+//    nearly identical accuracy as the Exponential mechanism."
+//  - Appendix E: despite that, the two mechanisms are NOT isomorphic —
+//    the n=2 closed forms differ (Lemma 3).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/closed_forms.h"
+#include "eval/cdf.h"
+#include "eval/experiment.h"
+#include "gen/datasets.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+#include "utility/weighted_paths.h"
+
+namespace privrec {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const double fraction = flags.GetDouble("target-fraction", 0.03);
+  const size_t trials = flags.GetInt("laplace-trials", 1000);
+  const uint64_t seed = flags.GetInt("seed", kWikiSeed);
+
+  std::printf("=== Laplace vs Exponential (Sec 7.2 + Appendix E) ===\n");
+  Stopwatch watch;
+  auto graph = LoadOrSynthesizeWikiVote(
+      flags.GetString("wiki-path", kWikiVotePath), seed);
+  PRIVREC_CHECK_OK(graph.status());
+  PrintDatasetBanner("wiki-vote", *graph);
+
+  Rng target_rng(kTargetSeed);
+  auto targets = SampleTargets(*graph, fraction, target_rng);
+  std::printf("targets: %zu, Laplace Monte-Carlo trials per target: %zu "
+              "(the paper's procedure uses 1000)\n",
+              targets.size(), trials);
+
+  CommonNeighborsUtility cn;
+  WeightedPathsUtility wp(0.005, 3);
+  TablePrinter table({"utility / eps", "mean|exp-lap|", "max|exp-lap|",
+                      "mean exp acc", "mean lap acc"});
+  for (const UtilityFunction* utility :
+       std::initializer_list<const UtilityFunction*>{&cn, &wp}) {
+    for (double eps : {0.5, 1.0}) {
+      EvaluationOptions options;
+      options.epsilon = eps;
+      options.laplace_trials = trials;
+      options.seed = seed;
+      auto evals = EvaluateTargets(*graph, *utility, targets, options);
+      double total_diff = 0, max_diff = 0;
+      size_t usable = 0;
+      for (const TargetEvaluation& e : evals) {
+        if (e.skipped || std::isnan(e.laplace_accuracy)) continue;
+        double diff = std::fabs(e.exponential_accuracy - e.laplace_accuracy);
+        total_diff += diff;
+        max_diff = std::max(max_diff, diff);
+        ++usable;
+      }
+      auto exp_accs = ExponentialAccuracies(evals);
+      auto lap_accs = LaplaceAccuracies(evals);
+      table.AddRow({utility->name() + " eps=" + FormatDouble(eps, 1),
+                    FormatDouble(total_diff / usable, 4),
+                    FormatDouble(max_diff, 4),
+                    FormatDouble(MeanIgnoringNan(exp_accs), 4),
+                    FormatDouble(MeanIgnoringNan(lap_accs), 4)});
+    }
+  }
+  std::printf("\naccuracy agreement across targets\n");
+  table.Print();
+  std::printf("shape: mean |exp - lap| should be small (paper: 'nearly "
+              "identical'); max includes Monte-Carlo noise of ~1/sqrt(%zu).\n",
+              trials);
+
+  // Appendix E: n=2 closed forms.
+  std::printf("\nAppendix E: two-candidate win probability of the higher-"
+              "utility node (u1-u2 = gap, eps=1)\n");
+  TablePrinter closed({"gap", "Laplace (Lemma 3)", "Exponential",
+                       "difference"});
+  for (double gap : {0.1, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double lap = LaplaceTwoCandidateWinProbability(gap, 0.0, 1.0);
+    const double exp = ExponentialTwoCandidateWinProbability(gap, 0.0, 1.0);
+    closed.AddRow(FormatDouble(gap, 1), {lap, exp, lap - exp}, 4);
+  }
+  closed.Print();
+  std::printf("shape: columns agree to ~1e-2 but are provably different "
+              "functions — the mechanisms are interchangeable in practice, "
+              "not isomorphic.\n");
+  std::printf("elapsed: %.1fs\n", watch.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::bench::Run(argc, argv); }

@@ -1,0 +1,105 @@
+// Sweeps the paper's privacy lower bounds (Theorems 1-3, Lemma 2, the
+// node-privacy bound of Appendix A) across the degree axis for the three
+// graph sizes the paper discusses: Wiki-vote, the Twitter sample, and the
+// hypothetical 400M-node network of Section 4.2.
+//
+// Reading guide (matches the theorems' message):
+//  - a target of degree d_r = α·ln n forces ε >= ~1/α for constant
+//    accuracy under common-neighbors; only d_r >> ln n escapes;
+//  - the generic (any-utility) bound is ~4x weaker (t <= 4·d_max);
+//  - node-identity privacy is hopeless: ε >= ln(n)/2.
+// The sweep also validates Claim 3 constructively: on a synthetic graph,
+// PromoteToTopUtility must never need more than d_r + 2 edge additions.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/bounds.h"
+#include "core/promotion.h"
+#include "gen/generators.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+
+namespace privrec {
+namespace bench {
+namespace {
+
+void SweepForGraphSize(const char* name, uint64_t n, uint32_t d_max) {
+  std::printf("\n%s: n=%s, ln(n)=%.1f, d_max=%s\n", name,
+              FormatCount(n).c_str(), std::log(static_cast<double>(n)),
+              FormatCount(d_max).c_str());
+  TablePrinter table({"d_r", "Thm2 (common nbrs)", "Thm3 (wp g=0.005)",
+                      "Thm3 (wp g=0.05)", "Thm1 (any utility)"});
+  const double log_n = std::log(static_cast<double>(n));
+  for (double mult : {0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0}) {
+    const uint32_t d_r =
+        std::max<uint32_t>(1, static_cast<uint32_t>(mult * log_n));
+    if (d_r > d_max) continue;
+    table.AddRow(
+        FormatCount(d_r) + " (" + FormatDouble(mult, 2) + "*ln n)",
+        {Theorem2EpsilonLowerBound(n, d_r),
+         Theorem3EpsilonLowerBound(n, d_r, 0.005, d_max),
+         Theorem3EpsilonLowerBound(n, d_r, 0.05, d_max),
+         Theorem1EpsilonLowerBound(n, d_max)},
+        3);
+  }
+  table.Print();
+  std::printf("node-identity privacy (Appendix A): eps >= ln(n)/2 = %.2f\n",
+              NodePrivacyEpsilonLowerBound(n));
+}
+
+void ValidateClaim3Constructively() {
+  std::printf("\n--- Claim 3 constructive validation ---\n");
+  Rng rng(12345);
+  auto graph = ErdosRenyiGnm(300, 1800, /*directed=*/false, rng);
+  PRIVREC_CHECK_OK(graph.status());
+  CommonNeighborsUtility cn;
+  size_t checked = 0, within_budget = 0;
+  size_t max_edits = 0;
+  for (NodeId target = 0; target < 40; ++target) {
+    NodeId promoted = 0;
+    bool found = false;
+    for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+      if (v != target && !graph->HasEdge(target, v)) {
+        promoted = v;
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    auto promo = PromoteToTopUtility(*graph, cn, target, promoted);
+    PRIVREC_CHECK_OK(promo.status());
+    ++checked;
+    max_edits = std::max(max_edits, promo->added_edges.size());
+    if (promo->added_edges.size() <=
+        static_cast<size_t>(graph->OutDegree(target)) + 2) {
+      ++within_budget;
+    }
+  }
+  std::printf("promoted a low-utility node to the top for %zu targets; "
+              "%zu/%zu within the d_r+2 budget (max edits used: %zu)\n",
+              checked, within_budget, checked, max_edits);
+  std::printf("shape %s: every promotion fits Claim 3's t <= d_r + 2\n",
+              within_budget == checked ? "HOLDS" : "VIOLATED");
+}
+
+int Run() {
+  std::printf("=== Lower-bound landscape (Thms 1-3, Appendix A) ===\n");
+  std::printf("cells are the minimum eps ANY constant-accuracy mechanism "
+              "must pay\n");
+  SweepForGraphSize("wiki-vote scale", 7115, 1065);
+  SweepForGraphSize("twitter-sample scale", 96403, 13181);
+  SweepForGraphSize("Section 4.2 hypothetical", 400000000ull, 150);
+  ValidateClaim3Constructively();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privrec
+
+int main() { return privrec::bench::Run(); }

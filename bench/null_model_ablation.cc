@@ -1,0 +1,110 @@
+// Null-model ablation defending the dataset substitution (DESIGN.md §5):
+// are the paper's accuracy CDFs a function of the degree sequence alone?
+//
+// Procedure: take the wiki-Vote stand-in, destroy all structure beyond
+// degrees with heavy double-edge-swap randomization, rerun Figure 1(a),
+// and compare the two CDFs with the Kolmogorov–Smirnov statistic. A small
+// KS distance means that substituting the real dataset with a
+// degree-matched synthetic one preserves the experiment — the crux of the
+// reproduction's validity. (Triangle-level metrics DO move: the table
+// shows clustering collapsing under rewiring, so the invariance is
+// genuinely about the privacy experiment, not about the graphs being
+// secretly identical.)
+
+#include <cstdio>
+
+#include "bench/bench_support.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/statistics.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/cdf.h"
+#include "eval/experiment.h"
+#include "gen/datasets.h"
+#include "gen/rewiring.h"
+#include "graph/metrics.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+
+namespace privrec {
+namespace bench {
+namespace {
+
+std::vector<double> AccuraciesOn(const CsrGraph& graph,
+                                 const std::vector<NodeId>& targets,
+                                 double eps, uint64_t seed) {
+  CommonNeighborsUtility utility;
+  EvaluationOptions options;
+  options.epsilon = eps;
+  options.seed = seed;
+  auto evals = EvaluateTargets(graph, utility, targets, options);
+  return ExponentialAccuracies(evals);
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const uint64_t seed = flags.GetInt("seed", kWikiSeed);
+  const double eps = flags.GetDouble("epsilon", 0.5);
+
+  std::printf("=== Null-model ablation: does only the degree sequence "
+              "matter? ===\n");
+  auto graph = LoadOrSynthesizeWikiVote(
+      flags.GetString("wiki-path", kWikiVotePath), seed);
+  PRIVREC_CHECK_OK(graph.status());
+  PrintDatasetBanner("original", *graph);
+
+  Rng rewire_rng(seed + 1);
+  uint64_t executed = 0;
+  auto rewired = DegreePreservingRewire(
+      *graph, /*num_swaps=*/graph->num_edges() * 10, rewire_rng, &executed);
+  PRIVREC_CHECK_OK(rewired.status());
+  std::printf("rewired with %s successful double-edge swaps (10x edges)\n",
+              FormatCount(executed).c_str());
+
+  // Structure really was destroyed:
+  TablePrinter metrics({"metric", "original", "rewired"});
+  metrics.AddRow("triangles",
+                 {static_cast<double>(CountTriangles(*graph)),
+                  static_cast<double>(CountTriangles(*rewired))},
+                 0);
+  metrics.AddRow("global clustering",
+                 {GlobalClusteringCoefficient(*graph),
+                  GlobalClusteringCoefficient(*rewired)},
+                 4);
+  metrics.AddRow("assortativity",
+                 {DegreeAssortativity(*graph),
+                  DegreeAssortativity(*rewired)},
+                 4);
+  metrics.Print();
+
+  Rng target_rng(kTargetSeed);
+  auto targets = SampleTargets(*graph, 0.10, target_rng);
+  auto original_acc = AccuraciesOn(*graph, targets, eps, seed);
+  auto rewired_acc = AccuraciesOn(*rewired, targets, eps, seed);
+
+  const auto thresholds = PaperAccuracyThresholds();
+  PrintCdfTable(
+      "accuracy CDFs before/after degree-preserving randomization "
+      "(common neighbors, eps=" + FormatDouble(eps, 1) + ")",
+      thresholds,
+      {{"original", FractionAtOrBelow(original_acc, thresholds)},
+       {"rewired", FractionAtOrBelow(rewired_acc, thresholds)}});
+
+  const double ks = KsStatistic(original_acc, rewired_acc);
+  std::printf("\nKolmogorov-Smirnov distance between the two accuracy "
+              "distributions: %.4f\n",
+              ks);
+  std::printf("shape %s: KS < 0.1 — the privacy-accuracy trade-off is a "
+              "degree-sequence phenomenon, so degree-matched synthetic "
+              "stand-ins reproduce the paper's figures.\n",
+              ks < 0.1 ? "HOLDS" : "VIOLATED");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::bench::Run(argc, argv); }

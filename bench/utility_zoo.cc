@@ -1,0 +1,107 @@
+// The "other utility functions" sweep (Section 8 future work): runs the
+// full utility-function catalogue through the same privacy-accuracy
+// pipeline as Figures 1-2 and reports, per utility, the sensitivity that
+// calibrates the mechanisms, the mean private accuracy, and the mean
+// theoretical ceiling.
+//
+// Expected ordering (and why):
+//  - common neighbors / resource allocation / Adamic-Adar: small constant
+//    sensitivity -> the best of a bad situation;
+//  - weighted paths: sensitivity grows with γ·d_max -> worse;
+//  - Jaccard: normalized scores make the utility *gaps* tiny relative to
+//    Δf -> bad;
+//  - preferential attachment: Δf ~ d_max² obliterates the signal — the
+//    cautionary extreme.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_support.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/cdf.h"
+#include "eval/experiment.h"
+#include "gen/datasets.h"
+#include "random/rng.h"
+#include "utility/adamic_adar.h"
+#include "utility/common_neighbors.h"
+#include "utility/link_predictors.h"
+#include "utility/personalized_pagerank.h"
+#include "utility/weighted_paths.h"
+
+namespace privrec {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const uint64_t seed = flags.GetInt("seed", kWikiSeed);
+  const double eps = flags.GetDouble("epsilon", 1.0);
+
+  std::printf("=== Utility-function zoo (Section 8 extension) ===\n");
+  auto graph = LoadOrSynthesizeWikiVote(
+      flags.GetString("wiki-path", kWikiVotePath), seed);
+  PRIVREC_CHECK_OK(graph.status());
+  PrintDatasetBanner("wiki-vote", *graph);
+
+  Rng target_rng(kTargetSeed);
+  auto targets = SampleTargets(*graph, 0.05, target_rng);
+  std::printf("targets: %zu, eps=%s\n\n", targets.size(),
+              FormatDouble(eps, 1).c_str());
+
+  CommonNeighborsUtility cn;
+  AdamicAdarUtility aa;
+  ResourceAllocationUtility ra;
+  JaccardUtility jaccard;
+  WeightedPathsUtility wp_small(0.0005, 3);
+  WeightedPathsUtility wp_large(0.05, 3);
+  KatzUtility katz(0.005, 3);
+  PreferentialAttachmentUtility pa;
+
+  TablePrinter table({"utility", "sensitivity Δf", "mean exp acc",
+                      "median exp acc", "mean ceiling", "% skipped"});
+  for (const UtilityFunction* utility :
+       std::initializer_list<const UtilityFunction*>{
+           &cn, &aa, &ra, &jaccard, &wp_small, &wp_large, &katz, &pa}) {
+    EvaluationOptions options;
+    options.epsilon = eps;
+    options.seed = seed;
+    auto evals = EvaluateTargets(*graph, *utility, targets, options);
+    auto accs = ExponentialAccuracies(evals);
+    auto bounds = Bounds(evals);
+    std::vector<double> sorted_accs = accs;
+    const double median =
+        sorted_accs.empty()
+            ? 0.0
+            : (std::nth_element(sorted_accs.begin(),
+                                sorted_accs.begin() + sorted_accs.size() / 2,
+                                sorted_accs.end()),
+               sorted_accs[sorted_accs.size() / 2]);
+    table.AddRow({utility->name(),
+                  FormatDouble(utility->SensitivityBound(*graph), 3),
+                  FormatDouble(MeanIgnoringNan(accs), 4),
+                  FormatDouble(median, 4),
+                  FormatDouble(MeanIgnoringNan(bounds), 4),
+                  FormatDouble(100.0 * CountSkipped(evals) /
+                                   static_cast<double>(evals.size()),
+                               1) +
+                      "%"});
+  }
+  table.Print();
+  std::printf("\nreading: sensitivity is destiny — the utility functions "
+              "with O(1) edge sensitivity (CN family) retain the most "
+              "signal; anything whose Δf scales with degree (weighted "
+              "paths at high gamma, preferential attachment) is noise at "
+              "reasonable eps. No function escapes the ceiling.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::bench::Run(argc, argv); }

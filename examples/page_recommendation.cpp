@@ -1,0 +1,120 @@
+// Facebook-style Page recommendation over a people+pages open graph: the
+// paper's motivating product surface (Section 2 cites Facebook's Pages
+// recommender as the most prominent deployment of graph link-based
+// recommendations).
+//
+// People follow pages and friend each other; the graph is one uniform node
+// set, exactly the Open Graph framing of the paper's introduction. We
+// recommend pages via weighted paths (friends-of-friends' likes count,
+// discounted by distance) under differential privacy of ALL edges — both
+// friendships and page likes are sensitive.
+//
+//   $ ./page_recommendation [--people=3000] [--pages=300] [--epsilon=1.0]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/recommender.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "random/alias_sampler.h"
+#include "random/rng.h"
+
+using namespace privrec;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const NodeId people = static_cast<NodeId>(flags.GetInt("people", 3000));
+  const NodeId pages = static_cast<NodeId>(flags.GetInt("pages", 300));
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+
+  // Nodes [0, people) are users, [people, people+pages) are pages.
+  // Friendships: Chung-Lu power law among users. Likes: each user follows
+  // a handful of pages, page popularity itself power-law distributed.
+  Rng rng(2024);
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(people + pages);
+  {
+    auto weights = PowerLawWeights(people, 2.3);
+    auto friendships =
+        ChungLu(weights, weights, people * 6, /*directed=*/false, rng);
+    PRIVREC_CHECK_OK(friendships.status());
+    for (NodeId u = 0; u < friendships->num_nodes(); ++u) {
+      for (NodeId v : friendships->OutNeighbors(u)) {
+        if (v > u) builder.AddEdge(u, v);
+      }
+    }
+  }
+  {
+    auto popularity = PowerLawWeights(pages, 1.8);
+    AliasSampler page_sampler(popularity);
+    for (NodeId user = 0; user < people; ++user) {
+      const int likes = 2 + static_cast<int>(rng.NextBounded(5));
+      for (int i = 0; i < likes; ++i) {
+        builder.AddEdge(user,
+                        people + static_cast<NodeId>(page_sampler.Sample(rng)));
+      }
+    }
+  }
+  CsrGraph graph = builder.Build();
+  std::printf("open graph: %u users + %u pages, %llu edges "
+              "(friendships + likes, all sensitive)\n",
+              people, pages,
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  RecommenderOptions options;
+  options.utility = UtilityKind::kWeightedPaths;
+  options.gamma = 0.005;  // the paper's middle setting
+  options.mechanism = MechanismKind::kExponential;
+  options.epsilon = epsilon;
+  SocialRecommender recommender(graph, options);
+
+  // Recommend for a mid-degree user; restrict attention to page outcomes
+  // by reporting how often the private draw lands on a page vs a person.
+  NodeId user = people / 2;
+  std::printf("\nrecommending for user#%u (degree %u) at eps=%.2f, "
+              "weighted paths gamma=%.3f\n",
+              user, graph.OutDegree(user), epsilon, options.gamma);
+
+  UtilityVector utilities = recommender.ComputeUtilities(user);
+  std::printf("candidates: %llu (%zu with nonzero utility)\n",
+              static_cast<unsigned long long>(utilities.num_candidates()),
+              utilities.nonzero().size());
+
+  // Top-5 non-private page recommendations for context.
+  TablePrinter top({"rank", "node", "kind", "utility"});
+  int rank = 0;
+  for (const UtilityEntry& e : utilities.nonzero()) {
+    if (rank >= 5) break;
+    top.AddRow({std::to_string(++rank), std::to_string(e.node),
+                e.node >= people ? "page" : "person",
+                FormatDouble(e.utility, 3)});
+  }
+  std::printf("\nnon-private top candidates\n");
+  top.Print();
+
+  Rng draw_rng(5);
+  int page_hits = 0, person_hits = 0;
+  constexpr int kDraws = 200;
+  for (int i = 0; i < kDraws; ++i) {
+    auto rec = recommender.Recommend(user, draw_rng);
+    PRIVREC_CHECK_OK(rec.status());
+    (*rec >= people ? page_hits : person_hits)++;
+  }
+  std::printf("\n%d private draws: %d pages, %d people\n", kDraws, page_hits,
+              person_hits);
+
+  auto accuracy = recommender.ExpectedAccuracy(user);
+  PRIVREC_CHECK_OK(accuracy.status());
+  std::printf("expected accuracy %.3f vs ceiling %.3f — at this epsilon "
+              "the recommender %s\n",
+              *accuracy, recommender.AccuracyCeiling(user),
+              *accuracy > 0.3 ? "retains real signal"
+                              : "is mostly privacy noise");
+  return 0;
+}

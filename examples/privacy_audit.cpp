@@ -1,0 +1,96 @@
+// Empirically audits the differential-privacy guarantees of every
+// mechanism in the library on a small graph, by exhaustively toggling
+// non-target edges and measuring worst-case likelihood ratios — the
+// operational meaning of Definition 1.
+//
+//   $ ./privacy_audit [--epsilon=1.0]
+//
+// Expected output: the exponential / Laplace / smoothing mechanisms stay
+// within their declared ε; R_best (no privacy) blows through any budget;
+// the uniform baseline sits at 0.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/baseline_mechanisms.h"
+#include "core/exponential_mechanism.h"
+#include "core/laplace_mechanism.h"
+#include "core/linear_smoothing.h"
+#include "eval/dp_auditor.h"
+#include "gen/generators.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+
+using namespace privrec;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+
+  Rng rng(31337);
+  auto graph_or = ErdosRenyiGnm(16, 40, /*directed=*/false, rng);
+  PRIVREC_CHECK_OK(graph_or.status());
+  CsrGraph graph = *std::move(graph_or);
+  const NodeId target = 0;
+  CommonNeighborsUtility utility;
+  const double sensitivity = utility.SensitivityBound(graph);
+
+  std::printf("auditing on a %u-node graph, target %u, utility %s, "
+              "declared eps=%.2f\n",
+              graph.num_nodes(), target, utility.name().c_str(), epsilon);
+  std::printf("(every non-target edge toggled; worst likelihood ratio over "
+              "all outcomes reported)\n\n");
+
+  ExponentialMechanism exponential(epsilon, sensitivity);
+  LaplaceMechanism laplace(epsilon, sensitivity);
+  ExponentialMechanism cheating(epsilon, sensitivity / 4.0);
+  UniformMechanism uniform;
+  BestMechanism best;
+  const double x =
+      LinearSmoothingMechanism::XForEpsilon(epsilon, graph.num_nodes());
+  LinearSmoothingMechanism smoothing(x, std::make_shared<BestMechanism>());
+  smoothing.set_num_candidates_hint(graph.num_nodes());
+
+  TablePrinter table({"mechanism", "declared eps", "measured eps",
+                      "verdict"});
+  struct Row {
+    const char* label;
+    const Mechanism* mechanism;
+    double declared;
+  };
+  for (const Row& row : std::initializer_list<Row>{
+           {"exponential", &exponential, epsilon},
+           {"laplace", &laplace, epsilon},
+           {"linear smoothing", &smoothing, epsilon},
+           {"uniform", &uniform, 0.0},
+           {"exponential, Δf/4 (misconfigured!)", &cheating, epsilon},
+           {"best (non-private)", &best,
+            std::numeric_limits<double>::infinity()}}) {
+    auto audit = AuditEdgeDp(graph, utility, *row.mechanism, target);
+    PRIVREC_CHECK_OK(audit.status());
+    std::string verdict;
+    if (std::isinf(row.declared)) {
+      verdict = audit->max_abs_log_ratio > 10 ? "LEAKS (as expected)"
+                                              : "unexpectedly quiet";
+    } else {
+      verdict = audit->max_abs_log_ratio <= row.declared + 1e-4
+                    ? "honored"
+                    : "VIOLATED";
+    }
+    table.AddRow({row.label,
+                  std::isinf(row.declared) ? "none"
+                                           : FormatDouble(row.declared, 2),
+                  FormatDouble(audit->max_abs_log_ratio, 4), verdict});
+  }
+  table.Print();
+  std::printf("\nthe deliberately misconfigured mechanism must show "
+              "VIOLATED and R_best must LEAK — that is the auditor "
+              "catching real privacy bugs.\n");
+  return 0;
+}

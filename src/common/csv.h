@@ -1,0 +1,37 @@
+#ifndef PRIVREC_COMMON_CSV_H_
+#define PRIVREC_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace privrec {
+
+/// Minimal CSV writer used by the experiment harness to dump figure series.
+/// Values containing commas/quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  /// True if the file opened successfully.
+  bool ok() const { return out_.good(); }
+
+  /// Writes one row. Numeric convenience overload below.
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(const std::vector<double>& fields);
+
+  /// Flushes and closes; returns IOError on failure.
+  Status Close();
+
+ private:
+  static std::string Escape(const std::string& field);
+
+  std::ofstream out_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_CSV_H_

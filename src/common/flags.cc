@@ -1,0 +1,66 @@
+#include "common/flags.h"
+
+#include "common/string_util.h"
+
+namespace privrec {
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` if the next token is not itself a flag, else bare bool.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name,
+                           int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  auto parsed = ParseInt64(it->second);
+  return parsed.ok() ? *parsed : default_value;
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? *parsed : default_value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace privrec

@@ -1,0 +1,36 @@
+#ifndef PRIVREC_COMMON_FLAGS_H_
+#define PRIVREC_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace privrec {
+
+/// Tiny command-line flag parser for the examples and benchmark drivers.
+/// Accepts `--name=value` and `--name value`; bare `--name` means "true".
+/// Unrecognized positional arguments are collected in positional().
+class FlagParser {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed flags.
+  Status Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_FLAGS_H_

@@ -1,0 +1,89 @@
+#ifndef PRIVREC_COMMON_LOGGING_H_
+#define PRIVREC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace privrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; override via SetLogLevel or PRIVREC_LOG_LEVEL env var.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates a message and emits it to stderr on
+/// destruction. Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log level filters it out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace privrec
+
+#define PRIVREC_LOG_INTERNAL(level) \
+  ::privrec::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define PRIVREC_LOG(severity)                                               \
+  (::privrec::LogLevel::k##severity < ::privrec::GetLogLevel())             \
+      ? (void)0                                                             \
+      : (void)(PRIVREC_LOG_INTERNAL(::privrec::LogLevel::k##severity)       \
+               << "")
+
+// Stream-capable variants (PRIVREC_LOG cannot chain <<; use these).
+#define PRIVREC_DLOG PRIVREC_LOG_INTERNAL(::privrec::LogLevel::kDebug)
+#define PRIVREC_ILOG PRIVREC_LOG_INTERNAL(::privrec::LogLevel::kInfo)
+#define PRIVREC_WLOG PRIVREC_LOG_INTERNAL(::privrec::LogLevel::kWarning)
+#define PRIVREC_ELOG PRIVREC_LOG_INTERNAL(::privrec::LogLevel::kError)
+#define PRIVREC_FLOG PRIVREC_LOG_INTERNAL(::privrec::LogLevel::kFatal)
+
+/// CHECK-style invariant assertions: active in all build modes, abort with a
+/// diagnostic on failure. Use for programmer errors, not user input (user
+/// input errors must surface as Status).
+#define PRIVREC_CHECK(cond)                                          \
+  while (!(cond))                                                    \
+  PRIVREC_FLOG << "Check failed: " #cond " "
+
+#define PRIVREC_CHECK_OK(expr)                                       \
+  do {                                                               \
+    ::privrec::Status _privrec_check_status = (expr);                \
+    PRIVREC_CHECK(_privrec_check_status.ok())                        \
+        << _privrec_check_status.ToString();                         \
+  } while (false)
+
+#define PRIVREC_CHECK_EQ(a, b) PRIVREC_CHECK((a) == (b))
+#define PRIVREC_CHECK_NE(a, b) PRIVREC_CHECK((a) != (b))
+#define PRIVREC_CHECK_LT(a, b) PRIVREC_CHECK((a) < (b))
+#define PRIVREC_CHECK_LE(a, b) PRIVREC_CHECK((a) <= (b))
+#define PRIVREC_CHECK_GT(a, b) PRIVREC_CHECK((a) > (b))
+#define PRIVREC_CHECK_GE(a, b) PRIVREC_CHECK((a) >= (b))
+
+#endif  // PRIVREC_COMMON_LOGGING_H_

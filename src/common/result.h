@@ -1,0 +1,80 @@
+#ifndef PRIVREC_COMMON_RESULT_H_
+#define PRIVREC_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace privrec {
+
+/// Result<T> is either a value of type T or an error Status, following the
+/// arrow::Result idiom. Accessing the value of an errored Result aborts, so
+/// callers must check ok() (or use PRIVREC_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit construction from an error Status. Aborts if `status` is OK:
+  /// an OK Result must carry a value.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) std::abort();
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace privrec
+
+#define PRIVREC_CONCAT_IMPL(a, b) a##b
+#define PRIVREC_CONCAT(a, b) PRIVREC_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`, e.g.
+///   PRIVREC_ASSIGN_OR_RETURN(auto graph, LoadEdgeList(path));
+#define PRIVREC_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto PRIVREC_CONCAT(_privrec_result_, __LINE__) = (rexpr);          \
+  if (!PRIVREC_CONCAT(_privrec_result_, __LINE__).ok())               \
+    return PRIVREC_CONCAT(_privrec_result_, __LINE__).status();       \
+  lhs = std::move(PRIVREC_CONCAT(_privrec_result_, __LINE__)).ValueOrDie()
+
+#endif  // PRIVREC_COMMON_RESULT_H_

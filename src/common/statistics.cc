@@ -1,0 +1,71 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privrec {
+
+SummaryStats Summarize(const std::vector<double>& values) {
+  SummaryStats stats;
+  if (values.empty()) return stats;
+  stats.count = values.size();
+  stats.min = values.front();
+  stats.max = values.front();
+  double total = 0;
+  for (double v : values) {
+    total += v;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = total / static_cast<double>(values.size());
+  double sq = 0;
+  for (double v : values) sq += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return stats;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return std::nan("");
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double KsStatistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 1.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double ks = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    // Advance both sides past the smaller value together so ties (common
+    // in accuracy CDFs full of exact zeros) do not inflate the statistic.
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == x) ++i;
+    while (j < b.size() && b[j] == x) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    ks = std::max(ks, std::fabs(fa - fb));
+  }
+  return ks;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty()) return std::nan("");
+  const SummaryStats sx = Summarize(x);
+  const SummaryStats sy = Summarize(y);
+  if (sx.stddev == 0 || sy.stddev == 0) return std::nan("");
+  double cov = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean) * (y[i] - sy.mean);
+  }
+  cov /= static_cast<double>(x.size());
+  return cov / (sx.stddev * sy.stddev);
+}
+
+}  // namespace privrec

@@ -1,0 +1,37 @@
+#ifndef PRIVREC_COMMON_STATISTICS_H_
+#define PRIVREC_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace privrec {
+
+/// Streaming-free summary statistics over a sample (NaNs are the caller's
+/// problem — filter first). Used by the experiment harness and tests.
+struct SummaryStats {
+  size_t count = 0;
+  double mean = 0;
+  double stddev = 0;  // population
+  double min = 0;
+  double max = 0;
+};
+
+SummaryStats Summarize(const std::vector<double>& values);
+
+/// p-th percentile (p in [0,100]) by linear interpolation between order
+/// statistics; the input need not be sorted. Returns NaN on empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Two-sample Kolmogorov–Smirnov statistic: sup_x |F_a(x) - F_b(x)|.
+/// Used by the null-model ablation to quantify how far two accuracy CDFs
+/// are apart. Returns 1 when either sample is empty.
+double KsStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Pearson correlation; NaN if either side has zero variance or sizes
+/// mismatch/empty.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_STATISTICS_H_

@@ -1,0 +1,29 @@
+#ifndef PRIVREC_COMMON_STOPWATCH_H_
+#define PRIVREC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace privrec {
+
+/// Wall-clock stopwatch for coarse experiment timing. Starts on
+/// construction; Elapsed* report time since construction or last Restart.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_STOPWATCH_H_

@@ -1,0 +1,40 @@
+#ifndef PRIVREC_COMMON_STRING_UTIL_H_
+#define PRIVREC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace privrec {
+
+/// Splits `input` on `delim`, omitting empty pieces when `skip_empty`.
+std::vector<std::string> Split(std::string_view input, char delim,
+                               bool skip_empty = true);
+
+/// Splits on arbitrary ASCII whitespace (space, tab, CR), omitting empties.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Strict integer / floating point parsing: the whole trimmed token must
+/// parse, otherwise InvalidArgument.
+Result<int64_t> ParseInt64(std::string_view token);
+Result<double> ParseDouble(std::string_view token);
+
+/// Formats `value` with `digits` significant decimal places ("0.046").
+std::string FormatDouble(double value, int digits = 4);
+
+/// Human-readable count with thousands separators ("100,762").
+std::string FormatCount(uint64_t value);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_STRING_UTIL_H_

@@ -1,0 +1,71 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace privrec {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      size_t pad = widths[c] - row[c].size();
+      if (c == 0) {
+        line += row[c] + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + row[c];
+      }
+    }
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  out += '\n';
+  std::vector<std::string> seps;
+  seps.reserve(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    seps.push_back(std::string(widths[c], '-'));
+  }
+  out += render_row(seps);
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace privrec

@@ -1,0 +1,40 @@
+#ifndef PRIVREC_COMMON_TABLE_PRINTER_H_
+#define PRIVREC_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace privrec {
+
+/// Renders aligned plain-text tables for benchmark/experiment output, e.g.
+///
+///   accuracy  exp(eps=0.5)  bound(eps=0.5)
+///   --------  ------------  --------------
+///   0.1000    0.6030        0.5110
+///
+/// Columns are right-aligned except the first, which is left-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Numeric convenience: formats every cell with `digits` decimals, with
+  /// the first cell taken from `label`.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 4);
+
+  /// Renders the table (header, separator, rows) as a single string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,65 @@
+#include "core/baseline_mechanisms.h"
+
+namespace privrec {
+
+Result<Recommendation> BestMechanism::Recommend(
+    const UtilityVector& utilities, Rng& /*rng*/) const {
+  if (utilities.empty()) {
+    return Status::FailedPrecondition(
+        "best mechanism needs a nonzero-utility candidate");
+  }
+  Recommendation rec;
+  rec.node = utilities.argmax();
+  rec.utility = utilities.max_utility();
+  rec.from_zero_block = false;
+  return rec;
+}
+
+Result<RecommendationDistribution> BestMechanism::Distribution(
+    const UtilityVector& utilities) const {
+  if (utilities.empty()) {
+    return Status::FailedPrecondition(
+        "best mechanism needs a nonzero-utility candidate");
+  }
+  RecommendationDistribution dist;
+  dist.nonzero_probs.assign(utilities.nonzero().size(), 0.0);
+  dist.nonzero_probs[0] = 1.0;  // entries are sorted by descending utility
+  dist.zero_block_prob = 0.0;
+  return dist;
+}
+
+Result<Recommendation> UniformMechanism::Recommend(
+    const UtilityVector& utilities, Rng& rng) const {
+  const uint64_t total = utilities.num_candidates();
+  if (total == 0) {
+    return Status::FailedPrecondition("no candidates to recommend");
+  }
+  uint64_t pick = rng.NextBounded(total);
+  Recommendation rec;
+  if (pick < utilities.nonzero().size()) {
+    const UtilityEntry& e = utilities.nonzero()[pick];
+    rec.node = e.node;
+    rec.utility = e.utility;
+    rec.from_zero_block = false;
+  } else {
+    rec.node = kUnresolvedZeroNode;
+    rec.utility = 0;
+    rec.from_zero_block = true;
+  }
+  return rec;
+}
+
+Result<RecommendationDistribution> UniformMechanism::Distribution(
+    const UtilityVector& utilities) const {
+  const uint64_t total = utilities.num_candidates();
+  if (total == 0) {
+    return Status::FailedPrecondition("no candidates to recommend");
+  }
+  RecommendationDistribution dist;
+  const double p = 1.0 / static_cast<double>(total);
+  dist.nonzero_probs.assign(utilities.nonzero().size(), p);
+  dist.zero_block_prob = p * static_cast<double>(utilities.num_zero());
+  return dist;
+}
+
+}  // namespace privrec

@@ -1,0 +1,44 @@
+#ifndef PRIVREC_CORE_BASELINE_MECHANISMS_H_
+#define PRIVREC_CORE_BASELINE_MECHANISMS_H_
+
+#include "core/mechanism.h"
+
+namespace privrec {
+
+/// R_best (Section 3.1): deterministically recommends the highest-utility
+/// candidate. Attains accuracy 1 by definition and is the denominator of
+/// Definition 2. Not differentially private for any finite ε.
+class BestMechanism : public Mechanism {
+ public:
+  std::string name() const override { return "best"; }
+
+  double epsilon() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  Result<Recommendation> Recommend(const UtilityVector& utilities,
+                                   Rng& rng) const override;
+
+  Result<RecommendationDistribution> Distribution(
+      const UtilityVector& utilities) const override;
+};
+
+/// Uniform baseline: every candidate equally likely. Perfectly private
+/// (0-DP: the output is independent of the graph's edges given the
+/// candidate count) and the accuracy floor any mechanism can fall to.
+class UniformMechanism : public Mechanism {
+ public:
+  std::string name() const override { return "uniform"; }
+
+  double epsilon() const override { return 0; }
+
+  Result<Recommendation> Recommend(const UtilityVector& utilities,
+                                   Rng& rng) const override;
+
+  Result<RecommendationDistribution> Distribution(
+      const UtilityVector& utilities) const override;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_BASELINE_MECHANISMS_H_

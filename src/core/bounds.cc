@@ -1,0 +1,123 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privrec {
+
+double Corollary1AccuracyUpperBound(uint64_t n, uint64_t k, double c,
+                                    double t, double epsilon) {
+  PRIVREC_CHECK_GT(n, k);
+  PRIVREC_CHECK(c > 0.0 && c <= 1.0);
+  const double nk = static_cast<double>(n - k);
+  // e^{εt} can overflow for large t; the bound then approaches 1 — compute
+  // in a saturating way.
+  const double exponent = epsilon * t;
+  if (exponent > 700.0) return 1.0;
+  const double et = std::exp(exponent);
+  const double bound =
+      1.0 - c * nk / (nk + (static_cast<double>(k) + 1.0) * et);
+  return std::clamp(bound, 0.0, 1.0);
+}
+
+double Lemma1EpsilonLowerBound(uint64_t n, uint64_t k, double c, double delta,
+                               double t) {
+  PRIVREC_CHECK_GT(n, k);
+  PRIVREC_CHECK(c > 0.0 && c <= 1.0);
+  PRIVREC_CHECK(delta > 0.0 && delta < c);
+  PRIVREC_CHECK_GT(t, 0.0);
+  const double term1 = std::log((c - delta) / delta);
+  const double term2 = std::log(static_cast<double>(n - k) /
+                                (static_cast<double>(k) + 1.0));
+  return (term1 + term2) / t;
+}
+
+double Lemma2EpsilonLowerBound(uint64_t n, double beta, double t) {
+  PRIVREC_CHECK_GT(n, 1u);
+  PRIVREC_CHECK_GT(beta, 0.0);
+  PRIVREC_CHECK_GT(t, 0.0);
+  const double log_n = std::log(static_cast<double>(n));
+  const double bound = (log_n - std::log(beta) - std::log(log_n)) / t;
+  return std::max(bound, 0.0);
+}
+
+double Theorem1EpsilonLowerBound(uint64_t n, uint32_t d_max) {
+  PRIVREC_CHECK_GT(n, 1u);
+  PRIVREC_CHECK_GT(d_max, 0u);
+  const double alpha =
+      static_cast<double>(d_max) / std::log(static_cast<double>(n));
+  return 0.25 / alpha;
+}
+
+double Theorem2EpsilonLowerBound(uint64_t n, uint32_t d_r) {
+  PRIVREC_CHECK_GT(n, 1u);
+  return std::log(static_cast<double>(n)) /
+         (static_cast<double>(d_r) + 2.0);
+}
+
+double Theorem3EpsilonLowerBound(uint64_t n, uint32_t d_r, double gamma,
+                                 uint32_t d_max) {
+  PRIVREC_CHECK_GT(n, 1u);
+  PRIVREC_CHECK_GE(gamma, 0.0);
+  // Theorem 3's rewiring uses t <= d_r + 2(c-1)d_r with (c-1) = Θ(γ·d_max);
+  // we charge the full correction term plus the +2 bookkeeping edges.
+  const double t = (1.0 + 2.0 * gamma * static_cast<double>(d_max)) *
+                       static_cast<double>(d_r) +
+                   2.0;
+  return std::log(static_cast<double>(n)) / t;
+}
+
+double NodePrivacyEpsilonLowerBound(uint64_t n) {
+  PRIVREC_CHECK_GT(n, 1u);
+  return std::log(static_cast<double>(n)) / 2.0;
+}
+
+double NonMonotoneEpsilonLowerBound(uint64_t n, double t_promotion) {
+  PRIVREC_CHECK_GT(n, 1u);
+  PRIVREC_CHECK_GT(t_promotion, 0.0);
+  return std::log(static_cast<double>(n)) / (2.0 * t_promotion);
+}
+
+double TheoreticalAccuracyBound(const UtilityVector& utilities, double t,
+                                double epsilon) {
+  if (utilities.empty()) return 1.0;
+  const uint64_t n = utilities.num_candidates();
+  const double u_max = utilities.max_utility();
+  double best = 1.0;
+  // Enumerate thresholds τ between consecutive distinct utility values:
+  // k(τ) = |{u_i > τ}| changes only there. Also include τ -> 0+ (c -> 1).
+  const auto& entries = utilities.nonzero();
+  double previous_value = -1.0;
+  for (const UtilityEntry& e : entries) {
+    if (e.utility == previous_value) continue;
+    previous_value = e.utility;
+    // τ just below this utility level: entries with utility >= e.utility
+    // form V_hi; everything strictly below is V_lo.
+    const double tau = std::nextafter(e.utility, 0.0);
+    const uint64_t k = utilities.CountAbove(tau);
+    if (k >= n) continue;
+    const double c = 1.0 - tau / u_max;
+    if (c <= 0.0) continue;
+    best = std::min(best,
+                    Corollary1AccuracyUpperBound(n, k, c, t, epsilon));
+  }
+  // τ -> 0+: all nonzero entries are high-utility, c = 1.
+  const uint64_t k_all = entries.size();
+  if (k_all < n) {
+    best = std::min(best,
+                    Corollary1AccuracyUpperBound(n, k_all, 1.0, t, epsilon));
+  }
+  return best;
+}
+
+double TheoreticalAccuracyBound(const CsrGraph& graph,
+                                const UtilityFunction& utility, NodeId target,
+                                const UtilityVector& utilities,
+                                double epsilon) {
+  const double t = utility.EdgeAlterationsT(graph, target, utilities);
+  return TheoreticalAccuracyBound(utilities, t, epsilon);
+}
+
+}  // namespace privrec

@@ -1,0 +1,80 @@
+#ifndef PRIVREC_CORE_BOUNDS_H_
+#define PRIVREC_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "utility/utility_function.h"
+#include "utility/utility_vector.h"
+
+namespace privrec {
+
+/// Closed-form privacy-utility trade-off bounds from Sections 4-5 and
+/// Appendix A of the paper. Symbol conventions follow the paper:
+///   n  — number of candidate nodes,
+///   k  — size of the high-utility group V_hi = {i : u_i > (1-c)·u_max},
+///   c  — high-utility threshold parameter in (0, 1],
+///   t  — edge alterations needed to promote a low-utility node to the top,
+///   δ  — accuracy slack (accuracy = 1-δ),
+///   ε  — differential privacy parameter.
+
+/// Corollary 1: the maximum accuracy any ε-DP mechanism can achieve,
+///   1 - δ <= 1 - c·(n-k) / (n-k + (k+1)·e^{ε·t}).
+double Corollary1AccuracyUpperBound(uint64_t n, uint64_t k, double c,
+                                    double t, double epsilon);
+
+/// Lemma 1: the minimum ε any (1-δ)-accurate mechanism must pay,
+///   ε >= (1/t)·( ln((c-δ)/δ) + ln((n-k)/(k+1)) ).
+double Lemma1EpsilonLowerBound(uint64_t n, uint64_t k, double c, double delta,
+                               double t);
+
+/// Lemma 2 (asymptotic, for Ω(1) accuracy and β = o(n/log n)):
+///   ε >= (ln n - ln β - ln ln n) / t.
+double Lemma2EpsilonLowerBound(uint64_t n, double beta, double t);
+
+/// Theorem 1 (any utility function, d_max = α·ln n):  ε >= 1/(4α).
+/// Derivation: t <= 4·d_max by the exchange argument, combined w/ Lemma 2.
+double Theorem1EpsilonLowerBound(uint64_t n, uint32_t d_max);
+
+/// Theorem 2 (common-neighbors-like utilities, d_r = α·ln n):
+///   ε >= (1-o(1))/α — computed here without the o(1) slack as
+///   ln n / (d_r + 2), using Claim 3's exact t <= d_r + 2.
+double Theorem2EpsilonLowerBound(uint64_t n, uint32_t d_r);
+
+/// Theorem 3 (weighted paths, γ = o(1/d_max)): same form with
+/// t <= (1+o(1))·d_r; computed as ln n / ((1+2γ·d_max)·d_r + 2).
+double Theorem3EpsilonLowerBound(uint64_t n, uint32_t d_r, double gamma,
+                                 uint32_t d_max);
+
+/// Appendix A (node-identity privacy): swapping two nodes' neighborhoods
+/// takes t = 2 rewiring steps, so ε >= (ln n - o(ln n))/2; computed as
+/// ln n / 2.
+double NodePrivacyEpsilonLowerBound(uint64_t n);
+
+/// Appendix A (non-monotone mechanisms): without monotonicity the argument
+/// must *exchange* the least-likely node with the top-utility node rather
+/// than merely promote it, roughly doubling the edge alterations. Computed
+/// as ln n / (2·t_promotion) — the "slightly weaker lower bound" the
+/// appendix describes.
+double NonMonotoneEpsilonLowerBound(uint64_t n, double t_promotion);
+
+/// The per-target theoretical accuracy bound plotted in Figures 1-2:
+/// Corollary 1 instantiated with the exact t of the target's utility
+/// vector (UtilityFunction::EdgeAlterationsT) and minimized over the
+/// threshold parameter c — the bound holds for *every* c in (0,1], so the
+/// tightest instantiation is taken over thresholds aligned with the
+/// distinct utility values of ~u.
+///
+/// Returns 1.0 (vacuous bound) for empty utility vectors.
+double TheoreticalAccuracyBound(const UtilityVector& utilities, double t,
+                                double epsilon);
+
+/// Convenience overload: computes t via `utility` then evaluates the bound.
+double TheoreticalAccuracyBound(const CsrGraph& graph,
+                                const UtilityFunction& utility, NodeId target,
+                                const UtilityVector& utilities,
+                                double epsilon);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_BOUNDS_H_

@@ -1,0 +1,28 @@
+#include "core/closed_forms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privrec {
+
+double LaplaceTwoCandidateWinProbability(double u1, double u2,
+                                         double epsilon) {
+  PRIVREC_CHECK_GE(u1, u2);
+  PRIVREC_CHECK_GT(epsilon, 0.0);
+  const double g = epsilon * (u1 - u2);  // gap in noise-scale units
+  return 1.0 - 0.5 * std::exp(-g) - g / (4.0 * std::exp(g));
+}
+
+double ExponentialTwoCandidateWinProbability(double u1, double u2,
+                                             double epsilon) {
+  PRIVREC_CHECK_GT(epsilon, 0.0);
+  // Shift by max for numerical stability.
+  const double m = std::max(u1, u2);
+  const double w1 = std::exp(epsilon * (u1 - m));
+  const double w2 = std::exp(epsilon * (u2 - m));
+  return w1 / (w1 + w2);
+}
+
+}  // namespace privrec

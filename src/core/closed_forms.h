@@ -1,0 +1,25 @@
+#ifndef PRIVREC_CORE_CLOSED_FORMS_H_
+#define PRIVREC_CORE_CLOSED_FORMS_H_
+
+namespace privrec {
+
+/// Lemma 3 / Appendix E: with two candidates of utilities u1 >= u2 and iid
+/// Laplace(1/ε) noise, the probability that candidate 1 wins the noisy
+/// argmax is
+///   P = 1 - (1/2)e^{-ε(u1-u2)} - ε(u1-u2) / (4 e^{ε(u1-u2)}).
+/// (The paper notes this is the first explicit closed form for the
+/// difference of two Laplace variables in this setting.)
+double LaplaceTwoCandidateWinProbability(double u1, double u2,
+                                         double epsilon);
+
+/// The exponential mechanism's probability of recommending candidate 1
+/// among two candidates with Δf = 1: e^{εu1} / (e^{εu1} + e^{εu2}).
+/// Appendix E contrasts this with the Laplace closed form to show the two
+/// mechanisms are *not* isomorphic despite near-identical empirical
+/// accuracy.
+double ExponentialTwoCandidateWinProbability(double u1, double u2,
+                                             double epsilon);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_CLOSED_FORMS_H_

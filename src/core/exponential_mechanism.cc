@@ -1,0 +1,72 @@
+#include "core/exponential_mechanism.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privrec {
+
+ExponentialMechanism::ExponentialMechanism(double epsilon, double sensitivity)
+    : epsilon_(epsilon), sensitivity_(sensitivity) {
+  PRIVREC_CHECK_GT(epsilon, 0.0);
+  PRIVREC_CHECK_GT(sensitivity, 0.0);
+}
+
+Result<RecommendationDistribution> ExponentialMechanism::Distribution(
+    const UtilityVector& utilities) const {
+  if (utilities.num_candidates() == 0) {
+    return Status::FailedPrecondition("no candidates to recommend");
+  }
+  const double u_max = utilities.max_utility();
+  const double scale = epsilon_ / sensitivity_;
+  RecommendationDistribution dist;
+  dist.nonzero_probs.reserve(utilities.nonzero().size());
+  double partition = 0;
+  for (const UtilityEntry& e : utilities.nonzero()) {
+    double w = std::exp(scale * (e.utility - u_max));
+    dist.nonzero_probs.push_back(w);
+    partition += w;
+  }
+  const double zero_weight =
+      static_cast<double>(utilities.num_zero()) * std::exp(-scale * u_max);
+  partition += zero_weight;
+  for (double& p : dist.nonzero_probs) p /= partition;
+  dist.zero_block_prob = zero_weight / partition;
+  return dist;
+}
+
+Result<Recommendation> ExponentialMechanism::Recommend(
+    const UtilityVector& utilities, Rng& rng) const {
+  PRIVREC_ASSIGN_OR_RETURN(RecommendationDistribution dist,
+                           Distribution(utilities));
+  double coin = rng.NextDouble();
+  double cumulative = 0;
+  const auto& entries = utilities.nonzero();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    cumulative += dist.nonzero_probs[i];
+    if (coin < cumulative) {
+      Recommendation rec;
+      rec.node = entries[i].node;
+      rec.utility = entries[i].utility;
+      rec.from_zero_block = false;
+      return rec;
+    }
+  }
+  if (utilities.num_zero() == 0) {
+    // Floating-point shortfall in the cumulative sum: attribute the sliver
+    // to the last (least likely) nonzero candidate rather than a
+    // nonexistent zero block.
+    Recommendation rec;
+    rec.node = entries.back().node;
+    rec.utility = entries.back().utility;
+    rec.from_zero_block = false;
+    return rec;
+  }
+  Recommendation rec;
+  rec.node = kUnresolvedZeroNode;
+  rec.utility = 0;
+  rec.from_zero_block = true;
+  return rec;
+}
+
+}  // namespace privrec

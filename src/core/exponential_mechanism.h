@@ -1,0 +1,44 @@
+#ifndef PRIVREC_CORE_EXPONENTIAL_MECHANISM_H_
+#define PRIVREC_CORE_EXPONENTIAL_MECHANISM_H_
+
+#include "core/mechanism.h"
+
+namespace privrec {
+
+/// The exponential mechanism A_E(ε) (Definition 5, after McSherry-Talwar):
+/// recommends candidate i with probability ∝ exp(ε·u_i/Δf). ε-DP for any
+/// utility function with L1 edge sensitivity ≤ Δf (Theorem 4).
+///
+/// Implementation notes:
+/// - Weights are computed relative to u_max (exp(ε(u_i-u_max)/Δf)) so the
+///   partition function never overflows.
+/// - The zero-utility block contributes num_zero()·exp(-ε·u_max/Δf) to the
+///   partition function without being materialized; if the block wins the
+///   draw, the Recommendation carries from_zero_block = true.
+/// - Both the sampled draw and the exact closed-form Distribution() are
+///   provided; the experiments use the latter ("the expected accuracy
+///   follows from the definition of A_E(ε) directly", Section 7.1).
+class ExponentialMechanism : public Mechanism {
+ public:
+  /// `epsilon` is the privacy budget; `sensitivity` the Δf calibration
+  /// (use UtilityFunction::SensitivityBound). Both must be positive.
+  ExponentialMechanism(double epsilon, double sensitivity);
+
+  std::string name() const override { return "exponential"; }
+  double epsilon() const override { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+
+  Result<Recommendation> Recommend(const UtilityVector& utilities,
+                                   Rng& rng) const override;
+
+  Result<RecommendationDistribution> Distribution(
+      const UtilityVector& utilities) const override;
+
+ private:
+  double epsilon_;
+  double sensitivity_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_EXPONENTIAL_MECHANISM_H_

@@ -1,0 +1,55 @@
+#include "core/gumbel_mechanism.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/exponential_mechanism.h"
+#include "random/distributions.h"
+
+namespace privrec {
+
+GumbelMaxMechanism::GumbelMaxMechanism(double epsilon, double sensitivity)
+    : epsilon_(epsilon), sensitivity_(sensitivity) {
+  PRIVREC_CHECK_GT(epsilon, 0.0);
+  PRIVREC_CHECK_GT(sensitivity, 0.0);
+}
+
+Result<Recommendation> GumbelMaxMechanism::Recommend(
+    const UtilityVector& utilities, Rng& rng) const {
+  if (utilities.num_candidates() == 0) {
+    return Status::FailedPrecondition("no candidates to recommend");
+  }
+  const double scale = sensitivity_ / epsilon_;
+  Recommendation best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const UtilityEntry& e : utilities.nonzero()) {
+    double score = e.utility + scale * SampleGumbel(rng);
+    if (score > best_score) {
+      best_score = score;
+      best.node = e.node;
+      best.utility = e.utility;
+      best.from_zero_block = false;
+    }
+  }
+  const uint64_t zeros = utilities.num_zero();
+  if (zeros > 0) {
+    // max of m iid Gumbel(0,1) ~ Gumbel(ln m, 1): shift one sample.
+    double zero_score =
+        scale * (std::log(static_cast<double>(zeros)) + SampleGumbel(rng));
+    if (zero_score > best_score) {
+      best.node = kUnresolvedZeroNode;
+      best.utility = 0;
+      best.from_zero_block = true;
+    }
+  }
+  return best;
+}
+
+Result<RecommendationDistribution> GumbelMaxMechanism::Distribution(
+    const UtilityVector& utilities) const {
+  return ExponentialMechanism(epsilon_, sensitivity_)
+      .Distribution(utilities);
+}
+
+}  // namespace privrec

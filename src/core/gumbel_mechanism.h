@@ -1,0 +1,42 @@
+#ifndef PRIVREC_CORE_GUMBEL_MECHANISM_H_
+#define PRIVREC_CORE_GUMBEL_MECHANISM_H_
+
+#include "core/mechanism.h"
+
+namespace privrec {
+
+/// Gumbel-max implementation of the exponential mechanism: add iid Gumbel
+/// noise of scale Δf/ε to every utility and take the argmax. This is
+/// *distributionally identical* to ExponentialMechanism (the Gumbel-max
+/// trick), but structurally identical to the Laplace mechanism — the only
+/// difference between "Laplace" and "Exponential" in this library is which
+/// noise distribution feeds the same noisy-argmax loop, which makes the
+/// Section 6 / Appendix E comparison concrete: swap the noise, change the
+/// mechanism.
+///
+/// Like LaplaceMechanism, the zero-utility block is drawn in O(1) via the
+/// closed-form max of m iid Gumbel variables (Gumbel(ln m) + noise).
+class GumbelMaxMechanism : public Mechanism {
+ public:
+  GumbelMaxMechanism(double epsilon, double sensitivity);
+
+  std::string name() const override { return "gumbel_max"; }
+  double epsilon() const override { return epsilon_; }
+
+  Result<Recommendation> Recommend(const UtilityVector& utilities,
+                                   Rng& rng) const override;
+
+  /// Delegates to the exponential mechanism's closed form — the whole
+  /// point of the Gumbel-max trick is that the two are the same
+  /// distribution (verified by tests/extensions_test.cc).
+  Result<RecommendationDistribution> Distribution(
+      const UtilityVector& utilities) const override;
+
+ private:
+  double epsilon_;
+  double sensitivity_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_GUMBEL_MECHANISM_H_

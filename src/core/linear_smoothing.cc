@@ -1,0 +1,77 @@
+#include "core/linear_smoothing.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privrec {
+
+LinearSmoothingMechanism::LinearSmoothingMechanism(
+    double x, std::shared_ptr<const Mechanism> inner)
+    : x_(x), inner_(std::move(inner)) {
+  PRIVREC_CHECK(x >= 0.0 && x <= 1.0);
+  PRIVREC_CHECK(inner_ != nullptr);
+}
+
+double LinearSmoothingMechanism::epsilon() const {
+  if (num_candidates_hint_ == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return EpsilonFor(num_candidates_hint_);
+}
+
+double LinearSmoothingMechanism::EpsilonFor(uint64_t num_candidates) const {
+  if (x_ >= 1.0) return std::numeric_limits<double>::infinity();
+  return std::log1p(static_cast<double>(num_candidates) * x_ / (1.0 - x_));
+}
+
+double LinearSmoothingMechanism::XForEpsilon(double epsilon,
+                                             uint64_t num_candidates) {
+  PRIVREC_CHECK_GE(epsilon, 0.0);
+  const double e = std::expm1(epsilon);  // e^eps - 1
+  return e / (e + static_cast<double>(num_candidates));
+}
+
+Result<Recommendation> LinearSmoothingMechanism::Recommend(
+    const UtilityVector& utilities, Rng& rng) const {
+  const uint64_t total = utilities.num_candidates();
+  if (total == 0) {
+    return Status::FailedPrecondition("no candidates to recommend");
+  }
+  if (rng.NextBernoulli(x_)) return inner_->Recommend(utilities, rng);
+  // Uniform branch.
+  uint64_t pick = rng.NextBounded(total);
+  Recommendation rec;
+  if (pick < utilities.nonzero().size()) {
+    const UtilityEntry& e = utilities.nonzero()[pick];
+    rec.node = e.node;
+    rec.utility = e.utility;
+  } else {
+    rec.node = kUnresolvedZeroNode;
+    rec.utility = 0;
+    rec.from_zero_block = true;
+  }
+  return rec;
+}
+
+Result<RecommendationDistribution> LinearSmoothingMechanism::Distribution(
+    const UtilityVector& utilities) const {
+  const uint64_t total = utilities.num_candidates();
+  if (total == 0) {
+    return Status::FailedPrecondition("no candidates to recommend");
+  }
+  PRIVREC_ASSIGN_OR_RETURN(RecommendationDistribution inner_dist,
+                           inner_->Distribution(utilities));
+  RecommendationDistribution dist;
+  const double uniform = (1.0 - x_) / static_cast<double>(total);
+  dist.nonzero_probs.reserve(inner_dist.nonzero_probs.size());
+  for (double p : inner_dist.nonzero_probs) {
+    dist.nonzero_probs.push_back(uniform + x_ * p);
+  }
+  dist.zero_block_prob =
+      uniform * static_cast<double>(utilities.num_zero()) +
+      x_ * inner_dist.zero_block_prob;
+  return dist;
+}
+
+}  // namespace privrec

@@ -1,0 +1,60 @@
+#ifndef PRIVREC_CORE_LINEAR_SMOOTHING_H_
+#define PRIVREC_CORE_LINEAR_SMOOTHING_H_
+
+#include <memory>
+
+#include "core/mechanism.h"
+
+namespace privrec {
+
+/// The sampling / linear-smoothing mechanism A_S(x) of Appendix F
+/// (Definition 7): with probability x defer to an arbitrary inner
+/// recommender A (not necessarily private — typically R_best), with
+/// probability 1-x recommend uniformly at random.
+///
+/// Theorem 5: A_S(x) is ln(1 + nx/(1-x))-differentially private and
+/// x·μ-accurate when A is μ-accurate. Its value is that it never needs the
+/// full utility vector — only the ability to sample from A — which is the
+/// paper's answer to graphs where storing n² utilities is impossible.
+class LinearSmoothingMechanism : public Mechanism {
+ public:
+  /// `x` in [0, 1]; `inner` must outlive this mechanism.
+  LinearSmoothingMechanism(double x, std::shared_ptr<const Mechanism> inner);
+
+  std::string name() const override { return "linear_smoothing"; }
+
+  double x() const { return x_; }
+
+  /// Theorem 5's guarantee: ln(1 + n·x/(1-x)). Depends on the candidate
+  /// count n, which is per-utility-vector, so this returns the guarantee
+  /// for the worst case recorded via set_num_candidates_hint (or +inf when
+  /// x == 1). Use EpsilonFor(n) for a specific n.
+  double epsilon() const override;
+
+  /// ε(n) = ln(1 + n·x/(1-x)).
+  double EpsilonFor(uint64_t num_candidates) const;
+
+  /// Inverts Theorem 5: the largest x giving ε-DP on n candidates,
+  /// x = (e^ε - 1)/(e^ε - 1 + n).
+  static double XForEpsilon(double epsilon, uint64_t num_candidates);
+
+  /// Records the n used by epsilon() reporting.
+  void set_num_candidates_hint(uint64_t n) { num_candidates_hint_ = n; }
+
+  Result<Recommendation> Recommend(const UtilityVector& utilities,
+                                   Rng& rng) const override;
+
+  /// Exact closed form whenever the inner mechanism has one:
+  /// p''_i = (1-x)/n + x·p_i.
+  Result<RecommendationDistribution> Distribution(
+      const UtilityVector& utilities) const override;
+
+ private:
+  double x_;
+  std::shared_ptr<const Mechanism> inner_;
+  uint64_t num_candidates_hint_ = 0;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_LINEAR_SMOOTHING_H_

@@ -1,0 +1,48 @@
+#include "core/mechanism.h"
+
+#include <unordered_set>
+
+namespace privrec {
+
+double RecommendationDistribution::ExpectedAccuracy(
+    const UtilityVector& utilities) const {
+  const double u_max = utilities.max_utility();
+  if (u_max <= 0) return 0;
+  double expected = 0;
+  const auto& entries = utilities.nonzero();
+  for (size_t i = 0; i < entries.size() && i < nonzero_probs.size(); ++i) {
+    expected += entries[i].utility * nonzero_probs[i];
+  }
+  return expected / u_max;
+}
+
+Result<NodeId> ResolveZeroUtilityNode(const CsrGraph& graph,
+                                      const UtilityVector& utilities,
+                                      Rng& rng) {
+  if (utilities.num_zero() == 0) {
+    return Status::FailedPrecondition("no zero-utility candidates");
+  }
+  std::unordered_set<NodeId> support;
+  support.reserve(utilities.nonzero().size());
+  for (const UtilityEntry& e : utilities.nonzero()) support.insert(e.node);
+  const NodeId target = utilities.target();
+  // Zero-utility candidates are a constant fraction of V in all realistic
+  // inputs, so rejection terminates fast; cap attempts for pathological
+  // graphs and fall back to a scan.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    NodeId v = static_cast<NodeId>(rng.NextBounded(graph.num_nodes()));
+    if (v == target || graph.HasEdge(target, v) || support.count(v) > 0) {
+      continue;
+    }
+    return v;
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (v == target || graph.HasEdge(target, v) || support.count(v) > 0) {
+      continue;
+    }
+    return v;
+  }
+  return Status::Internal("zero-utility candidate bookkeeping mismatch");
+}
+
+}  // namespace privrec

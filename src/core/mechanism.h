@@ -1,0 +1,78 @@
+#ifndef PRIVREC_CORE_MECHANISM_H_
+#define PRIVREC_CORE_MECHANISM_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "random/rng.h"
+#include "utility/utility_vector.h"
+
+namespace privrec {
+
+/// Sentinel for "a zero-utility candidate, identity not materialized".
+inline constexpr NodeId kUnresolvedZeroNode =
+    std::numeric_limits<NodeId>::max();
+
+/// One drawn recommendation. When a mechanism lands in the zero-utility
+/// block (whose members are not materialized in the UtilityVector), `node`
+/// is kUnresolvedZeroNode; ResolveZeroUtilityNode picks a concrete uniform
+/// member when an actual node id is needed.
+struct Recommendation {
+  NodeId node = kUnresolvedZeroNode;
+  double utility = 0;
+  bool from_zero_block = false;
+};
+
+/// Exact recommendation distribution of a mechanism on one utility vector:
+/// per-nonzero-candidate probabilities plus the total mass of the zero
+/// block (within which all candidates are exchangeable, hence uniform).
+struct RecommendationDistribution {
+  std::vector<double> nonzero_probs;  // aligned with UtilityVector::nonzero()
+  double zero_block_prob = 0;
+
+  /// Expected accuracy Σ u_i p_i / u_max (Definition 2's inner expression)
+  /// under this distribution. Zero-block mass contributes no utility.
+  double ExpectedAccuracy(const UtilityVector& utilities) const;
+};
+
+/// A (possibly randomized) single-recommendation algorithm R (Section 3.1):
+/// a probability vector over candidates, determined by the utility vector.
+/// Implementations declare their privacy guarantee via epsilon() (infinity
+/// for non-private baselines).
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The ε of the mechanism's differential-privacy guarantee;
+  /// +infinity when the mechanism is not private (R_best).
+  virtual double epsilon() const = 0;
+
+  /// Draws one recommendation. Fails with FailedPrecondition when the
+  /// candidate set is empty.
+  virtual Result<Recommendation> Recommend(const UtilityVector& utilities,
+                                           Rng& rng) const = 0;
+
+  /// Exact output distribution. Mechanisms without a closed form (Laplace
+  /// for general n) return Unimplemented; use eval/accuracy.h instead.
+  virtual Result<RecommendationDistribution> Distribution(
+      const UtilityVector& utilities) const {
+    (void)utilities;
+    return Status::Unimplemented("no closed-form distribution for " + name());
+  }
+};
+
+/// Uniformly samples a concrete zero-utility candidate id: a node that is
+/// not the target, not an out-neighbor of the target, and not in the
+/// nonzero support. Rejection sampling; FailedPrecondition if none exists.
+Result<NodeId> ResolveZeroUtilityNode(const CsrGraph& graph,
+                                      const UtilityVector& utilities,
+                                      Rng& rng);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_MECHANISM_H_

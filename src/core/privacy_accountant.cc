@@ -1,0 +1,28 @@
+#include "core/privacy_accountant.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace privrec {
+
+PrivacyAccountant::PrivacyAccountant(double budget) : budget_(budget) {
+  PRIVREC_CHECK_GE(budget, 0.0);
+}
+
+Status PrivacyAccountant::Charge(double epsilon, const std::string& reason) {
+  if (epsilon < 0) {
+    return Status::InvalidArgument("cannot charge negative epsilon");
+  }
+  // Tolerate float dust at the boundary so k charges of budget/k succeed.
+  if (spent_ + epsilon > budget_ * (1.0 + 1e-12) + 1e-12) {
+    return Status::FailedPrecondition(
+        "privacy budget exhausted: spent " + FormatDouble(spent_, 4) +
+        " of " + FormatDouble(budget_, 4) + ", cannot charge " +
+        FormatDouble(epsilon, 4) + " for '" + reason + "'");
+  }
+  spent_ += epsilon;
+  ledger_.push_back({epsilon, reason});
+  return Status::OK();
+}
+
+}  // namespace privrec

@@ -1,0 +1,52 @@
+#ifndef PRIVREC_CORE_PRIVACY_ACCOUNTANT_H_
+#define PRIVREC_CORE_PRIVACY_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace privrec {
+
+/// Sequential-composition privacy accountant. Pure-ε differential privacy
+/// composes additively: releasing outputs of an ε₁-DP and an ε₂-DP
+/// mechanism on the same graph is (ε₁+ε₂)-DP. This is the bookkeeping a
+/// production deployment needs around the mechanisms in this library —
+/// each recommendation served, each re-computation on a changed graph
+/// (the paper's Section 8 dynamic setting), spends budget.
+///
+/// The accountant enforces a hard cap: Charge() fails once the cap would
+/// be exceeded, which is the correct failure mode for a privacy system
+/// (refuse service, never silently degrade the guarantee).
+class PrivacyAccountant {
+ public:
+  /// `budget` is the total ε this principal may ever spend.
+  explicit PrivacyAccountant(double budget);
+
+  double budget() const { return budget_; }
+  double spent() const { return spent_; }
+  double remaining() const { return budget_ - spent_; }
+
+  /// Records an ε-expenditure tagged with a human-readable reason.
+  /// FailedPrecondition (and no charge) if it would exceed the budget.
+  Status Charge(double epsilon, const std::string& reason);
+
+  /// Largest ε that can still be charged.
+  double MaxAffordable() const { return remaining(); }
+
+  /// Ledger of successful charges, in order.
+  struct Entry {
+    double epsilon;
+    std::string reason;
+  };
+  const std::vector<Entry>& ledger() const { return ledger_; }
+
+ private:
+  double budget_;
+  double spent_ = 0;
+  std::vector<Entry> ledger_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_PRIVACY_ACCOUNTANT_H_

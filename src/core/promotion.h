@@ -1,0 +1,40 @@
+#ifndef PRIVREC_CORE_PROMOTION_H_
+#define PRIVREC_CORE_PROMOTION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "utility/utility_function.h"
+
+namespace privrec {
+
+/// Outcome of a constructive node promotion (the adversarial rewiring at
+/// the heart of the paper's lower-bound proofs).
+struct PromotionResult {
+  CsrGraph rewired_graph;
+  /// Edges that were added, in order.
+  std::vector<std::pair<NodeId, NodeId>> added_edges;
+  /// True if `promoted` is the unique argmax of the utility vector on
+  /// rewired_graph.
+  bool promoted_to_top = false;
+};
+
+/// Implements Claim 3's rewiring for common-neighbors-like utilities:
+/// connects `promoted` to neighbors of `target` (and, if the target's
+/// whole neighborhood is exhausted, grows it) until `promoted` strictly
+/// dominates every other candidate. Fails if target/promoted coincide or
+/// are adjacent.
+///
+/// Tests use this to verify the paper's t formulas end-to-end: the number
+/// of edges added is <= EdgeAlterationsT(graph, target, utilities), and
+/// the promoted node really becomes R_best's recommendation — exactly the
+/// adversary move that forces Lemma 1's likelihood-ratio argument.
+Result<PromotionResult> PromoteToTopUtility(const CsrGraph& graph,
+                                            const UtilityFunction& utility,
+                                            NodeId target, NodeId promoted);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_PROMOTION_H_

@@ -1,0 +1,116 @@
+#include "core/recommender.h"
+
+#include "common/logging.h"
+#include "core/baseline_mechanisms.h"
+#include "core/bounds.h"
+#include "core/exponential_mechanism.h"
+#include "core/gumbel_mechanism.h"
+#include "core/laplace_mechanism.h"
+#include "core/linear_smoothing.h"
+#include "utility/adamic_adar.h"
+#include "utility/common_neighbors.h"
+#include "utility/link_predictors.h"
+#include "utility/personalized_pagerank.h"
+#include "utility/weighted_paths.h"
+
+namespace privrec {
+namespace {
+
+std::unique_ptr<UtilityFunction> MakeUtility(const RecommenderOptions& opt) {
+  switch (opt.utility) {
+    case UtilityKind::kCommonNeighbors:
+      return std::make_unique<CommonNeighborsUtility>();
+    case UtilityKind::kWeightedPaths:
+      return std::make_unique<WeightedPathsUtility>(opt.gamma,
+                                                    opt.max_path_length);
+    case UtilityKind::kAdamicAdar:
+      return std::make_unique<AdamicAdarUtility>();
+    case UtilityKind::kPersonalizedPageRank:
+      return std::make_unique<PersonalizedPageRankUtility>();
+    case UtilityKind::kJaccard:
+      return std::make_unique<JaccardUtility>();
+    case UtilityKind::kResourceAllocation:
+      return std::make_unique<ResourceAllocationUtility>();
+    case UtilityKind::kKatz:
+      return std::make_unique<KatzUtility>();
+    case UtilityKind::kPreferentialAttachment:
+      return std::make_unique<PreferentialAttachmentUtility>();
+  }
+  PRIVREC_FLOG << "unknown utility kind";
+  return nullptr;
+}
+
+std::shared_ptr<const Mechanism> MakeMechanism(const RecommenderOptions& opt,
+                                               const CsrGraph& graph,
+                                               double sensitivity) {
+  switch (opt.mechanism) {
+    case MechanismKind::kBest:
+      return std::make_shared<BestMechanism>();
+    case MechanismKind::kUniform:
+      return std::make_shared<UniformMechanism>();
+    case MechanismKind::kExponential:
+      return std::make_shared<ExponentialMechanism>(opt.epsilon, sensitivity);
+    case MechanismKind::kLaplace:
+      return std::make_shared<LaplaceMechanism>(opt.epsilon, sensitivity);
+    case MechanismKind::kGumbelMax:
+      return std::make_shared<GumbelMaxMechanism>(opt.epsilon, sensitivity);
+    case MechanismKind::kLinearSmoothing: {
+      const double x = LinearSmoothingMechanism::XForEpsilon(
+          opt.epsilon, graph.num_nodes());
+      auto smoothing = std::make_shared<LinearSmoothingMechanism>(
+          x, std::make_shared<BestMechanism>());
+      smoothing->set_num_candidates_hint(graph.num_nodes());
+      return smoothing;
+    }
+  }
+  PRIVREC_FLOG << "unknown mechanism kind";
+  return nullptr;
+}
+
+}  // namespace
+
+SocialRecommender::SocialRecommender(const CsrGraph& graph,
+                                     const RecommenderOptions& options)
+    : graph_(graph), options_(options), utility_(MakeUtility(options)) {
+  sensitivity_ = options.sensitivity_override > 0
+                     ? options.sensitivity_override
+                     : utility_->SensitivityBound(graph);
+  mechanism_ = MakeMechanism(options, graph, sensitivity_);
+}
+
+UtilityVector SocialRecommender::ComputeUtilities(NodeId target) const {
+  return utility_->Compute(graph_, target);
+}
+
+Result<NodeId> SocialRecommender::Recommend(NodeId target, Rng& rng) const {
+  if (target >= graph_.num_nodes()) {
+    return Status::InvalidArgument("target out of range");
+  }
+  UtilityVector utilities = ComputeUtilities(target);
+  PRIVREC_ASSIGN_OR_RETURN(Recommendation rec,
+                           mechanism_->Recommend(utilities, rng));
+  if (!rec.from_zero_block) return rec.node;
+  return ResolveZeroUtilityNode(graph_, utilities, rng);
+}
+
+Result<double> SocialRecommender::ExpectedAccuracy(NodeId target) const {
+  if (target >= graph_.num_nodes()) {
+    return Status::InvalidArgument("target out of range");
+  }
+  UtilityVector utilities = ComputeUtilities(target);
+  if (utilities.empty()) {
+    return Status::FailedPrecondition(
+        "target has no nonzero-utility candidates");
+  }
+  PRIVREC_ASSIGN_OR_RETURN(RecommendationDistribution dist,
+                           mechanism_->Distribution(utilities));
+  return dist.ExpectedAccuracy(utilities);
+}
+
+double SocialRecommender::AccuracyCeiling(NodeId target) const {
+  UtilityVector utilities = ComputeUtilities(target);
+  return TheoreticalAccuracyBound(graph_, *utility_, target, utilities,
+                                  options_.epsilon);
+}
+
+}  // namespace privrec

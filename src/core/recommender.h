@@ -1,0 +1,96 @@
+#ifndef PRIVREC_CORE_RECOMMENDER_H_
+#define PRIVREC_CORE_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/mechanism.h"
+#include "graph/csr_graph.h"
+#include "random/rng.h"
+#include "utility/utility_function.h"
+
+namespace privrec {
+
+/// Utility-function choices for the facade.
+enum class UtilityKind {
+  kCommonNeighbors,
+  kWeightedPaths,
+  kAdamicAdar,
+  kPersonalizedPageRank,
+  kJaccard,
+  kResourceAllocation,
+  kKatz,
+  kPreferentialAttachment,
+};
+
+/// Mechanism choices for the facade.
+enum class MechanismKind {
+  kBest,            // non-private optimum R_best
+  kUniform,         // 0-DP floor
+  kExponential,     // A_E(ε)
+  kLaplace,         // A_L(ε)
+  kGumbelMax,       // A_E(ε) via noisy argmax (identical distribution)
+  kLinearSmoothing, // A_S(x) with R_best inside, x calibrated to ε
+};
+
+/// Configuration of a SocialRecommender.
+struct RecommenderOptions {
+  UtilityKind utility = UtilityKind::kCommonNeighbors;
+  MechanismKind mechanism = MechanismKind::kExponential;
+  /// Privacy budget; ignored by kBest/kUniform.
+  double epsilon = 1.0;
+  /// γ for kWeightedPaths.
+  double gamma = 0.005;
+  /// Truncation length for kWeightedPaths (2 or 3).
+  int max_path_length = 3;
+  /// Override Δf; <= 0 means "use the utility's analytic bound".
+  double sensitivity_override = 0;
+};
+
+/// The library's front door: ties a utility function, a privacy mechanism,
+/// and the theory together behind one object, the way a product integration
+/// would consume this work.
+///
+///   SocialRecommender rec(graph, options);
+///   auto suggestion = rec.Recommend(target, rng);     // one private draw
+///   double acc = *rec.ExpectedAccuracy(target);       // what it costs us
+///   double cap = rec.AccuracyCeiling(target);         // what *anyone* gets
+class SocialRecommender {
+ public:
+  /// The graph must outlive the recommender.
+  SocialRecommender(const CsrGraph& graph, const RecommenderOptions& options);
+
+  const UtilityFunction& utility() const { return *utility_; }
+  const Mechanism& mechanism() const { return *mechanism_; }
+  double sensitivity() const { return sensitivity_; }
+
+  /// Utility vector for `target` (computed fresh; callers doing repeated
+  /// analysis on one target should cache it).
+  UtilityVector ComputeUtilities(NodeId target) const;
+
+  /// Draws one recommendation for `target`, resolving zero-block picks to
+  /// a concrete node id.
+  Result<NodeId> Recommend(NodeId target, Rng& rng) const;
+
+  /// Expected accuracy of the configured mechanism on `target`
+  /// (Definition 2's per-vector value). Exact where the mechanism has a
+  /// closed form; Unimplemented for Laplace on large vectors — use
+  /// eval/accuracy.h's Monte-Carlo evaluator there.
+  Result<double> ExpectedAccuracy(NodeId target) const;
+
+  /// Corollary 1's cap on the accuracy *any* ε-DP mechanism could reach
+  /// for this target (the "Theor. Bound" series of Figures 1-2).
+  double AccuracyCeiling(NodeId target) const;
+
+ private:
+  const CsrGraph& graph_;
+  RecommenderOptions options_;
+  std::unique_ptr<UtilityFunction> utility_;
+  std::shared_ptr<const Mechanism> mechanism_;
+  double sensitivity_ = 0;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_RECOMMENDER_H_

@@ -1,0 +1,131 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/exponential_mechanism.h"
+#include "random/distributions.h"
+
+namespace privrec {
+namespace {
+
+Status ValidateTopK(const UtilityVector& utilities, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (utilities.num_candidates() < k) {
+    return Status::FailedPrecondition("fewer candidates than k");
+  }
+  return Status::OK();
+}
+
+/// Sum of the k largest utilities (zero-utility slots contribute 0).
+double IdealMass(const UtilityVector& utilities, size_t k) {
+  double total = 0;
+  const auto& entries = utilities.nonzero();
+  for (size_t i = 0; i < std::min(k, entries.size()); ++i) {
+    total += entries[i].utility;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<TopKResult> PeelingExponentialTopK(const UtilityVector& utilities,
+                                          size_t k, double epsilon,
+                                          double sensitivity, Rng& rng) {
+  PRIVREC_RETURN_NOT_OK(ValidateTopK(utilities, k));
+  const double per_round_epsilon = epsilon / static_cast<double>(k);
+  ExponentialMechanism mechanism(per_round_epsilon, sensitivity);
+
+  TopKResult result;
+  // Working copy of the candidate pool.
+  std::vector<UtilityEntry> remaining(utilities.nonzero());
+  uint64_t candidates = utilities.num_candidates();
+  for (size_t round = 0; round < k; ++round) {
+    UtilityVector pool(utilities.target(), candidates, remaining);
+    PRIVREC_ASSIGN_OR_RETURN(Recommendation pick,
+                             mechanism.Recommend(pool, rng));
+    result.picks.push_back(pick);
+    --candidates;
+    if (!pick.from_zero_block) {
+      auto it = std::find_if(
+          remaining.begin(), remaining.end(),
+          [&](const UtilityEntry& e) { return e.node == pick.node; });
+      PRIVREC_CHECK(it != remaining.end());
+      remaining.erase(it);
+    }
+  }
+  const double ideal = IdealMass(utilities, k);
+  double got = 0;
+  for (const Recommendation& pick : result.picks) got += pick.utility;
+  result.accuracy = ideal > 0 ? got / ideal : 1.0;
+  return result;
+}
+
+Result<TopKResult> OneShotLaplaceTopK(const UtilityVector& utilities,
+                                      size_t k, double epsilon,
+                                      double sensitivity, Rng& rng) {
+  PRIVREC_RETURN_NOT_OK(ValidateTopK(utilities, k));
+  const LaplaceDistribution noise(static_cast<double>(k) * sensitivity /
+                                  epsilon);
+  struct Scored {
+    double noisy;
+    Recommendation rec;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(utilities.nonzero().size() + k);
+  for (const UtilityEntry& e : utilities.nonzero()) {
+    scored.push_back({e.utility + noise.Sample(rng),
+                      Recommendation{e.node, e.utility, false}});
+  }
+  // The zero block can occupy up to k of the output slots; sample its k
+  // largest noisy values via iterated max-of-m (exact: the j-th largest of
+  // m iid samples is the max of a shrinking block after removing winners).
+  uint64_t zeros = utilities.num_zero();
+  double ceiling = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < k && zeros > 0; ++j, --zeros) {
+    // Rejection: draw the max of `zeros` samples conditioned below the
+    // previous zero draw (cheap: few iterations, k is small).
+    double draw;
+    int guard = 0;
+    do {
+      draw = noise.SampleMaxOf(rng, zeros);
+    } while (draw > ceiling && ++guard < 1000);
+    draw = std::min(draw, ceiling);
+    ceiling = draw;
+    scored.push_back(
+        {draw, Recommendation{kUnresolvedZeroNode, 0.0, true}});
+  }
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(k), scored.end(),
+                    [](const Scored& a, const Scored& b) {
+                      return a.noisy > b.noisy;
+                    });
+  TopKResult result;
+  double got = 0;
+  for (size_t i = 0; i < k; ++i) {
+    result.picks.push_back(scored[i].rec);
+    got += scored[i].rec.utility;
+  }
+  const double ideal = IdealMass(utilities, k);
+  result.accuracy = ideal > 0 ? got / ideal : 1.0;
+  return result;
+}
+
+Result<TopKResult> BestTopK(const UtilityVector& utilities, size_t k) {
+  PRIVREC_RETURN_NOT_OK(ValidateTopK(utilities, k));
+  TopKResult result;
+  const auto& entries = utilities.nonzero();
+  for (size_t i = 0; i < k; ++i) {
+    if (i < entries.size()) {
+      result.picks.push_back(
+          Recommendation{entries[i].node, entries[i].utility, false});
+    } else {
+      result.picks.push_back(Recommendation{kUnresolvedZeroNode, 0.0, true});
+    }
+  }
+  result.accuracy = 1.0;
+  return result;
+}
+
+}  // namespace privrec

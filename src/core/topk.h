@@ -1,0 +1,49 @@
+#ifndef PRIVREC_CORE_TOPK_H_
+#define PRIVREC_CORE_TOPK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/mechanism.h"
+#include "random/rng.h"
+#include "utility/utility_vector.h"
+
+namespace privrec {
+
+/// Multiple private recommendations (the Appendix A extension: "Our
+/// results would imply stronger negative results for making multiple
+/// recommendations"). Two standard constructions:
+///
+/// 1. Peeling exponential mechanism: draw one candidate with A_E(ε/k),
+///    remove it, repeat k times. Sequential composition gives ε-DP for the
+///    whole list.
+/// 2. One-shot noisy top-k: add Laplace(kΔf/ε) noise to every utility once
+///    and release the k largest — the Bhaskar et al. (KDD'10) pattern the
+///    related-work section contrasts with.
+///
+/// Both return the chosen entries in draw order. Zero-block picks carry
+/// kUnresolvedZeroNode (each zero pick is a *distinct* uniform
+/// zero-utility candidate; the zero block shrinks by one per pick).
+struct TopKResult {
+  std::vector<Recommendation> picks;
+  /// Σ u(pick) / (sum of the k largest utilities): the natural accuracy
+  /// extension of Definition 2 to k slots.
+  double accuracy = 0;
+};
+
+/// Peeling exponential mechanism. ε is the TOTAL budget for all k picks.
+Result<TopKResult> PeelingExponentialTopK(const UtilityVector& utilities,
+                                          size_t k, double epsilon,
+                                          double sensitivity, Rng& rng);
+
+/// One-shot Laplace top-k. ε is the total budget (noise scale k·Δf/ε).
+Result<TopKResult> OneShotLaplaceTopK(const UtilityVector& utilities,
+                                      size_t k, double epsilon,
+                                      double sensitivity, Rng& rng);
+
+/// The non-private reference: the k highest utilities (accuracy 1).
+Result<TopKResult> BestTopK(const UtilityVector& utilities, size_t k);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_CORE_TOPK_H_

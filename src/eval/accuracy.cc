@@ -1,0 +1,32 @@
+#include "eval/accuracy.h"
+
+namespace privrec {
+
+Result<double> ExactExpectedAccuracy(const Mechanism& mechanism,
+                                     const UtilityVector& utilities) {
+  if (utilities.empty()) {
+    return Status::FailedPrecondition("utility vector has no nonzero entry");
+  }
+  PRIVREC_ASSIGN_OR_RETURN(RecommendationDistribution dist,
+                           mechanism.Distribution(utilities));
+  return dist.ExpectedAccuracy(utilities);
+}
+
+Result<double> MonteCarloExpectedAccuracy(const Mechanism& mechanism,
+                                          const UtilityVector& utilities,
+                                          size_t trials, Rng& rng) {
+  if (utilities.empty()) {
+    return Status::FailedPrecondition("utility vector has no nonzero entry");
+  }
+  if (trials == 0) return Status::InvalidArgument("trials must be > 0");
+  const double u_max = utilities.max_utility();
+  double total = 0;
+  for (size_t i = 0; i < trials; ++i) {
+    PRIVREC_ASSIGN_OR_RETURN(Recommendation rec,
+                             mechanism.Recommend(utilities, rng));
+    total += rec.utility;
+  }
+  return total / (static_cast<double>(trials) * u_max);
+}
+
+}  // namespace privrec

@@ -1,0 +1,28 @@
+#ifndef PRIVREC_EVAL_ACCURACY_H_
+#define PRIVREC_EVAL_ACCURACY_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "core/mechanism.h"
+#include "random/rng.h"
+#include "utility/utility_vector.h"
+
+namespace privrec {
+
+/// Expected accuracy Σ u_i p_i / u_max via the mechanism's closed-form
+/// distribution. Unimplemented for mechanisms lacking one.
+Result<double> ExactExpectedAccuracy(const Mechanism& mechanism,
+                                     const UtilityVector& utilities);
+
+/// Monte-Carlo expected accuracy: mean of u(draw)/u_max over `trials`
+/// independent recommendations — the paper's procedure for the Laplace
+/// mechanism ("running 1,000 independent trials of A_L(ε) and averaging
+/// the utilities obtained", Section 7.1).
+Result<double> MonteCarloExpectedAccuracy(const Mechanism& mechanism,
+                                          const UtilityVector& utilities,
+                                          size_t trials, Rng& rng);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_EVAL_ACCURACY_H_

@@ -1,0 +1,84 @@
+#include "eval/cdf.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace privrec {
+
+std::vector<double> PaperAccuracyThresholds() {
+  std::vector<double> thresholds;
+  thresholds.reserve(11);
+  for (int i = 0; i <= 10; ++i) {
+    thresholds.push_back(static_cast<double>(i) / 10.0);
+  }
+  return thresholds;
+}
+
+std::vector<double> FractionAtOrBelow(const std::vector<double>& values,
+                                      const std::vector<double>& thresholds) {
+  std::vector<double> fractions(thresholds.size(), 0.0);
+  size_t valid = 0;
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    ++valid;
+    for (size_t i = 0; i < thresholds.size(); ++i) {
+      if (v <= thresholds[i]) fractions[i] += 1.0;
+    }
+  }
+  if (valid == 0) return fractions;
+  for (double& f : fractions) f /= static_cast<double>(valid);
+  return fractions;
+}
+
+double FractionAbove(const std::vector<double>& values, double threshold) {
+  size_t valid = 0, above = 0;
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    ++valid;
+    if (v > threshold) ++above;
+  }
+  return valid == 0 ? 0.0
+                    : static_cast<double>(above) / static_cast<double>(valid);
+}
+
+double MeanIgnoringNan(const std::vector<double>& values) {
+  size_t valid = 0;
+  double total = 0;
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    ++valid;
+    total += v;
+  }
+  if (valid == 0) return std::nan("");
+  return total / static_cast<double>(valid);
+}
+
+std::vector<DegreeBucket> BucketByDegree(
+    const std::vector<uint32_t>& degrees,
+    const std::vector<double>& accuracies) {
+  PRIVREC_CHECK_EQ(degrees.size(), accuracies.size());
+  std::vector<DegreeBucket> buckets;
+  // Geometric edges 1,2,4,8,... up to 2^31.
+  for (uint32_t shift = 0; shift < 31; ++shift) {
+    DegreeBucket bucket;
+    bucket.degree_lo = 1u << shift;
+    bucket.degree_hi = 1u << (shift + 1);
+    double total = 0;
+    for (size_t i = 0; i < degrees.size(); ++i) {
+      if (std::isnan(accuracies[i])) continue;
+      if (degrees[i] >= bucket.degree_lo && degrees[i] < bucket.degree_hi) {
+        bucket.count++;
+        total += accuracies[i];
+      }
+    }
+    if (bucket.count > 0) {
+      bucket.mean_accuracy = total / static_cast<double>(bucket.count);
+      buckets.push_back(bucket);
+    }
+  }
+  return buckets;
+}
+
+}  // namespace privrec

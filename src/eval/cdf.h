@@ -1,0 +1,43 @@
+#ifndef PRIVREC_EVAL_CDF_H_
+#define PRIVREC_EVAL_CDF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace privrec {
+
+/// The thresholds used on the x-axis of Figures 1-2: 0.0, 0.1, ..., 1.0.
+std::vector<double> PaperAccuracyThresholds();
+
+/// For each threshold x, the fraction of `values` that are <= x — the
+/// "% of nodes receiving recommendations with accuracy <= 1-δ" y-axis of
+/// Figures 1(a)-2(b). NaN entries are ignored.
+std::vector<double> FractionAtOrBelow(const std::vector<double>& values,
+                                      const std::vector<double>& thresholds);
+
+/// Fraction of `values` strictly greater than `threshold` (e.g. the
+/// paper's "at most 24% of nodes can hope for accuracy greater than 0.9").
+double FractionAbove(const std::vector<double>& values, double threshold);
+
+/// Mean of values, ignoring NaNs; returns NaN if all entries are NaN.
+double MeanIgnoringNan(const std::vector<double>& values);
+
+/// Bucketed degree-vs-accuracy aggregation for Figure 2(c): bucket i
+/// covers degrees [edges[i], edges[i+1]).
+struct DegreeBucket {
+  uint32_t degree_lo = 0;
+  uint32_t degree_hi = 0;  // exclusive
+  size_t count = 0;
+  double mean_accuracy = 0;
+};
+
+/// Geometric degree buckets (1-2, 2-4, 4-8, ...) over (degree, accuracy)
+/// pairs; empty buckets are omitted.
+std::vector<DegreeBucket> BucketByDegree(
+    const std::vector<uint32_t>& degrees,
+    const std::vector<double>& accuracies);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_EVAL_CDF_H_

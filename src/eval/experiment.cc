@@ -1,0 +1,82 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/bounds.h"
+#include "core/exponential_mechanism.h"
+#include "core/laplace_mechanism.h"
+#include "eval/accuracy.h"
+#include "eval/parallel.h"
+
+namespace privrec {
+
+std::vector<NodeId> SampleTargets(const CsrGraph& graph, double fraction,
+                                  Rng& rng) {
+  PRIVREC_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const NodeId n = graph.num_nodes();
+  const size_t want = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(fraction * static_cast<double>(n))));
+  // Partial Fisher–Yates over an index vector: exact uniform sampling
+  // without replacement.
+  std::vector<NodeId> pool(n);
+  for (NodeId i = 0; i < n; ++i) pool[i] = i;
+  for (size_t i = 0; i < want; ++i) {
+    size_t j = i + rng.NextBounded(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(want);
+  return pool;
+}
+
+std::vector<TargetEvaluation> EvaluateTargets(
+    const CsrGraph& graph, const UtilityFunction& utility,
+    const std::vector<NodeId>& targets, const EvaluationOptions& options) {
+  std::vector<TargetEvaluation> results(targets.size());
+
+  // Pre-fork one RNG per target so evaluation order cannot change results.
+  std::vector<uint64_t> seeds(targets.size());
+  {
+    Rng master(options.seed);
+    for (auto& s : seeds) s = master.NextUint64();
+  }
+
+  const double sensitivity = utility.SensitivityBound(graph);
+  const ExponentialMechanism exponential(options.epsilon, sensitivity);
+  const LaplaceMechanism laplace(options.epsilon, sensitivity);
+
+  ParallelFor(
+      targets.size(),
+      [&](size_t i) {
+        TargetEvaluation& eval = results[i];
+        eval.target = targets[i];
+        eval.degree = graph.OutDegree(targets[i]);
+        UtilityVector utilities = utility.Compute(graph, targets[i]);
+        if (utilities.empty()) {
+          eval.skipped = true;
+          eval.laplace_accuracy = std::numeric_limits<double>::quiet_NaN();
+          return;
+        }
+        auto exp_acc = ExactExpectedAccuracy(exponential, utilities);
+        PRIVREC_CHECK_OK(exp_acc.status());
+        eval.exponential_accuracy = *exp_acc;
+
+        if (options.laplace_trials > 0) {
+          Rng rng(seeds[i]);
+          auto lap_acc = MonteCarloExpectedAccuracy(
+              laplace, utilities, options.laplace_trials, rng);
+          PRIVREC_CHECK_OK(lap_acc.status());
+          eval.laplace_accuracy = *lap_acc;
+        } else {
+          eval.laplace_accuracy = std::numeric_limits<double>::quiet_NaN();
+        }
+
+        eval.bound = TheoreticalAccuracyBound(graph, utility, targets[i],
+                                              utilities, options.epsilon);
+      },
+      options.num_threads);
+  return results;
+}
+
+}  // namespace privrec

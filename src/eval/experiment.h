@@ -1,0 +1,60 @@
+#ifndef PRIVREC_EVAL_EXPERIMENT_H_
+#define PRIVREC_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "random/rng.h"
+#include "utility/utility_function.h"
+
+namespace privrec {
+
+/// Per-target outcome of an accuracy experiment (one point of a Figure 1/2
+/// curve before CDF aggregation).
+struct TargetEvaluation {
+  NodeId target = 0;
+  uint32_t degree = 0;
+  /// Exact expected accuracy of the exponential mechanism A_E(ε).
+  double exponential_accuracy = 0;
+  /// Monte-Carlo expected accuracy of the Laplace mechanism A_L(ε);
+  /// NaN when laplace_trials == 0.
+  double laplace_accuracy = 0;
+  /// Corollary 1 theoretical accuracy upper bound at this ε.
+  double bound = 0;
+  /// True when the target had no nonzero-utility candidate. The paper
+  /// omits such targets from its plots; the harness reports how many were
+  /// skipped instead of silently dropping them.
+  bool skipped = false;
+};
+
+/// Options for EvaluateTargets.
+struct EvaluationOptions {
+  double epsilon = 1.0;
+  /// Monte-Carlo trials for the Laplace accuracy (the paper uses 1000);
+  /// 0 disables the Laplace evaluation entirely.
+  size_t laplace_trials = 0;
+  /// Master seed; each target gets an independent substream, so results
+  /// are independent of thread scheduling.
+  uint64_t seed = 7;
+  /// Worker threads (0 = all hardware threads).
+  unsigned num_threads = 0;
+};
+
+/// Uniformly samples floor(fraction · n) distinct target nodes (the
+/// paper solicits recommendations for 10% of Wiki-vote nodes and 1% of
+/// Twitter nodes).
+std::vector<NodeId> SampleTargets(const CsrGraph& graph, double fraction,
+                                  Rng& rng);
+
+/// Evaluates one utility/ε configuration over `targets` in parallel:
+/// computes each target's utility vector once, then the exponential
+/// mechanism's exact accuracy, optionally the Laplace Monte-Carlo
+/// accuracy, and the Corollary 1 bound (Section 7.1's procedure).
+std::vector<TargetEvaluation> EvaluateTargets(
+    const CsrGraph& graph, const UtilityFunction& utility,
+    const std::vector<NodeId>& targets, const EvaluationOptions& options);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_EVAL_EXPERIMENT_H_

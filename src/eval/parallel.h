@@ -1,0 +1,42 @@
+#ifndef PRIVREC_EVAL_PARALLEL_H_
+#define PRIVREC_EVAL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace privrec {
+
+/// Runs fn(i) for i in [0, count) across up to `num_threads` worker
+/// threads (0 = hardware concurrency). Work is claimed via an atomic
+/// counter, so skewed per-item costs (hub vs leaf targets) balance
+/// naturally. fn must be safe to call concurrently for distinct i.
+inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                        unsigned num_threads = 0) {
+  if (count == 0) return;
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  if (num_threads <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  num_threads = std::min<size_t>(num_threads, count);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    workers.emplace_back([&]() {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace privrec
+
+#endif  // PRIVREC_EVAL_PARALLEL_H_

@@ -1,0 +1,77 @@
+#include "gen/datasets.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "gen/generators.h"
+#include "graph/edge_list_io.h"
+#include "random/rng.h"
+
+namespace privrec {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+}  // namespace
+
+Result<CsrGraph> MakeWikiVoteLike(uint64_t seed) {
+  Rng rng(seed);
+  // wiki-Vote: mean degree 28.3, max 1,065, median in the low single
+  // digits (most participants cast or receive a handful of votes). The
+  // truncated zeta(1.5) on [1, 1065] reproduces that profile: its mean is
+  // ~25 and its median is 2, and the cap keeps the hub at wiki-Vote scale.
+  std::vector<double> weights = SamplePowerLawDegreeWeights(
+      WikiVoteSpec::kNodes, /*exponent=*/1.5, /*d_max=*/1065, rng);
+  return ChungLu(weights, weights, WikiVoteSpec::kEdges,
+                 WikiVoteSpec::kDirected, rng);
+}
+
+Result<CsrGraph> MakeTwitterLike(uint64_t seed) {
+  Rng rng(seed);
+  // Twitter sample: mean out-degree 5.1, d_max 13,181, median ~1 (most
+  // accounts follow almost nobody; a few hubs follow thousands). Truncated
+  // zeta(2.0) on [1, 13181] has mean ~5.8 and median 1, with the hub order
+  // statistic saturating the cap at n ≈ 10^5 samples. In-degrees use a
+  // slightly steeper law (attention is more skewed than following).
+  std::vector<double> out_weights = SamplePowerLawDegreeWeights(
+      TwitterSpec::kNodes, /*exponent=*/2.0, TwitterSpec::kMaxDegree, rng);
+  std::vector<double> in_weights = SamplePowerLawDegreeWeights(
+      TwitterSpec::kNodes, /*exponent=*/2.2, TwitterSpec::kMaxDegree, rng);
+  return ChungLu(out_weights, in_weights, TwitterSpec::kEdges,
+                 TwitterSpec::kDirected, rng);
+}
+
+Result<CsrGraph> LoadOrSynthesizeWikiVote(const std::string& path,
+                                          uint64_t seed) {
+  if (!path.empty() && FileExists(path)) {
+    PRIVREC_ILOG << "loading real wiki-Vote edge list from " << path;
+    EdgeListOptions options;
+    options.directed = false;
+    options.relabel = true;
+    return LoadEdgeList(path, options);
+  }
+  PRIVREC_ILOG << "wiki-Vote file not found; synthesizing degree-matched "
+                  "stand-in (seed="
+               << seed << ")";
+  return MakeWikiVoteLike(seed);
+}
+
+Result<CsrGraph> LoadOrSynthesizeTwitter(const std::string& path,
+                                         uint64_t seed) {
+  if (!path.empty() && FileExists(path)) {
+    PRIVREC_ILOG << "loading real Twitter edge list from " << path;
+    EdgeListOptions options;
+    options.directed = true;
+    options.relabel = true;
+    return LoadEdgeList(path, options);
+  }
+  PRIVREC_ILOG << "Twitter file not found; synthesizing degree-matched "
+                  "stand-in (seed="
+               << seed << ")";
+  return MakeTwitterLike(seed);
+}
+
+}  // namespace privrec

@@ -1,0 +1,50 @@
+#include "gen/fixtures.h"
+
+#include "graph/graph_builder.h"
+
+namespace privrec {
+
+CsrGraph MakeStar(NodeId leaves) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(leaves + 1);
+  for (NodeId leaf = 1; leaf <= leaves; ++leaf) builder.AddEdge(0, leaf);
+  return builder.Build();
+}
+
+CsrGraph MakeComplete(NodeId n) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+CsrGraph MakePath(NodeId n) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(n);
+  for (NodeId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return builder.Build();
+}
+
+CsrGraph MakeCycle(NodeId n) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(n);
+  for (NodeId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  if (n > 2) builder.AddEdge(n - 1, 0);
+  return builder.Build();
+}
+
+CsrGraph MakeTwoTriangleFixture() {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(6);
+  builder.AddEdge(0, 1);  // r -- friend 1
+  builder.AddEdge(0, 2);  // r -- friend 2
+  builder.AddEdge(1, 3);  // candidate 3 shares friends 1 and 2
+  builder.AddEdge(2, 3);
+  builder.AddEdge(1, 4);  // candidate 4 shares friend 1 only
+  builder.AddEdge(4, 5);  // candidate 5: no common neighbors with r
+  return builder.Build();
+}
+
+}  // namespace privrec

@@ -1,0 +1,32 @@
+#ifndef PRIVREC_GEN_FIXTURES_H_
+#define PRIVREC_GEN_FIXTURES_H_
+
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// Small deterministic graphs used across tests, examples, and the DP
+/// auditor (which needs graphs small enough to enumerate all neighbors).
+
+/// Star: node 0 is the hub connected to nodes 1..leaves.
+CsrGraph MakeStar(NodeId leaves);
+
+/// Complete undirected graph K_n.
+CsrGraph MakeComplete(NodeId n);
+
+/// Path 0-1-2-...-(n-1).
+CsrGraph MakePath(NodeId n);
+
+/// Cycle 0-1-...-(n-1)-0.
+CsrGraph MakeCycle(NodeId n);
+
+/// The paper's running scenario in miniature: a target r=0 with two
+/// "friends" (1, 2); candidate 3 shares both friends with r (2 common
+/// neighbors), candidate 4 shares one, candidate 5 shares none but is
+/// connected to 4. Useful for hand-checkable utility values:
+///   u_CN(3) = 2, u_CN(4) = 1, u_CN(5) = 0.
+CsrGraph MakeTwoTriangleFixture();
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GEN_FIXTURES_H_

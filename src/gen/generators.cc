@@ -1,0 +1,307 @@
+#include "gen/generators.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+#include "random/alias_sampler.h"
+#include "random/distributions.h"
+
+namespace privrec {
+namespace {
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+uint64_t CanonicalEdgeKey(NodeId u, NodeId v, bool directed) {
+  if (!directed && u > v) std::swap(u, v);
+  return EdgeKey(u, v);
+}
+
+uint64_t MaxPossibleEdges(NodeId n, bool directed) {
+  uint64_t pairs = static_cast<uint64_t>(n) * (n - 1);
+  return directed ? pairs : pairs / 2;
+}
+
+}  // namespace
+
+Result<CsrGraph> ErdosRenyiGnm(NodeId n, uint64_t m, bool directed, Rng& rng) {
+  if (n < 2) return Status::InvalidArgument("ErdosRenyiGnm needs n >= 2");
+  if (m > MaxPossibleEdges(n, directed)) {
+    return Status::InvalidArgument("ErdosRenyiGnm: m exceeds possible edges");
+  }
+  if (m > MaxPossibleEdges(n, directed) / 2) {
+    // Dense regime: rejection sampling degrades; sample by shuffling is
+    // overkill for our workloads, so just warn — still correct, slower.
+    PRIVREC_WLOG << "ErdosRenyiGnm: dense regime (m > half of possible "
+                    "edges); generation may be slow";
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  GraphBuilder builder(directed);
+  builder.SetNumNodes(n);
+  builder.Reserve(m);
+  while (seen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (!seen.insert(CanonicalEdgeKey(u, v, directed)).second) continue;
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Result<CsrGraph> ErdosRenyiGnp(NodeId n, double p, bool directed, Rng& rng) {
+  if (n < 2) return Status::InvalidArgument("ErdosRenyiGnp needs n >= 2");
+  if (p < 0 || p > 1) return Status::InvalidArgument("p must be in [0,1]");
+  GraphBuilder builder(directed);
+  builder.SetNumNodes(n);
+  if (p == 0) return builder.Build();
+
+  // Geometric skipping over the linearized pair index space.
+  const uint64_t total = directed ? static_cast<uint64_t>(n) * n
+                                  : static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t index = 0;
+  while (true) {
+    uint64_t skip = (p >= 1.0) ? 0 : SampleGeometric(rng, p);
+    if (skip > total || index + skip >= total) break;
+    index += skip;
+    NodeId u, v;
+    if (directed) {
+      u = static_cast<NodeId>(index / n);
+      v = static_cast<NodeId>(index % n);
+    } else {
+      // Invert the triangular index: index = u*n - u(u+3)/2 + v - 1… use
+      // the simpler row-scan inversion via floating sqrt then fix up.
+      double nf = static_cast<double>(n);
+      double uf = std::floor(
+          nf - 0.5 - std::sqrt((nf - 0.5) * (nf - 0.5) - 2.0 *
+                               static_cast<double>(index)));
+      u = static_cast<NodeId>(uf);
+      auto row_start = [&](uint64_t row) {
+        return row * (n - 1) - row * (row - 1) / 2;
+      };
+      while (u > 0 && row_start(u) > index) --u;
+      while (row_start(u + 1) <= index) ++u;
+      v = static_cast<NodeId>(u + 1 + (index - row_start(u)));
+    }
+    if (u != v) builder.AddEdge(u, v);
+    ++index;
+  }
+  return builder.Build();
+}
+
+Result<CsrGraph> BarabasiAlbert(NodeId n, uint32_t edges_per_node, Rng& rng) {
+  if (edges_per_node == 0) {
+    return Status::InvalidArgument("BarabasiAlbert needs edges_per_node > 0");
+  }
+  if (n <= edges_per_node) {
+    return Status::InvalidArgument("BarabasiAlbert needs n > edges_per_node");
+  }
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(n);
+  builder.Reserve(static_cast<size_t>(n) * edges_per_node);
+
+  // repeated_nodes holds one entry per edge endpoint, so uniform sampling
+  // from it is degree-proportional sampling.
+  std::vector<NodeId> repeated_nodes;
+  repeated_nodes.reserve(2ull * n * edges_per_node);
+
+  // Seed: clique on the first edges_per_node+1 nodes.
+  for (NodeId u = 0; u <= edges_per_node; ++u) {
+    for (NodeId v = u + 1; v <= edges_per_node; ++v) {
+      builder.AddEdge(u, v);
+      repeated_nodes.push_back(u);
+      repeated_nodes.push_back(v);
+    }
+  }
+
+  std::unordered_set<NodeId> chosen;
+  for (NodeId newcomer = edges_per_node + 1; newcomer < n; ++newcomer) {
+    chosen.clear();
+    while (chosen.size() < edges_per_node) {
+      NodeId pick =
+          repeated_nodes[rng.NextBounded(repeated_nodes.size())];
+      chosen.insert(pick);
+    }
+    for (NodeId target : chosen) {
+      builder.AddEdge(newcomer, target);
+      repeated_nodes.push_back(newcomer);
+      repeated_nodes.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+Result<CsrGraph> WattsStrogatz(NodeId n, uint32_t k, double beta, Rng& rng) {
+  if (k == 0 || 2ull * k >= n) {
+    return Status::InvalidArgument("WattsStrogatz needs 0 < 2k < n");
+  }
+  if (beta < 0 || beta > 1) {
+    return Status::InvalidArgument("beta must be in [0,1]");
+  }
+  // Track the edge set explicitly so rewiring avoids duplicates.
+  std::unordered_set<uint64_t> edges;
+  auto add = [&](NodeId u, NodeId v) {
+    if (u != v) edges.insert(CanonicalEdgeKey(u, v, /*directed=*/false));
+  };
+  auto has = [&](NodeId u, NodeId v) {
+    return edges.count(CanonicalEdgeKey(u, v, false)) > 0;
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      add(u, static_cast<NodeId>((u + j) % n));
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (!has(u, v) || !rng.NextBernoulli(beta)) continue;
+      // Rewire (u,v) -> (u,w) for a uniform non-neighbor w.
+      for (int attempts = 0; attempts < 64; ++attempts) {
+        NodeId w = static_cast<NodeId>(rng.NextBounded(n));
+        if (w == u || has(u, w)) continue;
+        edges.erase(CanonicalEdgeKey(u, v, false));
+        add(u, w);
+        break;
+      }
+    }
+  }
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(n);
+  builder.Reserve(edges.size());
+  for (uint64_t key : edges) {
+    builder.AddEdge(static_cast<NodeId>(key >> 32),
+                    static_cast<NodeId>(key & 0xffffffffu));
+  }
+  return builder.Build();
+}
+
+Result<CsrGraph> ConfigurationModel(const std::vector<uint32_t>& degrees,
+                                    Rng& rng) {
+  uint64_t total = 0;
+  for (uint32_t d : degrees) total += d;
+  if (total % 2 != 0) {
+    return Status::InvalidArgument(
+        "ConfigurationModel: degree sum must be even");
+  }
+  std::vector<NodeId> stubs;
+  stubs.reserve(total);
+  for (NodeId v = 0; v < degrees.size(); ++v) {
+    for (uint32_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  // Fisher–Yates pairing.
+  for (size_t i = stubs.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(i);
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(static_cast<NodeId>(degrees.size()));
+  builder.Reserve(total / 2);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    builder.AddEdge(stubs[i], stubs[i + 1]);  // builder drops self-loops/dups
+  }
+  return builder.Build();
+}
+
+Result<CsrGraph> ChungLu(const std::vector<double>& out_weights,
+                         const std::vector<double>& in_weights,
+                         uint64_t num_edges, bool directed, Rng& rng) {
+  if (out_weights.size() != in_weights.size()) {
+    return Status::InvalidArgument("ChungLu: weight vectors differ in size");
+  }
+  const NodeId n = static_cast<NodeId>(out_weights.size());
+  if (n < 2) return Status::InvalidArgument("ChungLu needs n >= 2");
+  if (num_edges > MaxPossibleEdges(n, directed) / 2) {
+    return Status::InvalidArgument("ChungLu: too many edges requested");
+  }
+  AliasSampler out_sampler(out_weights);
+  AliasSampler in_sampler(in_weights);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  GraphBuilder builder(directed);
+  builder.SetNumNodes(n);
+  builder.Reserve(num_edges);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = num_edges * 200 + 1000;
+  while (seen.size() < num_edges) {
+    if (++attempts > max_attempts) {
+      return Status::Internal("ChungLu: rejection sampling stalled");
+    }
+    NodeId u = static_cast<NodeId>(out_sampler.Sample(rng));
+    NodeId v = static_cast<NodeId>(in_sampler.Sample(rng));
+    if (u == v) continue;
+    if (!seen.insert(CanonicalEdgeKey(u, v, directed)).second) continue;
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Result<CsrGraph> Rmat(uint32_t scale, uint64_t num_edges, double a, double b,
+                      double c, bool directed, Rng& rng) {
+  if (scale == 0 || scale > 31) {
+    return Status::InvalidArgument("Rmat: scale must be in [1,31]");
+  }
+  double d = 1.0 - a - b - c;
+  if (a < 0 || b < 0 || c < 0 || d < 0) {
+    return Status::InvalidArgument("Rmat: probabilities must be >= 0, <= 1");
+  }
+  const NodeId n = static_cast<NodeId>(1u << scale);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  GraphBuilder builder(directed);
+  builder.SetNumNodes(n);
+  builder.Reserve(num_edges);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = num_edges * 200 + 1000;
+  while (seen.size() < num_edges) {
+    if (++attempts > max_attempts) {
+      return Status::Internal("Rmat: rejection sampling stalled");
+    }
+    NodeId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (!seen.insert(CanonicalEdgeKey(u, v, directed)).second) continue;
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+std::vector<double> SamplePowerLawDegreeWeights(NodeId n, double exponent,
+                                                uint32_t d_max, Rng& rng) {
+  PRIVREC_CHECK_GT(exponent, 1.0);
+  PRIVREC_CHECK_GT(d_max, 0u);
+  std::vector<double> weights(n);
+  for (NodeId i = 0; i < n; ++i) {
+    weights[i] = static_cast<double>(SampleZipf(rng, d_max, exponent));
+  }
+  return weights;
+}
+
+std::vector<double> PowerLawWeights(NodeId n, double exponent) {
+  PRIVREC_CHECK_GT(exponent, 1.0);
+  std::vector<double> weights(n);
+  const double power = -1.0 / (exponent - 1.0);
+  for (NodeId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, power);
+  }
+  return weights;
+}
+
+}  // namespace privrec

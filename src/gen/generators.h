@@ -1,0 +1,69 @@
+#ifndef PRIVREC_GEN_GENERATORS_H_
+#define PRIVREC_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "random/rng.h"
+
+namespace privrec {
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges chosen uniformly.
+/// InvalidArgument if m exceeds the number of possible edges.
+Result<CsrGraph> ErdosRenyiGnm(NodeId n, uint64_t m, bool directed, Rng& rng);
+
+/// Erdős–Rényi G(n, p): every (ordered, if directed) pair independently
+/// with probability p. Uses geometric skipping, O(n + m_expected).
+Result<CsrGraph> ErdosRenyiGnp(NodeId n, double p, bool directed, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `edges_per_node` existing nodes with
+/// probability proportional to degree. Produces a power-law tail —
+/// the regime where the paper's lower bounds bite (most nodes have
+/// d_r = O(log n)).
+Result<CsrGraph> BarabasiAlbert(NodeId n, uint32_t edges_per_node, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta.
+Result<CsrGraph> WattsStrogatz(NodeId n, uint32_t k, double beta, Rng& rng);
+
+/// Erased configuration model: uniform random multigraph with the given
+/// degree sequence, then self-loops and parallel edges removed (so realized
+/// degrees can undershoot slightly). Sum of degrees must be even.
+Result<CsrGraph> ConfigurationModel(const std::vector<uint32_t>& degrees,
+                                    Rng& rng);
+
+/// Chung–Lu style fixed-edge-count sampler: draws endpoints independently
+/// from the normalized `out_weights` / `in_weights` until `num_edges`
+/// distinct non-loop edges are collected. With power-law weights this gives
+/// graphs whose degree profile matches the weights' shape. For undirected
+/// output pass the same vector twice.
+Result<CsrGraph> ChungLu(const std::vector<double>& out_weights,
+                         const std::vector<double>& in_weights,
+                         uint64_t num_edges, bool directed, Rng& rng);
+
+/// R-MAT recursive generator (Chakrabarti et al.): 2^scale nodes,
+/// quadrant probabilities (a, b, c, implicit d = 1-a-b-c). Skewed
+/// quadrants yield power-law in/out degrees, Twitter-like structure.
+Result<CsrGraph> Rmat(uint32_t scale, uint64_t num_edges, double a, double b,
+                      double c, bool directed, Rng& rng);
+
+/// Power-law weight vector: w_i ∝ (i+1)^{-1/(exponent-1)}, the Chung–Lu
+/// weighting that produces degree exponent `exponent`.
+std::vector<double> PowerLawWeights(NodeId n, double exponent);
+
+/// Samples n expected-degree weights from the truncated discrete power law
+/// P(d) ∝ d^{-exponent} on [1, d_max] — the empirical shape of social-graph
+/// degree distributions (wiki-Vote ≈ exponent 1.5 capped near 1065;
+/// Twitter out-degrees ≈ exponent 2 capped at 13,181). Feeding these into
+/// ChungLu matches a real network's median AND tail simultaneously, which
+/// PowerLawWeights' smooth rank weighting cannot (it overshoots the
+/// minimum degree badly).
+std::vector<double> SamplePowerLawDegreeWeights(NodeId n, double exponent,
+                                                uint32_t d_max, Rng& rng);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GEN_GENERATORS_H_

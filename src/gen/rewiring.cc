@@ -1,0 +1,72 @@
+#include "gen/rewiring.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace privrec {
+namespace {
+
+uint64_t Key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Result<CsrGraph> DegreePreservingRewire(const CsrGraph& graph,
+                                        uint64_t num_swaps, Rng& rng,
+                                        uint64_t* executed_swaps) {
+  if (graph.directed()) {
+    return Status::InvalidArgument(
+        "DegreePreservingRewire expects an undirected graph");
+  }
+  // Edge list (canonical orientation) + membership set.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(graph.num_edges());
+  std::unordered_set<uint64_t> present;
+  present.reserve(graph.num_edges() * 2);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (v < u) continue;
+      edges.emplace_back(u, v);
+      present.insert(Key(u, v));
+    }
+  }
+  if (edges.size() < 2) {
+    return Status::FailedPrecondition("need at least two edges to rewire");
+  }
+
+  uint64_t executed = 0;
+  for (uint64_t attempt = 0; attempt < num_swaps; ++attempt) {
+    const size_t i = rng.NextBounded(edges.size());
+    const size_t j = rng.NextBounded(edges.size());
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    // Randomize orientation of the second edge so both pairings occur.
+    if (rng.NextBernoulli(0.5)) std::swap(c, d);
+    // Proposed replacements: (a,d), (c,b).
+    if (a == d || c == b) continue;
+    if (present.count(Key(a, d)) > 0 || present.count(Key(c, b)) > 0) {
+      continue;
+    }
+    present.erase(Key(a, b));
+    present.erase(Key(c, d));
+    present.insert(Key(a, d));
+    present.insert(Key(c, b));
+    edges[i] = {a, d};
+    edges[j] = {c, b};
+    ++executed;
+  }
+  if (executed_swaps != nullptr) *executed_swaps = executed;
+
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(graph.num_nodes());
+  builder.Reserve(edges.size());
+  for (auto [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace privrec

@@ -1,0 +1,31 @@
+#ifndef PRIVREC_GEN_REWIRING_H_
+#define PRIVREC_GEN_REWIRING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "random/rng.h"
+
+namespace privrec {
+
+/// Degree-preserving randomization by double-edge swaps: repeatedly picks
+/// two edges (a,b), (c,d) and rewires them to (a,d), (c,b) when neither
+/// replacement creates a self-loop or duplicate. Every node keeps its
+/// exact degree; all other structure (triangles, assortativity, community
+/// structure) is destroyed as `num_swaps` grows.
+///
+/// This is the null model behind the substitution argument in DESIGN.md:
+/// if the paper's accuracy CDFs survive full rewiring (they do — see
+/// bench/null_model_ablation), they are a function of the degree sequence
+/// alone, so any degree-matched synthetic dataset reproduces them.
+///
+/// Undirected graphs only. `num_swaps` is attempted swaps; the returned
+/// count is the number that actually executed.
+Result<CsrGraph> DegreePreservingRewire(const CsrGraph& graph,
+                                        uint64_t num_swaps, Rng& rng,
+                                        uint64_t* executed_swaps = nullptr);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GEN_REWIRING_H_

@@ -1,0 +1,25 @@
+#ifndef PRIVREC_GRAPH_BINARY_IO_H_
+#define PRIVREC_GRAPH_BINARY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// Compact binary graph format ("PRVG"): little-endian header
+/// {magic, version, flags, num_nodes, num_arcs} followed by the raw CSR
+/// offset and target arrays, ending with an XOR-fold checksum. Loading is
+/// one read + two bulk copies — ~50x faster than text edge lists, which
+/// matters when the benchmark harness reloads the Twitter-scale graph.
+///
+/// The format is an interchange convenience, not an archival promise: it
+/// refuses files with a different version rather than migrating them.
+Status SaveBinaryGraph(const CsrGraph& graph, const std::string& path);
+
+Result<CsrGraph> LoadBinaryGraph(const std::string& path);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GRAPH_BINARY_IO_H_

@@ -1,0 +1,60 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace privrec {
+
+CsrGraph::CsrGraph(std::vector<uint64_t> offsets, std::vector<NodeId> targets,
+                   bool directed)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      directed_(directed) {
+  PRIVREC_CHECK(!offsets_.empty()) << "offsets must have num_nodes+1 entries";
+  PRIVREC_CHECK_EQ(offsets_.front(), 0u);
+  PRIVREC_CHECK_EQ(offsets_.back(), targets_.size());
+}
+
+CsrGraph CsrGraph::Empty(NodeId num_nodes, bool directed) {
+  return CsrGraph(std::vector<uint64_t>(num_nodes + 1, 0), {}, directed);
+}
+
+bool CsrGraph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t CsrGraph::MaxOutDegree() const {
+  uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    best = std::max(best, OutDegree(v));
+  }
+  return best;
+}
+
+uint32_t CsrGraph::CountCommonNeighbors(NodeId u, NodeId v) const {
+  auto a = OutNeighbors(u);
+  auto b = OutNeighbors(v);
+  uint32_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool CsrGraph::Equals(const CsrGraph& other) const {
+  return directed_ == other.directed_ && offsets_ == other.offsets_ &&
+         targets_ == other.targets_;
+}
+
+}  // namespace privrec

@@ -1,0 +1,83 @@
+#ifndef PRIVREC_GRAPH_CSR_GRAPH_H_
+#define PRIVREC_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace privrec {
+
+/// Node identifier. Graphs in scope (10^5..10^8 nodes in the paper's
+/// discussion, 10^5 in its experiments) fit comfortably in 32 bits.
+using NodeId = uint32_t;
+
+/// Immutable compressed-sparse-row graph: the substrate every utility
+/// function and mechanism operates on.
+///
+/// - Directed graphs store out-adjacency; undirected graphs store each edge
+///   as two arcs. `directed()` records which interpretation applies.
+/// - Neighbor lists are sorted and duplicate-free, enabling O(log d)
+///   HasEdge and linear-merge common-neighbor intersection.
+/// - Instances are cheap to move and safe to share across threads (no
+///   mutation after construction). Edge-perturbed variants (the "neighboring
+///   graphs" of differential privacy) are produced by graph/transforms.h.
+class CsrGraph {
+ public:
+  /// Builds from per-arc vectors. `offsets` has num_nodes+1 entries;
+  /// arcs of node v are targets[offsets[v]..offsets[v+1]). Neighbor lists
+  /// must already be sorted and deduplicated (GraphBuilder guarantees this).
+  CsrGraph(std::vector<uint64_t> offsets, std::vector<NodeId> targets,
+           bool directed);
+
+  /// Empty graph with `num_nodes` isolated nodes.
+  static CsrGraph Empty(NodeId num_nodes, bool directed);
+
+  CsrGraph(const CsrGraph&) = default;
+  CsrGraph& operator=(const CsrGraph&) = default;
+  CsrGraph(CsrGraph&&) noexcept = default;
+  CsrGraph& operator=(CsrGraph&&) noexcept = default;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size() - 1); }
+
+  /// Number of stored arcs (directed edges). For undirected graphs this is
+  /// twice num_edges().
+  uint64_t num_arcs() const { return targets_.size(); }
+
+  /// Logical edge count: arcs for directed graphs, arcs/2 for undirected.
+  uint64_t num_edges() const {
+    return directed_ ? num_arcs() : num_arcs() / 2;
+  }
+
+  bool directed() const { return directed_; }
+
+  uint32_t OutDegree(NodeId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted out-neighbors of v.
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// O(log deg(u)) membership test for arc u -> v.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Largest out-degree over all nodes (the paper's d_max).
+  uint32_t MaxOutDegree() const;
+
+  /// Number of common out-neighbors |N(u) ∩ N(v)| via sorted merge.
+  uint32_t CountCommonNeighbors(NodeId u, NodeId v) const;
+
+  /// Structural equality (same node count, direction, and arcs).
+  bool Equals(const CsrGraph& other) const;
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<NodeId> targets_;
+  bool directed_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GRAPH_CSR_GRAPH_H_

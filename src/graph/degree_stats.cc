@@ -1,0 +1,44 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace privrec {
+
+DegreeStats ComputeDegreeStats(const CsrGraph& graph) {
+  DegreeStats stats;
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return stats;
+
+  std::vector<uint32_t> degrees(n);
+  uint64_t total = 0;
+  uint32_t min_deg = std::numeric_limits<uint32_t>::max();
+  uint32_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degrees[v] = graph.OutDegree(v);
+    total += degrees[v];
+    min_deg = std::min(min_deg, degrees[v]);
+    max_deg = std::max(max_deg, degrees[v]);
+  }
+  stats.min = min_deg;
+  stats.max = max_deg;
+  stats.mean = static_cast<double>(total) / static_cast<double>(n);
+
+  stats.histogram.assign(max_deg + 1, 0);
+  for (uint32_t d : degrees) stats.histogram[d]++;
+
+  std::nth_element(degrees.begin(), degrees.begin() + n / 2, degrees.end());
+  stats.median = degrees[n / 2];
+
+  const double log_n = std::log(static_cast<double>(n));
+  uint64_t below = 0;
+  for (uint32_t d = 0; d <= max_deg; ++d) {
+    if (static_cast<double>(d) < log_n) below += stats.histogram[d];
+  }
+  stats.fraction_below_log_n =
+      static_cast<double>(below) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace privrec

@@ -1,0 +1,30 @@
+#ifndef PRIVREC_GRAPH_DEGREE_STATS_H_
+#define PRIVREC_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// Summary of a graph's out-degree distribution. The paper's bounds are
+/// functions of the degree profile (d_r = α log n), so the experiment
+/// harness reports these alongside every run.
+struct DegreeStats {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  double mean = 0;
+  double median = 0;
+  /// degree value d -> number of nodes with out-degree d (dense up to max).
+  std::vector<uint64_t> histogram;
+  /// Fraction of nodes with out-degree < ln(n), the regime where Theorem 2
+  /// forbids simultaneously accurate and private recommendations.
+  double fraction_below_log_n = 0;
+};
+
+DegreeStats ComputeDegreeStats(const CsrGraph& graph);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GRAPH_DEGREE_STATS_H_

@@ -1,0 +1,69 @@
+#include "graph/dynamic_graph.h"
+
+#include "graph/graph_builder.h"
+
+namespace privrec {
+
+DynamicGraph::DynamicGraph(NodeId num_nodes, bool directed)
+    : directed_(directed), adjacency_(num_nodes) {}
+
+DynamicGraph::DynamicGraph(const CsrGraph& graph)
+    : directed_(graph.directed()), adjacency_(graph.num_nodes()) {
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) adjacency_[u].insert(v);
+  }
+  num_edges_ = graph.num_edges();
+}
+
+NodeId DynamicGraph::AddNode() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+Status DynamicGraph::ValidateEndpoints(NodeId u, NodeId v) const {
+  if (u == v) return Status::InvalidArgument("self-loop");
+  if (u >= num_nodes() || v >= num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  return Status::OK();
+}
+
+Status DynamicGraph::AddEdge(NodeId u, NodeId v) {
+  PRIVREC_RETURN_NOT_OK(ValidateEndpoints(u, v));
+  if (!adjacency_[u].insert(v).second) {
+    return Status::FailedPrecondition("edge already present");
+  }
+  if (!directed_) adjacency_[v].insert(u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
+  PRIVREC_RETURN_NOT_OK(ValidateEndpoints(u, v));
+  if (adjacency_[u].erase(v) == 0) {
+    return Status::FailedPrecondition("edge not present");
+  }
+  if (!directed_) adjacency_[v].erase(u);
+  --num_edges_;
+  return Status::OK();
+}
+
+bool DynamicGraph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  return adjacency_[u].count(v) > 0;
+}
+
+CsrGraph DynamicGraph::Snapshot() const {
+  GraphBuilder builder(directed_);
+  builder.SetNumNodes(num_nodes());
+  builder.Reserve(num_edges_);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : adjacency_[u]) {
+      if (!directed_ && v < u) continue;
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace privrec

@@ -1,0 +1,63 @@
+#ifndef PRIVREC_GRAPH_DYNAMIC_GRAPH_H_
+#define PRIVREC_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// Mutable adjacency-set graph for the dynamic-network setting the paper
+/// flags as future work (Section 8: "Social networks clearly change over
+/// time (and rather rapidly)"). Supports O(1) expected edge insertion,
+/// deletion, and membership, and snapshots to the immutable CsrGraph all
+/// analysis code consumes.
+///
+/// The privacy story for dynamic graphs is subtle (each re-released
+/// recommendation spends budget — see PrivacyAccountant); this class only
+/// supplies the substrate.
+class DynamicGraph {
+ public:
+  /// Empty graph on num_nodes nodes.
+  DynamicGraph(NodeId num_nodes, bool directed);
+
+  /// Imports an existing snapshot.
+  explicit DynamicGraph(const CsrGraph& graph);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
+  uint64_t num_edges() const { return num_edges_; }
+  bool directed() const { return directed_; }
+
+  /// Appends an isolated node; returns its id.
+  NodeId AddNode();
+
+  /// Adds edge u->v (both directions when undirected). InvalidArgument on
+  /// self-loops/out-of-range; FailedPrecondition if already present.
+  Status AddEdge(NodeId u, NodeId v);
+
+  /// Removes edge u->v. FailedPrecondition if absent.
+  Status RemoveEdge(NodeId u, NodeId v);
+
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  uint32_t OutDegree(NodeId v) const {
+    return static_cast<uint32_t>(adjacency_[v].size());
+  }
+
+  /// Materializes the current state as an immutable CSR snapshot.
+  CsrGraph Snapshot() const;
+
+ private:
+  Status ValidateEndpoints(NodeId u, NodeId v) const;
+
+  bool directed_;
+  uint64_t num_edges_ = 0;
+  std::vector<std::unordered_set<NodeId>> adjacency_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GRAPH_DYNAMIC_GRAPH_H_

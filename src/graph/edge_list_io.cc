@@ -1,0 +1,73 @@
+#include "graph/edge_list_io.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace privrec {
+
+Result<CsrGraph> LoadEdgeList(const std::string& path,
+                              const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IOError("cannot open '" + path + "'");
+
+  GraphBuilder builder(options.directed);
+  std::unordered_map<int64_t, NodeId> relabel_map;
+  auto map_id = [&](int64_t raw) -> NodeId {
+    if (!options.relabel) return static_cast<NodeId>(raw);
+    auto [it, inserted] =
+        relabel_map.emplace(raw, static_cast<NodeId>(relabel_map.size()));
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    auto tokens = SplitWhitespace(trimmed);
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("malformed edge at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    auto src = ParseInt64(tokens[0]);
+    auto dst = ParseInt64(tokens[1]);
+    if (!src.ok() || !dst.ok()) {
+      return Status::InvalidArgument("non-integer node id at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    if (!options.relabel && (*src < 0 || *dst < 0)) {
+      return Status::InvalidArgument("negative node id at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    // Sequence the two map_id calls: first-seen relabeling must follow
+    // source-then-destination order regardless of argument evaluation order.
+    NodeId from = map_id(*src);
+    NodeId to = map_id(*dst);
+    builder.AddEdge(from, to);
+  }
+  if (in.bad()) return Status::IOError("read error on '" + path + "'");
+  return builder.Build();
+}
+
+Status SaveEdgeList(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return Status::IOError("cannot open '" + path + "'");
+  out << "# privrec edge list: " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << (graph.directed() ? " directed" : " undirected")
+      << " edges\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (!graph.directed() && v < u) continue;  // write undirected edge once
+      out << u << '\t' << v << '\n';
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write error on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace privrec

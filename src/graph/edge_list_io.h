@@ -1,0 +1,33 @@
+#ifndef PRIVREC_GRAPH_EDGE_LIST_IO_H_
+#define PRIVREC_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// Options for LoadEdgeList.
+struct EdgeListOptions {
+  /// Interpret edges as directed arcs (false symmetrizes them).
+  bool directed = false;
+  /// Relabel arbitrary node ids to a dense [0, n) range in first-seen
+  /// order. SNAP datasets (e.g. wiki-Vote) need this.
+  bool relabel = true;
+};
+
+/// Loads a whitespace-separated edge list (SNAP text format). Lines starting
+/// with '#' or '%' are comments; each data line is "<src> <dst>".
+/// Returns IOError if the file is unreadable, InvalidArgument on a
+/// malformed line.
+Result<CsrGraph> LoadEdgeList(const std::string& path,
+                              const EdgeListOptions& options);
+
+/// Writes the graph as a SNAP-style edge list. Undirected edges are written
+/// once (u < v).
+Status SaveEdgeList(const CsrGraph& graph, const std::string& path);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GRAPH_EDGE_LIST_IO_H_

@@ -1,0 +1,36 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace privrec {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return;
+  edges_.emplace_back(u, v);
+  if (!directed_) edges_.emplace_back(v, u);
+}
+
+CsrGraph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  NodeId num_nodes = min_num_nodes_;
+  for (const auto& [u, v] : edges_) {
+    num_nodes = std::max({num_nodes, u + 1, v + 1});
+  }
+
+  std::vector<uint64_t> offsets(num_nodes + 1, 0);
+  for (const auto& [u, v] : edges_) offsets[u + 1]++;
+  for (NodeId i = 0; i < num_nodes; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<NodeId> targets(edges_.size());
+  // edges_ is sorted by (source, target), so a single pass fills CSR in
+  // order and neighbor lists come out sorted.
+  for (size_t i = 0; i < edges_.size(); ++i) targets[i] = edges_[i].second;
+
+  edges_.clear();
+  min_num_nodes_ = 0;
+  return CsrGraph(std::move(offsets), std::move(targets), directed_);
+}
+
+}  // namespace privrec

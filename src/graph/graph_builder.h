@@ -1,0 +1,47 @@
+#ifndef PRIVREC_GRAPH_GRAPH_BUILDER_H_
+#define PRIVREC_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// Accumulates edges and finalizes them into a CsrGraph. Self-loops are
+/// dropped, duplicate edges are deduplicated, and undirected edges are
+/// materialized as two arcs. Node count is max(node id)+1 unless fixed
+/// explicitly with SetNumNodes.
+class GraphBuilder {
+ public:
+  /// `directed` selects the interpretation of AddEdge: for undirected
+  /// builders, AddEdge(u,v) also inserts (v,u).
+  explicit GraphBuilder(bool directed) : directed_(directed) {}
+
+  /// Reserves capacity for `num_edges` pending edges.
+  void Reserve(size_t num_edges) { edges_.reserve(num_edges); }
+
+  /// Forces the graph to have at least `num_nodes` nodes (isolated nodes
+  /// are legal and occur in real edge lists).
+  void SetNumNodes(NodeId num_nodes) { min_num_nodes_ = num_nodes; }
+
+  /// Queues edge u -> v (plus v -> u when undirected). Self-loops ignored.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Number of queued arcs (before dedup).
+  size_t pending_arcs() const { return edges_.size(); }
+
+  /// Sorts, dedups, and emits the CSR graph. The builder may be reused
+  /// afterwards (it is left empty).
+  CsrGraph Build();
+
+ private:
+  bool directed_;
+  NodeId min_num_nodes_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,145 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/statistics.h"
+
+namespace privrec {
+
+uint64_t CountTriangles(const CsrGraph& graph) {
+  PRIVREC_CHECK(!graph.directed())
+      << "CountTriangles expects an undirected graph";
+  // Forward counting: for each edge (u,v) with u < v, intersect the
+  // higher-id tails of both neighbor lists; each triangle found once at
+  // its smallest vertex.
+  uint64_t triangles = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto u_nbrs = graph.OutNeighbors(u);
+    for (NodeId v : u_nbrs) {
+      if (v <= u) continue;
+      auto v_nbrs = graph.OutNeighbors(v);
+      // Count w > v adjacent to both u and v.
+      auto ui = std::upper_bound(u_nbrs.begin(), u_nbrs.end(), v);
+      auto vi = std::upper_bound(v_nbrs.begin(), v_nbrs.end(), v);
+      while (ui != u_nbrs.end() && vi != v_nbrs.end()) {
+        if (*ui < *vi) {
+          ++ui;
+        } else if (*ui > *vi) {
+          ++vi;
+        } else {
+          ++triangles;
+          ++ui;
+          ++vi;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+namespace {
+
+uint64_t CountWedges(const CsrGraph& graph) {
+  uint64_t wedges = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint64_t d = graph.OutDegree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+}  // namespace
+
+double GlobalClusteringCoefficient(const CsrGraph& graph) {
+  const uint64_t wedges = CountWedges(graph);
+  if (wedges == 0) return 0;
+  return 3.0 * static_cast<double>(CountTriangles(graph)) /
+         static_cast<double>(wedges);
+}
+
+double AverageLocalClustering(const CsrGraph& graph) {
+  PRIVREC_CHECK(!graph.directed());
+  if (graph.num_nodes() == 0) return 0;
+  double total = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t d = graph.OutDegree(v);
+    if (d < 2) continue;
+    uint64_t closed = 0;
+    auto nbrs = graph.OutNeighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    total += 2.0 * static_cast<double>(closed) /
+             (static_cast<double>(d) * (d - 1));
+  }
+  return total / static_cast<double>(graph.num_nodes());
+}
+
+double DegreeAssortativity(const CsrGraph& graph) {
+  std::vector<double> left, right;
+  left.reserve(graph.num_arcs());
+  right.reserve(graph.num_arcs());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      // Each undirected edge contributes both orientations, which is the
+      // standard symmetric treatment.
+      left.push_back(graph.OutDegree(u));
+      right.push_back(graph.OutDegree(v));
+    }
+  }
+  return PearsonCorrelation(left, right);
+}
+
+std::vector<uint32_t> CoreNumbers(const CsrGraph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = graph.OutDegree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort nodes by degree (Batagelj–Zaveršnik peeling).
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) bucket_start[degree[v] + 1]++;
+  for (uint32_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);
+  std::vector<uint32_t> position(n);
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+  std::vector<uint32_t> core(degree);
+  for (NodeId i = 0; i < n; ++i) {
+    NodeId v = order[i];
+    core[v] = degree[v];
+    for (NodeId u : graph.OutNeighbors(v)) {
+      if (degree[u] <= degree[v]) continue;
+      // Move u one bucket down: swap it with the first node of its bucket.
+      const uint32_t du = degree[u];
+      const uint32_t pu = position[u];
+      const uint32_t pw = bucket_start[du];
+      const NodeId w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        position[u] = pw;
+        position[w] = pu;
+      }
+      ++bucket_start[du];
+      --degree[u];
+    }
+  }
+  return core;
+}
+
+}  // namespace privrec

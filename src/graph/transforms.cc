@@ -1,0 +1,136 @@
+#include "graph/transforms.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace privrec {
+namespace {
+
+Status ValidateEndpoints(const CsrGraph& graph, NodeId u, NodeId v) {
+  if (u == v) return Status::InvalidArgument("self-loop");
+  if (u >= graph.num_nodes() || v >= graph.num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  return Status::OK();
+}
+
+/// Copies all arcs of `graph` into a builder of the same directedness.
+GraphBuilder CopyToBuilder(const CsrGraph& graph) {
+  GraphBuilder builder(graph.directed());
+  builder.SetNumNodes(graph.num_nodes());
+  builder.Reserve(graph.num_arcs());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (!graph.directed() && v < u) continue;
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder;
+}
+
+}  // namespace
+
+CsrGraph ToUndirected(const CsrGraph& graph) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(graph.num_nodes());
+  builder.Reserve(graph.num_arcs() * 2);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+CsrGraph Reverse(const CsrGraph& graph) {
+  if (!graph.directed()) return graph;
+  GraphBuilder builder(/*directed=*/true);
+  builder.SetNumNodes(graph.num_nodes());
+  builder.Reserve(graph.num_arcs());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) builder.AddEdge(v, u);
+  }
+  return builder.Build();
+}
+
+Result<CsrGraph> WithEdgeAdded(const CsrGraph& graph, NodeId u, NodeId v) {
+  PRIVREC_RETURN_NOT_OK(ValidateEndpoints(graph, u, v));
+  if (graph.HasEdge(u, v)) {
+    return Status::FailedPrecondition("edge already present");
+  }
+  GraphBuilder builder = CopyToBuilder(graph);
+  builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+Result<CsrGraph> WithEdgeRemoved(const CsrGraph& graph, NodeId u, NodeId v) {
+  PRIVREC_RETURN_NOT_OK(ValidateEndpoints(graph, u, v));
+  if (!graph.HasEdge(u, v)) {
+    return Status::FailedPrecondition("edge not present");
+  }
+  GraphBuilder builder(graph.directed());
+  builder.SetNumNodes(graph.num_nodes());
+  builder.Reserve(graph.num_arcs());
+  for (NodeId a = 0; a < graph.num_nodes(); ++a) {
+    for (NodeId b : graph.OutNeighbors(a)) {
+      if (!graph.directed() && b < a) continue;
+      bool is_removed = (a == u && b == v);
+      if (!graph.directed()) is_removed = is_removed || (a == v && b == u);
+      if (is_removed) continue;
+      builder.AddEdge(a, b);
+    }
+  }
+  return builder.Build();
+}
+
+CsrGraph WithEdits(const CsrGraph& graph,
+                   const std::vector<std::pair<NodeId, NodeId>>& additions,
+                   const std::vector<std::pair<NodeId, NodeId>>& removals) {
+  std::set<std::pair<NodeId, NodeId>> removed;
+  for (auto [u, v] : removals) {
+    removed.insert({u, v});
+    if (!graph.directed()) removed.insert({v, u});
+  }
+  GraphBuilder builder(graph.directed());
+  builder.SetNumNodes(graph.num_nodes());
+  builder.Reserve(graph.num_arcs() + additions.size());
+  for (NodeId a = 0; a < graph.num_nodes(); ++a) {
+    for (NodeId b : graph.OutNeighbors(a)) {
+      if (!graph.directed() && b < a) continue;
+      if (removed.count({a, b}) > 0) continue;
+      builder.AddEdge(a, b);
+    }
+  }
+  for (auto [u, v] : additions) {
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Result<CsrGraph> InducedSubgraph(const CsrGraph& graph,
+                                 const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> relabel;
+  relabel.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= graph.num_nodes()) {
+      return Status::InvalidArgument("subgraph node id out of range");
+    }
+    auto [it, inserted] = relabel.emplace(nodes[i], static_cast<NodeId>(i));
+    if (!inserted) return Status::InvalidArgument("duplicate subgraph node");
+  }
+  GraphBuilder builder(graph.directed());
+  builder.SetNumNodes(static_cast<NodeId>(nodes.size()));
+  for (NodeId old_u : nodes) {
+    for (NodeId old_v : graph.OutNeighbors(old_u)) {
+      auto it = relabel.find(old_v);
+      if (it == relabel.end()) continue;
+      if (!graph.directed() && it->second < relabel[old_u]) continue;
+      builder.AddEdge(relabel[old_u], it->second);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace privrec

@@ -1,0 +1,46 @@
+#ifndef PRIVREC_GRAPH_TRANSFORMS_H_
+#define PRIVREC_GRAPH_TRANSFORMS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// Symmetrizes a directed graph: the result has an undirected edge {u,v}
+/// whenever u->v or v->u exists. Used by the Wiki-vote pipeline, which the
+/// paper converts to an undirected network.
+CsrGraph ToUndirected(const CsrGraph& graph);
+
+/// Reverses all arcs of a directed graph; undirected graphs are returned
+/// unchanged.
+CsrGraph Reverse(const CsrGraph& graph);
+
+/// Returns a copy of `graph` with edge (u,v) added; for undirected graphs
+/// both arcs are added. FailedPrecondition if the edge already exists,
+/// InvalidArgument on self-loops or out-of-range ids.
+/// These neighbor-graph constructors implement the "G and G' differing in
+/// one edge" relation of Definition 1 and back the DP auditor.
+Result<CsrGraph> WithEdgeAdded(const CsrGraph& graph, NodeId u, NodeId v);
+
+/// Returns a copy with edge (u,v) removed (both arcs for undirected).
+/// FailedPrecondition if the edge does not exist.
+Result<CsrGraph> WithEdgeRemoved(const CsrGraph& graph, NodeId u, NodeId v);
+
+/// Returns a copy with every edge in `additions` added and every edge in
+/// `removals` removed (ignores already-present/absent edges). This is the
+/// bulk "rewiring" operation used by the lower-bound machinery (t edge
+/// alterations that promote a low-utility node, Section 4.2).
+CsrGraph WithEdits(const CsrGraph& graph,
+                   const std::vector<std::pair<NodeId, NodeId>>& additions,
+                   const std::vector<std::pair<NodeId, NodeId>>& removals);
+
+/// Subgraph induced by `nodes` (ids are relabeled to [0, |nodes|) in the
+/// given order). Duplicate ids are not allowed.
+Result<CsrGraph> InducedSubgraph(const CsrGraph& graph,
+                                 const std::vector<NodeId>& nodes);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GRAPH_TRANSFORMS_H_

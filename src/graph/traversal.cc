@@ -1,0 +1,68 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+#include "graph/transforms.h"
+
+namespace privrec {
+
+std::vector<uint32_t> BfsDistances(const CsrGraph& graph, NodeId source) {
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (dist[v] != kUnreachable) continue;
+      dist[v] = dist[u] + 1;
+      queue.push_back(v);
+    }
+  }
+  return dist;
+}
+
+uint64_t CountTwoHopNodes(const CsrGraph& graph, NodeId source) {
+  SparseCounter counter(graph.num_nodes());
+  for (NodeId mid : graph.OutNeighbors(source)) {
+    for (NodeId far : graph.OutNeighbors(mid)) {
+      if (far == source) continue;
+      counter.Add(far, 1.0);
+    }
+  }
+  return counter.touched().size();
+}
+
+std::vector<NodeId> ConnectedComponents(const CsrGraph& graph,
+                                        NodeId* num_components) {
+  // Weak connectivity: operate on the symmetrized graph for directed input.
+  const CsrGraph* g = &graph;
+  CsrGraph undirected = CsrGraph::Empty(0, false);
+  if (graph.directed()) {
+    undirected = ToUndirected(graph);
+    g = &undirected;
+  }
+  std::vector<NodeId> component(g->num_nodes(), kUnreachable);
+  NodeId next_component = 0;
+  std::deque<NodeId> queue;
+  for (NodeId start = 0; start < g->num_nodes(); ++start) {
+    if (component[start] != kUnreachable) continue;
+    component[start] = next_component;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g->OutNeighbors(u)) {
+        if (component[v] != kUnreachable) continue;
+        component[v] = next_component;
+        queue.push_back(v);
+      }
+    }
+    ++next_component;
+  }
+  if (num_components != nullptr) *num_components = next_component;
+  return component;
+}
+
+}  // namespace privrec

@@ -1,0 +1,57 @@
+#ifndef PRIVREC_GRAPH_TRAVERSAL_H_
+#define PRIVREC_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// Distance value for nodes unreachable from the BFS source.
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+/// BFS hop distances from `source` following out-edges.
+std::vector<uint32_t> BfsDistances(const CsrGraph& graph, NodeId source);
+
+/// Sparse (node, count) accumulator reused across traversals; equivalent to
+/// a dense array + touched-list, so repeated per-target traversals are
+/// O(work) instead of O(n).
+class SparseCounter {
+ public:
+  explicit SparseCounter(NodeId num_nodes)
+      : values_(num_nodes, 0.0) {}
+
+  void Add(NodeId v, double amount) {
+    if (values_[v] == 0.0 && amount != 0.0) touched_.push_back(v);
+    values_[v] += amount;
+  }
+
+  double Get(NodeId v) const { return values_[v]; }
+
+  /// Nodes with nonzero accumulated value, in touch order.
+  const std::vector<NodeId>& touched() const { return touched_; }
+
+  void Clear() {
+    for (NodeId v : touched_) values_[v] = 0.0;
+    touched_.clear();
+  }
+
+ private:
+  std::vector<double> values_;
+  std::vector<NodeId> touched_;
+};
+
+/// Number of distinct nodes within exactly two hops of `source` (the
+/// candidate set of the common-neighbors recommender).
+uint64_t CountTwoHopNodes(const CsrGraph& graph, NodeId source);
+
+/// Weakly connected components; returns component id per node and writes
+/// the component count to *num_components if non-null.
+std::vector<NodeId> ConnectedComponents(const CsrGraph& graph,
+                                        NodeId* num_components);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,38 @@
+#ifndef PRIVREC_RANDOM_ALIAS_SAMPLER_H_
+#define PRIVREC_RANDOM_ALIAS_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace privrec {
+
+/// Walker/Vose alias method: O(n) construction, O(1) sampling from an
+/// arbitrary discrete distribution. Used by the exponential mechanism when
+/// many recommendations are drawn from the same utility vector, and by the
+/// configuration-model graph generator.
+class AliasSampler {
+ public:
+  /// Builds the table from unnormalized non-negative weights. Weights that
+  /// are all zero yield a uniform distribution. Empty input is not allowed.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Exact probability of drawing index i (for tests).
+  double Probability(size_t i) const;
+
+ private:
+  std::vector<double> prob_;     // threshold within each bucket
+  std::vector<uint32_t> alias_;  // alias target of each bucket
+  std::vector<double> pmf_;      // normalized input distribution
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_RANDOM_ALIAS_SAMPLER_H_

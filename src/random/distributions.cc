@@ -1,0 +1,83 @@
+#include "random/distributions.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace privrec {
+
+LaplaceDistribution::LaplaceDistribution(double scale) : scale_(scale) {
+  PRIVREC_CHECK_GT(scale, 0.0) << "Laplace scale must be positive";
+}
+
+double LaplaceDistribution::Sample(Rng& rng) const {
+  // Inverse CDF on u ~ U(-1/2, 1/2]: -b * sgn(u) * ln(1 - 2|u|).
+  double u = rng.NextDouble() - 0.5;
+  double sign = (u >= 0) ? 1.0 : -1.0;
+  double mag = std::fabs(u);
+  // 1 - 2*mag can be 0 when u == -0.5 exactly; nudge to avoid -inf… that
+  // would actually be a legitimate (measure-zero) sample, but keep finite.
+  double inner = 1.0 - 2.0 * mag;
+  if (inner <= 0.0) inner = 0x1.0p-53;
+  return -scale_ * sign * std::log(inner);
+}
+
+double LaplaceDistribution::Cdf(double y) const {
+  if (y < 0) return 0.5 * std::exp(y / scale_);
+  return 1.0 - 0.5 * std::exp(-y / scale_);
+}
+
+double LaplaceDistribution::Quantile(double p) const {
+  PRIVREC_CHECK(p > 0.0 && p < 1.0) << "Laplace quantile needs p in (0,1)";
+  if (p < 0.5) return scale_ * std::log(2.0 * p);
+  return -scale_ * std::log(2.0 * (1.0 - p));
+}
+
+double LaplaceDistribution::SampleMaxOf(Rng& rng, size_t m) const {
+  PRIVREC_CHECK_GT(m, 0u);
+  if (m == 1) return Sample(rng);
+  // F_max(y) = F(y)^m  =>  y = F^{-1}(u^{1/m}), u ~ U(0,1).
+  // Compute u^(1/m) in log space for numerical stability at large m.
+  double u = rng.NextDoublePositive();
+  double root = std::exp(std::log(u) / static_cast<double>(m));
+  if (root >= 1.0) root = 1.0 - 0x1.0p-53;
+  if (root <= 0.0) root = 0x1.0p-53;
+  return Quantile(root);
+}
+
+double SampleExponential(Rng& rng, double rate) {
+  PRIVREC_CHECK_GT(rate, 0.0);
+  return -std::log(rng.NextDoublePositive()) / rate;
+}
+
+double SampleGumbel(Rng& rng) {
+  return -std::log(-std::log(rng.NextDoublePositive()));
+}
+
+uint64_t SampleGeometric(Rng& rng, double p) {
+  PRIVREC_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u = rng.NextDoublePositive();
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+uint64_t SampleZipf(Rng& rng, uint64_t n, double alpha) {
+  PRIVREC_CHECK_GT(n, 0u);
+  PRIVREC_CHECK_GT(alpha, 1.0);
+  // Rejection-inversion (Hörmann & Derflinger 1996), simplified.
+  const double b = std::pow(2.0, alpha - 1.0);
+  while (true) {
+    double u = rng.NextDoublePositive();
+    double v = rng.NextDoublePositive();
+    uint64_t x = static_cast<uint64_t>(
+        std::floor(std::pow(u, -1.0 / (alpha - 1.0))));
+    if (x < 1 || x > n) continue;
+    double t = std::pow(1.0 + 1.0 / static_cast<double>(x), alpha - 1.0);
+    if (v * static_cast<double>(x) * (t - 1.0) / (b - 1.0) <=
+        t / b) {
+      return x;
+    }
+  }
+}
+
+}  // namespace privrec

@@ -1,0 +1,61 @@
+#ifndef PRIVREC_RANDOM_DISTRIBUTIONS_H_
+#define PRIVREC_RANDOM_DISTRIBUTIONS_H_
+
+#include <cstddef>
+
+#include "random/rng.h"
+
+namespace privrec {
+
+/// Laplace(location=0, scale=b) sampling and distribution functions.
+/// The Laplace mechanism (Dwork et al., TCC'06) adds Laplace(Δf/ε) noise;
+/// see core/laplace_mechanism.h.
+///
+/// pdf(y) = 1/(2b) exp(-|y|/b)      cdf(y) = 1/2 exp(y/b)            y < 0
+///                                         = 1 - 1/2 exp(-y/b)        y >= 0
+class LaplaceDistribution {
+ public:
+  /// Creates a Laplace(0, scale) distribution; scale must be > 0.
+  explicit LaplaceDistribution(double scale);
+
+  double scale() const { return scale_; }
+
+  /// Draws one sample via inverse-CDF.
+  double Sample(Rng& rng) const;
+
+  double Cdf(double y) const;
+
+  /// Inverse CDF; p must be in (0, 1).
+  double Quantile(double p) const;
+
+  /// Draws max(X_1..X_m) for m iid Laplace(0, scale) in O(1) via
+  /// F_max(y) = Cdf(y)^m: sample u ~ U(0,1), return Quantile(u^(1/m)).
+  /// This is what makes the Laplace mechanism tractable on graphs with
+  /// ~10^5 zero-utility candidates per target (Section 7 experiments):
+  /// all candidates sharing one utility value form a block whose noisy
+  /// maximum is sampled in constant time.
+  double SampleMaxOf(Rng& rng, size_t m) const;
+
+ private:
+  double scale_;
+};
+
+/// Exponential(rate) sample via inverse CDF.
+double SampleExponential(Rng& rng, double rate);
+
+/// Standard Gumbel sample. Adding iid Gumbel(1/eps') noise to scores and
+/// taking the argmax is an exact implementation of the exponential
+/// mechanism ("Gumbel-max trick"); core/exponential_mechanism.h exploits
+/// this for sampling without materializing the full probability vector.
+double SampleGumbel(Rng& rng);
+
+/// Geometric(p) on {0,1,2,...}: number of failures before first success.
+uint64_t SampleGeometric(Rng& rng, double p);
+
+/// Zipf-like power-law sample on {1..n} with exponent `alpha` > 1, via
+/// rejection-inversion (used by the configuration-model generator).
+uint64_t SampleZipf(Rng& rng, uint64_t n, double alpha);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_RANDOM_DISTRIBUTIONS_H_

@@ -1,0 +1,21 @@
+#include "random/rng.h"
+
+namespace privrec {
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire, "Fast random integer generation in an interval" (2019).
+  uint64_t x = engine_();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = engine_();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+}  // namespace privrec

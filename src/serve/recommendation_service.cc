@@ -1,0 +1,135 @@
+#include "serve/recommendation_service.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/mechanism.h"
+
+namespace privrec {
+
+RecommendationService::RecommendationService(
+    DynamicGraph* graph, std::unique_ptr<UtilityFunction> utility,
+    const ServiceOptions& options)
+    : graph_(graph), utility_(std::move(utility)), options_(options) {
+  PRIVREC_CHECK(graph_ != nullptr);
+  PRIVREC_CHECK(utility_ != nullptr);
+  PRIVREC_CHECK_GT(options.release_epsilon, 0.0);
+  PRIVREC_CHECK_GE(options.per_user_budget, options.release_epsilon);
+  PRIVREC_CHECK_GT(options.cache_capacity, 0u);
+}
+
+PrivacyAccountant& RecommendationService::AccountantFor(NodeId user) {
+  auto it = accountants_.find(user);
+  if (it == accountants_.end()) {
+    it = accountants_
+             .emplace(user, PrivacyAccountant(options_.per_user_budget))
+             .first;
+  }
+  return it->second;
+}
+
+const UtilityVector& RecommendationService::GetUtilities(NodeId user) {
+  ++clock_;
+  auto it = cache_.find(user);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    it->second.last_used = clock_;
+    return it->second.utilities;
+  }
+  ++stats_.cache_misses;
+  EvictIfNeeded();
+  CsrGraph snapshot = graph_->Snapshot();
+  CacheEntry entry{utility_->Compute(snapshot, user), {}, clock_};
+  entry.watched.insert(user);
+  for (NodeId v : snapshot.OutNeighbors(user)) entry.watched.insert(v);
+  auto [inserted, ok] = cache_.emplace(user, std::move(entry));
+  PRIVREC_CHECK(ok);
+  return inserted->second.utilities;
+}
+
+void RecommendationService::EvictIfNeeded() {
+  if (cache_.size() < options_.cache_capacity) return;
+  // Evict the least recently used entry (linear scan: capacity is modest
+  // and eviction rare; a heap would be noise here).
+  auto victim = cache_.begin();
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->second.last_used < victim->second.last_used) victim = it;
+  }
+  cache_.erase(victim);
+}
+
+void RecommendationService::InvalidateTouching(NodeId u, NodeId v) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const auto& watched = it->second.watched;
+    if (watched.count(u) > 0 || watched.count(v) > 0) {
+      it = cache_.erase(it);
+      ++stats_.cache_invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status RecommendationService::AddEdge(NodeId u, NodeId v) {
+  PRIVREC_RETURN_NOT_OK(graph_->AddEdge(u, v));
+  InvalidateTouching(u, v);
+  return Status::OK();
+}
+
+Status RecommendationService::RemoveEdge(NodeId u, NodeId v) {
+  PRIVREC_RETURN_NOT_OK(graph_->RemoveEdge(u, v));
+  InvalidateTouching(u, v);
+  return Status::OK();
+}
+
+Result<NodeId> RecommendationService::ServeRecommendation(NodeId user,
+                                                          Rng& rng) {
+  if (user >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  PrivacyAccountant& accountant = AccountantFor(user);
+  Status charge =
+      accountant.Charge(options_.release_epsilon, "single recommendation");
+  if (!charge.ok()) {
+    ++stats_.refused_budget;
+    return charge;
+  }
+  const UtilityVector& utilities = GetUtilities(user);
+  CsrGraph snapshot = graph_->Snapshot();
+  ExponentialMechanism mechanism(options_.release_epsilon,
+                                 utility_->SensitivityBound(snapshot));
+  PRIVREC_ASSIGN_OR_RETURN(Recommendation rec,
+                           mechanism.Recommend(utilities, rng));
+  ++stats_.served;
+  if (!rec.from_zero_block) return rec.node;
+  return ResolveZeroUtilityNode(snapshot, utilities, rng);
+}
+
+Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k,
+                                                    Rng& rng) {
+  if (user >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  PrivacyAccountant& accountant = AccountantFor(user);
+  Status charge = accountant.Charge(options_.release_epsilon,
+                                    "top-" + std::to_string(k) + " list");
+  if (!charge.ok()) {
+    ++stats_.refused_budget;
+    return charge;
+  }
+  const UtilityVector& utilities = GetUtilities(user);
+  CsrGraph snapshot = graph_->Snapshot();
+  auto result = PeelingExponentialTopK(
+      utilities, k, options_.release_epsilon,
+      utility_->SensitivityBound(snapshot), rng);
+  if (result.ok()) ++stats_.served;
+  return result;
+}
+
+double RecommendationService::RemainingBudget(NodeId user) const {
+  auto it = accountants_.find(user);
+  return it == accountants_.end() ? options_.per_user_budget
+                                  : it->second.remaining();
+}
+
+}  // namespace privrec

@@ -1,0 +1,106 @@
+#ifndef PRIVREC_SERVE_RECOMMENDATION_SERVICE_H_
+#define PRIVREC_SERVE_RECOMMENDATION_SERVICE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "core/exponential_mechanism.h"
+#include "core/privacy_accountant.h"
+#include "core/topk.h"
+#include "graph/dynamic_graph.h"
+#include "random/rng.h"
+#include "utility/utility_function.h"
+
+namespace privrec {
+
+/// Configuration of a RecommendationService.
+struct ServiceOptions {
+  /// ε charged per single recommendation served.
+  double release_epsilon = 0.5;
+  /// Lifetime ε budget per user (sequential composition cap).
+  double per_user_budget = 5.0;
+  /// Maximum cached utility vectors before LRU-ish eviction.
+  size_t cache_capacity = 4096;
+};
+
+/// Serving statistics.
+struct ServiceStats {
+  uint64_t served = 0;
+  uint64_t refused_budget = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+};
+
+/// The production wrapper a deployment would put around this library:
+/// serves private recommendations over a live (mutating) social graph,
+/// with
+///  - per-user privacy accounting (refuses service when a user's lifetime
+///    budget is spent — the only sound failure mode),
+///  - a utility-vector cache invalidated precisely when a graph update
+///    can change a cached vector (for the 2-hop utility families, an
+///    update (u,v) affects target r only if u or v lies in {r} ∪ N(r);
+///    this service is restricted to those utilities),
+///  - exponential-mechanism releases calibrated to the utility's
+///    sensitivity on the current graph.
+///
+/// Thread-compatibility: external synchronization required (same contract
+/// as the underlying DynamicGraph).
+class RecommendationService {
+ public:
+  /// `graph` and `utility` must outlive the service. The utility must be
+  /// 2-hop local (common neighbors / Adamic-Adar / resource allocation /
+  /// Jaccard); this is a documented contract, not something the type
+  /// system can check.
+  RecommendationService(DynamicGraph* graph,
+                        std::unique_ptr<UtilityFunction> utility,
+                        const ServiceOptions& options);
+
+  /// Serves one ε-DP recommendation to `user`, charging their budget.
+  /// FailedPrecondition when the budget is exhausted or the user has no
+  /// candidates.
+  Result<NodeId> ServeRecommendation(NodeId user, Rng& rng);
+
+  /// Serves a k-slot list via the peeling mechanism, charging the same
+  /// release_epsilon total (split ε/k per slot inside).
+  Result<TopKResult> ServeList(NodeId user, size_t k, Rng& rng);
+
+  /// Applies a graph mutation and invalidates affected cache entries.
+  Status AddEdge(NodeId u, NodeId v);
+  Status RemoveEdge(NodeId u, NodeId v);
+
+  /// Remaining lifetime ε for `user` (full budget if never served).
+  double RemainingBudget(NodeId user) const;
+
+  const ServiceStats& stats() const { return stats_; }
+
+ private:
+  struct CacheEntry {
+    UtilityVector utilities;
+    /// {user} ∪ N(user) at compute time: the update-influence set.
+    std::unordered_set<NodeId> watched;
+    uint64_t last_used = 0;
+  };
+
+  /// Fetches (or computes and caches) the user's utility vector.
+  const UtilityVector& GetUtilities(NodeId user);
+
+  PrivacyAccountant& AccountantFor(NodeId user);
+
+  void InvalidateTouching(NodeId u, NodeId v);
+  void EvictIfNeeded();
+
+  DynamicGraph* graph_;
+  std::unique_ptr<UtilityFunction> utility_;
+  ServiceOptions options_;
+  ServiceStats stats_;
+  uint64_t clock_ = 0;
+  std::unordered_map<NodeId, CacheEntry> cache_;
+  std::unordered_map<NodeId, PrivacyAccountant> accountants_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_SERVE_RECOMMENDATION_SERVICE_H_

@@ -1,0 +1,34 @@
+#ifndef PRIVREC_UTILITY_ADAMIC_ADAR_H_
+#define PRIVREC_UTILITY_ADAMIC_ADAR_H_
+
+#include "utility/utility_function.h"
+
+namespace privrec {
+
+/// Adamic–Adar utility (an extension beyond the paper's two experimental
+/// functions; listed in its "other utility functions" future work):
+///   u_i = Σ_{z ∈ N(r) ∩ N(i)} 1 / ln(deg(z))
+/// Common neighbors are weighted inversely by how promiscuous they are.
+/// Degree-1 hubs contribute 1/ln(2) (clamped) to avoid division by zero.
+class AdamicAdarUtility : public UtilityFunction {
+ public:
+  std::string name() const override { return "adamic_adar"; }
+
+  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+
+  /// One non-target edge contributes, per orientation, (a) one new
+  /// common-neighbor term worth at most 1/ln 2 and (b) a degree shift of
+  /// the intermediate's weight across every path through it, maximized at
+  /// degree 2: 2·(1/ln 2 - 1/ln 3). Total ≈ 2.51 per orientation, doubled
+  /// on undirected graphs.
+  double SensitivityBound(const CsrGraph& graph) const override;
+
+  /// Same promotion argument as common neighbors: connect the promoted
+  /// node to all of r's neighbors (+2 bookkeeping edges).
+  double EdgeAlterationsT(const CsrGraph& graph, NodeId target,
+                          const UtilityVector& utilities) const override;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_UTILITY_ADAMIC_ADAR_H_

@@ -1,0 +1,40 @@
+#include "utility/common_neighbors.h"
+
+#include "graph/traversal.h"
+
+namespace privrec {
+
+UtilityVector CommonNeighborsUtility::Compute(const CsrGraph& graph,
+                                              NodeId target) const {
+  SparseCounter counter(graph.num_nodes());
+  for (NodeId mid : graph.OutNeighbors(target)) {
+    for (NodeId far : graph.OutNeighbors(mid)) {
+      if (far == target) continue;
+      counter.Add(far, 1.0);
+    }
+  }
+  std::vector<UtilityEntry> nonzero;
+  nonzero.reserve(counter.touched().size());
+  for (NodeId v : counter.touched()) {
+    if (graph.HasEdge(target, v)) continue;  // already connected: excluded
+    nonzero.push_back({v, counter.Get(v)});
+  }
+  const uint64_t num_candidates =
+      static_cast<uint64_t>(graph.num_nodes()) - 1 -
+      graph.OutDegree(target);
+  return UtilityVector(target, num_candidates, std::move(nonzero));
+}
+
+double CommonNeighborsUtility::SensitivityBound(const CsrGraph& graph) const {
+  return graph.directed() ? 1.0 : 2.0;
+}
+
+double CommonNeighborsUtility::EdgeAlterationsT(
+    const CsrGraph& graph, NodeId target,
+    const UtilityVector& utilities) const {
+  const double u_max = utilities.max_utility();
+  const double d_r = graph.OutDegree(target);
+  return u_max + 1.0 + (u_max == d_r ? 1.0 : 0.0);
+}
+
+}  // namespace privrec

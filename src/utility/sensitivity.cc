@@ -1,0 +1,52 @@
+#include "utility/sensitivity.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/transforms.h"
+
+namespace privrec {
+
+double UtilityL1Distance(const UtilityFunction& utility, const CsrGraph& a,
+                         const CsrGraph& b, NodeId target) {
+  UtilityVector ua = utility.Compute(a, target);
+  UtilityVector ub = utility.Compute(b, target);
+  std::unordered_map<NodeId, double> diff;
+  diff.reserve(ua.nonzero().size() + ub.nonzero().size());
+  for (const UtilityEntry& e : ua.nonzero()) diff[e.node] += e.utility;
+  for (const UtilityEntry& e : ub.nonzero()) diff[e.node] -= e.utility;
+  double l1 = 0;
+  for (const auto& [node, delta] : diff) l1 += std::fabs(delta);
+  return l1;
+}
+
+SensitivityEstimate EstimateEdgeSensitivity(const CsrGraph& graph,
+                                            const UtilityFunction& utility,
+                                            NodeId target, size_t num_samples,
+                                            Rng& rng, bool relaxed) {
+  SensitivityEstimate estimate;
+  const NodeId n = graph.num_nodes();
+  if (n < 3) return estimate;
+  double total = 0;
+  size_t done = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = num_samples * 50 + 100;
+  while (done < num_samples && ++attempts < max_attempts) {
+    NodeId x = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId y = static_cast<NodeId>(rng.NextBounded(n));
+    if (x == y) continue;
+    if (relaxed && (x == target || y == target)) continue;
+    auto perturbed = graph.HasEdge(x, y) ? WithEdgeRemoved(graph, x, y)
+                                         : WithEdgeAdded(graph, x, y);
+    if (!perturbed.ok()) continue;
+    double l1 = UtilityL1Distance(utility, graph, *perturbed, target);
+    estimate.max_l1 = std::max(estimate.max_l1, l1);
+    total += l1;
+    ++done;
+  }
+  estimate.samples = done;
+  estimate.mean_l1 = done > 0 ? total / static_cast<double>(done) : 0;
+  return estimate;
+}
+
+}  // namespace privrec

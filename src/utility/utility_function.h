@@ -1,0 +1,44 @@
+#ifndef PRIVREC_UTILITY_UTILITY_FUNCTION_H_
+#define PRIVREC_UTILITY_UTILITY_FUNCTION_H_
+
+#include <string>
+
+#include "graph/csr_graph.h"
+#include "utility/utility_vector.h"
+
+namespace privrec {
+
+/// A graph link-analysis utility function (Section 3.1): assigns each
+/// candidate node a goodness score for being recommended to a target,
+/// computed from the structure of the graph only. Implementations must
+/// satisfy the exchangeability axiom by construction (scores depend only on
+/// graph structure, never on node identity).
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+
+  /// Short stable identifier ("common_neighbors", "weighted_paths[g=0.05]").
+  virtual std::string name() const = 0;
+
+  /// Computes the utility vector for `target`. The candidate set excludes
+  /// `target` and its existing out-neighbors (the paper's experimental
+  /// convention). Directed graphs are traversed along out-edges.
+  virtual UtilityVector Compute(const CsrGraph& graph, NodeId target) const = 0;
+
+  /// Conservative global L1 sensitivity Δf = max ||u^G - u^{G'}||_1 over
+  /// neighboring graphs differing in one edge *not incident to the target*
+  /// (the relaxed edge-DP of Section 3.2, which is what the experiments
+  /// use). This calibrates the Laplace/Exponential mechanisms.
+  virtual double SensitivityBound(const CsrGraph& graph) const = 0;
+
+  /// The paper's per-target edge-alteration count t used in Corollary 1:
+  /// the number of edge additions/removals sufficient to turn a
+  /// least-likely candidate into the unique highest-utility node
+  /// (Section 7.1 gives the exact expressions per utility function).
+  virtual double EdgeAlterationsT(const CsrGraph& graph, NodeId target,
+                                  const UtilityVector& utilities) const = 0;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_UTILITY_UTILITY_FUNCTION_H_

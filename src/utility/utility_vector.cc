@@ -1,0 +1,35 @@
+#include "utility/utility_vector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace privrec {
+
+UtilityVector::UtilityVector(NodeId target, uint64_t num_candidates,
+                             std::vector<UtilityEntry> nonzero)
+    : target_(target),
+      num_candidates_(num_candidates),
+      nonzero_(std::move(nonzero)) {
+  PRIVREC_CHECK_GE(num_candidates_, nonzero_.size());
+  std::sort(nonzero_.begin(), nonzero_.end(),
+            [](const UtilityEntry& a, const UtilityEntry& b) {
+              if (a.utility != b.utility) return a.utility > b.utility;
+              return a.node < b.node;  // deterministic tie-break
+            });
+  for (const UtilityEntry& e : nonzero_) {
+    PRIVREC_CHECK_GT(e.utility, 0.0)
+        << "nonzero entries must be strictly positive";
+    sum_ += e.utility;
+  }
+}
+
+uint64_t UtilityVector::CountAbove(double threshold) const {
+  // nonzero_ is sorted descending; find the first entry <= threshold.
+  auto it = std::lower_bound(
+      nonzero_.begin(), nonzero_.end(), threshold,
+      [](const UtilityEntry& e, double t) { return e.utility > t; });
+  return static_cast<uint64_t>(it - nonzero_.begin());
+}
+
+}  // namespace privrec

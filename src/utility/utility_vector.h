@@ -1,0 +1,70 @@
+#ifndef PRIVREC_UTILITY_UTILITY_VECTOR_H_
+#define PRIVREC_UTILITY_UTILITY_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace privrec {
+
+/// One candidate and its utility for the target.
+struct UtilityEntry {
+  NodeId node;
+  double utility;
+};
+
+/// Sparse utility vector ~u^{G,r} for one target node r (Section 3.1).
+///
+/// The candidate set follows the paper's experimental setup: every node
+/// except r itself and the nodes r already links to. Only candidates with
+/// nonzero utility are stored explicitly; the (typically enormous) zero
+/// tail is represented by its count. All mechanisms exploit this: the
+/// exponential mechanism's partition function adds `num_zero()` units of
+/// weight, and the Laplace mechanism samples the zero block's noisy max in
+/// O(1) (LaplaceDistribution::SampleMaxOf).
+class UtilityVector {
+ public:
+  /// `nonzero` entries must have strictly positive utility and distinct
+  /// node ids; they are sorted by descending utility on construction.
+  UtilityVector(NodeId target, uint64_t num_candidates,
+                std::vector<UtilityEntry> nonzero);
+
+  NodeId target() const { return target_; }
+
+  /// Total number of candidates (nonzero + zero-utility).
+  uint64_t num_candidates() const { return num_candidates_; }
+
+  /// Candidates with utility > 0, sorted by descending utility.
+  const std::vector<UtilityEntry>& nonzero() const { return nonzero_; }
+
+  /// Candidates with utility exactly 0 (not materialized).
+  uint64_t num_zero() const { return num_candidates_ - nonzero_.size(); }
+
+  bool empty() const { return nonzero_.empty(); }
+
+  /// u_max; 0 when the vector has no nonzero entries.
+  double max_utility() const {
+    return nonzero_.empty() ? 0.0 : nonzero_.front().utility;
+  }
+
+  /// Highest-utility candidate (what R_best recommends). Requires !empty().
+  NodeId argmax() const { return nonzero_.front().node; }
+
+  /// Σ_i u_i.
+  double sum() const { return sum_; }
+
+  /// Number of candidates with utility strictly greater than `threshold`
+  /// (the paper's high-utility group V_hi for threshold (1-c)·u_max).
+  uint64_t CountAbove(double threshold) const;
+
+ private:
+  NodeId target_;
+  uint64_t num_candidates_;
+  std::vector<UtilityEntry> nonzero_;
+  double sum_ = 0;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_UTILITY_UTILITY_VECTOR_H_

@@ -1,0 +1,50 @@
+#ifndef PRIVREC_UTILITY_WEIGHTED_PATHS_H_
+#define PRIVREC_UTILITY_WEIGHTED_PATHS_H_
+
+#include "utility/utility_function.h"
+
+namespace privrec {
+
+/// Weighted-paths utility (Section 5.2):
+///   score(r, i) = Σ_{l>=2} γ^{l-2} · |paths^{(l)}(r, i)|.
+/// The paper's experiments truncate the sum at l = 3 ("we approximate the
+/// weighted paths utility by considering paths of length up to 3"); this
+/// implementation makes the truncation length a parameter (2..3).
+///
+/// Length-2 counts are exactly common neighbors. Length-3 counts are
+/// computed as 3-step walks r→a→b→c with r excluded as an intermediate and
+/// the non-simple walk family r→a→b→a subtracted, so they equal the number
+/// of simple length-3 paths.
+class WeightedPathsUtility : public UtilityFunction {
+ public:
+  /// gamma is the paper's γ decay (0.0005 / 0.005 / 0.05 in Section 7);
+  /// max_length ∈ {2, 3}.
+  WeightedPathsUtility(double gamma, int max_length = 3);
+
+  std::string name() const override;
+
+  double gamma() const { return gamma_; }
+  int max_length() const { return max_length_; }
+
+  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+
+  /// Conservative relaxed-edge-DP L1 bound: one new edge (x,y) away from r
+  /// contributes at most 1 at l=2 per orientation and at most γ·d_max new
+  /// length-3 paths per orientation/role, giving
+  ///   Δf <= 2 + 4·γ·d_max  (undirected),  1 + 2·γ·d_max  (directed);
+  /// the l=3 terms drop when max_length == 2. Matches the paper's remark
+  /// that larger γ means higher sensitivity (Section 7.2).
+  double SensitivityBound(const CsrGraph& graph) const override;
+
+  /// Section 7.1: t = floor(u_max) + 2.
+  double EdgeAlterationsT(const CsrGraph& graph, NodeId target,
+                          const UtilityVector& utilities) const override;
+
+ private:
+  double gamma_;
+  int max_length_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_UTILITY_WEIGHTED_PATHS_H_

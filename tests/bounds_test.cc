@@ -1,0 +1,329 @@
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/exponential_mechanism.h"
+#include "core/promotion.h"
+#include "eval/accuracy.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+#include "utility/weighted_paths.h"
+
+namespace privrec {
+namespace {
+
+// ------------------------------------------------------------- Corollary 1
+
+TEST(Corollary1Test, PaperSection42WorkedExample) {
+  // n = 4·10^8, k = 100, c = 0.99, t = 150, ε = 0.1 ⇒ bound ≈ 0.46.
+  const double bound = Corollary1AccuracyUpperBound(
+      400000000ull, 100, 0.99, 150.0, 0.1);
+  EXPECT_NEAR(bound, 0.46, 0.01);
+}
+
+TEST(Corollary1Test, MonotoneIncreasingInEpsilon) {
+  double prev = 0;
+  for (double eps : {0.01, 0.1, 0.5, 1.0, 3.0}) {
+    double b = Corollary1AccuracyUpperBound(100000, 10, 0.9, 20.0, eps);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Corollary1Test, MonotoneIncreasingInT) {
+  // More edges needed to promote ⇒ weaker attack ⇒ higher ceiling.
+  double prev = 0;
+  for (double t : {1.0, 5.0, 20.0, 100.0}) {
+    double b = Corollary1AccuracyUpperBound(100000, 10, 0.9, t, 0.5);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Corollary1Test, LargerCandidatePoolTightensBound) {
+  // With more zero-utility nodes (n grows, k fixed) the bound drops.
+  double small = Corollary1AccuracyUpperBound(1000, 10, 0.9, 10.0, 0.5);
+  double large = Corollary1AccuracyUpperBound(1000000, 10, 0.9, 10.0, 0.5);
+  EXPECT_LT(large, small);
+}
+
+TEST(Corollary1Test, SaturatesAtOneForHugeEpsilonT) {
+  EXPECT_DOUBLE_EQ(
+      Corollary1AccuracyUpperBound(1000, 10, 0.9, 1000.0, 10.0), 1.0);
+}
+
+TEST(Corollary1Test, StaysInUnitInterval) {
+  for (double eps : {0.01, 1.0}) {
+    for (double t : {1.0, 50.0}) {
+      for (uint64_t k : {0ull, 1ull, 500ull}) {
+        double b = Corollary1AccuracyUpperBound(1000, k, 0.99, t, eps);
+        EXPECT_GE(b, 0.0);
+        EXPECT_LE(b, 1.0);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Lemma 1
+
+TEST(Lemma1Test, ConsistentWithCorollary1) {
+  // If Corollary 1 says accuracy can be at most 1-δ*, then Lemma 1's ε
+  // lower bound at accuracy 1-δ* must equal the ε we started with.
+  const uint64_t n = 100000;
+  const uint64_t k = 50;
+  const double c = 0.95, t = 25.0, eps = 0.7;
+  const double accuracy = Corollary1AccuracyUpperBound(n, k, c, t, eps);
+  const double delta = 1.0 - accuracy;
+  const double eps_back = Lemma1EpsilonLowerBound(n, k, c, delta, t);
+  EXPECT_NEAR(eps_back, eps, 1e-9);
+}
+
+TEST(Lemma1Test, StricterAccuracyNeedsMoreEpsilon) {
+  double prev = 0;
+  for (double delta : {0.5, 0.3, 0.1, 0.01}) {
+    double eps = Lemma1EpsilonLowerBound(100000, 50, 0.95, delta, 25.0);
+    EXPECT_GT(eps, prev);
+    prev = eps;
+  }
+}
+
+// ----------------------------------------------------------------- Lemma 2
+
+TEST(Lemma2Test, MatchesFormula) {
+  const uint64_t n = 100000;
+  const double beta = 10, t = 20;
+  const double log_n = std::log(1e5);
+  EXPECT_NEAR(Lemma2EpsilonLowerBound(n, beta, t),
+              (log_n - std::log(10.0) - std::log(log_n)) / 20.0, 1e-12);
+}
+
+TEST(Lemma2Test, LargerTWeakensBound) {
+  EXPECT_GT(Lemma2EpsilonLowerBound(100000, 5, 10),
+            Lemma2EpsilonLowerBound(100000, 5, 100));
+}
+
+TEST(Lemma2Test, ClampedAtZero) {
+  // Huge β can push the formula negative; the bound floors at 0.
+  EXPECT_DOUBLE_EQ(Lemma2EpsilonLowerBound(100, 1000.0, 5.0), 0.0);
+}
+
+// ------------------------------------------------------------ Theorems 1-3
+
+TEST(TheoremTest, Theorem1ExampleFromPaper) {
+  // "for a graph with maximum degree log n, there is no 0.24-DP algorithm
+  // with constant accuracy": α = 1 ⇒ bound = 0.25 > 0.24.
+  const uint64_t n = 1u << 20;
+  const uint32_t d_max = static_cast<uint32_t>(std::log(double(n)));
+  EXPECT_NEAR(Theorem1EpsilonLowerBound(n, d_max), 0.25, 0.02);
+}
+
+TEST(TheoremTest, Theorem2ExampleFromPaper) {
+  // "graph on n nodes with maximum degree log n: any constant-accuracy CN
+  // algorithm is at best 1.0-differentially private."
+  const uint64_t n = 1000000;
+  const uint32_t d_r = static_cast<uint32_t>(std::log(double(n)));
+  const double bound = Theorem2EpsilonLowerBound(n, d_r);
+  EXPECT_GT(bound, 0.85);  // ~ln n/(ln n + 2) ≈ 0.87 at this size
+  EXPECT_LT(bound, 1.1);
+}
+
+TEST(TheoremTest, Theorem2TighterThanTheorem1) {
+  // The CN-specific bound dominates the generic one (t is ~4x smaller).
+  const uint64_t n = 1u << 17;
+  const uint32_t d = 17;
+  EXPECT_GT(Theorem2EpsilonLowerBound(n, d),
+            Theorem1EpsilonLowerBound(n, d));
+}
+
+TEST(TheoremTest, Theorem3ApproachesTheorem2AsGammaVanishes) {
+  const uint64_t n = 1u << 17;
+  const uint32_t d_r = 20, d_max = 200;
+  const double cn_like = Theorem2EpsilonLowerBound(n, d_r);
+  const double tiny_gamma = Theorem3EpsilonLowerBound(n, d_r, 1e-7, d_max);
+  const double big_gamma = Theorem3EpsilonLowerBound(n, d_r, 0.05, d_max);
+  EXPECT_NEAR(tiny_gamma, cn_like, 0.01);
+  EXPECT_LT(big_gamma, tiny_gamma);  // larger γ ⇒ weaker lower bound
+}
+
+TEST(TheoremTest, HighDegreeNodesEscapeTheBound) {
+  // ε lower bound falls as the target's degree grows: well-connected nodes
+  // can hope for private accuracy; this is the Fig 2(c) story.
+  const uint64_t n = 100000;
+  double prev = 1e9;
+  for (uint32_t d_r : {5u, 20u, 100u, 1000u}) {
+    double eps = Theorem2EpsilonLowerBound(n, d_r);
+    EXPECT_LT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(TheoremTest, NodePrivacyIsHopeless) {
+  // Appendix A: ε >= ln(n)/2 — enormous for any real graph.
+  EXPECT_GT(NodePrivacyEpsilonLowerBound(400000000ull), 9.0);
+}
+
+// ----------------------------------------------- TheoreticalAccuracyBound
+
+TEST(TheoreticalBoundTest, EmptyVectorIsVacuous) {
+  UtilityVector u(0, 100, {});
+  EXPECT_DOUBLE_EQ(TheoreticalAccuracyBound(u, 5.0, 1.0), 1.0);
+}
+
+TEST(TheoreticalBoundTest, MonotoneInEpsilon) {
+  UtilityVector u(0, 10000, {{1, 6.0}, {2, 5.0}, {3, 1.0}});
+  double prev = 0;
+  for (double eps : {0.1, 0.5, 1.0, 3.0}) {
+    double b = TheoreticalAccuracyBound(u, 7.0, eps);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(TheoreticalBoundTest, DominatesExponentialMechanismAccuracy) {
+  // The bound caps ANY ε-DP mechanism, so in particular A_E(ε). Sweep
+  // several synthetic vectors; allow a sliver of slack for c-grid effects.
+  Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<UtilityEntry> entries;
+    const int k = 1 + static_cast<int>(rng.NextBounded(20));
+    for (int i = 0; i < k; ++i) {
+      entries.push_back(
+          {static_cast<NodeId>(i + 1),
+           1.0 + static_cast<double>(rng.NextBounded(30))});
+    }
+    // Deduplicate node ids are already distinct; num candidates >> k.
+    UtilityVector u(0, 5000 + rng.NextBounded(100000), std::move(entries));
+    const double eps = 0.25 + rng.NextDouble() * 2.0;
+    // Section 7.1's t for common neighbors with d_r > u_max.
+    const double t = u.max_utility() + 1.0;
+    ExponentialMechanism mech(eps, 2.0);
+    auto acc = ExactExpectedAccuracy(mech, u);
+    ASSERT_TRUE(acc.ok());
+    const double bound = TheoreticalAccuracyBound(u, t, eps);
+    EXPECT_LE(*acc, bound + 0.02)
+        << "trial " << trial << " eps=" << eps << " k=" << k;
+  }
+}
+
+TEST(TheoreticalBoundTest, TighterThanAnySingleCInstantiation) {
+  UtilityVector u(0, 50000, {{1, 10.0}, {2, 9.0}, {3, 2.0}, {4, 1.0}});
+  const double eps = 0.5, t = 11.0;
+  const double best = TheoreticalAccuracyBound(u, t, eps);
+  // Compare against the c = 1 instantiation (k = all nonzero).
+  const double c1 =
+      Corollary1AccuracyUpperBound(u.num_candidates(), 4, 1.0, t, eps);
+  EXPECT_LE(best, c1 + 1e-12);
+}
+
+// ---------------------------------------------------------- Promotion (t)
+
+TEST(PromotionTest, PromotesZeroUtilityNodeOnFixture) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  UtilityVector before = cn.Compute(g, 0);
+  EXPECT_NE(before.argmax(), 5u);
+  auto promo = PromoteToTopUtility(g, cn, /*target=*/0, /*promoted=*/5);
+  ASSERT_TRUE(promo.ok());
+  EXPECT_TRUE(promo->promoted_to_top);
+  UtilityVector after = cn.Compute(promo->rewired_graph, 0);
+  EXPECT_EQ(after.argmax(), 5u);
+}
+
+TEST(PromotionTest, EditCountWithinClaim3Budget) {
+  // Claim 3: t <= d_r + 2 edge additions suffice.
+  Rng rng(9);
+  auto g = ErdosRenyiGnm(60, 180, false, rng);
+  ASSERT_TRUE(g.ok());
+  CommonNeighborsUtility cn;
+  int tested = 0;
+  for (NodeId target = 0; target < 10; ++target) {
+    // Find a non-neighbor to promote.
+    NodeId promoted = kUnresolvedZeroNode;
+    for (NodeId v = 0; v < g->num_nodes(); ++v) {
+      if (v != target && !g->HasEdge(target, v)) {
+        promoted = v;
+        break;
+      }
+    }
+    if (promoted == kUnresolvedZeroNode) continue;
+    auto promo = PromoteToTopUtility(*g, cn, target, promoted);
+    ASSERT_TRUE(promo.ok()) << promo.status().ToString();
+    EXPECT_TRUE(promo->promoted_to_top);
+    EXPECT_LE(promo->added_edges.size(),
+              static_cast<size_t>(g->OutDegree(target)) + 2)
+        << "target " << target;
+    ++tested;
+  }
+  EXPECT_GT(tested, 5);
+}
+
+TEST(PromotionTest, WorksForWeightedPathsToo) {
+  Rng rng(11);
+  auto g = ErdosRenyiGnm(50, 120, false, rng);
+  ASSERT_TRUE(g.ok());
+  WeightedPathsUtility wp(0.001, 3);
+  NodeId target = 0;
+  NodeId promoted = kUnresolvedZeroNode;
+  for (NodeId v = 1; v < g->num_nodes(); ++v) {
+    if (!g->HasEdge(target, v)) {
+      promoted = v;
+      break;
+    }
+  }
+  ASSERT_NE(promoted, kUnresolvedZeroNode);
+  auto promo = PromoteToTopUtility(*g, wp, target, promoted);
+  ASSERT_TRUE(promo.ok()) << promo.status().ToString();
+  EXPECT_TRUE(promo->promoted_to_top);
+  UtilityVector after = wp.Compute(promo->rewired_graph, target);
+  EXPECT_EQ(after.argmax(), promoted);
+}
+
+TEST(PromotionTest, RejectsInvalidArguments) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  EXPECT_TRUE(PromoteToTopUtility(g, cn, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PromoteToTopUtility(g, cn, 0, 1).status().IsFailedPrecondition());
+  EXPECT_TRUE(
+      PromoteToTopUtility(g, cn, 0, 99).status().IsInvalidArgument());
+}
+
+TEST(PromotionTest, LikelihoodRatioArgumentEndToEnd) {
+  // The core of Lemma 1: after promotion, a monotone DP mechanism must
+  // recommend the promoted node with high probability, while before
+  // promotion it recommended it with tiny probability; the ratio forces
+  // ε·t >= ln(ratio). Verify the exponential mechanism respects that.
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  const double eps = 1.0;
+  ExponentialMechanism mech(eps, cn.SensitivityBound(g));
+  UtilityVector before = cn.Compute(g, 0);
+  auto promo = PromoteToTopUtility(g, cn, 0, 5);
+  ASSERT_TRUE(promo.ok());
+  UtilityVector after = cn.Compute(promo->rewired_graph, 0);
+
+  auto p_before = mech.Distribution(before);
+  auto p_after = mech.Distribution(after);
+  ASSERT_TRUE(p_before.ok());
+  ASSERT_TRUE(p_after.ok());
+  auto prob_of = [](const RecommendationDistribution& d,
+                    const UtilityVector& u, NodeId node) {
+    for (size_t i = 0; i < u.nonzero().size(); ++i) {
+      if (u.nonzero()[i].node == node) return d.nonzero_probs[i];
+    }
+    return u.num_zero() > 0
+               ? d.zero_block_prob / static_cast<double>(u.num_zero())
+               : 0.0;
+  };
+  const double ratio = prob_of(*p_after, after, 5) /
+                       prob_of(*p_before, before, 5);
+  const size_t t = promo->added_edges.size();
+  // DP along the edit path: ratio <= e^{ε·t}.
+  EXPECT_LE(std::log(ratio), eps * static_cast<double>(t) + 1e-9);
+  EXPECT_GT(ratio, 1.0);  // promotion really did raise the probability
+}
+
+}  // namespace
+}  // namespace privrec

@@ -1,0 +1,251 @@
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "gtest/gtest.h"
+
+namespace privrec {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad gamma");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad gamma");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad gamma");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status ChainedCheck(int x) {
+  PRIVREC_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(ChainedCheck(1).ok());
+  EXPECT_TRUE(ChainedCheck(-1).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.ValueOr(-1), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> DoubleIfPositive(int x) {
+  PRIVREC_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*DoubleIfPositive(4), 8);
+  EXPECT_TRUE(DoubleIfPositive(0).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+// ------------------------------------------------------------ StringUtil
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitSkipsEmptyByDefault) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Split("a,,c", ',', /*skip_empty=*/false),
+            (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceMixedSeparators) {
+  EXPECT_EQ(SplitWhitespace("  7115\t100762 \r\n"),
+            (std::vector<std::string>{"7115", "100762"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "--"), "x--y--z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \n "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.005"), 0.005);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 1e-3);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.04567, 3), "0.046");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+}
+
+TEST(StringUtilTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(100762), "100,762");
+  EXPECT_EQ(FormatCount(400000000), "400,000,000");
+}
+
+// ------------------------------------------------------------------ CSV
+
+TEST(CsvTest, WritesQuotedFields) {
+  const std::string path = testing::TempDir() + "/privrec_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow(std::vector<std::string>{"plain", "with,comma",
+                                             "with\"quote"});
+    writer.WriteRow(std::vector<double>{0.5, 1.0});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "plain,\"with,comma\",\"with\"\"quote\"");
+  EXPECT_EQ(line2, "0.500000,1.000000");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadPathReportsNotOk) {
+  CsvWriter writer("/nonexistent-dir-privrec/x.csv");
+  EXPECT_FALSE(writer.ok());
+}
+
+// --------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"acc", "value"});
+  table.AddRow({"0.1", "12"});
+  table.AddRow({"0.95", "3"});
+  std::string out = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("acc"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter table({"label", "a", "b"});
+  table.AddRow("row", {0.123456, 2.0}, 3);
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("0.123"), std::string::npos);
+  EXPECT_NE(out.find("2.000"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  EXPECT_NO_FATAL_FAILURE(table.ToString());
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--epsilon=0.5", "--trials", "100",
+                        "--verbose"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("epsilon", 1.0), 0.5);
+  EXPECT_EQ(flags.GetInt("trials", 0), 100);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.Has("absent"));
+  EXPECT_EQ(flags.GetString("absent", "dft"), "dft");
+}
+
+TEST(FlagsTest, CollectsPositionals) {
+  const char* argv[] = {"prog", "input.txt", "--k=2", "more"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(4, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(FlagsTest, MalformedDefaultsFallBack) {
+  const char* argv[] = {"prog", "--epsilon=abc"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("epsilon", 2.0), 2.0);
+}
+
+TEST(FlagsTest, BareDoubleDashIsError) {
+  const char* argv[] = {"prog", "--"};
+  FlagParser flags;
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+}  // namespace
+}  // namespace privrec

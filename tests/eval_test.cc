@@ -1,0 +1,163 @@
+// Focused tests for the evaluation plumbing: Monte-Carlo vs exact
+// accuracy convergence, ParallelFor semantics, and CDF edge cases.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "core/baseline_mechanisms.h"
+#include "core/exponential_mechanism.h"
+#include "core/laplace_mechanism.h"
+#include "eval/accuracy.h"
+#include "eval/cdf.h"
+#include "eval/experiment.h"
+#include "eval/parallel.h"
+#include "gen/fixtures.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+
+namespace privrec {
+namespace {
+
+UtilityVector EvalVector() {
+  return UtilityVector(0, 20, {{1, 4.0}, {2, 3.0}, {3, 1.0}, {4, 0.5}});
+}
+
+// ---------------------------------------------------------------- accuracy
+
+TEST(AccuracyTest, MonteCarloConvergesToExactForExponential) {
+  ExponentialMechanism mech(1.0, 1.0);
+  UtilityVector u = EvalVector();
+  auto exact = ExactExpectedAccuracy(mech, u);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(3);
+  // Error should shrink roughly as 1/sqrt(trials).
+  auto coarse = MonteCarloExpectedAccuracy(mech, u, 100, rng);
+  auto fine = MonteCarloExpectedAccuracy(mech, u, 100000, rng);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_NEAR(*fine, *exact, 0.01);
+  EXPECT_LE(std::fabs(*fine - *exact), std::fabs(*coarse - *exact) + 0.02);
+}
+
+TEST(AccuracyTest, MonteCarloMatchesExactForLaplace) {
+  LaplaceMechanism mech(1.0, 1.0);
+  UtilityVector u = EvalVector();
+  auto exact = ExactExpectedAccuracy(mech, u);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(5);
+  auto mc = MonteCarloExpectedAccuracy(mech, u, 50000, rng);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_NEAR(*mc, *exact, 0.01);
+}
+
+TEST(AccuracyTest, ErrorPaths) {
+  ExponentialMechanism mech(1.0, 1.0);
+  UtilityVector empty(0, 10, {});
+  Rng rng(7);
+  EXPECT_TRUE(ExactExpectedAccuracy(mech, empty)
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(MonteCarloExpectedAccuracy(mech, empty, 10, rng)
+                  .status()
+                  .IsFailedPrecondition());
+  UtilityVector u = EvalVector();
+  EXPECT_TRUE(MonteCarloExpectedAccuracy(mech, u, 0, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AccuracyTest, BestMechanismAccuracyIsOneUnderBothEvaluators) {
+  BestMechanism best;
+  UtilityVector u = EvalVector();
+  Rng rng(9);
+  EXPECT_DOUBLE_EQ(*ExactExpectedAccuracy(best, u), 1.0);
+  EXPECT_DOUBLE_EQ(*MonteCarloExpectedAccuracy(best, u, 50, rng), 1.0);
+}
+
+// --------------------------------------------------------------- parallel
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  ParallelFor(kCount, [&](size_t i) { visits[i].fetch_add(1); },
+              /*num_threads=*/8);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadFallbackAndEmpty) {
+  std::vector<int> order;
+  ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); },
+              /*num_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // sequential order
+  ParallelFor(0, [&](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  ParallelFor(3, [&](size_t) { total.fetch_add(1); }, /*num_threads=*/16);
+  EXPECT_EQ(total.load(), 3);
+}
+
+// -------------------------------------------------------------------- CDF
+
+TEST(CdfEdgeCaseTest, AllValuesIdentical) {
+  std::vector<double> values(100, 0.5);
+  auto cdf = FractionAtOrBelow(values, {0.4, 0.5, 0.6});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(CdfEdgeCaseTest, EmptyInput) {
+  auto cdf = FractionAtOrBelow({}, {0.5});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_TRUE(std::isnan(MeanIgnoringNan({})));
+  EXPECT_TRUE(std::isnan(MeanIgnoringNan({std::nan("")})));
+}
+
+TEST(CdfEdgeCaseTest, BucketsSkipZeroDegree) {
+  // Degree-0 nodes fall below the first geometric bucket [1,2) and are
+  // dropped (they are skipped targets anyway).
+  auto buckets = BucketByDegree({0, 0, 1}, {0.1, 0.2, 0.9});
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[0].mean_accuracy, 0.9);
+}
+
+// ------------------------------------------------------------- experiment
+
+TEST(ExperimentEdgeCaseTest, FullFractionSamplesEveryNode) {
+  CsrGraph g = MakeComplete(10);
+  Rng rng(11);
+  auto targets = SampleTargets(g, 1.0, rng);
+  EXPECT_EQ(targets.size(), 10u);
+  std::sort(targets.begin(), targets.end());
+  for (NodeId i = 0; i < 10; ++i) EXPECT_EQ(targets[i], i);
+}
+
+TEST(ExperimentEdgeCaseTest, TinyFractionSamplesAtLeastOne) {
+  CsrGraph g = MakeComplete(10);
+  Rng rng(13);
+  EXPECT_EQ(SampleTargets(g, 1e-9, rng).size(), 1u);
+}
+
+TEST(ExperimentEdgeCaseTest, SkippedTargetsAreMarked) {
+  // Star graph, target = hub: every non-neighbor… hub is adjacent to all,
+  // so zero candidates -> utility vector empty -> skipped.
+  CsrGraph g = MakeStar(6);
+  CommonNeighborsUtility cn;
+  EvaluationOptions options;
+  options.epsilon = 1.0;
+  auto evals = EvaluateTargets(g, cn, {0}, options);
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_TRUE(evals[0].skipped);
+  EXPECT_TRUE(std::isnan(evals[0].laplace_accuracy));
+}
+
+}  // namespace
+}  // namespace privrec

@@ -1,0 +1,270 @@
+#include <cmath>
+
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "graph/degree_stats.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+
+namespace privrec {
+namespace {
+
+// ------------------------------------------------------------- Erdős–Rényi
+
+TEST(ErdosRenyiTest, GnmProducesExactEdgeCount) {
+  Rng rng(1);
+  auto g = ErdosRenyiGnm(100, 500, /*directed=*/false, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 100u);
+  EXPECT_EQ(g->num_edges(), 500u);
+  EXPECT_FALSE(g->directed());
+}
+
+TEST(ErdosRenyiTest, GnmDirected) {
+  Rng rng(2);
+  auto g = ErdosRenyiGnm(50, 300, /*directed=*/true, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_arcs(), 300u);
+  EXPECT_TRUE(g->directed());
+}
+
+TEST(ErdosRenyiTest, GnmRejectsImpossibleEdgeCount) {
+  Rng rng(3);
+  EXPECT_FALSE(ErdosRenyiGnm(10, 100, /*directed=*/false, rng).ok());
+  EXPECT_FALSE(ErdosRenyiGnm(1, 1, false, rng).ok());
+}
+
+TEST(ErdosRenyiTest, GnmDeterministicInSeed) {
+  Rng a(7), b(7);
+  auto ga = ErdosRenyiGnm(60, 200, false, a);
+  auto gb = ErdosRenyiGnm(60, 200, false, b);
+  ASSERT_TRUE(ga.ok());
+  ASSERT_TRUE(gb.ok());
+  EXPECT_TRUE(ga->Equals(*gb));
+}
+
+TEST(ErdosRenyiTest, GnpEdgeCountNearExpectation) {
+  Rng rng(5);
+  const NodeId n = 400;
+  const double p = 0.05;
+  auto g = ErdosRenyiGnp(n, p, /*directed=*/false, rng);
+  ASSERT_TRUE(g.ok());
+  const double expected = p * n * (n - 1) / 2;
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, GnpZeroProbabilityIsEmpty) {
+  Rng rng(6);
+  auto g = ErdosRenyiGnp(50, 0.0, false, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, GnpValidation) {
+  Rng rng(6);
+  EXPECT_FALSE(ErdosRenyiGnp(50, -0.1, false, rng).ok());
+  EXPECT_FALSE(ErdosRenyiGnp(50, 1.1, false, rng).ok());
+  EXPECT_FALSE(ErdosRenyiGnp(1, 0.5, false, rng).ok());
+}
+
+TEST(ErdosRenyiTest, GnpDirectedHasAsymmetricArcs) {
+  Rng rng(8);
+  auto g = ErdosRenyiGnp(100, 0.05, /*directed=*/true, rng);
+  ASSERT_TRUE(g.ok());
+  // With ~500 arcs, the chance all are symmetric is nil.
+  bool any_asymmetric = false;
+  for (NodeId u = 0; u < g->num_nodes() && !any_asymmetric; ++u) {
+    for (NodeId v : g->OutNeighbors(u)) {
+      if (!g->HasEdge(v, u)) {
+        any_asymmetric = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_asymmetric);
+}
+
+// --------------------------------------------------------- Barabási–Albert
+
+TEST(BarabasiAlbertTest, EdgeCountMatchesFormula) {
+  Rng rng(11);
+  const NodeId n = 500;
+  const uint32_t m = 3;
+  auto g = BarabasiAlbert(n, m, rng);
+  ASSERT_TRUE(g.ok());
+  // Seed clique: C(m+1, 2) edges; each of the n-m-1 newcomers adds m.
+  const uint64_t expected = m * (m + 1) / 2 + (n - m - 1) * m;
+  EXPECT_EQ(g->num_edges(), expected);
+}
+
+TEST(BarabasiAlbertTest, ProducesHeavyTail) {
+  Rng rng(13);
+  auto g = BarabasiAlbert(2000, 2, rng);
+  ASSERT_TRUE(g.ok());
+  DegreeStats stats = ComputeDegreeStats(*g);
+  // Preferential attachment: max degree far above the mean.
+  EXPECT_GT(stats.max, 10 * stats.mean);
+  EXPECT_GE(stats.min, 2u);
+}
+
+TEST(BarabasiAlbertTest, Validation) {
+  Rng rng(17);
+  EXPECT_FALSE(BarabasiAlbert(5, 0, rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(3, 3, rng).ok());
+}
+
+// ----------------------------------------------------------- Watts–Strogatz
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Rng rng(19);
+  auto g = WattsStrogatz(20, 2, 0.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 40u);  // n*k
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(0, 2));
+  EXPECT_TRUE(g->HasEdge(0, 19));
+}
+
+TEST(WattsStrogatzTest, RewiringPreservesEdgeCount) {
+  Rng rng(23);
+  auto g = WattsStrogatz(100, 3, 0.3, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 300u);
+}
+
+TEST(WattsStrogatzTest, Validation) {
+  Rng rng(29);
+  EXPECT_FALSE(WattsStrogatz(10, 0, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 5, 0.1, rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.5, rng).ok());
+}
+
+// ------------------------------------------------------ Configuration model
+
+TEST(ConfigurationModelTest, RealizesDegreesApproximately) {
+  Rng rng(31);
+  std::vector<uint32_t> degrees(100, 4);
+  auto g = ConfigurationModel(degrees, rng);
+  ASSERT_TRUE(g.ok());
+  // Erased model: some edges lost to dedup/self-loops, but most survive.
+  EXPECT_GT(g->num_edges(), 180u);
+  EXPECT_LE(g->num_edges(), 200u);
+}
+
+TEST(ConfigurationModelTest, OddDegreeSumRejected) {
+  Rng rng(37);
+  EXPECT_FALSE(ConfigurationModel({3, 2, 2}, rng).ok());
+}
+
+// ----------------------------------------------------------------- ChungLu
+
+TEST(ChungLuTest, ExactEdgeCountUndirected) {
+  Rng rng(41);
+  auto weights = PowerLawWeights(500, 2.2);
+  auto g = ChungLu(weights, weights, 2000, /*directed=*/false, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2000u);
+}
+
+TEST(ChungLuTest, HeavyHeadGetsHighDegree) {
+  Rng rng(43);
+  auto weights = PowerLawWeights(1000, 2.0);
+  auto g = ChungLu(weights, weights, 5000, /*directed=*/false, rng);
+  ASSERT_TRUE(g.ok());
+  // Node 0 carries the largest weight; its degree should dwarf the median.
+  DegreeStats stats = ComputeDegreeStats(*g);
+  EXPECT_GT(g->OutDegree(0), 10 * static_cast<uint32_t>(stats.median));
+}
+
+TEST(ChungLuTest, Validation) {
+  Rng rng(47);
+  EXPECT_FALSE(ChungLu({1.0}, {1.0}, 1, false, rng).ok());
+  EXPECT_FALSE(ChungLu({1.0, 1.0}, {1.0}, 1, false, rng).ok());
+  EXPECT_FALSE(ChungLu({1.0, 1.0}, {1.0, 1.0}, 100, false, rng).ok());
+}
+
+// -------------------------------------------------------------------- RMAT
+
+TEST(RmatTest, ProducesRequestedEdges) {
+  Rng rng(53);
+  auto g = Rmat(10, 4000, 0.57, 0.19, 0.19, /*directed=*/true, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 1024u);
+  EXPECT_EQ(g->num_arcs(), 4000u);
+}
+
+TEST(RmatTest, SkewedQuadrantsYieldSkewedDegrees) {
+  Rng rng(59);
+  auto g = Rmat(12, 20000, 0.57, 0.19, 0.19, true, rng);
+  ASSERT_TRUE(g.ok());
+  DegreeStats stats = ComputeDegreeStats(*g);
+  EXPECT_GT(stats.max, 8 * stats.mean);
+}
+
+TEST(RmatTest, Validation) {
+  Rng rng(61);
+  EXPECT_FALSE(Rmat(0, 10, 0.5, 0.2, 0.2, true, rng).ok());
+  EXPECT_FALSE(Rmat(5, 10, 0.6, 0.3, 0.3, true, rng).ok());  // sums > 1
+}
+
+// ------------------------------------------------------------ PowerLaw
+
+TEST(PowerLawWeightsTest, DecreasingAndPositive) {
+  auto w = PowerLawWeights(100, 2.2);
+  ASSERT_EQ(w.size(), 100u);
+  for (size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GT(w[i], 0.0);
+    EXPECT_LE(w[i], w[i - 1]);
+  }
+}
+
+// ---------------------------------------------------------------- Datasets
+
+TEST(DatasetsTest, WikiVoteLikeMatchesSpec) {
+  auto g = MakeWikiVoteLike(7);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), WikiVoteSpec::kNodes);
+  EXPECT_EQ(g->num_edges(), WikiVoteSpec::kEdges);
+  EXPECT_FALSE(g->directed());
+  DegreeStats stats = ComputeDegreeStats(*g);
+  // Heavy tail: max degree within a factor of ~3 of wiki-Vote's 1065 and
+  // far above the mean (~28).
+  EXPECT_GT(stats.max, 300u);
+  EXPECT_LT(stats.max, 4000u);
+  EXPECT_NEAR(stats.mean, 28.3, 2.0);
+}
+
+TEST(DatasetsTest, WikiVoteLikeDeterministic) {
+  auto a = MakeWikiVoteLike(7);
+  auto b = MakeWikiVoteLike(7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->Equals(*b));
+  auto c = MakeWikiVoteLike(8);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(DatasetsTest, TwitterLikeMatchesSpec) {
+  auto g = MakeTwitterLike(7);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), TwitterSpec::kNodes);
+  EXPECT_EQ(g->num_arcs(), TwitterSpec::kEdges);
+  EXPECT_TRUE(g->directed());
+  DegreeStats stats = ComputeDegreeStats(*g);
+  // The pinned hub should reach the same order as the paper's d_max.
+  EXPECT_GT(stats.max, TwitterSpec::kMaxDegree / 3);
+  EXPECT_LT(stats.max, TwitterSpec::kMaxDegree * 3);
+  // Most nodes have tiny out-degree (the regime of the paper's Fig 1(b)).
+  EXPECT_GT(stats.fraction_below_log_n, 0.5);
+}
+
+TEST(DatasetsTest, LoadOrSynthesizeFallsBackWhenMissing) {
+  auto g = LoadOrSynthesizeWikiVote("/no/such/wiki-Vote.txt", 3);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), WikiVoteSpec::kNodes);
+}
+
+}  // namespace
+}  // namespace privrec

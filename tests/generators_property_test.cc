@@ -1,0 +1,135 @@
+// Property sweeps over the graph generators: structural invariants every
+// generator must satisfy on every seed — no self-loops, no duplicate
+// arcs, sorted adjacency, symmetric arcs for undirected output, and
+// determinism in the seed. These invariants are load-bearing: the utility
+// functions assume sorted duplicate-free neighbor lists, and the
+// experiment harness assumes seed-determinism.
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "gen/rewiring.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+
+namespace privrec {
+namespace {
+
+struct GeneratorCase {
+  std::string name;
+  std::function<Result<CsrGraph>(Rng&)> make;
+};
+
+std::vector<GeneratorCase> AllGenerators() {
+  std::vector<GeneratorCase> cases;
+  cases.push_back({"er_gnm_und", [](Rng& rng) {
+                     return ErdosRenyiGnm(150, 700, false, rng);
+                   }});
+  cases.push_back({"er_gnm_dir", [](Rng& rng) {
+                     return ErdosRenyiGnm(150, 700, true, rng);
+                   }});
+  cases.push_back({"er_gnp_und", [](Rng& rng) {
+                     return ErdosRenyiGnp(150, 0.05, false, rng);
+                   }});
+  cases.push_back({"er_gnp_dir", [](Rng& rng) {
+                     return ErdosRenyiGnp(150, 0.05, true, rng);
+                   }});
+  cases.push_back(
+      {"ba", [](Rng& rng) { return BarabasiAlbert(200, 3, rng); }});
+  cases.push_back({"ws", [](Rng& rng) {
+                     return WattsStrogatz(120, 3, 0.2, rng);
+                   }});
+  cases.push_back({"config_model", [](Rng& rng) {
+                     std::vector<uint32_t> degrees(100);
+                     for (auto& d : degrees) {
+                       d = 1 + static_cast<uint32_t>(rng.NextBounded(6));
+                     }
+                     if ((std::accumulate(degrees.begin(), degrees.end(),
+                                          0u) %
+                          2) != 0) {
+                       degrees[0]++;
+                     }
+                     return ConfigurationModel(degrees, rng);
+                   }});
+  cases.push_back({"chung_lu_und", [](Rng& rng) {
+                     auto w = PowerLawWeights(200, 2.2);
+                     return ChungLu(w, w, 900, false, rng);
+                   }});
+  cases.push_back({"chung_lu_dir", [](Rng& rng) {
+                     auto wo = PowerLawWeights(200, 2.0);
+                     auto wi = PowerLawWeights(200, 2.4);
+                     return ChungLu(wo, wi, 900, true, rng);
+                   }});
+  cases.push_back({"rmat", [](Rng& rng) {
+                     return Rmat(8, 900, 0.57, 0.19, 0.19, true, rng);
+                   }});
+  cases.push_back({"zipf_degree_cl", [](Rng& rng) {
+                     auto w =
+                         SamplePowerLawDegreeWeights(200, 1.6, 50, rng);
+                     return ChungLu(w, w, 600, false, rng);
+                   }});
+  cases.push_back({"rewired", [](Rng& rng) {
+                     auto g = ErdosRenyiGnm(120, 500, false, rng);
+                     return DegreePreservingRewire(*g, 2000, rng, nullptr);
+                   }});
+  return cases;
+}
+
+class GeneratorInvariantSweep
+    : public testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(GeneratorInvariantSweep, StructuralInvariantsHold) {
+  const auto cases = AllGenerators();
+  const GeneratorCase& gen = cases[std::get<0>(GetParam())];
+  Rng rng(std::get<1>(GetParam()));
+  auto graph = gen.make(rng);
+  ASSERT_TRUE(graph.ok()) << gen.name << ": " << graph.status().ToString();
+
+  for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+    auto nbrs = graph->OutNeighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      // No self-loops, in-range targets.
+      EXPECT_NE(nbrs[i], v) << gen.name;
+      ASSERT_LT(nbrs[i], graph->num_nodes()) << gen.name;
+      // Sorted strictly ascending => no duplicates.
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]) << gen.name << " v=" << v;
+      }
+      // Undirected graphs store symmetric arcs.
+      if (!graph->directed()) {
+        EXPECT_TRUE(graph->HasEdge(nbrs[i], v))
+            << gen.name << " missing reverse of (" << v << "," << nbrs[i]
+            << ")";
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorInvariantSweep, DeterministicInSeed) {
+  const auto cases = AllGenerators();
+  const GeneratorCase& gen = cases[std::get<0>(GetParam())];
+  const uint64_t seed = std::get<1>(GetParam());
+  Rng rng_a(seed), rng_b(seed);
+  auto a = gen.make(rng_a);
+  auto b = gen.make(rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->Equals(*b)) << gen.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorInvariantSweep,
+    testing::Combine(testing::Range<size_t>(0, 12),
+                     testing::Values(1ull, 17ull, 4242ull)),
+    [](const testing::TestParamInfo<std::tuple<size_t, uint64_t>>& info) {
+      static const auto cases = AllGenerators();
+      return cases[std::get<0>(info.param)].name + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace privrec

@@ -1,0 +1,333 @@
+#include <cstdio>
+#include <fstream>
+
+#include "gen/fixtures.h"
+#include "graph/csr_graph.h"
+#include "graph/degree_stats.h"
+#include "graph/edge_list_io.h"
+#include "graph/graph_builder.h"
+#include "graph/transforms.h"
+#include "graph/traversal.h"
+#include "gtest/gtest.h"
+
+namespace privrec {
+namespace {
+
+// ------------------------------------------------------------ GraphBuilder
+
+TEST(GraphBuilderTest, UndirectedEdgeCreatesBothArcs) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.AddEdge(0, 1);
+  CsrGraph g = builder.Build();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+}
+
+TEST(GraphBuilderTest, DirectedEdgeIsOneArc) {
+  GraphBuilder builder(/*directed=*/true);
+  builder.AddEdge(0, 1);
+  CsrGraph g = builder.Build();
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.AddEdge(1, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);  // duplicate of (0,1) after symmetrization
+  builder.AddEdge(0, 1);  // exact duplicate
+  CsrGraph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, RespectsMinNumNodes) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(10);
+  builder.AddEdge(0, 1);
+  CsrGraph g = builder.Build();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.OutDegree(9), 0u);
+}
+
+TEST(GraphBuilderTest, NeighborListsAreSorted) {
+  GraphBuilder builder(/*directed=*/true);
+  builder.AddEdge(0, 5);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(0, 9);
+  CsrGraph g = builder.Build();
+  auto nbrs = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphBuilderTest, ReusableAfterBuild) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.AddEdge(0, 1);
+  CsrGraph first = builder.Build();
+  builder.AddEdge(2, 3);
+  CsrGraph second = builder.Build();
+  EXPECT_EQ(first.num_edges(), 1u);
+  EXPECT_EQ(second.num_edges(), 1u);
+  EXPECT_TRUE(second.HasEdge(2, 3));
+  EXPECT_FALSE(second.HasEdge(0, 1));
+}
+
+// ---------------------------------------------------------------- CsrGraph
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g = CsrGraph::Empty(5, false);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.MaxOutDegree(), 0u);
+}
+
+TEST(CsrGraphTest, CommonNeighborsOnFixture) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  EXPECT_EQ(g.CountCommonNeighbors(0, 3), 2u);  // via 1 and 2
+  EXPECT_EQ(g.CountCommonNeighbors(0, 4), 1u);  // via 1
+  EXPECT_EQ(g.CountCommonNeighbors(0, 5), 0u);
+}
+
+TEST(CsrGraphTest, MaxOutDegreeStar) {
+  CsrGraph g = MakeStar(7);
+  EXPECT_EQ(g.MaxOutDegree(), 7u);
+  EXPECT_EQ(g.OutDegree(0), 7u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+}
+
+TEST(CsrGraphTest, EqualsDetectsDifferences) {
+  CsrGraph a = MakeStar(3);
+  CsrGraph b = MakeStar(3);
+  CsrGraph c = MakeStar(4);
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+// -------------------------------------------------------------- Transforms
+
+TEST(TransformsTest, ToUndirectedSymmetrizes) {
+  GraphBuilder builder(/*directed=*/true);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 1);
+  CsrGraph g = builder.Build();
+  CsrGraph und = ToUndirected(g);
+  EXPECT_FALSE(und.directed());
+  EXPECT_TRUE(und.HasEdge(1, 0));
+  EXPECT_TRUE(und.HasEdge(1, 2));
+  EXPECT_EQ(und.num_edges(), 2u);
+}
+
+TEST(TransformsTest, ReverseFlipsArcs) {
+  GraphBuilder builder(/*directed=*/true);
+  builder.AddEdge(0, 1);
+  CsrGraph g = builder.Build();
+  CsrGraph rev = Reverse(g);
+  EXPECT_FALSE(rev.HasEdge(0, 1));
+  EXPECT_TRUE(rev.HasEdge(1, 0));
+}
+
+TEST(TransformsTest, WithEdgeAddedAndRemovedRoundTrip) {
+  CsrGraph g = MakePath(4);  // 0-1-2-3
+  auto added = WithEdgeAdded(g, 0, 3);
+  ASSERT_TRUE(added.ok());
+  EXPECT_TRUE(added->HasEdge(0, 3));
+  EXPECT_TRUE(added->HasEdge(3, 0));
+  auto removed = WithEdgeRemoved(*added, 0, 3);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(removed->Equals(g));
+}
+
+TEST(TransformsTest, WithEdgeAddedRejectsExisting) {
+  CsrGraph g = MakePath(3);
+  EXPECT_TRUE(WithEdgeAdded(g, 0, 1).status().IsFailedPrecondition());
+}
+
+TEST(TransformsTest, WithEdgeRemovedRejectsAbsent) {
+  CsrGraph g = MakePath(3);
+  EXPECT_TRUE(WithEdgeRemoved(g, 0, 2).status().IsFailedPrecondition());
+}
+
+TEST(TransformsTest, EndpointValidation) {
+  CsrGraph g = MakePath(3);
+  EXPECT_TRUE(WithEdgeAdded(g, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(WithEdgeAdded(g, 0, 99).status().IsInvalidArgument());
+}
+
+TEST(TransformsTest, WithEditsAppliesBoth) {
+  CsrGraph g = MakePath(4);
+  CsrGraph edited = WithEdits(g, {{0, 2}, {0, 3}}, {{0, 1}});
+  EXPECT_TRUE(edited.HasEdge(0, 2));
+  EXPECT_TRUE(edited.HasEdge(0, 3));
+  EXPECT_FALSE(edited.HasEdge(0, 1));
+  EXPECT_TRUE(edited.HasEdge(1, 2));
+}
+
+TEST(TransformsTest, InducedSubgraphRelabels) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  auto sub = InducedSubgraph(g, {0, 1, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), 3u);
+  EXPECT_TRUE(sub->HasEdge(0, 1));   // was (0,1)
+  EXPECT_TRUE(sub->HasEdge(1, 2));   // was (1,3)
+  EXPECT_FALSE(sub->HasEdge(0, 2));  // (0,3) not in original
+}
+
+TEST(TransformsTest, InducedSubgraphRejectsDuplicates) {
+  CsrGraph g = MakePath(3);
+  EXPECT_FALSE(InducedSubgraph(g, {0, 0}).ok());
+}
+
+// --------------------------------------------------------------- Traversal
+
+TEST(TraversalTest, BfsDistancesOnPath) {
+  CsrGraph g = MakePath(5);
+  auto dist = BfsDistances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(TraversalTest, BfsUnreachableMarked) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(4);
+  builder.AddEdge(0, 1);
+  CsrGraph g = builder.Build();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(TraversalTest, SparseCounterAccumulatesAndClears) {
+  SparseCounter counter(10);
+  counter.Add(3, 1.0);
+  counter.Add(3, 2.0);
+  counter.Add(7, 0.5);
+  EXPECT_DOUBLE_EQ(counter.Get(3), 3.0);
+  EXPECT_DOUBLE_EQ(counter.Get(7), 0.5);
+  EXPECT_EQ(counter.touched().size(), 2u);
+  counter.Clear();
+  EXPECT_DOUBLE_EQ(counter.Get(3), 0.0);
+  EXPECT_TRUE(counter.touched().empty());
+}
+
+TEST(TraversalTest, CountTwoHopNodes) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  // From r=0: 2-hop nodes via 1 and 2 are {3, 4} (not 0 itself).
+  EXPECT_EQ(CountTwoHopNodes(g, 0), 2u);
+}
+
+TEST(TraversalTest, ConnectedComponentsSplit) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  CsrGraph g = builder.Build();
+  NodeId num = 0;
+  auto comp = ConnectedComponents(g, &num);
+  EXPECT_EQ(num, 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[4]);
+}
+
+TEST(TraversalTest, WeakComponentsOnDirectedGraph) {
+  GraphBuilder builder(/*directed=*/true);
+  builder.SetNumNodes(3);
+  builder.AddEdge(0, 1);  // weakly connects 0 and 1
+  CsrGraph g = builder.Build();
+  NodeId num = 0;
+  auto comp = ConnectedComponents(g, &num);
+  EXPECT_EQ(num, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+}
+
+// ------------------------------------------------------------- DegreeStats
+
+TEST(DegreeStatsTest, StarStats) {
+  CsrGraph g = MakeStar(9);  // hub degree 9, nine leaves degree 1
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max, 9u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_NEAR(stats.mean, 18.0 / 10.0, 1e-12);
+  EXPECT_EQ(stats.median, 1.0);
+  EXPECT_EQ(stats.histogram[1], 9u);
+  EXPECT_EQ(stats.histogram[9], 1u);
+}
+
+TEST(DegreeStatsTest, FractionBelowLogN) {
+  // 10 nodes: ln(10) ≈ 2.3. Star: leaves (deg 1) < 2.3, hub (deg 9) not.
+  CsrGraph g = MakeStar(9);
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_NEAR(stats.fraction_below_log_n, 0.9, 1e-12);
+}
+
+// ------------------------------------------------------------- EdgeList IO
+
+TEST(EdgeListIoTest, RoundTrip) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  const std::string path = testing::TempDir() + "/privrec_graph_rt.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  EdgeListOptions options;
+  options.directed = false;
+  options.relabel = false;
+  auto loaded = LoadEdgeList(path, options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->Equals(g));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, ParsesSnapFormatWithCommentsAndRelabels) {
+  const std::string path = testing::TempDir() + "/privrec_graph_snap.txt";
+  {
+    std::ofstream out(path);
+    out << "# Directed graph: test\n";
+    out << "% another comment style\n";
+    out << "30\t40\n";
+    out << "40 50\n";
+    out << "\n";
+  }
+  EdgeListOptions options;
+  options.directed = true;
+  options.relabel = true;
+  auto g = LoadEdgeList(path, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);  // 30->0, 40->1, 50->2
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, MissingFileIsIOError) {
+  EdgeListOptions options;
+  EXPECT_TRUE(LoadEdgeList("/no/such/file.txt", options)
+                  .status()
+                  .IsIOError());
+}
+
+TEST(EdgeListIoTest, MalformedLineIsInvalidArgument) {
+  const std::string path = testing::TempDir() + "/privrec_graph_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "1 notanumber\n";
+  }
+  EdgeListOptions options;
+  EXPECT_TRUE(LoadEdgeList(path, options).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIoTest, SingleTokenLineIsInvalidArgument) {
+  const std::string path = testing::TempDir() + "/privrec_graph_bad2.txt";
+  {
+    std::ofstream out(path);
+    out << "42\n";
+  }
+  EdgeListOptions options;
+  EXPECT_TRUE(LoadEdgeList(path, options).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace privrec

@@ -1,0 +1,326 @@
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/recommender.h"
+#include "eval/accuracy.h"
+#include "eval/cdf.h"
+#include "eval/experiment.h"
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "graph/degree_stats.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+#include "utility/weighted_paths.h"
+
+namespace privrec {
+namespace {
+
+// A mid-size heavy-tailed graph standing in for Wiki-vote in fast tests.
+CsrGraph TestGraph(uint64_t seed = 5) {
+  Rng rng(seed);
+  auto weights = PowerLawWeights(800, 2.2);
+  auto g = ChungLu(weights, weights, 4000, /*directed=*/false, rng);
+  PRIVREC_CHECK_OK(g.status());
+  return *std::move(g);
+}
+
+// ------------------------------------------------------------- experiment
+
+TEST(ExperimentTest, SampleTargetsIsUniformWithoutReplacement) {
+  CsrGraph g = TestGraph();
+  Rng rng(3);
+  auto targets = SampleTargets(g, 0.1, rng);
+  EXPECT_EQ(targets.size(), 80u);
+  std::vector<NodeId> sorted = targets;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (NodeId t : targets) EXPECT_LT(t, g.num_nodes());
+}
+
+TEST(ExperimentTest, SampleTargetsDeterministic) {
+  CsrGraph g = TestGraph();
+  Rng a(9), b(9);
+  EXPECT_EQ(SampleTargets(g, 0.05, a), SampleTargets(g, 0.05, b));
+}
+
+TEST(ExperimentTest, EvaluateTargetsProducesCoherentRows) {
+  CsrGraph g = TestGraph();
+  CommonNeighborsUtility cn;
+  Rng rng(11);
+  auto targets = SampleTargets(g, 0.1, rng);
+  EvaluationOptions options;
+  options.epsilon = 1.0;
+  options.laplace_trials = 200;
+  options.seed = 42;
+  auto evals = EvaluateTargets(g, cn, targets, options);
+  ASSERT_EQ(evals.size(), targets.size());
+  int usable = 0;
+  for (const TargetEvaluation& e : evals) {
+    if (e.skipped) continue;
+    ++usable;
+    EXPECT_GE(e.exponential_accuracy, 0.0);
+    EXPECT_LE(e.exponential_accuracy, 1.0);
+    EXPECT_GE(e.bound, 0.0);
+    EXPECT_LE(e.bound, 1.0);
+    EXPECT_FALSE(std::isnan(e.laplace_accuracy));
+    // Key paper consistency: no DP mechanism beats the theoretical bound.
+    EXPECT_LE(e.exponential_accuracy, e.bound + 0.02) << "target " << e.target;
+  }
+  EXPECT_GT(usable, static_cast<int>(evals.size() / 2));
+}
+
+TEST(ExperimentTest, ResultsIndependentOfThreadCount) {
+  CsrGraph g = TestGraph();
+  CommonNeighborsUtility cn;
+  Rng rng(13);
+  auto targets = SampleTargets(g, 0.05, rng);
+  EvaluationOptions serial, parallel;
+  serial.epsilon = parallel.epsilon = 0.5;
+  serial.laplace_trials = parallel.laplace_trials = 100;
+  serial.seed = parallel.seed = 77;
+  serial.num_threads = 1;
+  parallel.num_threads = 8;
+  auto a = EvaluateTargets(g, cn, targets, serial);
+  auto b = EvaluateTargets(g, cn, targets, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].skipped, b[i].skipped);
+    if (a[i].skipped) continue;
+    EXPECT_DOUBLE_EQ(a[i].exponential_accuracy, b[i].exponential_accuracy);
+    EXPECT_DOUBLE_EQ(a[i].laplace_accuracy, b[i].laplace_accuracy);
+    EXPECT_DOUBLE_EQ(a[i].bound, b[i].bound);
+  }
+}
+
+// --------------------------------------------------- paper phenomenology
+
+TEST(PaperShapeTest, LaplaceTracksExponentialAccuracy) {
+  // Section 7.2, takeaway (ii): the two mechanisms achieve nearly
+  // identical accuracy across targets.
+  CsrGraph g = TestGraph();
+  CommonNeighborsUtility cn;
+  Rng rng(17);
+  auto targets = SampleTargets(g, 0.08, rng);
+  EvaluationOptions options;
+  options.epsilon = 1.0;
+  options.laplace_trials = 1000;  // the paper's trial count
+  auto evals = EvaluateTargets(g, cn, targets, options);
+  double diff_total = 0;
+  int usable = 0;
+  for (const TargetEvaluation& e : evals) {
+    if (e.skipped) continue;
+    diff_total += std::fabs(e.exponential_accuracy - e.laplace_accuracy);
+    ++usable;
+  }
+  ASSERT_GT(usable, 10);
+  EXPECT_LT(diff_total / usable, 0.05);
+}
+
+TEST(PaperShapeTest, AccuracyImprovesWithEpsilon) {
+  CsrGraph g = TestGraph();
+  CommonNeighborsUtility cn;
+  Rng rng(19);
+  auto targets = SampleTargets(g, 0.08, rng);
+  double prev_mean = -1;
+  for (double eps : {0.5, 1.0, 3.0}) {
+    EvaluationOptions options;
+    options.epsilon = eps;
+    auto evals = EvaluateTargets(g, cn, targets, options);
+    std::vector<double> accs;
+    for (const auto& e : evals) {
+      if (!e.skipped) accs.push_back(e.exponential_accuracy);
+    }
+    double mean = MeanIgnoringNan(accs);
+    EXPECT_GT(mean, prev_mean) << "eps " << eps;
+    prev_mean = mean;
+  }
+}
+
+TEST(PaperShapeTest, HigherGammaHurtsWeightedPathsAccuracy) {
+  // Section 7.2: larger γ ⇒ higher sensitivity ⇒ worse accuracy.
+  CsrGraph g = TestGraph();
+  Rng rng(23);
+  auto targets = SampleTargets(g, 0.08, rng);
+  WeightedPathsUtility small(0.0005, 3), large(0.05, 3);
+  EvaluationOptions options;
+  options.epsilon = 1.0;
+  auto evals_small = EvaluateTargets(g, small, targets, options);
+  auto evals_large = EvaluateTargets(g, large, targets, options);
+  auto mean_of = [](const std::vector<TargetEvaluation>& evals) {
+    std::vector<double> accs;
+    for (const auto& e : evals) {
+      if (!e.skipped) accs.push_back(e.exponential_accuracy);
+    }
+    return MeanIgnoringNan(accs);
+  };
+  EXPECT_GT(mean_of(evals_small), mean_of(evals_large));
+}
+
+TEST(PaperShapeTest, LowDegreeTargetsGetWorseRecommendations) {
+  // Figure 2(c): accuracy rises with target degree.
+  CsrGraph g = TestGraph();
+  CommonNeighborsUtility cn;
+  Rng rng(29);
+  auto targets = SampleTargets(g, 0.3, rng);
+  EvaluationOptions options;
+  options.epsilon = 0.5;
+  auto evals = EvaluateTargets(g, cn, targets, options);
+  std::vector<uint32_t> degrees;
+  std::vector<double> accs;
+  for (const auto& e : evals) {
+    if (e.skipped) continue;
+    degrees.push_back(e.degree);
+    accs.push_back(e.exponential_accuracy);
+  }
+  auto buckets = BucketByDegree(degrees, accs);
+  ASSERT_GE(buckets.size(), 3u);
+  // Compare the lowest and highest populated buckets.
+  EXPECT_LT(buckets.front().mean_accuracy, buckets.back().mean_accuracy);
+}
+
+// ------------------------------------------------------------------- CDF
+
+TEST(CdfTest, ThresholdGridMatchesPaperAxes) {
+  auto t = PaperAccuracyThresholds();
+  ASSERT_EQ(t.size(), 11u);
+  EXPECT_DOUBLE_EQ(t.front(), 0.0);
+  EXPECT_DOUBLE_EQ(t.back(), 1.0);
+}
+
+TEST(CdfTest, FractionAtOrBelowIsMonotone) {
+  std::vector<double> values = {0.05, 0.2, 0.2, 0.7, 0.95};
+  auto cdf = FractionAtOrBelow(values, PaperAccuracyThresholds());
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.6);  // <= 0.2: three of five
+}
+
+TEST(CdfTest, NanValuesIgnored) {
+  std::vector<double> values = {0.1, std::nan(""), 0.9};
+  auto cdf = FractionAtOrBelow(values, {0.5});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.5);
+  EXPECT_DOUBLE_EQ(FractionAbove(values, 0.5), 0.5);
+}
+
+TEST(CdfTest, BucketByDegreeUsesGeometricEdges) {
+  std::vector<uint32_t> degrees = {1, 3, 5, 9, 17};
+  std::vector<double> accs = {0.1, 0.2, 0.3, 0.4, 0.5};
+  auto buckets = BucketByDegree(degrees, accs);
+  ASSERT_EQ(buckets.size(), 5u);  // [1,2) [2,4) [4,8) [8,16) [16,32)
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[1].mean_accuracy, 0.2);
+}
+
+// ----------------------------------------------------- SocialRecommender
+
+TEST(RecommenderTest, EndToEndPrivateRecommendation) {
+  CsrGraph g = TestGraph();
+  RecommenderOptions options;
+  options.utility = UtilityKind::kCommonNeighbors;
+  options.mechanism = MechanismKind::kExponential;
+  options.epsilon = 2.0;
+  SocialRecommender rec(g, options);
+  Rng rng(31);
+  // Pick a well-connected target to ensure candidates exist.
+  NodeId target = 0;
+  auto suggestion = rec.Recommend(target, rng);
+  ASSERT_TRUE(suggestion.ok()) << suggestion.status().ToString();
+  EXPECT_LT(*suggestion, g.num_nodes());
+  EXPECT_NE(*suggestion, target);
+  EXPECT_FALSE(g.HasEdge(target, *suggestion));
+}
+
+TEST(RecommenderTest, ExpectedAccuracyAndCeilingAreConsistent) {
+  CsrGraph g = TestGraph();
+  RecommenderOptions options;
+  options.epsilon = 1.0;
+  SocialRecommender rec(g, options);
+  NodeId target = 1;
+  auto acc = rec.ExpectedAccuracy(target);
+  ASSERT_TRUE(acc.ok());
+  double ceiling = rec.AccuracyCeiling(target);
+  EXPECT_LE(*acc, ceiling + 0.02);
+  EXPECT_GT(*acc, 0.0);
+}
+
+TEST(RecommenderTest, BestMechanismIsPerfectlyAccurate) {
+  CsrGraph g = TestGraph();
+  RecommenderOptions options;
+  options.mechanism = MechanismKind::kBest;
+  SocialRecommender rec(g, options);
+  auto acc = rec.ExpectedAccuracy(2);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+}
+
+TEST(RecommenderTest, AllUtilityKindsProduceRecommendations) {
+  CsrGraph g = TestGraph();
+  Rng rng(37);
+  for (UtilityKind kind :
+       {UtilityKind::kCommonNeighbors, UtilityKind::kWeightedPaths,
+        UtilityKind::kAdamicAdar, UtilityKind::kPersonalizedPageRank,
+        UtilityKind::kJaccard, UtilityKind::kResourceAllocation,
+        UtilityKind::kKatz, UtilityKind::kPreferentialAttachment}) {
+    RecommenderOptions options;
+    options.utility = kind;
+    options.epsilon = 2.0;
+    SocialRecommender rec(g, options);
+    auto suggestion = rec.Recommend(0, rng);
+    EXPECT_TRUE(suggestion.ok()) << static_cast<int>(kind);
+  }
+}
+
+TEST(RecommenderTest, AllMechanismKindsProduceRecommendations) {
+  CsrGraph g = TestGraph();
+  Rng rng(41);
+  for (MechanismKind kind :
+       {MechanismKind::kBest, MechanismKind::kUniform,
+        MechanismKind::kExponential, MechanismKind::kLaplace,
+        MechanismKind::kGumbelMax, MechanismKind::kLinearSmoothing}) {
+    RecommenderOptions options;
+    options.mechanism = kind;
+    options.epsilon = 2.0;
+    SocialRecommender rec(g, options);
+    auto suggestion = rec.Recommend(0, rng);
+    EXPECT_TRUE(suggestion.ok()) << static_cast<int>(kind);
+  }
+}
+
+TEST(RecommenderTest, GumbelAndExponentialAgreeOnExpectedAccuracy) {
+  CsrGraph g = TestGraph();
+  RecommenderOptions exp_options, gum_options;
+  exp_options.mechanism = MechanismKind::kExponential;
+  gum_options.mechanism = MechanismKind::kGumbelMax;
+  exp_options.epsilon = gum_options.epsilon = 1.0;
+  SocialRecommender exponential(g, exp_options);
+  SocialRecommender gumbel(g, gum_options);
+  auto a = exponential.ExpectedAccuracy(3);
+  auto b = gumbel.ExpectedAccuracy(3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);  // Gumbel-max delegates to the same closed form
+}
+
+TEST(RecommenderTest, LinearSmoothingIsCalibratedFromEpsilon) {
+  CsrGraph g = TestGraph();
+  RecommenderOptions options;
+  options.mechanism = MechanismKind::kLinearSmoothing;
+  options.epsilon = std::log(static_cast<double>(g.num_nodes()));
+  SocialRecommender rec(g, options);
+  Rng rng(43);
+  auto suggestion = rec.Recommend(0, rng);
+  EXPECT_TRUE(suggestion.ok());
+}
+
+TEST(RecommenderTest, RejectsOutOfRangeTarget) {
+  CsrGraph g = TestGraph();
+  SocialRecommender rec(g, {});
+  Rng rng(47);
+  EXPECT_TRUE(rec.Recommend(g.num_nodes(), rng).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      rec.ExpectedAccuracy(g.num_nodes()).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace privrec

@@ -1,0 +1,415 @@
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "core/baseline_mechanisms.h"
+#include "core/closed_forms.h"
+#include "core/exponential_mechanism.h"
+#include "core/laplace_mechanism.h"
+#include "core/linear_smoothing.h"
+#include "core/mechanism.h"
+#include "eval/accuracy.h"
+#include "gen/fixtures.h"
+#include "gtest/gtest.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+#include "utility/common_neighbors.h"
+
+namespace privrec {
+namespace {
+
+double TotalMass(const RecommendationDistribution& dist) {
+  return std::accumulate(dist.nonzero_probs.begin(),
+                         dist.nonzero_probs.end(), dist.zero_block_prob);
+}
+
+UtilityVector SmallVector() {
+  // target 0, 10 candidates: utilities 5, 3, 1 and 7 zero-utility nodes.
+  return UtilityVector(0, 10, {{1, 5.0}, {2, 3.0}, {3, 1.0}});
+}
+
+// ---------------------------------------------------------------- R_best
+
+TEST(BestMechanismTest, AlwaysPicksArgmax) {
+  BestMechanism best;
+  Rng rng(1);
+  UtilityVector u = SmallVector();
+  for (int i = 0; i < 20; ++i) {
+    auto rec = best.Recommend(u, rng);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->node, 1u);
+    EXPECT_DOUBLE_EQ(rec->utility, 5.0);
+  }
+  auto dist = best.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ(dist->nonzero_probs[0], 1.0);
+  EXPECT_DOUBLE_EQ(TotalMass(*dist), 1.0);
+  EXPECT_DOUBLE_EQ(dist->ExpectedAccuracy(u), 1.0);
+}
+
+TEST(BestMechanismTest, FailsOnEmptyVector) {
+  BestMechanism best;
+  Rng rng(1);
+  UtilityVector u(0, 5, {});
+  EXPECT_TRUE(best.Recommend(u, rng).status().IsFailedPrecondition());
+}
+
+// --------------------------------------------------------------- Uniform
+
+TEST(UniformMechanismTest, DistributionIsFlat) {
+  UniformMechanism uniform;
+  UtilityVector u = SmallVector();
+  auto dist = uniform.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  for (double p : dist->nonzero_probs) EXPECT_DOUBLE_EQ(p, 0.1);
+  EXPECT_DOUBLE_EQ(dist->zero_block_prob, 0.7);
+  EXPECT_NEAR(TotalMass(*dist), 1.0, 1e-12);
+  // Expected accuracy = (5+3+1)/10 / 5 = 0.18.
+  EXPECT_NEAR(dist->ExpectedAccuracy(u), 0.18, 1e-12);
+}
+
+TEST(UniformMechanismTest, SamplesFromZeroBlock) {
+  UniformMechanism uniform;
+  Rng rng(3);
+  UtilityVector u = SmallVector();
+  int zero_picks = 0;
+  for (int i = 0; i < 20000; ++i) {
+    auto rec = uniform.Recommend(u, rng);
+    ASSERT_TRUE(rec.ok());
+    if (rec->from_zero_block) ++zero_picks;
+  }
+  EXPECT_NEAR(zero_picks / 20000.0, 0.7, 0.02);
+}
+
+// ----------------------------------------------------------- Exponential
+
+TEST(ExponentialMechanismTest, DistributionMatchesDefinition) {
+  // Definition 5 with Δf = 1: p_i ∝ e^{ε·u_i}.
+  ExponentialMechanism mech(/*epsilon=*/1.0, /*sensitivity=*/1.0);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  const double z =
+      std::exp(5.0) + std::exp(3.0) + std::exp(1.0) + 7.0 * std::exp(0.0);
+  EXPECT_NEAR(dist->nonzero_probs[0], std::exp(5.0) / z, 1e-12);
+  EXPECT_NEAR(dist->nonzero_probs[1], std::exp(3.0) / z, 1e-12);
+  EXPECT_NEAR(dist->nonzero_probs[2], std::exp(1.0) / z, 1e-12);
+  EXPECT_NEAR(dist->zero_block_prob, 7.0 / z, 1e-12);
+  EXPECT_NEAR(TotalMass(*dist), 1.0, 1e-12);
+}
+
+TEST(ExponentialMechanismTest, SensitivityRescalesExponent) {
+  ExponentialMechanism mech(/*epsilon=*/2.0, /*sensitivity=*/4.0);
+  UtilityVector u(0, 2, {{1, 2.0}});  // one nonzero, one zero candidate
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  // p(1)/p(zero) = e^{(ε/Δf)(2-0)} = e^{1}.
+  EXPECT_NEAR(dist->nonzero_probs[0] / dist->zero_block_prob, std::exp(1.0),
+              1e-9);
+}
+
+TEST(ExponentialMechanismTest, MonotoneInUtility) {
+  ExponentialMechanism mech(0.5, 2.0);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_GT(dist->nonzero_probs[0], dist->nonzero_probs[1]);
+  EXPECT_GT(dist->nonzero_probs[1], dist->nonzero_probs[2]);
+  EXPECT_GT(dist->nonzero_probs[2],
+            dist->zero_block_prob / 7.0);  // per-node zero prob
+}
+
+TEST(ExponentialMechanismTest, SamplingMatchesDistribution) {
+  ExponentialMechanism mech(1.0, 1.0);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  Rng rng(7);
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(4, 0);  // candidates 1,2,3 + zero block
+  for (int i = 0; i < kDraws; ++i) {
+    auto rec = mech.Recommend(u, rng);
+    ASSERT_TRUE(rec.ok());
+    if (rec->from_zero_block) {
+      counts[3]++;
+    } else {
+      counts[rec->node - 1]++;
+    }
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws),
+              dist->nonzero_probs[0], 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws),
+              dist->nonzero_probs[1], 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws),
+              dist->zero_block_prob, 0.01);
+}
+
+TEST(ExponentialMechanismTest, HigherEpsilonMoreAccurate) {
+  UtilityVector u = SmallVector();
+  double previous = 0;
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    ExponentialMechanism mech(eps, 2.0);
+    auto acc = ExactExpectedAccuracy(mech, u);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_GT(*acc, previous);
+    previous = *acc;
+  }
+  EXPECT_LE(previous, 1.0);
+}
+
+TEST(ExponentialMechanismTest, AllZeroUtilitiesActsUniform) {
+  ExponentialMechanism mech(1.0, 1.0);
+  UtilityVector u(0, 10, {});
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->zero_block_prob, 1.0, 1e-12);
+  Rng rng(9);
+  auto rec = mech.Recommend(u, rng);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->from_zero_block);
+}
+
+TEST(ExponentialMechanismTest, LargeUtilitiesDoNotOverflow) {
+  ExponentialMechanism mech(3.0, 1.0);
+  UtilityVector u(0, 5, {{1, 10000.0}, {2, 9999.0}});
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_TRUE(std::isfinite(dist->nonzero_probs[0]));
+  EXPECT_NEAR(TotalMass(*dist), 1.0, 1e-9);
+  // Gap of 1 at ε=3: odds e^3.
+  EXPECT_NEAR(dist->nonzero_probs[0] / dist->nonzero_probs[1], std::exp(3.0),
+              1e-6);
+}
+
+// --------------------------------------------------------------- Laplace
+
+TEST(LaplaceMechanismTest, RecommendPrefersHighUtility) {
+  LaplaceMechanism mech(/*epsilon=*/2.0, /*sensitivity=*/1.0);
+  UtilityVector u = SmallVector();
+  Rng rng(11);
+  int top_picks = 0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    auto rec = mech.Recommend(u, rng);
+    ASSERT_TRUE(rec.ok());
+    if (!rec->from_zero_block && rec->node == 1) ++top_picks;
+  }
+  EXPECT_GT(top_picks / static_cast<double>(kDraws), 0.5);
+}
+
+TEST(LaplaceMechanismTest, ExactDistributionSumsToOne) {
+  LaplaceMechanism mech(1.0, 1.0);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(TotalMass(*dist), 1.0, 1e-6);
+}
+
+TEST(LaplaceMechanismTest, ExactDistributionMatchesLemma3ClosedForm) {
+  // Two candidates, no zero block: quadrature must reproduce Lemma 3.
+  for (double eps : {0.5, 1.0, 3.0}) {
+    LaplaceMechanism mech(eps, 1.0);
+    UtilityVector u(0, 2, {{1, 2.0}, {2, 0.5}});
+    auto dist = mech.Distribution(u);
+    ASSERT_TRUE(dist.ok());
+    const double expected =
+        LaplaceTwoCandidateWinProbability(2.0, 0.5, eps);
+    EXPECT_NEAR(dist->nonzero_probs[0], expected, 1e-6) << "eps=" << eps;
+  }
+}
+
+TEST(LaplaceMechanismTest, ExactDistributionMatchesMonteCarlo) {
+  LaplaceMechanism mech(1.0, 2.0);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  Rng rng(13);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    auto rec = mech.Recommend(u, rng);
+    ASSERT_TRUE(rec.ok());
+    if (rec->from_zero_block) {
+      counts[3]++;
+    } else {
+      counts[rec->node - 1]++;
+    }
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws),
+              dist->nonzero_probs[0], 0.005);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws),
+              dist->zero_block_prob, 0.005);
+}
+
+TEST(LaplaceMechanismTest, MonotoneInExpectation) {
+  LaplaceMechanism mech(1.0, 1.0);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_GT(dist->nonzero_probs[0], dist->nonzero_probs[1]);
+  EXPECT_GT(dist->nonzero_probs[1], dist->nonzero_probs[2]);
+}
+
+TEST(LaplaceMechanismTest, ZeroBlockDominatesWhenHuge) {
+  // 10^6 zero-utility candidates vs one candidate with u=1 at small ε: the
+  // zero block should win nearly always (this is the Fig 1(b) regime).
+  LaplaceMechanism mech(0.1, 2.0);
+  UtilityVector u(0, 1000001, {{1, 1.0}});
+  Rng rng(17);
+  int zero_wins = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto rec = mech.Recommend(u, rng);
+    ASSERT_TRUE(rec.ok());
+    if (rec->from_zero_block) ++zero_wins;
+  }
+  EXPECT_GT(zero_wins, 1900);
+}
+
+// ------------------------------------------------------- LinearSmoothing
+
+TEST(LinearSmoothingTest, DistributionIsConvexCombination) {
+  auto inner = std::make_shared<BestMechanism>();
+  LinearSmoothingMechanism mech(0.4, inner);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  // p(argmax) = 0.6/10 + 0.4·1.
+  EXPECT_NEAR(dist->nonzero_probs[0], 0.06 + 0.4, 1e-12);
+  EXPECT_NEAR(dist->nonzero_probs[1], 0.06, 1e-12);
+  EXPECT_NEAR(TotalMass(*dist), 1.0, 1e-12);
+}
+
+TEST(LinearSmoothingTest, Theorem5AccuracyIsXTimesInner) {
+  auto inner = std::make_shared<BestMechanism>();
+  UtilityVector u = SmallVector();
+  for (double x : {0.1, 0.5, 0.9}) {
+    LinearSmoothingMechanism mech(x, inner);
+    auto acc = ExactExpectedAccuracy(mech, u);
+    ASSERT_TRUE(acc.ok());
+    // Theorem 5: accuracy >= x·μ with μ=1; uniform part adds a bit more.
+    EXPECT_GE(*acc, x);
+    EXPECT_NEAR(*acc, x * 1.0 + (1 - x) * 0.18, 1e-9);
+  }
+}
+
+TEST(LinearSmoothingTest, EpsilonFormulaRoundTrips) {
+  for (double eps : {0.5, 1.0, 3.0}) {
+    for (uint64_t n : {100ull, 7115ull, 96403ull}) {
+      double x = LinearSmoothingMechanism::XForEpsilon(eps, n);
+      LinearSmoothingMechanism mech(x, std::make_shared<BestMechanism>());
+      EXPECT_NEAR(mech.EpsilonFor(n), eps, 1e-9)
+          << "eps=" << eps << " n=" << n;
+    }
+  }
+}
+
+TEST(LinearSmoothingTest, PaperAppendixFSetting) {
+  // Appendix F targets ln(1 + nx/(1-x)) = 2c·ln n. Solving exactly gives
+  // x = (n^{2c}-1)/(n^{2c}-1+n) ≈ n^{2c-1}/(n^{2c-1}+1). (The paper prints
+  // the denominator as n^{2c-1}+n, which does not satisfy its own
+  // equation — plugging it back yields (2c-1)·ln n; we test the
+  // self-consistent form and document the discrepancy in EXPERIMENTS.md.)
+  const uint64_t n = 1000;
+  const double c = 0.8;
+  const double eps = 2 * c * std::log(static_cast<double>(n));
+  const double x = LinearSmoothingMechanism::XForEpsilon(eps, n);
+  const double approx = std::pow(static_cast<double>(n), 2 * c - 1) /
+                        (std::pow(static_cast<double>(n), 2 * c - 1) + 1.0);
+  EXPECT_NEAR(x, approx, 1e-3);
+  // And the defining equation itself round-trips.
+  EXPECT_NEAR(std::log1p(n * x / (1 - x)), eps, 1e-9);
+}
+
+TEST(LinearSmoothingTest, XOneDefersEntirelyToInner) {
+  LinearSmoothingMechanism mech(1.0, std::make_shared<BestMechanism>());
+  Rng rng(19);
+  UtilityVector u = SmallVector();
+  for (int i = 0; i < 50; ++i) {
+    auto rec = mech.Recommend(u, rng);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->node, 1u);
+  }
+  EXPECT_TRUE(std::isinf(mech.EpsilonFor(100)));
+}
+
+TEST(LinearSmoothingTest, XZeroIsUniform) {
+  LinearSmoothingMechanism mech(0.0, std::make_shared<BestMechanism>());
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  for (double p : dist->nonzero_probs) EXPECT_NEAR(p, 0.1, 1e-12);
+  EXPECT_NEAR(mech.EpsilonFor(12345), 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------ ClosedForms
+
+TEST(ClosedFormsTest, LaplaceWinProbabilityBoundaries) {
+  // Equal utilities: a coin flip.
+  EXPECT_NEAR(LaplaceTwoCandidateWinProbability(2.0, 2.0, 1.0), 0.5, 1e-12);
+  // Large gap: near certainty.
+  EXPECT_GT(LaplaceTwoCandidateWinProbability(100.0, 0.0, 1.0), 0.999999);
+  // Monotone in the gap.
+  double prev = 0.5;
+  for (double gap : {0.5, 1.0, 2.0, 4.0}) {
+    double p = LaplaceTwoCandidateWinProbability(gap, 0.0, 1.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ClosedFormsTest, LaplaceClosedFormMatchesSimulation) {
+  const double u1 = 3.0, u2 = 1.0, eps = 0.8;
+  LaplaceDistribution lap(1.0 / eps);
+  Rng rng(23);
+  constexpr int kDraws = 400000;
+  int wins = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (u1 + lap.Sample(rng) > u2 + lap.Sample(rng)) ++wins;
+  }
+  EXPECT_NEAR(wins / static_cast<double>(kDraws),
+              LaplaceTwoCandidateWinProbability(u1, u2, eps), 0.003);
+}
+
+TEST(ClosedFormsTest, MechanismsAreNotIsomorphic) {
+  // Appendix E's point: for the same ε the two win probabilities differ.
+  const double u1 = 2.0, u2 = 1.0, eps = 1.0;
+  const double lap = LaplaceTwoCandidateWinProbability(u1, u2, eps);
+  const double exp = ExponentialTwoCandidateWinProbability(u1, u2, eps);
+  EXPECT_GT(std::fabs(lap - exp), 1e-3);
+  // …but both favor the higher-utility candidate.
+  EXPECT_GT(lap, 0.5);
+  EXPECT_GT(exp, 0.5);
+}
+
+TEST(ClosedFormsTest, ExponentialWinProbabilityIsLogistic) {
+  EXPECT_NEAR(ExponentialTwoCandidateWinProbability(1.0, 1.0, 2.0), 0.5,
+              1e-12);
+  EXPECT_NEAR(ExponentialTwoCandidateWinProbability(2.0, 0.0, 1.0),
+              1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+}
+
+// ------------------------------------------------- ResolveZeroUtilityNode
+
+TEST(ResolveZeroNodeTest, PicksActualZeroCandidate) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 0);
+  ASSERT_EQ(u.num_zero(), 1u);  // only node 5
+  Rng rng(29);
+  auto node = ResolveZeroUtilityNode(g, u, rng);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(*node, 5u);
+}
+
+TEST(ResolveZeroNodeTest, FailsWhenNoZeroCandidates) {
+  CsrGraph g = MakeStar(3);
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 1);  // all candidates have utility 1
+  ASSERT_EQ(u.num_zero(), 0u);
+  Rng rng(31);
+  EXPECT_TRUE(ResolveZeroUtilityNode(g, u, rng).status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace privrec

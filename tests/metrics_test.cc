@@ -1,0 +1,202 @@
+// Tests for summary statistics, structural graph metrics, and the
+// degree-preserving rewiring null model.
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "gen/rewiring.h"
+#include "graph/degree_stats.h"
+#include "graph/graph_builder.h"
+#include "graph/metrics.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+
+namespace privrec {
+namespace {
+
+// -------------------------------------------------------------- Statistics
+
+TEST(StatisticsTest, SummarizeBasics) {
+  SummaryStats s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatisticsTest, SummarizeEmpty) {
+  SummaryStats s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatisticsTest, PercentileInterpolates) {
+  std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 10), 14.0);  // 0.4 between 10 and 20
+  EXPECT_TRUE(std::isnan(Percentile({}, 50)));
+}
+
+TEST(StatisticsTest, KsStatisticIdenticalSamplesIsZero) {
+  std::vector<double> a = {0.1, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(KsStatistic(a, a), 0.0);
+}
+
+TEST(StatisticsTest, KsStatisticDisjointSupportsIsOne) {
+  EXPECT_DOUBLE_EQ(KsStatistic({1, 2, 3}, {10, 20, 30}), 1.0);
+  EXPECT_DOUBLE_EQ(KsStatistic({}, {1.0}), 1.0);
+}
+
+TEST(StatisticsTest, KsStatisticDetectsShift) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble() + 0.3);
+  }
+  double ks = KsStatistic(a, b);
+  EXPECT_GT(ks, 0.25);
+  EXPECT_LT(ks, 0.36);
+}
+
+TEST(StatisticsTest, PearsonCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y_pos = {2, 4, 6, 8};
+  std::vector<double> y_neg = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, y_neg), -1.0, 1e-12);
+  EXPECT_TRUE(std::isnan(PearsonCorrelation(x, {1, 1, 1, 1})));
+  EXPECT_TRUE(std::isnan(PearsonCorrelation(x, {1, 2})));
+}
+
+// ----------------------------------------------------------- Graph metrics
+
+TEST(MetricsTest, TriangleCountOnKnownGraphs) {
+  EXPECT_EQ(CountTriangles(MakeComplete(4)), 4u);   // C(4,3)
+  EXPECT_EQ(CountTriangles(MakeComplete(5)), 10u);  // C(5,3)
+  EXPECT_EQ(CountTriangles(MakeStar(10)), 0u);
+  EXPECT_EQ(CountTriangles(MakeCycle(3)), 1u);
+  EXPECT_EQ(CountTriangles(MakeCycle(5)), 0u);
+  EXPECT_EQ(CountTriangles(MakePath(6)), 0u);
+}
+
+TEST(MetricsTest, TwoTriangleFixtureHasOneTriangleishStructure) {
+  // Fixture edges: 0-1, 0-2, 1-3, 2-3, 1-4, 4-5: the 4-cycle 0-1-3-2 has
+  // no chord, so zero triangles.
+  EXPECT_EQ(CountTriangles(MakeTwoTriangleFixture()), 0u);
+}
+
+TEST(MetricsTest, GlobalClusteringOnComplete) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(MakeComplete(6)), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(MakeStar(6)), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(MakePath(2)), 0.0);
+}
+
+TEST(MetricsTest, AverageLocalClustering) {
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(MakeComplete(5)), 1.0);
+  // Triangle with a pendant: nodes 0,1 in the triangle have c=1;
+  // node 2 has neighbors {0,1,3}: one closed pair of three -> 1/3;
+  // pendant 3 contributes 0. Average = (1+1+1/3+0)/4.
+  GraphBuilder builder(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(2, 3);
+  EXPECT_NEAR(AverageLocalClustering(builder.Build()),
+              (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(MetricsTest, StarIsPerfectlyDisassortative) {
+  EXPECT_NEAR(DegreeAssortativity(MakeStar(8)), -1.0, 1e-9);
+}
+
+TEST(MetricsTest, RegularGraphAssortativityUndefined) {
+  // All degrees equal: zero variance -> NaN by our convention.
+  EXPECT_TRUE(std::isnan(DegreeAssortativity(MakeCycle(8))));
+}
+
+TEST(MetricsTest, CoreNumbersOnKnownGraphs) {
+  auto cores_complete = CoreNumbers(MakeComplete(5));
+  for (uint32_t c : cores_complete) EXPECT_EQ(c, 4u);
+
+  auto cores_star = CoreNumbers(MakeStar(6));
+  EXPECT_EQ(cores_star[0], 1u);
+  for (NodeId leaf = 1; leaf <= 6; ++leaf) EXPECT_EQ(cores_star[leaf], 1u);
+
+  // Triangle with pendant: triangle nodes are 2-core, pendant is 1-core.
+  GraphBuilder builder(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(2, 3);
+  auto cores = CoreNumbers(builder.Build());
+  EXPECT_EQ(cores[0], 2u);
+  EXPECT_EQ(cores[1], 2u);
+  EXPECT_EQ(cores[2], 2u);
+  EXPECT_EQ(cores[3], 1u);
+}
+
+TEST(MetricsTest, CoreNumbersMatchDegreesOnPath) {
+  auto cores = CoreNumbers(MakePath(5));
+  for (uint32_t c : cores) EXPECT_EQ(c, 1u);
+}
+
+// ---------------------------------------------------------------- Rewiring
+
+TEST(RewiringTest, PreservesEveryDegree) {
+  Rng rng(7);
+  auto g = ErdosRenyiGnm(100, 400, false, rng);
+  ASSERT_TRUE(g.ok());
+  uint64_t executed = 0;
+  auto rewired = DegreePreservingRewire(*g, 4000, rng, &executed);
+  ASSERT_TRUE(rewired.ok());
+  EXPECT_GT(executed, 1000u);
+  EXPECT_EQ(rewired->num_edges(), g->num_edges());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    EXPECT_EQ(rewired->OutDegree(v), g->OutDegree(v)) << "node " << v;
+  }
+}
+
+TEST(RewiringTest, ActuallyChangesStructure) {
+  Rng rng(11);
+  auto weights = PowerLawWeights(300, 2.2);
+  auto g = ChungLu(weights, weights, 1500, false, rng);
+  ASSERT_TRUE(g.ok());
+  auto rewired = DegreePreservingRewire(*g, 15000, rng, nullptr);
+  ASSERT_TRUE(rewired.ok());
+  EXPECT_FALSE(rewired->Equals(*g));
+}
+
+TEST(RewiringTest, RejectsDirectedGraphs) {
+  Rng rng(13);
+  auto g = ErdosRenyiGnm(20, 40, /*directed=*/true, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(DegreePreservingRewire(*g, 10, rng, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RewiringTest, TooFewEdgesRejected) {
+  Rng rng(17);
+  CsrGraph g = MakePath(2);
+  EXPECT_TRUE(DegreePreservingRewire(g, 10, rng, nullptr)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(RewiringTest, ZeroSwapsIsIdentity) {
+  Rng rng(19);
+  CsrGraph g = MakeTwoTriangleFixture();
+  auto rewired = DegreePreservingRewire(g, 0, rng, nullptr);
+  ASSERT_TRUE(rewired.ok());
+  EXPECT_TRUE(rewired->Equals(g));
+}
+
+}  // namespace
+}  // namespace privrec

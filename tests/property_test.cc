@@ -1,0 +1,289 @@
+// Cross-cutting property sweeps: every (mechanism × utility × graph × ε)
+// combination must satisfy the paper's structural invariants. These tests
+// are the library's safety net — any future change that breaks
+// normalization, monotonicity (Definition 4), the accuracy ordering, the
+// Corollary 1 dominance, or scale invariance (Definition 2's remark)
+// fails here.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/baseline_mechanisms.h"
+#include "core/bounds.h"
+#include "core/exponential_mechanism.h"
+#include "core/laplace_mechanism.h"
+#include "core/linear_smoothing.h"
+#include "eval/accuracy.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "utility/adamic_adar.h"
+#include "utility/common_neighbors.h"
+#include "utility/link_predictors.h"
+#include "utility/weighted_paths.h"
+
+namespace privrec {
+namespace {
+
+struct SweepCase {
+  const char* graph_kind;  // "er", "ba", "cl"
+  uint64_t seed;
+  double epsilon;
+};
+
+std::string CaseName(const testing::TestParamInfo<SweepCase>& info) {
+  std::string eps = std::to_string(static_cast<int>(info.param.epsilon * 10));
+  return std::string(info.param.graph_kind) + "_s" +
+         std::to_string(info.param.seed) + "_e" + eps;
+}
+
+CsrGraph MakeSweepGraph(const SweepCase& param) {
+  Rng rng(param.seed);
+  if (std::string(param.graph_kind) == "er") {
+    return *ErdosRenyiGnm(120, 600, false, rng);
+  }
+  if (std::string(param.graph_kind) == "ba") {
+    return *BarabasiAlbert(150, 3, rng);
+  }
+  auto weights = PowerLawWeights(150, 2.1);
+  return *ChungLu(weights, weights, 700, false, rng);
+}
+
+std::vector<std::unique_ptr<UtilityFunction>> MakeUtilities() {
+  std::vector<std::unique_ptr<UtilityFunction>> utilities;
+  utilities.push_back(std::make_unique<CommonNeighborsUtility>());
+  utilities.push_back(std::make_unique<WeightedPathsUtility>(0.005, 3));
+  utilities.push_back(std::make_unique<AdamicAdarUtility>());
+  utilities.push_back(std::make_unique<ResourceAllocationUtility>());
+  utilities.push_back(std::make_unique<JaccardUtility>());
+  return utilities;
+}
+
+class MechanismPropertySweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(MechanismPropertySweep, DistributionsAreNormalizedAndMonotone) {
+  CsrGraph graph = MakeSweepGraph(GetParam());
+  const double eps = GetParam().epsilon;
+  for (const auto& utility : MakeUtilities()) {
+    const double sens = utility->SensitivityBound(graph);
+    ExponentialMechanism exponential(eps, sens);
+    LaplaceMechanism laplace(eps, sens);
+    for (NodeId target : {NodeId(0), NodeId(25), NodeId(77)}) {
+      UtilityVector u = utility->Compute(graph, target);
+      if (u.empty()) continue;
+      for (const Mechanism* mech :
+           std::initializer_list<const Mechanism*>{&exponential, &laplace}) {
+        auto dist = mech->Distribution(u);
+        ASSERT_TRUE(dist.ok()) << mech->name();
+        double total = dist->zero_block_prob;
+        for (double p : dist->nonzero_probs) {
+          EXPECT_GE(p, 0.0);
+          total += p;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-5)
+            << mech->name() << " " << utility->name() << " t=" << target;
+        // Monotonicity (Definition 4): entries are sorted by descending
+        // utility, so probabilities must be non-increasing (ties allowed).
+        for (size_t i = 1; i < dist->nonzero_probs.size(); ++i) {
+          EXPECT_LE(dist->nonzero_probs[i],
+                    dist->nonzero_probs[i - 1] + 1e-9)
+              << mech->name() << " " << utility->name() << " index " << i;
+        }
+        // Every zero-utility candidate gets no more probability than the
+        // least nonzero candidate.
+        if (u.num_zero() > 0 && !dist->nonzero_probs.empty()) {
+          EXPECT_LE(dist->zero_block_prob /
+                        static_cast<double>(u.num_zero()),
+                    dist->nonzero_probs.back() + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MechanismPropertySweep, AccuracyOrderingUniformMechanismBest) {
+  // uniform <= private mechanism <= best (=1), for every configuration.
+  CsrGraph graph = MakeSweepGraph(GetParam());
+  const double eps = GetParam().epsilon;
+  UniformMechanism uniform;
+  for (const auto& utility : MakeUtilities()) {
+    const double sens = utility->SensitivityBound(graph);
+    ExponentialMechanism exponential(eps, sens);
+    for (NodeId target : {NodeId(3), NodeId(50)}) {
+      UtilityVector u = utility->Compute(graph, target);
+      if (u.empty()) continue;
+      auto uniform_acc = ExactExpectedAccuracy(uniform, u);
+      auto exp_acc = ExactExpectedAccuracy(exponential, u);
+      ASSERT_TRUE(uniform_acc.ok());
+      ASSERT_TRUE(exp_acc.ok());
+      EXPECT_LE(*uniform_acc, *exp_acc + 1e-9)
+          << utility->name() << " target " << target;
+      EXPECT_LE(*exp_acc, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(MechanismPropertySweep, BoundDominatesExponentialAccuracy) {
+  // Corollary 1 caps every ε-DP mechanism, so in particular A_E(ε).
+  CsrGraph graph = MakeSweepGraph(GetParam());
+  const double eps = GetParam().epsilon;
+  for (const auto& utility : MakeUtilities()) {
+    ExponentialMechanism exponential(eps,
+                                     utility->SensitivityBound(graph));
+    for (NodeId target = 0; target < 40; target += 7) {
+      UtilityVector u = utility->Compute(graph, target);
+      if (u.empty()) continue;
+      auto acc = ExactExpectedAccuracy(exponential, u);
+      ASSERT_TRUE(acc.ok());
+      const double bound =
+          TheoreticalAccuracyBound(graph, *utility, target, u, eps);
+      EXPECT_LE(*acc, bound + 0.02)
+          << utility->name() << " target " << target << " eps " << eps;
+    }
+  }
+}
+
+TEST_P(MechanismPropertySweep, AccuracyIsScaleInvariant) {
+  // Definition 2's remark: rescaling the utility vector changes nothing —
+  // provided the mechanism's Δf calibration is rescaled identically.
+  CsrGraph graph = MakeSweepGraph(GetParam());
+  const double eps = GetParam().epsilon;
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(graph, 5);
+  if (u.empty()) GTEST_SKIP();
+  const double kScale = 37.5;
+  std::vector<UtilityEntry> scaled_entries;
+  for (const UtilityEntry& e : u.nonzero()) {
+    scaled_entries.push_back({e.node, e.utility * kScale});
+  }
+  UtilityVector scaled(u.target(), u.num_candidates(),
+                       std::move(scaled_entries));
+  ExponentialMechanism original(eps, 2.0);
+  ExponentialMechanism rescaled(eps, 2.0 * kScale);
+  auto acc_original = ExactExpectedAccuracy(original, u);
+  auto acc_rescaled = ExactExpectedAccuracy(rescaled, scaled);
+  ASSERT_TRUE(acc_original.ok());
+  ASSERT_TRUE(acc_rescaled.ok());
+  EXPECT_NEAR(*acc_original, *acc_rescaled, 1e-9);
+}
+
+TEST_P(MechanismPropertySweep, SamplingAgreesWithDistribution) {
+  // For each configuration, empirical top-candidate frequency must match
+  // the closed form (chi-square-free coarse check at 3 sigma).
+  CsrGraph graph = MakeSweepGraph(GetParam());
+  const double eps = GetParam().epsilon;
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(graph, 11);
+  if (u.empty()) GTEST_SKIP();
+  ExponentialMechanism mech(eps, cn.SensitivityBound(graph));
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  Rng rng(GetParam().seed * 13 + 5);
+  constexpr int kDraws = 30000;
+  int top_hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    auto rec = mech.Recommend(u, rng);
+    ASSERT_TRUE(rec.ok());
+    if (!rec->from_zero_block && rec->node == u.argmax()) ++top_hits;
+  }
+  const double p = dist->nonzero_probs[0];
+  const double sigma = std::sqrt(p * (1 - p) / kDraws);
+  EXPECT_NEAR(top_hits / static_cast<double>(kDraws), p,
+              std::max(4 * sigma, 1e-3));
+}
+
+TEST_P(MechanismPropertySweep, LaplaceTracksExponentialEverywhere) {
+  // Section 7.2 takeaway (ii) as a property: on every configuration the
+  // two mechanisms' expected accuracies agree within MC noise.
+  CsrGraph graph = MakeSweepGraph(GetParam());
+  const double eps = GetParam().epsilon;
+  CommonNeighborsUtility cn;
+  const double sens = cn.SensitivityBound(graph);
+  ExponentialMechanism exponential(eps, sens);
+  LaplaceMechanism laplace(eps, sens);
+  Rng rng(GetParam().seed + 99);
+  int compared = 0;
+  for (NodeId target = 0; target < 30 && compared < 5; target += 3) {
+    UtilityVector u = cn.Compute(graph, target);
+    if (u.empty()) continue;
+    auto exp_acc = ExactExpectedAccuracy(exponential, u);
+    auto lap_acc = MonteCarloExpectedAccuracy(laplace, u, 2000, rng);
+    ASSERT_TRUE(exp_acc.ok());
+    ASSERT_TRUE(lap_acc.ok());
+    EXPECT_NEAR(*exp_acc, *lap_acc, 0.05)
+        << "target " << target << " eps " << eps;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MechanismPropertySweep,
+    testing::Values(SweepCase{"er", 1, 0.5}, SweepCase{"er", 2, 2.0},
+                    SweepCase{"ba", 3, 0.5}, SweepCase{"ba", 4, 1.0},
+                    SweepCase{"cl", 5, 0.5}, SweepCase{"cl", 6, 3.0}),
+    CaseName);
+
+// ------------------------------ linear smoothing across x (Theorem 5)
+
+class SmoothingSweep : public testing::TestWithParam<double> {};
+
+TEST_P(SmoothingSweep, AccuracyFloorAndEpsilonFormula) {
+  const double x = GetParam();
+  Rng rng(7);
+  CsrGraph graph = *ErdosRenyiGnm(100, 480, false, rng);
+  CommonNeighborsUtility cn;
+  LinearSmoothingMechanism mech(x, std::make_shared<BestMechanism>());
+  for (NodeId target : {NodeId(0), NodeId(33)}) {
+    UtilityVector u = cn.Compute(graph, target);
+    if (u.empty()) continue;
+    auto acc = ExactExpectedAccuracy(mech, u);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_GE(*acc, x - 1e-9);  // Theorem 5: x·μ with μ=1 inside
+    EXPECT_LE(*acc, 1.0 + 1e-12);
+  }
+  if (x < 1.0) {
+    const double eps = mech.EpsilonFor(graph.num_nodes());
+    // Invert and recover x.
+    EXPECT_NEAR(LinearSmoothingMechanism::XForEpsilon(eps,
+                                                      graph.num_nodes()),
+                x, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Xs, SmoothingSweep,
+                         testing::Values(0.0, 0.01, 0.1, 0.4, 0.75, 0.99),
+                         [](const testing::TestParamInfo<double>& info) {
+                           return "x" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+// ------------------------------------- bound algebra across the grid
+
+class BoundGridSweep
+    : public testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(BoundGridSweep, Lemma1AndCorollary1AreInverses) {
+  const uint64_t n = std::get<0>(GetParam());
+  const double eps = std::get<1>(GetParam());
+  for (uint64_t k : {1ull, 10ull, 100ull}) {
+    if (k + 1 >= n) continue;
+    for (double t : {2.0, 10.0, 50.0}) {
+      const double c = 0.9;
+      const double accuracy = Corollary1AccuracyUpperBound(n, k, c, t, eps);
+      const double delta = 1.0 - accuracy;
+      if (delta <= 1e-12 || delta >= c) continue;  // saturated regime
+      EXPECT_NEAR(Lemma1EpsilonLowerBound(n, k, c, delta, t), eps, 1e-6)
+          << "n=" << n << " k=" << k << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundGridSweep,
+    testing::Combine(testing::Values(1000ull, 100000ull, 10000000ull),
+                     testing::Values(0.1, 0.5, 1.0, 3.0)));
+
+}  // namespace
+}  // namespace privrec

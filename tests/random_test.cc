@@ -1,0 +1,282 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "random/alias_sampler.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace privrec {
+namespace {
+
+// -------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoublePositiveNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.NextDoublePositive(), 0.0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedIsApproximatelyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent_a(99), parent_b(99);
+  Rng child_a = parent_a.Fork();
+  Rng child_b = parent_b.Fork();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child_a.NextUint64(), child_b.NextUint64());
+  }
+  // Child stream differs from a fresh parent stream.
+  Rng parent_c(99);
+  Rng child_c = parent_c.Fork();
+  EXPECT_NE(child_c.NextUint64(), Rng(99).NextUint64());
+}
+
+// ---------------------------------------------------------------- Laplace
+
+TEST(LaplaceTest, CdfMatchesClosedForm) {
+  LaplaceDistribution lap(2.0);
+  EXPECT_DOUBLE_EQ(lap.Cdf(0.0), 0.5);
+  EXPECT_NEAR(lap.Cdf(2.0), 1.0 - 0.5 * std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(lap.Cdf(-2.0), 0.5 * std::exp(-1.0), 1e-12);
+}
+
+TEST(LaplaceTest, QuantileInvertsCdf) {
+  LaplaceDistribution lap(0.7);
+  for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    EXPECT_NEAR(lap.Cdf(lap.Quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(LaplaceTest, SampleMomentsMatchDistribution) {
+  // Laplace(0, b): mean 0, variance 2b².
+  const double b = 1.5;
+  LaplaceDistribution lap(b);
+  Rng rng(21);
+  constexpr int kDraws = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = lap.Sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 2 * b * b, 0.1);
+}
+
+TEST(LaplaceTest, SampleEmpiricalCdfMatchesAnalytic) {
+  LaplaceDistribution lap(1.0);
+  Rng rng(23);
+  constexpr int kDraws = 100000;
+  int below_zero = 0, below_one = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = lap.Sample(rng);
+    if (x <= 0) ++below_zero;
+    if (x <= 1) ++below_one;
+  }
+  EXPECT_NEAR(below_zero / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(below_one / static_cast<double>(kDraws), lap.Cdf(1.0), 0.01);
+}
+
+TEST(LaplaceTest, MaxOfBlockMatchesNaiveMax) {
+  // Sampling max of m iid Laplace via SampleMaxOf must match the empirical
+  // distribution of taking an explicit max of m samples.
+  const double b = 1.0;
+  const size_t m = 50;
+  LaplaceDistribution lap(b);
+  Rng rng(29);
+  constexpr int kDraws = 20000;
+  std::vector<double> fast(kDraws), naive(kDraws);
+  for (int i = 0; i < kDraws; ++i) fast[i] = lap.SampleMaxOf(rng, m);
+  for (int i = 0; i < kDraws; ++i) {
+    double best = -1e300;
+    for (size_t j = 0; j < m; ++j) best = std::max(best, lap.Sample(rng));
+    naive[i] = best;
+  }
+  std::sort(fast.begin(), fast.end());
+  std::sort(naive.begin(), naive.end());
+  // Compare deciles (Kolmogorov-style check with generous slack).
+  for (int q = 1; q < 10; ++q) {
+    double fq = fast[kDraws * q / 10];
+    double nq = naive[kDraws * q / 10];
+    EXPECT_NEAR(fq, nq, 0.15) << "decile " << q;
+  }
+}
+
+TEST(LaplaceTest, MaxOfOneIsPlainSample) {
+  LaplaceDistribution lap(1.0);
+  Rng a(5), b(5);
+  EXPECT_DOUBLE_EQ(lap.SampleMaxOf(a, 1), lap.Sample(b));
+}
+
+TEST(LaplaceTest, MaxOfHugeBlockIsPositive) {
+  // With m = 10^5, P[max <= 0] = 2^-100000: the sample is essentially
+  // always positive and around b·ln(m/2).
+  LaplaceDistribution lap(1.0);
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    double x = lap.SampleMaxOf(rng, 100000);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 30.0);
+  }
+}
+
+// ------------------------------------------------------ other distributions
+
+TEST(DistributionTest, ExponentialMeanMatchesRate) {
+  Rng rng(37);
+  const double rate = 2.5;
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += SampleExponential(rng, rate);
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.01);
+}
+
+TEST(DistributionTest, GumbelMeanIsEulerGamma) {
+  Rng rng(41);
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += SampleGumbel(rng);
+  EXPECT_NEAR(sum / kDraws, 0.5772156649, 0.02);
+}
+
+TEST(DistributionTest, GeometricMeanMatches) {
+  Rng rng(43);
+  const double p = 0.25;
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(SampleGeometric(rng, p));
+  }
+  EXPECT_NEAR(sum / kDraws, (1 - p) / p, 0.1);
+}
+
+TEST(DistributionTest, GeometricWithPOneIsZero) {
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleGeometric(rng, 1.0), 0u);
+}
+
+TEST(DistributionTest, ZipfStaysInRangeAndSkews) {
+  Rng rng(53);
+  constexpr uint64_t kN = 1000;
+  constexpr int kDraws = 50000;
+  int ones = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t x = SampleZipf(rng, kN, 2.0);
+    ASSERT_GE(x, 1u);
+    ASSERT_LE(x, kN);
+    if (x == 1) ++ones;
+  }
+  // For alpha=2, P[X=1] = 1/ζ(2) ≈ 0.61 over the infinite support;
+  // truncation raises it slightly. Loose check of heavy head:
+  EXPECT_GT(ones / static_cast<double>(kDraws), 0.5);
+}
+
+// ----------------------------------------------------------- AliasSampler
+
+TEST(AliasSamplerTest, ProbabilitiesMatchNormalizedWeights) {
+  AliasSampler sampler({1.0, 3.0, 6.0});
+  EXPECT_DOUBLE_EQ(sampler.Probability(0), 0.1);
+  EXPECT_DOUBLE_EQ(sampler.Probability(1), 0.3);
+  EXPECT_DOUBLE_EQ(sampler.Probability(2), 0.6);
+}
+
+TEST(AliasSamplerTest, EmpiricalFrequenciesMatch) {
+  AliasSampler sampler({2.0, 5.0, 3.0});
+  Rng rng(59);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < kDraws; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(AliasSamplerTest, ZeroWeightIndexNeverSampled) {
+  AliasSampler sampler({0.0, 1.0, 0.0, 1.0});
+  Rng rng(61);
+  for (int i = 0; i < 10000; ++i) {
+    size_t s = sampler.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, AllZeroWeightsFallBackToUniform) {
+  AliasSampler sampler({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(sampler.Probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(sampler.Probability(1), 0.5);
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  AliasSampler sampler({7.0});
+  Rng rng(67);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace privrec

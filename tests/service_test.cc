@@ -1,0 +1,187 @@
+// Tests for the serving layer: budget enforcement, cache behavior under
+// graph mutation, and node-DP audit integration.
+
+#include <memory>
+
+#include "core/exponential_mechanism.h"
+#include "eval/dp_auditor.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "serve/recommendation_service.h"
+#include "utility/common_neighbors.h"
+
+namespace privrec {
+namespace {
+
+DynamicGraph ServiceGraph() {
+  Rng rng(5);
+  auto weights = PowerLawWeights(500, 2.2);
+  auto g = ChungLu(weights, weights, 2500, /*directed=*/false, rng);
+  return DynamicGraph(*g);
+}
+
+ServiceOptions DefaultOptions() {
+  ServiceOptions options;
+  options.release_epsilon = 0.5;
+  options.per_user_budget = 2.0;
+  options.cache_capacity = 64;
+  return options;
+}
+
+TEST(ServiceTest, ServesUntilBudgetExhausted) {
+  DynamicGraph graph = ServiceGraph();
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), DefaultOptions());
+  Rng rng(7);
+  const NodeId user = 0;
+  // Budget 2.0 at 0.5 per release = exactly 4 answers.
+  for (int i = 0; i < 4; ++i) {
+    auto rec = service.ServeRecommendation(user, rng);
+    EXPECT_TRUE(rec.ok()) << "release " << i << ": "
+                          << rec.status().ToString();
+  }
+  auto fifth = service.ServeRecommendation(user, rng);
+  EXPECT_TRUE(fifth.status().IsFailedPrecondition());
+  EXPECT_EQ(service.stats().served, 4u);
+  EXPECT_EQ(service.stats().refused_budget, 1u);
+  EXPECT_NEAR(service.RemainingBudget(user), 0.0, 1e-9);
+}
+
+TEST(ServiceTest, BudgetsAreProperlyPerUser) {
+  DynamicGraph graph = ServiceGraph();
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), DefaultOptions());
+  Rng rng(9);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  }
+  EXPECT_FALSE(service.ServeRecommendation(0, rng).ok());
+  // A different user is unaffected.
+  EXPECT_TRUE(service.ServeRecommendation(1, rng).ok());
+  EXPECT_NEAR(service.RemainingBudget(1), 1.5, 1e-9);
+  EXPECT_NEAR(service.RemainingBudget(2), 2.0, 1e-9);  // never served
+}
+
+TEST(ServiceTest, CacheHitsOnRepeatQueries) {
+  DynamicGraph graph = ServiceGraph();
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), DefaultOptions());
+  Rng rng(11);
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  EXPECT_EQ(service.stats().cache_misses, 1u);
+  EXPECT_EQ(service.stats().cache_hits, 2u);
+}
+
+TEST(ServiceTest, MutationInvalidatesOnlyAffectedUsers) {
+  DynamicGraph graph = ServiceGraph();
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), DefaultOptions());
+  Rng rng(13);
+  // Warm the cache for two users.
+  const NodeId user_a = 0;
+  ASSERT_TRUE(service.ServeRecommendation(user_a, rng).ok());
+  // Pick user_b far from user_a: not adjacent, no shared neighbor edit.
+  NodeId user_b = 1;
+  CsrGraph snap = graph.Snapshot();
+  for (NodeId v = 1; v < snap.num_nodes(); ++v) {
+    if (v != user_a && !snap.HasEdge(user_a, v)) {
+      user_b = v;
+      break;
+    }
+  }
+  ASSERT_TRUE(service.ServeRecommendation(user_b, rng).ok());
+  EXPECT_EQ(service.stats().cache_misses, 2u);
+
+  // Mutate an edge incident to user_a: a's cached vector must be dropped.
+  NodeId endpoint = kUnresolvedZeroNode;
+  for (NodeId w = 1; w < snap.num_nodes(); ++w) {
+    if (w != user_a && w != user_b && !snap.HasEdge(user_a, w)) {
+      endpoint = w;
+      break;
+    }
+  }
+  ASSERT_NE(endpoint, kUnresolvedZeroNode);
+  ASSERT_TRUE(service.AddEdge(user_a, endpoint).ok());
+  // Query a again: must be a miss (recompute).
+  uint64_t misses_before = service.stats().cache_misses;
+  ASSERT_TRUE(service.ServeRecommendation(user_a, rng).ok());
+  EXPECT_EQ(service.stats().cache_misses, misses_before + 1);
+  EXPECT_GE(service.stats().cache_invalidations, 1u);
+}
+
+TEST(ServiceTest, ServeListChargesOnceAndReturnsKPicks) {
+  DynamicGraph graph = ServiceGraph();
+  ServiceOptions options = DefaultOptions();
+  options.per_user_budget = 1.0;
+  options.release_epsilon = 1.0;
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), options);
+  Rng rng(17);
+  auto list = service.ServeList(0, 3, rng);
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  EXPECT_EQ(list->picks.size(), 3u);
+  // Budget gone after one list.
+  EXPECT_FALSE(service.ServeList(0, 3, rng).ok());
+}
+
+TEST(ServiceTest, RejectsUnknownUser) {
+  DynamicGraph graph = ServiceGraph();
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), DefaultOptions());
+  Rng rng(19);
+  EXPECT_TRUE(service.ServeRecommendation(graph.num_nodes(), rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ServiceTest, CacheEvictionKeepsServing) {
+  DynamicGraph graph = ServiceGraph();
+  ServiceOptions options = DefaultOptions();
+  options.cache_capacity = 4;
+  options.per_user_budget = 100.0;
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), options);
+  Rng rng(23);
+  for (NodeId user = 0; user < 20; ++user) {
+    auto rec = service.ServeRecommendation(user, rng);
+    EXPECT_TRUE(rec.ok()) << "user " << user;
+  }
+  EXPECT_EQ(service.stats().cache_misses, 20u);
+}
+
+// ---------------------------------------------------------- node-DP audit
+
+TEST(NodeDpAuditTest, NodeLevelLeakExceedsEdgeLevelLeak) {
+  // Appendix A: node rewiring is a far stronger adversary move than one
+  // edge. The sampled node audit must therefore observe at least the edge
+  // audit's worst ratio (and typically much more).
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  ExponentialMechanism mech(1.0, cn.SensitivityBound(g));
+  auto edge_audit = AuditEdgeDp(g, cn, mech, 0);
+  ASSERT_TRUE(edge_audit.ok());
+  Rng rng(29);
+  auto node_audit = AuditNodeDpSampled(g, cn, mech, 0,
+                                       /*rewirings_per_node=*/40, rng);
+  ASSERT_TRUE(node_audit.ok());
+  EXPECT_GT(node_audit->pairs_checked, 0u);
+  EXPECT_GE(node_audit->max_abs_log_ratio,
+            edge_audit->max_abs_log_ratio - 1e-9);
+}
+
+TEST(NodeDpAuditTest, RejectsBadTarget) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  ExponentialMechanism mech(1.0, 2.0);
+  Rng rng(31);
+  EXPECT_TRUE(AuditNodeDpSampled(g, cn, mech, 99, 5, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace privrec

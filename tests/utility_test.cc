@@ -1,0 +1,372 @@
+#include <cmath>
+#include <memory>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/transforms.h"
+#include "gtest/gtest.h"
+#include "utility/adamic_adar.h"
+#include "utility/common_neighbors.h"
+#include "utility/personalized_pagerank.h"
+#include "utility/sensitivity.h"
+#include "utility/utility_vector.h"
+#include "utility/weighted_paths.h"
+
+namespace privrec {
+namespace {
+
+double UtilityOf(const UtilityVector& u, NodeId node) {
+  for (const UtilityEntry& e : u.nonzero()) {
+    if (e.node == node) return e.utility;
+  }
+  return 0.0;
+}
+
+// ----------------------------------------------------------- UtilityVector
+
+TEST(UtilityVectorTest, SortsDescendingAndAggregates) {
+  UtilityVector u(0, 10, {{3, 1.0}, {5, 4.0}, {7, 2.0}});
+  EXPECT_EQ(u.argmax(), 5u);
+  EXPECT_DOUBLE_EQ(u.max_utility(), 4.0);
+  EXPECT_DOUBLE_EQ(u.sum(), 7.0);
+  EXPECT_EQ(u.num_zero(), 7u);
+  EXPECT_FALSE(u.empty());
+}
+
+TEST(UtilityVectorTest, TieBreakByNodeIdIsDeterministic) {
+  UtilityVector u(0, 10, {{9, 2.0}, {4, 2.0}});
+  EXPECT_EQ(u.argmax(), 4u);
+}
+
+TEST(UtilityVectorTest, CountAboveThresholds) {
+  UtilityVector u(0, 100, {{1, 5.0}, {2, 5.0}, {3, 2.0}, {4, 1.0}});
+  EXPECT_EQ(u.CountAbove(4.9), 2u);
+  EXPECT_EQ(u.CountAbove(5.0), 0u);
+  EXPECT_EQ(u.CountAbove(1.5), 3u);
+  EXPECT_EQ(u.CountAbove(0.0), 4u);
+}
+
+TEST(UtilityVectorTest, EmptyVector) {
+  UtilityVector u(0, 50, {});
+  EXPECT_TRUE(u.empty());
+  EXPECT_DOUBLE_EQ(u.max_utility(), 0.0);
+  EXPECT_EQ(u.num_zero(), 50u);
+}
+
+// --------------------------------------------------------- CommonNeighbors
+
+TEST(CommonNeighborsTest, HandComputedFixtureValues) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 0);
+  // Candidates: all 5 non-target nodes minus neighbors {1,2} -> {3,4,5}.
+  EXPECT_EQ(u.num_candidates(), 3u);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 3), 2.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 4), 1.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 5), 0.0);
+  EXPECT_EQ(u.argmax(), 3u);
+  EXPECT_EQ(u.num_zero(), 1u);  // node 5
+}
+
+TEST(CommonNeighborsTest, NeighborsOfTargetAreExcluded) {
+  CsrGraph g = MakeComplete(5);
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 0);
+  // In K5 every other node is a neighbor: no candidates at all.
+  EXPECT_EQ(u.num_candidates(), 0u);
+  EXPECT_TRUE(u.empty());
+}
+
+TEST(CommonNeighborsTest, DirectedFollowsOutEdges) {
+  GraphBuilder builder(/*directed=*/true);
+  builder.SetNumNodes(4);
+  builder.AddEdge(0, 1);  // r -> a
+  builder.AddEdge(1, 2);  // a -> i   => one 2-path r->a->i
+  builder.AddEdge(3, 1);  // in-edge to a: must not count
+  CsrGraph g = builder.Build();
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 2), 1.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 3), 0.0);
+}
+
+TEST(CommonNeighborsTest, StarTargetLeafSeesSiblings) {
+  CsrGraph g = MakeStar(4);  // hub 0, leaves 1..4
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 1);
+  // Every other leaf shares the hub with leaf 1.
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 2), 1.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 3), 1.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 4), 1.0);
+  EXPECT_EQ(u.num_candidates(), 3u);  // hub excluded (neighbor)
+}
+
+TEST(CommonNeighborsTest, EdgeAlterationsTFormula) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 0);
+  // u_max = 2, d_r = 2: u_max == d_r so t = u_max + 2 = 4.
+  EXPECT_DOUBLE_EQ(cn.EdgeAlterationsT(g, 0, u), 4.0);
+  // Target 5 (degree 1): u(3)=0... compute for leaf 5: neighbors {4};
+  // 2-hop = {1}: u_max=1, d_r=1 -> t = 1+1+1 = 3.
+  UtilityVector u5 = cn.Compute(g, 5);
+  EXPECT_DOUBLE_EQ(cn.EdgeAlterationsT(g, 5, u5), 3.0);
+}
+
+// ----------------------------------------------------------- WeightedPaths
+
+TEST(WeightedPathsTest, Length2EqualsCommonNeighbors) {
+  Rng rng(3);
+  auto g = ErdosRenyiGnm(60, 250, false, rng);
+  ASSERT_TRUE(g.ok());
+  CommonNeighborsUtility cn;
+  WeightedPathsUtility wp(0.05, /*max_length=*/2);
+  for (NodeId r : {NodeId(0), NodeId(7), NodeId(33)}) {
+    UtilityVector ucn = cn.Compute(*g, r);
+    UtilityVector uwp = wp.Compute(*g, r);
+    ASSERT_EQ(ucn.nonzero().size(), uwp.nonzero().size());
+    for (const UtilityEntry& e : ucn.nonzero()) {
+      EXPECT_DOUBLE_EQ(UtilityOf(uwp, e.node), e.utility);
+    }
+  }
+}
+
+TEST(WeightedPathsTest, HandComputedPathOfFive) {
+  // Path 0-1-2-3-4, target 0:
+  //   node 2: one 2-path (0-1-2)               -> u = 1
+  //   node 3: one 3-path (0-1-2-3)             -> u = γ
+  //   node 4: nothing within length 3          -> u = 0
+  const double gamma = 0.01;
+  CsrGraph g = MakePath(5);
+  WeightedPathsUtility wp(gamma, 3);
+  UtilityVector u = wp.Compute(g, 0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 2), 1.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 3), gamma);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 4), 0.0);
+}
+
+TEST(WeightedPathsTest, NonSimpleWalksAreNotCounted) {
+  // Triangle 0-1-2 plus pendant 3 on node 1.
+  //   target 0, candidate 3: 2-path 0-1-3 -> 1; 3-path 0-2-1-3 -> γ.
+  //   Walk 0-1-2-1-3 has length 4 (not counted anyway);
+  //   the non-simple 3-walk 0-1-x-1 patterns must not inflate u_1 (1 is a
+  //   neighbor, excluded) or u_3.
+  GraphBuilder builder(false);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  CsrGraph g = builder.Build();
+  WeightedPathsUtility wp(0.1, 3);
+  UtilityVector u = wp.Compute(g, 0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 3), 1.0 + 0.1);
+}
+
+TEST(WeightedPathsTest, CycleBacktrackCorrection) {
+  // Square 0-1-2-3-0, target 0.
+  //   node 2: 2-paths 0-1-2 and 0-3-2 -> 2. 3-paths to 2: none simple
+  //   (0-1-2 and 0-3-2 are the only entries; 0-3-2? length 2).
+  //   3-walks 0-1-2-1? ends at 1 (neighbor). Walks 0-1-0-... blocked (no r).
+  //   node 1,3 are neighbors: excluded.
+  CsrGraph g = MakeCycle(4);
+  WeightedPathsUtility wp(0.1, 3);
+  UtilityVector u = wp.Compute(g, 0);
+  EXPECT_EQ(u.nonzero().size(), 1u);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 2), 2.0);
+}
+
+TEST(WeightedPathsTest, GammaScalesLength3Contribution) {
+  CsrGraph g = MakePath(5);
+  WeightedPathsUtility small(0.0005, 3), large(0.05, 3);
+  UtilityVector us = small.Compute(g, 0);
+  UtilityVector ul = large.Compute(g, 0);
+  EXPECT_DOUBLE_EQ(UtilityOf(us, 3), 0.0005);
+  EXPECT_DOUBLE_EQ(UtilityOf(ul, 3), 0.05);
+}
+
+TEST(WeightedPathsTest, SensitivityGrowsWithGamma) {
+  Rng rng(11);
+  auto g = ErdosRenyiGnm(80, 400, false, rng);
+  ASSERT_TRUE(g.ok());
+  WeightedPathsUtility small(0.0005, 3), large(0.05, 3);
+  EXPECT_LT(small.SensitivityBound(*g), large.SensitivityBound(*g));
+}
+
+TEST(WeightedPathsTest, EdgeAlterationsTFormula) {
+  CsrGraph g = MakePath(5);
+  WeightedPathsUtility wp(0.05, 3);
+  UtilityVector u = wp.Compute(g, 0);
+  // u_max = 1 (node 2) -> t = floor(1) + 2 = 3.
+  EXPECT_DOUBLE_EQ(wp.EdgeAlterationsT(g, 0, u), 3.0);
+}
+
+TEST(WeightedPathsTest, ConstructorValidation) {
+  EXPECT_DEATH(WeightedPathsUtility(-0.1, 3), "");
+  EXPECT_DEATH(WeightedPathsUtility(0.1, 5), "");
+}
+
+// -------------------------------------------------------------- AdamicAdar
+
+TEST(AdamicAdarTest, WeightsByInverseLogDegree) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  AdamicAdarUtility aa;
+  UtilityVector u = aa.Compute(g, 0);
+  // Node 3's common neighbors with 0: node 1 (deg 3) and node 2 (deg 2).
+  const double expected3 = 1.0 / std::log(3.0) + 1.0 / std::log(2.0);
+  EXPECT_NEAR(UtilityOf(u, 3), expected3, 1e-12);
+  // Node 4: common neighbor node 1 (deg 3).
+  EXPECT_NEAR(UtilityOf(u, 4), 1.0 / std::log(3.0), 1e-12);
+}
+
+TEST(AdamicAdarTest, RankingCanDifferFromCommonNeighbors) {
+  // Two candidates with one common neighbor each: AA prefers the one whose
+  // shared friend has smaller degree.
+  GraphBuilder builder(false);
+  builder.SetNumNodes(8);
+  builder.AddEdge(0, 1);  // r-a (a will be high degree)
+  builder.AddEdge(0, 2);  // r-b (b stays degree 2)
+  builder.AddEdge(1, 3);  // candidate 3 via hub a
+  builder.AddEdge(2, 4);  // candidate 4 via quiet b
+  builder.AddEdge(1, 5);
+  builder.AddEdge(1, 6);
+  builder.AddEdge(1, 7);  // inflate a's degree
+  CsrGraph g = builder.Build();
+  AdamicAdarUtility aa;
+  UtilityVector u = aa.Compute(g, 0);
+  EXPECT_GT(UtilityOf(u, 4), UtilityOf(u, 3));
+}
+
+// ---------------------------------------------------- PersonalizedPageRank
+
+TEST(PersonalizedPageRankTest, MassConcentratesNearTarget) {
+  CsrGraph g = MakePath(6);
+  PersonalizedPageRankUtility ppr(0.15, 50);
+  UtilityVector u = ppr.Compute(g, 0);
+  // Node 1 is a neighbor (excluded); among candidates 2..5 closeness wins.
+  EXPECT_GT(UtilityOf(u, 2), UtilityOf(u, 3));
+  EXPECT_GT(UtilityOf(u, 3), UtilityOf(u, 4));
+}
+
+TEST(PersonalizedPageRankTest, ScoresScaleInvariantUnderIterations) {
+  // More iterations refine, but the ranking on a simple fixture is stable.
+  CsrGraph g = MakeTwoTriangleFixture();
+  PersonalizedPageRankUtility coarse(0.15, 4), fine(0.15, 24);
+  UtilityVector uc = coarse.Compute(g, 0);
+  UtilityVector uf = fine.Compute(g, 0);
+  EXPECT_EQ(uc.argmax(), uf.argmax());
+}
+
+TEST(PersonalizedPageRankTest, ValidatesParameters) {
+  EXPECT_DEATH(PersonalizedPageRankUtility(0.0, 5), "");
+  EXPECT_DEATH(PersonalizedPageRankUtility(1.0, 5), "");
+  EXPECT_DEATH(PersonalizedPageRankUtility(0.5, 0), "");
+}
+
+// ----------------------------------------------- Exchangeability (Axiom 1)
+
+// Utility values must be invariant under relabeling that fixes the target:
+// compute on a graph and on an isomorphic copy with two non-target nodes
+// swapped; the utility multiset must match and the swapped nodes must trade
+// utilities exactly.
+TEST(ExchangeabilityTest, SwapTwoNonTargetNodes) {
+  Rng rng(21);
+  auto g = ErdosRenyiGnm(40, 150, false, rng);
+  ASSERT_TRUE(g.ok());
+  const NodeId target = 0, a = 10, b = 31;
+  // Build the swapped graph.
+  GraphBuilder builder(false);
+  builder.SetNumNodes(40);
+  auto relabel = [&](NodeId v) { return v == a ? b : (v == b ? a : v); };
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    for (NodeId v : g->OutNeighbors(u)) {
+      if (v < u) continue;
+      builder.AddEdge(relabel(u), relabel(v));
+    }
+  }
+  CsrGraph swapped = builder.Build();
+
+  CommonNeighborsUtility cn;
+  WeightedPathsUtility wp(0.01, 3);
+  AdamicAdarUtility aa;
+  for (const UtilityFunction* utility :
+       std::initializer_list<const UtilityFunction*>{&cn, &wp, &aa}) {
+    UtilityVector u1 = utility->Compute(*g, target);
+    UtilityVector u2 = utility->Compute(swapped, target);
+    for (const UtilityEntry& e : u1.nonzero()) {
+      EXPECT_DOUBLE_EQ(UtilityOf(u2, relabel(e.node)), e.utility)
+          << utility->name() << " node " << e.node;
+    }
+    EXPECT_EQ(u1.nonzero().size(), u2.nonzero().size()) << utility->name();
+  }
+}
+
+// ------------------------------------------ Sensitivity (property sweeps)
+
+struct SensitivityCase {
+  const char* label;
+  bool directed;
+  uint64_t seed;
+};
+
+class SensitivitySweep : public testing::TestWithParam<SensitivityCase> {};
+
+TEST_P(SensitivitySweep, EmpiricalNeverExceedsAnalyticBound) {
+  const SensitivityCase& param = GetParam();
+  Rng rng(param.seed);
+  auto g = ErdosRenyiGnm(50, 220, param.directed, rng);
+  ASSERT_TRUE(g.ok());
+
+  CommonNeighborsUtility cn;
+  WeightedPathsUtility wp_small(0.0005, 3);
+  WeightedPathsUtility wp_large(0.05, 3);
+  WeightedPathsUtility wp_l2(0.05, 2);
+  AdamicAdarUtility aa;
+  for (const UtilityFunction* utility :
+       std::initializer_list<const UtilityFunction*>{&cn, &wp_small,
+                                                     &wp_large, &wp_l2, &aa}) {
+    const double bound = utility->SensitivityBound(*g);
+    for (NodeId target : {NodeId(1), NodeId(17), NodeId(42)}) {
+      Rng probe_rng(param.seed * 1000 + target);
+      SensitivityEstimate est = EstimateEdgeSensitivity(
+          *g, *utility, target, /*num_samples=*/60, probe_rng,
+          /*relaxed=*/true);
+      EXPECT_LE(est.max_l1, bound + 1e-9)
+          << utility->name() << " target " << target << " ("
+          << param.label << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, SensitivitySweep,
+    testing::Values(SensitivityCase{"undirected_a", false, 101},
+                    SensitivityCase{"undirected_b", false, 202},
+                    SensitivityCase{"undirected_c", false, 303},
+                    SensitivityCase{"directed_a", true, 404},
+                    SensitivityCase{"directed_b", true, 505}),
+    [](const testing::TestParamInfo<SensitivityCase>& info) {
+      return info.param.label;
+    });
+
+TEST(SensitivityTest, AddingOneEdgeMovesCommonNeighborsByAtMostTwo) {
+  // Direct micro-check of the Δf=2 argument on the fixture.
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  auto g2 = WithEdgeAdded(g, 4, 2);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_LE(UtilityL1Distance(cn, g, *g2, 0), 2.0);
+}
+
+TEST(SensitivityTest, EstimatorReportsSamples) {
+  CsrGraph g = MakeComplete(6);
+  CommonNeighborsUtility cn;
+  Rng rng(5);
+  SensitivityEstimate est =
+      EstimateEdgeSensitivity(g, cn, 0, 20, rng, /*relaxed=*/true);
+  EXPECT_EQ(est.samples, 20u);
+  EXPECT_GE(est.max_l1, est.mean_l1);
+}
+
+}  // namespace
+}  // namespace privrec
