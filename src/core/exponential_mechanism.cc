@@ -1,6 +1,7 @@
 #include "core/exponential_mechanism.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -33,6 +34,13 @@ Result<RecommendationDistribution> ExponentialMechanism::Distribution(
   for (double& p : dist.nonzero_probs) p /= partition;
   dist.zero_block_prob = zero_weight / partition;
   return dist;
+}
+
+Result<RecommendationSampler> ExponentialMechanism::MakeSampler(
+    const UtilityVector& utilities) const {
+  PRIVREC_ASSIGN_OR_RETURN(RecommendationDistribution dist,
+                           Distribution(utilities));
+  return RecommendationSampler(utilities, std::move(dist));
 }
 
 Result<Recommendation> ExponentialMechanism::Recommend(

@@ -34,6 +34,14 @@ class ExponentialMechanism : public Mechanism {
   Result<RecommendationDistribution> Distribution(
       const UtilityVector& utilities) const override;
 
+  /// Freezes the normalized distribution into an alias table: one
+  /// O(#nonzero) build, then O(1) per draw — vs Recommend's O(#nonzero)
+  /// cumulative scan per draw. Use whenever more than a handful of draws
+  /// come from the same utility vector (Monte-Carlo loops, peeling top-k,
+  /// steady-state list serving).
+  Result<RecommendationSampler> MakeSampler(
+      const UtilityVector& utilities) const override;
+
  private:
   double epsilon_;
   double sensitivity_;

@@ -29,27 +29,43 @@ Result<Recommendation> LaplaceMechanism::Recommend(
     return Status::FailedPrecondition("no candidates to recommend");
   }
   const LaplaceDistribution noise(noise_scale());
-  Recommendation best;
+  // Generalized zero-block trick: candidates sharing a utility value are
+  // exchangeable, so each maximal tie group contributes max-of-m noise in
+  // O(1) via SampleMaxOf, and — conditioned on the group winning — the
+  // concrete winner is uniform within the group. Utility vectors from
+  // count-style utilities are dominated by ties, so a draw costs
+  // O(#distinct utilities), not O(#nonzero). Distributed exactly as the
+  // naive per-candidate mechanism.
+  const auto& entries = utilities.nonzero();
   double best_noisy = -std::numeric_limits<double>::infinity();
-  for (const UtilityEntry& e : utilities.nonzero()) {
-    double noisy = e.utility + noise.Sample(rng);
+  size_t best_start = 0, best_run = 0;  // best_run == 0 <=> zero block best
+  for (size_t i = 0; i < entries.size();) {
+    size_t j = i + 1;
+    while (j < entries.size() && entries[j].utility == entries[i].utility) {
+      ++j;
+    }
+    const size_t run = j - i;
+    const double noisy =
+        entries[i].utility +
+        (run == 1 ? noise.Sample(rng) : noise.SampleMaxOf(rng, run));
     if (noisy > best_noisy) {
       best_noisy = noisy;
-      best.node = e.node;
-      best.utility = e.utility;
-      best.from_zero_block = false;
+      best_start = i;
+      best_run = run;
     }
+    i = j;
   }
   const uint64_t zeros = utilities.num_zero();
   if (zeros > 0) {
-    double zero_noisy = noise.SampleMaxOf(rng, zeros);
-    if (zero_noisy > best_noisy) {
-      best.node = kUnresolvedZeroNode;
-      best.utility = 0;
-      best.from_zero_block = true;
-    }
+    const double zero_noisy = noise.SampleMaxOf(rng, zeros);
+    if (zero_noisy > best_noisy) best_run = 0;
   }
-  return best;
+  if (best_run == 0) {
+    return Recommendation{kUnresolvedZeroNode, 0.0, true};
+  }
+  const size_t winner =
+      best_start + (best_run == 1 ? 0 : rng.NextBounded(best_run));
+  return Recommendation{entries[winner].node, entries[winner].utility, false};
 }
 
 Result<RecommendationDistribution> LaplaceMechanism::Distribution(

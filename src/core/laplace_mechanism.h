@@ -13,10 +13,15 @@ namespace privrec {
 ///
 /// A naive draw costs O(n) noise samples per recommendation — ~10^5 for
 /// the paper's Twitter graph, of which all but a few hundred belong to
-/// zero-utility candidates. This implementation samples one value for the
-/// entire zero block: max of m iid Laplace variables has CDF F(y)^m, which
-/// LaplaceDistribution::SampleMaxOf inverts in O(1), making a draw
-/// O(#nonzero). The draw is distributed exactly as the naive mechanism.
+/// zero-utility candidates. This implementation samples one value per
+/// maximal group of equal-utility candidates (the zero block is just the
+/// largest such group): the max of m iid Laplace variables has CDF F(y)^m,
+/// which LaplaceDistribution::SampleMaxOf inverts in O(1), and within the
+/// winning group the concrete winner is uniform by exchangeability. A draw
+/// is therefore O(#distinct utility values) — for count-valued utilities
+/// typically tens, not hundreds — and is distributed exactly as the naive
+/// mechanism. This is what makes the paper's 1000-trial Monte-Carlo
+/// procedure cheap in the batch harness.
 ///
 /// Distribution() evaluates the exact win probabilities
 ///   P[i wins] = ∫ f(x-u_i) Π_{j≠i} F(x-u_j) · F(x)^m dx

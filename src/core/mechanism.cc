@@ -3,6 +3,24 @@
 #include <unordered_set>
 
 namespace privrec {
+namespace {
+
+/// Alias-table weights: one bucket per nonzero candidate plus, when the
+/// zero block is nonempty, one aggregated bucket carrying its whole mass.
+std::vector<double> SamplerWeights(const RecommendationDistribution& dist,
+                                   uint64_t num_zero) {
+  std::vector<double> weights = dist.nonzero_probs;
+  if (num_zero > 0) weights.push_back(dist.zero_block_prob);
+  return weights;
+}
+
+}  // namespace
+
+RecommendationSampler::RecommendationSampler(const UtilityVector& utilities,
+                                             RecommendationDistribution dist)
+    : entries_(utilities.nonzero()),
+      num_zero_(utilities.num_zero()),
+      alias_(SamplerWeights(dist, utilities.num_zero())) {}
 
 double RecommendationDistribution::ExpectedAccuracy(
     const UtilityVector& utilities) const {

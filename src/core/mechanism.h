@@ -1,12 +1,15 @@
 #ifndef PRIVREC_CORE_MECHANISM_H_
 #define PRIVREC_CORE_MECHANISM_H_
 
+#include <cstddef>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "graph/csr_graph.h"
+#include "random/alias_sampler.h"
 #include "random/rng.h"
 #include "utility/utility_vector.h"
 
@@ -38,6 +41,54 @@ struct RecommendationDistribution {
   double ExpectedAccuracy(const UtilityVector& utilities) const;
 };
 
+/// O(1)-per-draw sampler over one frozen recommendation distribution:
+/// a Walker/Vose alias table over the nonzero candidates plus one
+/// aggregated slot for the entire zero-utility block. Build once
+/// (O(#nonzero)), then draw as many times as needed — the repeated-draw
+/// workhorse behind Monte-Carlo accuracy loops, peeling top-k, and list
+/// serving. Self-contained: it copies the (node, utility) entries, so it
+/// may outlive the UtilityVector it was built from.
+class RecommendationSampler {
+ public:
+  /// `dist` must be the mechanism's exact output distribution on
+  /// `utilities` (aligned nonzero_probs + zero_block_prob).
+  RecommendationSampler(const UtilityVector& utilities,
+                        RecommendationDistribution dist);
+
+  /// Index in [0, num_nonzero()] — num_nonzero() is the aggregated
+  /// zero-block slot (only ever drawn when num_zero() > 0).
+  size_t DrawIndex(Rng& rng) const { return alias_.Sample(rng); }
+
+  /// One O(1) draw, distributed exactly as the originating mechanism's
+  /// Recommend on the frozen utility vector.
+  Recommendation Draw(Rng& rng) const {
+    const size_t slot = DrawIndex(rng);
+    if (slot == entries_.size()) {
+      return Recommendation{kUnresolvedZeroNode, 0.0, true};
+    }
+    return Recommendation{entries_[slot].node, entries_[slot].utility, false};
+  }
+
+  size_t num_nonzero() const { return entries_.size(); }
+  uint64_t num_zero() const { return num_zero_; }
+
+  /// Exact probability of drawing nonzero entry i.
+  double Probability(size_t i) const { return alias_.Probability(i); }
+
+  /// Exact total probability of the zero-utility block.
+  double ZeroBlockProbability() const {
+    return num_zero_ == 0 ? 0.0 : alias_.Probability(entries_.size());
+  }
+
+  /// The (node, utility) entry behind nonzero slot i.
+  const UtilityEntry& entry(size_t i) const { return entries_[i]; }
+
+ private:
+  std::vector<UtilityEntry> entries_;
+  uint64_t num_zero_;
+  AliasSampler alias_;
+};
+
 /// A (possibly randomized) single-recommendation algorithm R (Section 3.1):
 /// a probability vector over candidates, determined by the utility vector.
 /// Implementations declare their privacy guarantee via epsilon() (infinity
@@ -63,6 +114,18 @@ class Mechanism {
       const UtilityVector& utilities) const {
     (void)utilities;
     return Status::Unimplemented("no closed-form distribution for " + name());
+  }
+
+  /// Builds a frozen O(1)-per-draw sampler equivalent to Recommend on this
+  /// utility vector. Only mechanisms whose exact distribution is cheap to
+  /// materialize override this (ExponentialMechanism: one O(#nonzero)
+  /// pass); the default is Unimplemented so repeated-draw call sites fall
+  /// back to per-draw Recommend rather than silently paying an expensive
+  /// build (Laplace's quadrature costs more than the draws it would save).
+  virtual Result<RecommendationSampler> MakeSampler(
+      const UtilityVector& utilities) const {
+    (void)utilities;
+    return Status::Unimplemented("no frozen sampler for " + name());
   }
 };
 

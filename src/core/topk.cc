@@ -37,22 +37,137 @@ Result<TopKResult> PeelingExponentialTopK(const UtilityVector& utilities,
   const double per_round_epsilon = epsilon / static_cast<double>(k);
   ExponentialMechanism mechanism(per_round_epsilon, sensitivity);
 
+  // Every round uses the same per-round ε, so the unnormalized candidate
+  // weights never change — only the support shrinks. That makes one frozen
+  // alias sampler over the FULL vector exact for every round: drawing from
+  // it conditioned on "not yet picked" (and thinning the aggregated
+  // zero-block slot from its original size to its remaining size) is
+  // precisely the renormalized peeled distribution. No per-round
+  // UtilityVector rebuilds, exp() recomputation, or O(m) find+erase. One
+  // exception: when the picks so far carried essentially all of the frozen
+  // distribution's mass (a far-dominant head at large ε), the leftover
+  // probabilities underflow and conditioning loses information — then,
+  // rarely, the sampler is rebuilt over the remaining pool, restoring full
+  // precision via a fresh u_max.
+  PRIVREC_ASSIGN_OR_RETURN(RecommendationSampler sampler,
+                           mechanism.MakeSampler(utilities));
+  uint64_t zeros = utilities.num_zero();
+
+  // All bookkeeping lives in the current sampler's slot space (the sampler
+  // carries its own (node, utility) copies). `pool` is a swap-and-pop set
+  // of the not-yet-picked slots (the satellite fix for the old
+  // std::find_if + erase), `position[s]` the index of slot s inside it.
+  size_t num_slots = 0;
+  std::vector<uint32_t> pool, position;
+  std::vector<char> picked;
+  size_t pool_size = 0;
+  // Mass of still-available outcomes under the current sampler; doubles as
+  // the rejection acceptance rate and the fallback partition function.
+  double remaining_mass = 1.0;
+  // Zero-block size the current sampler was built against, and the
+  // per-candidate share of its aggregated slot.
+  uint64_t sampler_zeros = 0;
+  double zero_per_candidate = 0;
+
+  auto reset_bookkeeping = [&]() {
+    num_slots = sampler.num_nonzero();
+    pool.resize(num_slots);
+    position.resize(num_slots);
+    picked.assign(num_slots, 0);
+    for (uint32_t s = 0; s < num_slots; ++s) pool[s] = position[s] = s;
+    pool_size = num_slots;
+    sampler_zeros = zeros;
+    zero_per_candidate =
+        zeros > 0
+            ? sampler.ZeroBlockProbability() / static_cast<double>(zeros)
+            : 0.0;
+    remaining_mass = 1.0;
+  };
+  reset_bookkeeping();
+
+  // Rebuilds the sampler over the not-yet-picked pool; O(pool_size log
+  // pool_size), triggered at most once per ~9 decades of lost mass.
+  auto rebuild = [&]() -> Status {
+    std::vector<UtilityEntry> left;
+    left.reserve(pool_size);
+    for (size_t p = 0; p < pool_size; ++p) {
+      left.push_back(sampler.entry(pool[p]));
+    }
+    UtilityVector peeled(utilities.target(),
+                         static_cast<uint64_t>(pool_size) + zeros,
+                         std::move(left));
+    auto rebuilt = mechanism.MakeSampler(peeled);
+    PRIVREC_RETURN_NOT_OK(rebuilt.status());
+    sampler = *std::move(rebuilt);
+    reset_bookkeeping();
+    return Status::OK();
+  };
+
   TopKResult result;
-  // Working copy of the candidate pool.
-  std::vector<UtilityEntry> remaining(utilities.nonzero());
-  uint64_t candidates = utilities.num_candidates();
+  result.picks.reserve(k);
   for (size_t round = 0; round < k; ++round) {
-    UtilityVector pool(utilities.target(), candidates, remaining);
-    PRIVREC_ASSIGN_OR_RETURN(Recommendation pick,
-                             mechanism.Recommend(pool, rng));
-    result.picks.push_back(pick);
-    --candidates;
-    if (!pick.from_zero_block) {
-      auto it = std::find_if(
-          remaining.begin(), remaining.end(),
-          [&](const UtilityEntry& e) { return e.node == pick.node; });
-      PRIVREC_CHECK(it != remaining.end());
-      remaining.erase(it);
+    // Mass collapse: the frozen distribution can no longer resolve the
+    // remaining candidates; rebuild against a fresh u_max.
+    if (remaining_mass < 1e-9) {
+      PRIVREC_RETURN_NOT_OK(rebuild());
+    }
+    // -2 = undecided, -1 = zero block, >= 0 = sampler slot.
+    ptrdiff_t chosen = -2;
+    // Rejection from the frozen table: expected attempts are
+    // 1/remaining_mass, so lean on it only while the remaining mass stays
+    // large; the cap catches adversarially concentrated vectors.
+    if (remaining_mass > 0.25) {
+      for (int attempt = 0; attempt < 64 && chosen == -2; ++attempt) {
+        const size_t slot = sampler.DrawIndex(rng);
+        if (slot == num_slots) {
+          if (zeros == 0) continue;
+          // Thin the aggregated zero slot to its remaining size.
+          if (zeros == sampler_zeros ||
+              rng.NextDouble() * static_cast<double>(sampler_zeros) <
+                  static_cast<double>(zeros)) {
+            chosen = -1;
+          }
+        } else if (!picked[slot]) {
+          chosen = static_cast<ptrdiff_t>(slot);
+        }
+      }
+    }
+    if (chosen == -2) {
+      // Exact fallback: renormalized cumulative scan over the remaining
+      // pool (O(pool_size), allocation-free).
+      double coin = rng.NextDouble() * remaining_mass;
+      for (size_t p = 0; p < pool_size && chosen == -2; ++p) {
+        coin -= sampler.Probability(pool[p]);
+        if (coin < 0) chosen = static_cast<ptrdiff_t>(pool[p]);
+      }
+      if (chosen == -2) {
+        // Floating-point shortfall: attribute the sliver to the zero
+        // block when it still has members, else to the last pool entry.
+        if (zeros > 0) {
+          chosen = -1;
+        } else {
+          PRIVREC_CHECK_GT(pool_size, 0u);
+          chosen = static_cast<ptrdiff_t>(pool[pool_size - 1]);
+        }
+      }
+    }
+
+    if (chosen == -1) {
+      PRIVREC_CHECK_GT(zeros, 0u);
+      --zeros;
+      remaining_mass -= zero_per_candidate;
+      result.picks.push_back(Recommendation{kUnresolvedZeroNode, 0.0, true});
+    } else {
+      const auto slot = static_cast<uint32_t>(chosen);
+      picked[slot] = 1;
+      remaining_mass -= sampler.Probability(slot);
+      // Swap-and-pop removal from the pool.
+      const uint32_t last = pool[pool_size - 1];
+      pool[position[slot]] = last;
+      position[last] = position[slot];
+      --pool_size;
+      const UtilityEntry& e = sampler.entry(slot);
+      result.picks.push_back(Recommendation{e.node, e.utility, false});
     }
   }
   const double ideal = IdealMass(utilities, k);

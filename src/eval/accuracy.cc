@@ -21,10 +21,23 @@ Result<double> MonteCarloExpectedAccuracy(const Mechanism& mechanism,
   if (trials == 0) return Status::InvalidArgument("trials must be > 0");
   const double u_max = utilities.max_utility();
   double total = 0;
-  for (size_t i = 0; i < trials; ++i) {
-    PRIVREC_ASSIGN_OR_RETURN(Recommendation rec,
-                             mechanism.Recommend(utilities, rng));
-    total += rec.utility;
+  // Mechanisms with a cheap frozen sampler (exponential) amortize the
+  // distribution once and draw each trial in O(1); the draws are
+  // distributed exactly as per-trial Recommend runs. Everything else
+  // (Laplace) falls back to honest per-trial mechanism executions.
+  auto sampler = mechanism.MakeSampler(utilities);
+  if (sampler.ok()) {
+    for (size_t i = 0; i < trials; ++i) {
+      total += sampler->Draw(rng).utility;
+    }
+  } else if (sampler.status().IsUnimplemented()) {
+    for (size_t i = 0; i < trials; ++i) {
+      PRIVREC_ASSIGN_OR_RETURN(Recommendation rec,
+                               mechanism.Recommend(utilities, rng));
+      total += rec.utility;
+    }
+  } else {
+    return sampler.status();
   }
   return total / (static_cast<double>(trials) * u_max);
 }

@@ -46,13 +46,19 @@ std::vector<TargetEvaluation> EvaluateTargets(
   const ExponentialMechanism exponential(options.epsilon, sensitivity);
   const LaplaceMechanism laplace(options.epsilon, sensitivity);
 
-  ParallelFor(
+  // One reusable workspace per worker: the per-target loop performs no
+  // O(n) allocations, only the exact-size UtilityVector results.
+  std::vector<UtilityWorkspace> workspaces(
+      ParallelWorkerCount(targets.size(), options.num_threads));
+
+  ParallelForWorkers(
       targets.size(),
-      [&](size_t i) {
+      [&](unsigned worker, size_t i) {
         TargetEvaluation& eval = results[i];
         eval.target = targets[i];
         eval.degree = graph.OutDegree(targets[i]);
-        UtilityVector utilities = utility.Compute(graph, targets[i]);
+        UtilityVector utilities =
+            utility.Compute(graph, targets[i], workspaces[worker]);
         if (utilities.empty()) {
           eval.skipped = true;
           eval.laplace_accuracy = std::numeric_limits<double>::quiet_NaN();

@@ -9,32 +9,53 @@
 
 namespace privrec {
 
-/// Runs fn(i) for i in [0, count) across up to `num_threads` worker
-/// threads (0 = hardware concurrency). Work is claimed via an atomic
-/// counter, so skewed per-item costs (hub vs leaf targets) balance
-/// naturally. fn must be safe to call concurrently for distinct i.
-inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
-                        unsigned num_threads = 0) {
-  if (count == 0) return;
+/// Number of workers ParallelFor/ParallelForWorkers will actually spawn
+/// for `count` items and a requested `num_threads` (0 = hardware
+/// concurrency). Exposed so callers can pre-size per-worker state
+/// (e.g. one UtilityWorkspace per worker).
+inline unsigned ParallelWorkerCount(size_t count, unsigned num_threads = 0) {
+  if (count == 0) return 0;
   if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
-  if (num_threads <= 1 || count == 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+  if (num_threads <= 1 || count == 1) return 1;
+  return static_cast<unsigned>(
+      std::min<size_t>(num_threads, count));
+}
+
+/// Runs fn(worker, i) for i in [0, count) across
+/// ParallelWorkerCount(count, num_threads) workers. Work is claimed via an
+/// atomic counter, so skewed per-item costs (hub vs leaf targets) balance
+/// naturally. `worker` is a dense id in [0, worker_count): fn is never
+/// called concurrently with the same worker id, which makes per-worker
+/// scratch state (workspaces, RNG buffers) race-free without locks.
+inline void ParallelForWorkers(
+    size_t count, const std::function<void(unsigned, size_t)>& fn,
+    unsigned num_threads = 0) {
+  const unsigned workers_needed = ParallelWorkerCount(count, num_threads);
+  if (workers_needed == 0) return;
+  if (workers_needed == 1) {
+    for (size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
-  num_threads = std::min<size_t>(num_threads, count);
   std::atomic<size_t> next{0};
   std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (unsigned w = 0; w < num_threads; ++w) {
-    workers.emplace_back([&]() {
+  workers.reserve(workers_needed);
+  for (unsigned w = 0; w < workers_needed; ++w) {
+    workers.emplace_back([&, w]() {
       while (true) {
         size_t i = next.fetch_add(1);
         if (i >= count) return;
-        fn(i);
+        fn(w, i);
       }
     });
   }
   for (auto& worker : workers) worker.join();
+}
+
+/// Runs fn(i) for i in [0, count); see ParallelForWorkers.
+inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                        unsigned num_threads = 0) {
+  ParallelForWorkers(
+      count, [&fn](unsigned, size_t i) { fn(i); }, num_threads);
 }
 
 }  // namespace privrec

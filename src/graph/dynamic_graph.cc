@@ -17,6 +17,7 @@ DynamicGraph::DynamicGraph(const CsrGraph& graph)
 
 NodeId DynamicGraph::AddNode() {
   adjacency_.emplace_back();
+  ++version_;
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
@@ -35,6 +36,7 @@ Status DynamicGraph::AddEdge(NodeId u, NodeId v) {
   }
   if (!directed_) adjacency_[v].insert(u);
   ++num_edges_;
+  ++version_;
   return Status::OK();
 }
 
@@ -45,6 +47,7 @@ Status DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
   }
   if (!directed_) adjacency_[v].erase(u);
   --num_edges_;
+  ++version_;
   return Status::OK();
 }
 
@@ -53,7 +56,10 @@ bool DynamicGraph::HasEdge(NodeId u, NodeId v) const {
   return adjacency_[u].count(v) > 0;
 }
 
-CsrGraph DynamicGraph::Snapshot() const {
+std::shared_ptr<const CsrGraph> DynamicGraph::SharedSnapshot() const {
+  if (snapshot_ != nullptr && snapshot_version_ == version_) {
+    return snapshot_;
+  }
   GraphBuilder builder(directed_);
   builder.SetNumNodes(num_nodes());
   builder.Reserve(num_edges_);
@@ -63,7 +69,10 @@ CsrGraph DynamicGraph::Snapshot() const {
       builder.AddEdge(u, v);
     }
   }
-  return builder.Build();
+  snapshot_ = std::make_shared<const CsrGraph>(builder.Build());
+  snapshot_version_ = version_;
+  ++snapshot_builds_;
+  return snapshot_;
 }
 
 }  // namespace privrec

@@ -2,6 +2,7 @@
 #define PRIVREC_GRAPH_DYNAMIC_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -19,6 +20,16 @@ namespace privrec {
 /// The privacy story for dynamic graphs is subtle (each re-released
 /// recommendation spends budget — see PrivacyAccountant); this class only
 /// supplies the substrate.
+///
+/// Snapshot versioning contract: every successful mutation (AddNode,
+/// AddEdge, RemoveEdge) bumps version(). SharedSnapshot() materializes the
+/// CSR form at most once per version — repeated calls against an unmutated
+/// graph return the *same* immutable instance, which callers may hold and
+/// share across threads for as long as they like; a snapshot taken before
+/// a mutation remains valid and unchanged afterwards. Same external-
+/// synchronization contract as the mutations themselves: calls into one
+/// DynamicGraph must be serialized, but the returned CsrGraph is
+/// immutable and freely shareable.
 class DynamicGraph {
  public:
   /// Empty graph on num_nodes nodes.
@@ -47,15 +58,38 @@ class DynamicGraph {
     return static_cast<uint32_t>(adjacency_[v].size());
   }
 
-  /// Materializes the current state as an immutable CSR snapshot.
-  CsrGraph Snapshot() const;
+  /// Mutation counter; bumped by AddNode/AddEdge/RemoveEdge (only when the
+  /// mutation succeeds).
+  uint64_t version() const { return version_; }
+
+  /// The cached immutable CSR snapshot of the current state. Rebuilt
+  /// lazily after a mutation; O(1) on an unmutated graph. See the class
+  /// comment for the versioning contract.
+  std::shared_ptr<const CsrGraph> SharedSnapshot() const;
+
+  /// Materializes the current state as an owned CSR copy. Prefer
+  /// SharedSnapshot(): this exists for callers that need an independent
+  /// mutable-lifetime copy and costs a full graph copy per call.
+  CsrGraph Snapshot() const { return *SharedSnapshot(); }
+
+  /// Number of times a CSR snapshot has actually been materialized (cache
+  /// rebuilds). Observable so tests and monitoring can assert that serving
+  /// does not rebuild snapshots on unmutated graphs.
+  uint64_t snapshot_builds() const { return snapshot_builds_; }
 
  private:
   Status ValidateEndpoints(NodeId u, NodeId v) const;
 
   bool directed_;
   uint64_t num_edges_ = 0;
+  uint64_t version_ = 0;
   std::vector<std::unordered_set<NodeId>> adjacency_;
+
+  // Lazily built snapshot cache; snapshot_version_ records the graph
+  // version the cache corresponds to (valid only when snapshot_ != null).
+  mutable std::shared_ptr<const CsrGraph> snapshot_;
+  mutable uint64_t snapshot_version_ = 0;
+  mutable uint64_t snapshot_builds_ = 0;
 };
 
 }  // namespace privrec

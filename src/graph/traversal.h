@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/logging.h"
 #include "graph/csr_graph.h"
 
 namespace privrec {
@@ -17,9 +18,14 @@ std::vector<uint32_t> BfsDistances(const CsrGraph& graph, NodeId source);
 
 /// Sparse (node, count) accumulator reused across traversals; equivalent to
 /// a dense array + touched-list, so repeated per-target traversals are
-/// O(work) instead of O(n).
+/// O(work) instead of O(n). A counter can be Resize()d between uses, so one
+/// instance amortizes its O(n) backing array across many targets — and even
+/// across graphs of different sizes (UtilityWorkspace relies on this).
 class SparseCounter {
  public:
+  /// Zero-capacity counter; call Resize() before use.
+  SparseCounter() = default;
+
   explicit SparseCounter(NodeId num_nodes)
       : values_(num_nodes, 0.0) {}
 
@@ -30,8 +36,25 @@ class SparseCounter {
 
   double Get(NodeId v) const { return values_[v]; }
 
+  /// Number of node slots currently addressable.
+  NodeId num_nodes() const { return static_cast<NodeId>(values_.size()); }
+
   /// Nodes with nonzero accumulated value, in touch order.
   const std::vector<NodeId>& touched() const { return touched_; }
+
+  /// Pre-sizes the touched list for an expected number of nonzero slots.
+  void Reserve(size_t expected_touched) { touched_.reserve(expected_touched); }
+
+  /// Re-targets the counter at a graph with `num_nodes` nodes. Requires the
+  /// counter to be cleared (no stale nonzero slot may survive a shrink).
+  /// Growing reuses the backing allocation when capacity suffices, and
+  /// shrinking never releases it, so ping-ponging between graph sizes does
+  /// not reallocate in the common case.
+  void Resize(NodeId num_nodes) {
+    PRIVREC_CHECK(touched_.empty())
+        << "SparseCounter::Resize requires a cleared counter";
+    values_.resize(num_nodes, 0.0);
+  }
 
   void Clear() {
     for (NodeId v : touched_) values_[v] = 0.0;

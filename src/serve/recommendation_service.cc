@@ -38,13 +38,25 @@ const UtilityVector& RecommendationService::GetUtilities(NodeId user) {
   }
   ++stats_.cache_misses;
   EvictIfNeeded();
-  CsrGraph snapshot = graph_->Snapshot();
-  CacheEntry entry{utility_->Compute(snapshot, user), {}, clock_};
+  // Shared snapshot (no copy) + reused workspace: a cache miss costs only
+  // the utility traversal, not an O(n + m) graph materialization.
+  std::shared_ptr<const CsrGraph> snapshot = graph_->SharedSnapshot();
+  CacheEntry entry{utility_->Compute(*snapshot, user, workspace_), {},
+                   clock_};
   entry.watched.insert(user);
-  for (NodeId v : snapshot.OutNeighbors(user)) entry.watched.insert(v);
+  for (NodeId v : snapshot->OutNeighbors(user)) entry.watched.insert(v);
   auto [inserted, ok] = cache_.emplace(user, std::move(entry));
   PRIVREC_CHECK(ok);
   return inserted->second.utilities;
+}
+
+double RecommendationService::CurrentSensitivity(const CsrGraph& snapshot) {
+  if (!sensitivity_valid_ || sensitivity_version_ != graph_->version()) {
+    sensitivity_ = utility_->SensitivityBound(snapshot);
+    sensitivity_version_ = graph_->version();
+    sensitivity_valid_ = true;
+  }
+  return sensitivity_;
 }
 
 void RecommendationService::EvictIfNeeded() {
@@ -95,14 +107,14 @@ Result<NodeId> RecommendationService::ServeRecommendation(NodeId user,
     return charge;
   }
   const UtilityVector& utilities = GetUtilities(user);
-  CsrGraph snapshot = graph_->Snapshot();
+  std::shared_ptr<const CsrGraph> snapshot = graph_->SharedSnapshot();
   ExponentialMechanism mechanism(options_.release_epsilon,
-                                 utility_->SensitivityBound(snapshot));
+                                 CurrentSensitivity(*snapshot));
   PRIVREC_ASSIGN_OR_RETURN(Recommendation rec,
                            mechanism.Recommend(utilities, rng));
   ++stats_.served;
   if (!rec.from_zero_block) return rec.node;
-  return ResolveZeroUtilityNode(snapshot, utilities, rng);
+  return ResolveZeroUtilityNode(*snapshot, utilities, rng);
 }
 
 Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k,
@@ -118,10 +130,10 @@ Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k,
     return charge;
   }
   const UtilityVector& utilities = GetUtilities(user);
-  CsrGraph snapshot = graph_->Snapshot();
-  auto result = PeelingExponentialTopK(
-      utilities, k, options_.release_epsilon,
-      utility_->SensitivityBound(snapshot), rng);
+  std::shared_ptr<const CsrGraph> snapshot = graph_->SharedSnapshot();
+  auto result = PeelingExponentialTopK(utilities, k,
+                                       options_.release_epsilon,
+                                       CurrentSensitivity(*snapshot), rng);
   if (result.ok()) ++stats_.served;
   return result;
 }

@@ -46,6 +46,13 @@ struct ServiceStats {
 ///  - exponential-mechanism releases calibrated to the utility's
 ///    sensitivity on the current graph.
 ///
+/// Batch-serving fast path: the service never copies the graph — it holds
+/// the DynamicGraph's version-stamped shared snapshot (rebuilt only after
+/// a mutation) — and computes utility vectors into a long-lived
+/// UtilityWorkspace, so steady-state serving performs no O(n) work beyond
+/// the utility traversal itself. Lists are drawn through the exponential
+/// mechanism's O(1) alias sampler (see ExponentialMechanism::MakeSampler).
+///
 /// Thread-compatibility: external synchronization required (same contract
 /// as the underlying DynamicGraph).
 class RecommendationService {
@@ -87,6 +94,10 @@ class RecommendationService {
   /// Fetches (or computes and caches) the user's utility vector.
   const UtilityVector& GetUtilities(NodeId user);
 
+  /// The utility's sensitivity on the current snapshot, recomputed only
+  /// when the graph version changes (it can cost an O(n) degree scan).
+  double CurrentSensitivity(const CsrGraph& snapshot);
+
   PrivacyAccountant& AccountantFor(NodeId user);
 
   void InvalidateTouching(NodeId u, NodeId v);
@@ -99,6 +110,15 @@ class RecommendationService {
   uint64_t clock_ = 0;
   std::unordered_map<NodeId, CacheEntry> cache_;
   std::unordered_map<NodeId, PrivacyAccountant> accountants_;
+
+  /// Reused across every cache-miss Compute; the service contract is
+  /// externally synchronized, so one workspace suffices.
+  UtilityWorkspace workspace_;
+
+  /// Sensitivity memo for the graph version it was computed at.
+  double sensitivity_ = 0;
+  uint64_t sensitivity_version_ = 0;
+  bool sensitivity_valid_ = false;
 };
 
 }  // namespace privrec

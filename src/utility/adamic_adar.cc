@@ -14,9 +14,10 @@ double InverseLogDegree(uint32_t degree) {
 
 }  // namespace
 
-UtilityVector AdamicAdarUtility::Compute(const CsrGraph& graph,
-                                         NodeId target) const {
-  SparseCounter counter(graph.num_nodes());
+UtilityVector AdamicAdarUtility::Compute(const CsrGraph& graph, NodeId target,
+                                         UtilityWorkspace& workspace) const {
+  workspace.PrepareFor(graph);
+  SparseCounter& counter = workspace.counter(0);
   for (NodeId mid : graph.OutNeighbors(target)) {
     const double weight = InverseLogDegree(graph.OutDegree(mid));
     for (NodeId far : graph.OutNeighbors(mid)) {
@@ -24,16 +25,7 @@ UtilityVector AdamicAdarUtility::Compute(const CsrGraph& graph,
       counter.Add(far, weight);
     }
   }
-  std::vector<UtilityEntry> nonzero;
-  nonzero.reserve(counter.touched().size());
-  for (NodeId v : counter.touched()) {
-    if (graph.HasEdge(target, v)) continue;
-    nonzero.push_back({v, counter.Get(v)});
-  }
-  const uint64_t num_candidates =
-      static_cast<uint64_t>(graph.num_nodes()) - 1 -
-      graph.OutDegree(target);
-  return UtilityVector(target, num_candidates, std::move(nonzero));
+  return FinalizeUtilityScores(graph, target, counter, workspace);
 }
 
 double AdamicAdarUtility::SensitivityBound(const CsrGraph& graph) const {

@@ -14,7 +14,9 @@ class AdamicAdarUtility : public UtilityFunction {
  public:
   std::string name() const override { return "adamic_adar"; }
 
-  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+  using UtilityFunction::Compute;
+  UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                        UtilityWorkspace& workspace) const override;
 
   /// One non-target edge contributes, per orientation, (a) one new
   /// common-neighbor term worth at most 1/ln 2 and (b) a degree shift of

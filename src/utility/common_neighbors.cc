@@ -4,25 +4,17 @@
 
 namespace privrec {
 
-UtilityVector CommonNeighborsUtility::Compute(const CsrGraph& graph,
-                                              NodeId target) const {
-  SparseCounter counter(graph.num_nodes());
+UtilityVector CommonNeighborsUtility::Compute(
+    const CsrGraph& graph, NodeId target, UtilityWorkspace& workspace) const {
+  workspace.PrepareFor(graph);
+  SparseCounter& counter = workspace.counter(0);
   for (NodeId mid : graph.OutNeighbors(target)) {
     for (NodeId far : graph.OutNeighbors(mid)) {
       if (far == target) continue;
       counter.Add(far, 1.0);
     }
   }
-  std::vector<UtilityEntry> nonzero;
-  nonzero.reserve(counter.touched().size());
-  for (NodeId v : counter.touched()) {
-    if (graph.HasEdge(target, v)) continue;  // already connected: excluded
-    nonzero.push_back({v, counter.Get(v)});
-  }
-  const uint64_t num_candidates =
-      static_cast<uint64_t>(graph.num_nodes()) - 1 -
-      graph.OutDegree(target);
-  return UtilityVector(target, num_candidates, std::move(nonzero));
+  return FinalizeUtilityScores(graph, target, counter, workspace);
 }
 
 double CommonNeighborsUtility::SensitivityBound(const CsrGraph& graph) const {

@@ -15,7 +15,9 @@ class CommonNeighborsUtility : public UtilityFunction {
  public:
   std::string name() const override { return "common_neighbors"; }
 
-  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+  using UtilityFunction::Compute;
+  UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                        UtilityWorkspace& workspace) const override;
 
   /// Relaxed edge DP: an edge (x,y) with x,y != r changes C(y,r) by one if
   /// x ~ r and C(x,r) by one if y ~ r, so Δf = 2 (1 on directed graphs,

@@ -1,45 +1,27 @@
 #include "utility/link_predictors.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "graph/traversal.h"
 
 namespace privrec {
-namespace {
-
-/// Shared scaffold: builds the candidate set (everything except the target
-/// and its out-neighbors) from a sparse score accumulator.
-UtilityVector FinalizeScores(const CsrGraph& graph, NodeId target,
-                             const SparseCounter& scores) {
-  std::vector<UtilityEntry> nonzero;
-  nonzero.reserve(scores.touched().size());
-  for (NodeId v : scores.touched()) {
-    if (v == target || graph.HasEdge(target, v)) continue;
-    double u = scores.Get(v);
-    if (u > 0) nonzero.push_back({v, u});
-  }
-  const uint64_t num_candidates =
-      static_cast<uint64_t>(graph.num_nodes()) - 1 -
-      graph.OutDegree(target);
-  return UtilityVector(target, num_candidates, std::move(nonzero));
-}
-
-}  // namespace
 
 // ----------------------------------------------------------------- Jaccard
 
-UtilityVector JaccardUtility::Compute(const CsrGraph& graph,
-                                      NodeId target) const {
-  SparseCounter common(graph.num_nodes());
+UtilityVector JaccardUtility::Compute(const CsrGraph& graph, NodeId target,
+                                      UtilityWorkspace& workspace) const {
+  workspace.PrepareFor(graph);
+  SparseCounter& common = workspace.counter(0);
   for (NodeId mid : graph.OutNeighbors(target)) {
     for (NodeId far : graph.OutNeighbors(mid)) {
       if (far == target) continue;
       common.Add(far, 1.0);
     }
   }
-  SparseCounter scores(graph.num_nodes());
+  SparseCounter& scores = workspace.counter(1);
   const double d_r = graph.OutDegree(target);
   for (NodeId v : common.touched()) {
     const double inter = common.Get(v);
@@ -47,7 +29,7 @@ UtilityVector JaccardUtility::Compute(const CsrGraph& graph,
         d_r + static_cast<double>(graph.OutDegree(v)) - inter;
     if (uni > 0) scores.Add(v, inter / uni);
   }
-  return FinalizeScores(graph, target, scores);
+  return FinalizeUtilityScores(graph, target, scores, workspace);
 }
 
 double JaccardUtility::SensitivityBound(const CsrGraph& graph) const {
@@ -62,9 +44,10 @@ double JaccardUtility::EdgeAlterationsT(
 
 // -------------------------------------------------- PreferentialAttachment
 
-UtilityVector PreferentialAttachmentUtility::Compute(const CsrGraph& graph,
-                                                     NodeId target) const {
-  SparseCounter scores(graph.num_nodes());
+UtilityVector PreferentialAttachmentUtility::Compute(
+    const CsrGraph& graph, NodeId target, UtilityWorkspace& workspace) const {
+  workspace.PrepareFor(graph);
+  SparseCounter& scores = workspace.counter(0);
   const double d_r = graph.OutDegree(target);
   if (d_r > 0) {
     // Only 2-hop-reachable candidates are materialized: scoring all n
@@ -77,7 +60,7 @@ UtilityVector PreferentialAttachmentUtility::Compute(const CsrGraph& graph,
       }
     }
   }
-  return FinalizeScores(graph, target, scores);
+  return FinalizeUtilityScores(graph, target, scores, workspace);
 }
 
 double PreferentialAttachmentUtility::SensitivityBound(
@@ -95,9 +78,10 @@ double PreferentialAttachmentUtility::EdgeAlterationsT(
 
 // ------------------------------------------------------ ResourceAllocation
 
-UtilityVector ResourceAllocationUtility::Compute(const CsrGraph& graph,
-                                                 NodeId target) const {
-  SparseCounter scores(graph.num_nodes());
+UtilityVector ResourceAllocationUtility::Compute(
+    const CsrGraph& graph, NodeId target, UtilityWorkspace& workspace) const {
+  workspace.PrepareFor(graph);
+  SparseCounter& scores = workspace.counter(0);
   for (NodeId mid : graph.OutNeighbors(target)) {
     const uint32_t degree = graph.OutDegree(mid);
     if (degree == 0) continue;
@@ -107,7 +91,7 @@ UtilityVector ResourceAllocationUtility::Compute(const CsrGraph& graph,
       scores.Add(far, weight);
     }
   }
-  return FinalizeScores(graph, target, scores);
+  return FinalizeUtilityScores(graph, target, scores, workspace);
 }
 
 double ResourceAllocationUtility::SensitivityBound(
@@ -134,26 +118,30 @@ std::string KatzUtility::name() const {
          ",L=" + std::to_string(max_length_) + "]";
 }
 
-UtilityVector KatzUtility::Compute(const CsrGraph& graph,
-                                   NodeId target) const {
-  SparseCounter frontier(graph.num_nodes());
-  SparseCounter scores(graph.num_nodes());
-  frontier.Add(target, 1.0);
+UtilityVector KatzUtility::Compute(const CsrGraph& graph, NodeId target,
+                                   UtilityWorkspace& workspace) const {
+  workspace.PrepareFor(graph);
+  SparseCounter& scores = workspace.counter(0);
+  // Ping-pong between two workspace counters instead of allocating a fresh
+  // frontier per step.
+  SparseCounter* frontier = &workspace.counter(1);
+  SparseCounter* next = &workspace.counter(2);
+  frontier->Add(target, 1.0);
   double weight = 1.0;
   for (int step = 1; step <= max_length_; ++step) {
     weight *= beta_;
-    SparseCounter next(graph.num_nodes());
-    for (NodeId v : frontier.touched()) {
-      const double walks = frontier.Get(v);
+    for (NodeId v : frontier->touched()) {
+      const double walks = frontier->Get(v);
       for (NodeId w : graph.OutNeighbors(v)) {
         if (w == target) continue;  // walks avoid r as an intermediate
-        next.Add(w, walks);
+        next->Add(w, walks);
       }
     }
-    for (NodeId w : next.touched()) scores.Add(w, weight * next.Get(w));
-    frontier = std::move(next);
+    for (NodeId w : next->touched()) scores.Add(w, weight * next->Get(w));
+    frontier->Clear();
+    std::swap(frontier, next);
   }
-  return FinalizeScores(graph, target, scores);
+  return FinalizeUtilityScores(graph, target, scores, workspace);
 }
 
 double KatzUtility::SensitivityBound(const CsrGraph& graph) const {

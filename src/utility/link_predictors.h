@@ -18,7 +18,9 @@ class JaccardUtility : public UtilityFunction {
  public:
   std::string name() const override { return "jaccard"; }
 
-  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+  using UtilityFunction::Compute;
+  UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                        UtilityWorkspace& workspace) const override;
 
   /// One edge toggle moves the intersection by <= 1 and the union by <= 1
   /// for up to two affected candidates, each term bounded by 1 (Jaccard is
@@ -42,7 +44,9 @@ class PreferentialAttachmentUtility : public UtilityFunction {
  public:
   std::string name() const override { return "preferential_attachment"; }
 
-  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+  using UtilityFunction::Compute;
+  UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                        UtilityWorkspace& workspace) const override;
 
   /// An edge toggle can (a) shift two candidates' degrees (±d_r each) and
   /// (b) add/remove an entire candidate from the 2-hop pool, whose full
@@ -66,7 +70,9 @@ class ResourceAllocationUtility : public UtilityFunction {
  public:
   std::string name() const override { return "resource_allocation"; }
 
-  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+  using UtilityFunction::Compute;
+  UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                        UtilityWorkspace& workspace) const override;
 
   /// New common-neighbor term <= 1/1 = 1 (clamped at degree 1... degree of
   /// an intermediate on a path is >= 2 after the toggle, so <= 1/2);
@@ -89,7 +95,9 @@ class KatzUtility : public UtilityFunction {
 
   std::string name() const override;
 
-  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+  using UtilityFunction::Compute;
+  UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                        UtilityWorkspace& workspace) const override;
 
   /// Geometric series bound: a toggled edge can appear in at most
   /// L·d_max^{L-2} truncated walks per orientation, each weighted <= β²

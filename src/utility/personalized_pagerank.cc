@@ -1,6 +1,7 @@
 #include "utility/personalized_pagerank.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -20,19 +21,21 @@ std::string PersonalizedPageRankUtility::name() const {
          ",iters=" + std::to_string(iterations_) + "]";
 }
 
-UtilityVector PersonalizedPageRankUtility::Compute(const CsrGraph& graph,
-                                                   NodeId target) const {
+UtilityVector PersonalizedPageRankUtility::Compute(
+    const CsrGraph& graph, NodeId target, UtilityWorkspace& workspace) const {
+  workspace.PrepareFor(graph);
   // Sparse push power iteration: mass stays on the touched set only, so a
-  // few iterations from one source never go O(n) on large graphs.
-  SparseCounter current(graph.num_nodes());
-  SparseCounter accumulated(graph.num_nodes());
-  current.Add(target, 1.0);
+  // few iterations from one source never go O(n) on large graphs. The walk
+  // ping-pongs between two workspace counters.
+  SparseCounter& accumulated = workspace.counter(0);
+  SparseCounter* current = &workspace.counter(1);
+  SparseCounter* next = &workspace.counter(2);
+  current->Add(target, 1.0);
   double dangling_restart = 0;  // mass that re-teleports to the target
 
   for (int iter = 0; iter < iterations_; ++iter) {
-    SparseCounter next(graph.num_nodes());
-    for (NodeId v : current.touched()) {
-      const double mass = current.Get(v);
+    for (NodeId v : current->touched()) {
+      const double mass = current->Get(v);
       if (mass == 0) continue;
       accumulated.Add(v, restart_ * mass);
       const double push = (1.0 - restart_) * mass;
@@ -42,28 +45,19 @@ UtilityVector PersonalizedPageRankUtility::Compute(const CsrGraph& graph,
         continue;
       }
       const double share = push / degree;
-      for (NodeId w : graph.OutNeighbors(v)) next.Add(w, share);
+      for (NodeId w : graph.OutNeighbors(v)) next->Add(w, share);
     }
-    next.Add(target, dangling_restart);
+    next->Add(target, dangling_restart);
     dangling_restart = 0;
-    current = std::move(next);
+    current->Clear();
+    std::swap(current, next);
   }
   // Residual walk mass ((1-restart)^iterations, < 1% at the default 30
   // iterations) is dropped: attributing it anywhere would bias scores, and
   // accuracy is scale-invariant so uniform truncation is harmless.
 
-  std::vector<UtilityEntry> nonzero;
-  nonzero.reserve(accumulated.touched().size());
-  const double scale = 1.0 / restart_;
-  for (NodeId v : accumulated.touched()) {
-    if (v == target || graph.HasEdge(target, v)) continue;
-    double u = accumulated.Get(v) * scale;
-    if (u > 0) nonzero.push_back({v, u});
-  }
-  const uint64_t num_candidates =
-      static_cast<uint64_t>(graph.num_nodes()) - 1 -
-      graph.OutDegree(target);
-  return UtilityVector(target, num_candidates, std::move(nonzero));
+  return FinalizeUtilityScores(graph, target, accumulated, workspace,
+                               /*scale=*/1.0 / restart_);
 }
 
 double PersonalizedPageRankUtility::SensitivityBound(

@@ -20,7 +20,9 @@ class PersonalizedPageRankUtility : public UtilityFunction {
 
   std::string name() const override;
 
-  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+  using UtilityFunction::Compute;
+  UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                        UtilityWorkspace& workspace) const override;
 
   /// There is no tight closed-form edge sensitivity for PPR; we use the
   /// standard coarse bound ||Δppr||_1 <= 2/restart · (1-restart) scaled by

@@ -5,6 +5,7 @@
 
 #include "graph/csr_graph.h"
 #include "utility/utility_vector.h"
+#include "utility/utility_workspace.h"
 
 namespace privrec {
 
@@ -23,7 +24,22 @@ class UtilityFunction {
   /// Computes the utility vector for `target`. The candidate set excludes
   /// `target` and its existing out-neighbors (the paper's experimental
   /// convention). Directed graphs are traversed along out-edges.
-  virtual UtilityVector Compute(const CsrGraph& graph, NodeId target) const = 0;
+  ///
+  /// Convenience form: allocates a throwaway workspace. Batch callers
+  /// (EvaluateTargets, RecommendationService) use the workspace overload so
+  /// the O(n) scratch buffers are paid once per thread, not per target.
+  UtilityVector Compute(const CsrGraph& graph, NodeId target) const {
+    UtilityWorkspace workspace;
+    return Compute(graph, target, workspace);
+  }
+
+  /// Workspace form: all scratch state lives in `workspace`, which may be
+  /// reused across targets and graphs (one per thread; see
+  /// UtilityWorkspace). Produces bit-identical results to the convenience
+  /// form — implementations perform the same arithmetic in the same order
+  /// regardless of where the buffers came from.
+  virtual UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                                UtilityWorkspace& workspace) const = 0;
 
   /// Conservative global L1 sensitivity Δf = max ||u^G - u^{G'}||_1 over
   /// neighboring graphs differing in one edge *not incident to the target*

@@ -1,0 +1,101 @@
+#ifndef PRIVREC_UTILITY_UTILITY_WORKSPACE_H_
+#define PRIVREC_UTILITY_UTILITY_WORKSPACE_H_
+
+#include <deque>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/traversal.h"
+#include "utility/utility_vector.h"
+
+namespace privrec {
+
+/// Reusable scratch space for UtilityFunction::Compute: a pool of
+/// SparseCounters plus an entry buffer, all sized to the graph once and
+/// then recycled target after target. This removes every O(n) allocation
+/// from the per-target loop of batch evaluation and steady-state serving.
+///
+/// Ownership rules (see README "Batch-serving architecture"):
+///  - One workspace per thread. Workspaces are not thread-safe; the batch
+///    harness gives each ParallelFor worker its own, and the serving layer
+///    owns one per service (the service contract is already
+///    externally-synchronized).
+///  - A workspace may be reused across graphs of different sizes; counters
+///    are re-targeted via SparseCounter::Resize, which keeps the largest
+///    backing array ever needed.
+///  - Compute overloads must call PrepareFor(graph) first and must not
+///    assume counter contents survive across calls.
+class UtilityWorkspace {
+ public:
+  UtilityWorkspace() = default;
+
+  // Scratch buffers cannot be shared; copying is almost certainly a bug
+  // (it would silently reintroduce per-call allocation).
+  UtilityWorkspace(const UtilityWorkspace&) = delete;
+  UtilityWorkspace& operator=(const UtilityWorkspace&) = delete;
+  UtilityWorkspace(UtilityWorkspace&&) = default;
+  UtilityWorkspace& operator=(UtilityWorkspace&&) = default;
+
+  /// Readies the workspace for one Compute call on `graph`: existing
+  /// counters are cleared and re-targeted at graph.num_nodes(), the entry
+  /// buffer is emptied (capacity kept). O(total touched last call), not
+  /// O(n).
+  void PrepareFor(const CsrGraph& graph) {
+    num_nodes_ = graph.num_nodes();
+    for (SparseCounter& counter : counters_) {
+      counter.Clear();
+      counter.Resize(num_nodes_);
+    }
+    entries_.clear();
+  }
+
+  /// Cleared counter sized to the prepared graph. Slots are stable within
+  /// one Compute call; each utility assigns its own meaning to each slot.
+  /// (counters_ is a deque so growing it never invalidates references
+  /// already handed out for lower slots.)
+  SparseCounter& counter(size_t slot) {
+    while (counters_.size() <= slot) {
+      counters_.emplace_back(num_nodes_);
+    }
+    return counters_[slot];
+  }
+
+  /// Cleared scratch buffer for assembling the nonzero entries. The
+  /// UtilityVector constructor copies from it (exact-size allocation for
+  /// the returned vector), leaving the buffer's capacity with the
+  /// workspace for the next target.
+  std::vector<UtilityEntry>& entries() { return entries_; }
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::deque<SparseCounter> counters_;
+  std::vector<UtilityEntry> entries_;
+};
+
+/// Shared epilogue of every 2-hop-style utility: turns a sparse score
+/// accumulator into the final UtilityVector under the paper's candidate
+/// convention (every node except the target and its out-neighbors), using
+/// the workspace's entry buffer as scratch. Entries are `scale * score`,
+/// kept only when strictly positive.
+inline UtilityVector FinalizeUtilityScores(const CsrGraph& graph,
+                                           NodeId target,
+                                           const SparseCounter& scores,
+                                           UtilityWorkspace& workspace,
+                                           double scale = 1.0) {
+  std::vector<UtilityEntry>& nonzero = workspace.entries();
+  nonzero.reserve(scores.touched().size());
+  for (NodeId v : scores.touched()) {
+    if (v == target || graph.HasEdge(target, v)) continue;
+    const double u = scores.Get(v) * scale;
+    if (u > 0) nonzero.push_back({v, u});
+  }
+  const uint64_t num_candidates =
+      static_cast<uint64_t>(graph.num_nodes()) - 1 - graph.OutDegree(target);
+  return UtilityVector(target, num_candidates, nonzero);
+}
+
+}  // namespace privrec
+
+#endif  // PRIVREC_UTILITY_UTILITY_WORKSPACE_H_

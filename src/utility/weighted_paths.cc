@@ -20,10 +20,11 @@ std::string WeightedPathsUtility::name() const {
          ",L=" + std::to_string(max_length_) + "]";
 }
 
-UtilityVector WeightedPathsUtility::Compute(const CsrGraph& graph,
-                                            NodeId target) const {
+UtilityVector WeightedPathsUtility::Compute(
+    const CsrGraph& graph, NodeId target, UtilityWorkspace& workspace) const {
+  workspace.PrepareFor(graph);
   // paths2[i] = |{a : r->a->i}| — simple by construction (a != r, i != r).
-  SparseCounter paths2(graph.num_nodes());
+  SparseCounter& paths2 = workspace.counter(0);
   for (NodeId a : graph.OutNeighbors(target)) {
     for (NodeId i : graph.OutNeighbors(a)) {
       if (i == target) continue;
@@ -31,13 +32,13 @@ UtilityVector WeightedPathsUtility::Compute(const CsrGraph& graph,
     }
   }
 
-  SparseCounter score(graph.num_nodes());
+  SparseCounter& score = workspace.counter(1);
   for (NodeId v : paths2.touched()) score.Add(v, paths2.Get(v));
 
   if (max_length_ >= 3) {
     // walks3[c] = Σ_{b != r} paths2[b] · [b -> c], c != r. This counts all
     // 3-walks r→a→b→c avoiding r; subtract the non-simple family c == a.
-    SparseCounter walks3(graph.num_nodes());
+    SparseCounter& walks3 = workspace.counter(2);
     for (NodeId b : paths2.touched()) {
       const double count_b = paths2.Get(b);
       for (NodeId c : graph.OutNeighbors(b)) {
@@ -47,7 +48,7 @@ UtilityVector WeightedPathsUtility::Compute(const CsrGraph& graph,
     }
     // Non-simple walks r→a→b→a: for each first-hop a and each b in
     // N(a)\{r} with an edge back b->a, one walk per such b.
-    SparseCounter backtracks(graph.num_nodes());
+    SparseCounter& backtracks = workspace.counter(3);
     for (NodeId a : graph.OutNeighbors(target)) {
       double back = 0;
       for (NodeId b : graph.OutNeighbors(a)) {
@@ -62,17 +63,7 @@ UtilityVector WeightedPathsUtility::Compute(const CsrGraph& graph,
     }
   }
 
-  std::vector<UtilityEntry> nonzero;
-  nonzero.reserve(score.touched().size());
-  for (NodeId v : score.touched()) {
-    if (graph.HasEdge(target, v)) continue;
-    double u = score.Get(v);
-    if (u > 0) nonzero.push_back({v, u});
-  }
-  const uint64_t num_candidates =
-      static_cast<uint64_t>(graph.num_nodes()) - 1 -
-      graph.OutDegree(target);
-  return UtilityVector(target, num_candidates, std::move(nonzero));
+  return FinalizeUtilityScores(graph, target, score, workspace);
 }
 
 double WeightedPathsUtility::SensitivityBound(const CsrGraph& graph) const {

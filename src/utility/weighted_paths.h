@@ -26,7 +26,9 @@ class WeightedPathsUtility : public UtilityFunction {
   double gamma() const { return gamma_; }
   int max_length() const { return max_length_; }
 
-  UtilityVector Compute(const CsrGraph& graph, NodeId target) const override;
+  using UtilityFunction::Compute;
+  UtilityVector Compute(const CsrGraph& graph, NodeId target,
+                        UtilityWorkspace& workspace) const override;
 
   /// Conservative relaxed-edge-DP L1 bound: one new edge (x,y) away from r
   /// contributes at most 1 at l=2 per orientation and at most γ·d_max new

@@ -77,6 +77,52 @@ TEST(DynamicGraphTest, AddNodeGrowsGraph) {
   EXPECT_EQ(g.Snapshot().num_nodes(), 3u);
 }
 
+TEST(DynamicGraphTest, SharedSnapshotIsCachedWhileUnmutated) {
+  DynamicGraph g(MakeTwoTriangleFixture());
+  auto first = g.SharedSnapshot();
+  auto second = g.SharedSnapshot();
+  // Same immutable instance, no rebuild.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(g.snapshot_builds(), 1u);
+  // Snapshot() copies must come from the same cached build.
+  CsrGraph copy = g.Snapshot();
+  EXPECT_EQ(g.snapshot_builds(), 1u);
+  EXPECT_TRUE(copy.Equals(*first));
+}
+
+TEST(DynamicGraphTest, MutationBumpsVersionAndInvalidatesSnapshot) {
+  DynamicGraph g(MakeTwoTriangleFixture());
+  const uint64_t v0 = g.version();
+  auto before = g.SharedSnapshot();
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  EXPECT_GT(g.version(), v0);
+  auto after = g.SharedSnapshot();
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_TRUE(after->HasEdge(0, 4));
+  ASSERT_TRUE(g.RemoveEdge(0, 4).ok());
+  auto reverted = g.SharedSnapshot();
+  EXPECT_NE(after.get(), reverted.get());
+  EXPECT_FALSE(reverted->HasEdge(0, 4));
+  // Failed mutations must NOT invalidate the cache.
+  const uint64_t builds = g.snapshot_builds();
+  EXPECT_TRUE(g.AddEdge(0, 1).IsFailedPrecondition());  // already present
+  EXPECT_EQ(g.SharedSnapshot().get(), reverted.get());
+  EXPECT_EQ(g.snapshot_builds(), builds);
+}
+
+TEST(DynamicGraphTest, HeldSnapshotSurvivesMutationUnchanged) {
+  DynamicGraph g(MakeTwoTriangleFixture());
+  CsrGraph original = MakeTwoTriangleFixture();
+  auto held = g.SharedSnapshot();
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  ASSERT_TRUE(g.AddEdge(1, 5).ok());
+  // The old snapshot is immutable and still describes the pre-mutation
+  // graph, even though the cache has moved on.
+  EXPECT_TRUE(held->Equals(original));
+  EXPECT_FALSE(held->HasEdge(0, 4));
+  EXPECT_TRUE(g.SharedSnapshot()->HasEdge(0, 4));
+}
+
 TEST(DynamicGraphTest, EvolvingGraphChangesUtilities) {
   // The Section 8 dynamic story in miniature: as a user makes friends,
   // a candidate's utility (and hence the private recommender's accuracy
@@ -266,6 +312,68 @@ TEST(TopKTest, PeelingAccuracyGrowsWithEpsilon) {
     prev = mean;
   }
   EXPECT_GT(prev, 0.9);  // at eps=16 the list is nearly ideal
+}
+
+TEST(TopKTest, PeelingSurvivesConcentratedMass) {
+  // A far-dominant head at a large per-round ε: after the head is peeled,
+  // the frozen sampler's leftover mass underflows and the implementation
+  // must fall back to the exact scan / rebuild path. The run must stay
+  // well-formed: k distinct picks, the dominant candidate first almost
+  // always, and no zero-block overdraws.
+  UtilityVector u(0, 6,
+                  {{1, 1000.0}, {2, 4.0}, {3, 3.0}, {4, 2.0}, {5, 1.0}});
+  ASSERT_EQ(u.num_zero(), 1u);
+  Rng rng(101);
+  int head_first = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto result = PeelingExponentialTopK(u, 6, 60.0, 1.0, rng);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->picks.size(), 6u);
+    std::set<NodeId> seen;
+    int zero_picks = 0;
+    for (const Recommendation& pick : result->picks) {
+      if (pick.from_zero_block) {
+        ++zero_picks;
+        continue;
+      }
+      EXPECT_TRUE(seen.insert(pick.node).second) << "duplicate pick";
+    }
+    EXPECT_EQ(zero_picks, 1);       // exactly the one zero candidate
+    EXPECT_EQ(seen.size(), 5u);     // all five nonzero candidates drawn
+    if (result->picks[0].node == 1) ++head_first;
+  }
+  // At per-round eps=10 the head wins round one with probability ~1.
+  EXPECT_GT(head_first, 195);
+}
+
+TEST(TopKTest, PeelingMatchesPerRoundExponentialDistribution) {
+  // Distributional regression against first principles: with k=2, the
+  // probability that the pair {a, b} comes out (in order) is
+  // p_a · p_b/(1-p_a) under per-round ε/2 weights. Check the marginal of
+  // the FIRST pick against the closed form.
+  UtilityVector u(0, 10, {{1, 5.0}, {2, 3.0}, {3, 1.0}});
+  ExponentialMechanism per_round(1.0, 1.0);  // eps/k = 2/2 = 1
+  auto dist = per_round.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  Rng rng(103);
+  constexpr int kDraws = 200000;
+  std::vector<int> first_counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    auto result = PeelingExponentialTopK(u, 2, 2.0, 1.0, rng);
+    ASSERT_TRUE(result.ok());
+    const Recommendation& first = result->picks[0];
+    if (first.from_zero_block) {
+      first_counts[3]++;
+    } else {
+      first_counts[first.node - 1]++;
+    }
+  }
+  EXPECT_NEAR(first_counts[0] / double(kDraws), dist->nonzero_probs[0],
+              0.005);
+  EXPECT_NEAR(first_counts[1] / double(kDraws), dist->nonzero_probs[1],
+              0.005);
+  EXPECT_NEAR(first_counts[3] / double(kDraws), dist->zero_block_prob,
+              0.005);
 }
 
 TEST(TopKTest, OneShotLaplaceAccuracyGrowsWithEpsilon) {

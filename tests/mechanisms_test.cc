@@ -1,6 +1,7 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <utility>
 
 #include "core/baseline_mechanisms.h"
 #include "core/closed_forms.h"
@@ -179,6 +180,94 @@ TEST(ExponentialMechanismTest, LargeUtilitiesDoNotOverflow) {
   // Gap of 1 at ε=3: odds e^3.
   EXPECT_NEAR(dist->nonzero_probs[0] / dist->nonzero_probs[1], std::exp(3.0),
               1e-6);
+}
+
+// ------------------------------------------------- RecommendationSampler
+
+TEST(RecommendationSamplerTest, ProbabilitiesMatchDistributionExactly) {
+  // MakeSampler must freeze exactly the probabilities Distribution()
+  // reports: per-candidate and for the aggregated zero block.
+  ExponentialMechanism mech(1.0, 1.0);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  auto sampler = mech.MakeSampler(u);
+  ASSERT_TRUE(sampler.ok());
+  ASSERT_EQ(sampler->num_nonzero(), 3u);
+  EXPECT_EQ(sampler->num_zero(), 7u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sampler->Probability(i), dist->nonzero_probs[i], 1e-12);
+    EXPECT_EQ(sampler->entry(i).node, u.nonzero()[i].node);
+    EXPECT_EQ(sampler->entry(i).utility, u.nonzero()[i].utility);
+  }
+  EXPECT_NEAR(sampler->ZeroBlockProbability(), dist->zero_block_prob, 1e-12);
+}
+
+TEST(RecommendationSamplerTest, DrawsMatchRecommendStatistically) {
+  ExponentialMechanism mech(1.0, 1.0);
+  UtilityVector u = SmallVector();
+  auto dist = mech.Distribution(u);
+  ASSERT_TRUE(dist.ok());
+  auto sampler = mech.MakeSampler(u);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(37);
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    Recommendation rec = sampler->Draw(rng);
+    if (rec.from_zero_block) {
+      counts[3]++;
+    } else {
+      counts[rec.node - 1]++;
+    }
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws),
+              dist->nonzero_probs[0], 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws),
+              dist->nonzero_probs[1], 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws),
+              dist->zero_block_prob, 0.01);
+}
+
+TEST(RecommendationSamplerTest, NoZeroBlockMeansNoZeroSlot) {
+  ExponentialMechanism mech(1.0, 1.0);
+  UtilityVector u(0, 3, {{1, 2.0}, {2, 1.0}, {3, 0.5}});
+  ASSERT_EQ(u.num_zero(), 0u);
+  auto sampler = mech.MakeSampler(u);
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_DOUBLE_EQ(sampler->ZeroBlockProbability(), 0.0);
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(sampler->Draw(rng).from_zero_block);
+  }
+}
+
+TEST(RecommendationSamplerTest, BaseMechanismReportsUnimplemented) {
+  // Laplace deliberately has no frozen sampler (its exact distribution
+  // costs a quadrature far exceeding the draws it would amortize); the
+  // Monte-Carlo path must keep using per-trial Recommend for it.
+  LaplaceMechanism mech(1.0, 1.0);
+  UtilityVector u = SmallVector();
+  EXPECT_TRUE(mech.MakeSampler(u).status().IsUnimplemented());
+}
+
+TEST(RecommendationSamplerTest, SamplerOutlivesUtilityVector) {
+  // The sampler is self-contained: drawing after the source vector is gone
+  // must be safe (it copies the entries).
+  ExponentialMechanism mech(2.0, 1.0);
+  auto sampler = [&mech]() {
+    UtilityVector u(0, 5, {{4, 3.0}, {2, 1.0}});
+    auto s = mech.MakeSampler(u);
+    EXPECT_TRUE(s.ok());
+    return *std::move(s);
+  }();
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    Recommendation rec = sampler.Draw(rng);
+    if (!rec.from_zero_block) {
+      EXPECT_TRUE(rec.node == 4 || rec.node == 2);
+    }
+  }
 }
 
 // --------------------------------------------------------------- Laplace

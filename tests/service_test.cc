@@ -153,6 +153,37 @@ TEST(ServiceTest, CacheEvictionKeepsServing) {
   EXPECT_EQ(service.stats().cache_misses, 20u);
 }
 
+TEST(ServiceTest, NoSnapshotRebuildOnUnmutatedGraph) {
+  // Acceptance criterion of the batch-serving fast path: the service must
+  // not construct a CsrGraph on cache hits, nor on cache misses against an
+  // unmutated graph — every call shares the DynamicGraph's one cached
+  // snapshot instance.
+  DynamicGraph graph = ServiceGraph();
+  ServiceOptions options = DefaultOptions();
+  options.per_user_budget = 100.0;
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), options);
+  auto snapshot = graph.SharedSnapshot();  // build #1, pinned by the test
+  ASSERT_EQ(graph.snapshot_builds(), 1u);
+  Rng rng(37);
+  for (NodeId user = 0; user < 10; ++user) {   // 10 cache misses
+    ASSERT_TRUE(service.ServeRecommendation(user, rng).ok());
+    ASSERT_TRUE(service.ServeRecommendation(user, rng).ok());  // + a hit
+  }
+  ASSERT_TRUE(service.ServeList(3, 5, rng).ok());
+  // Still the same single build; pointer identity across all serving.
+  EXPECT_EQ(graph.snapshot_builds(), 1u);
+  EXPECT_EQ(graph.SharedSnapshot().get(), snapshot.get());
+
+  // A mutation invalidates once; subsequent serving rebuilds exactly once.
+  ASSERT_TRUE(service.AddEdge(0, graph.num_nodes() - 1).ok() ||
+              service.RemoveEdge(0, graph.num_nodes() - 1).ok());
+  ASSERT_TRUE(service.ServeRecommendation(5, rng).ok());
+  ASSERT_TRUE(service.ServeRecommendation(6, rng).ok());
+  EXPECT_EQ(graph.snapshot_builds(), 2u);
+  EXPECT_NE(graph.SharedSnapshot().get(), snapshot.get());
+}
+
 // ---------------------------------------------------------- node-DP audit
 
 TEST(NodeDpAuditTest, NodeLevelLeakExceedsEdgeLevelLeak) {

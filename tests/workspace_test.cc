@@ -1,0 +1,122 @@
+// Tests for the zero-allocation batch path: workspace-reuse determinism
+// across every utility function, and SparseCounter reuse across graphs of
+// different sizes.
+
+#include <memory>
+#include <vector>
+
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "graph/traversal.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "utility/adamic_adar.h"
+#include "utility/common_neighbors.h"
+#include "utility/link_predictors.h"
+#include "utility/personalized_pagerank.h"
+#include "utility/utility_workspace.h"
+#include "utility/weighted_paths.h"
+
+namespace privrec {
+namespace {
+
+std::vector<std::unique_ptr<UtilityFunction>> AllUtilities() {
+  std::vector<std::unique_ptr<UtilityFunction>> utilities;
+  utilities.push_back(std::make_unique<CommonNeighborsUtility>());
+  utilities.push_back(std::make_unique<AdamicAdarUtility>());
+  utilities.push_back(std::make_unique<WeightedPathsUtility>(0.005, 3));
+  utilities.push_back(std::make_unique<JaccardUtility>());
+  utilities.push_back(std::make_unique<PreferentialAttachmentUtility>());
+  utilities.push_back(std::make_unique<ResourceAllocationUtility>());
+  utilities.push_back(std::make_unique<KatzUtility>(0.05, 4));
+  utilities.push_back(std::make_unique<PersonalizedPageRankUtility>(0.15, 20));
+  return utilities;
+}
+
+/// Bit-identical comparison: same candidates, same order, same doubles.
+void ExpectIdentical(const UtilityVector& a, const UtilityVector& b) {
+  ASSERT_EQ(a.target(), b.target());
+  ASSERT_EQ(a.num_candidates(), b.num_candidates());
+  ASSERT_EQ(a.nonzero().size(), b.nonzero().size());
+  for (size_t i = 0; i < a.nonzero().size(); ++i) {
+    EXPECT_EQ(a.nonzero()[i].node, b.nonzero()[i].node) << "slot " << i;
+    // EQ, not NEAR: the workspace path must perform the identical
+    // floating-point operations in the identical order.
+    EXPECT_EQ(a.nonzero()[i].utility, b.nonzero()[i].utility) << "slot " << i;
+  }
+}
+
+TEST(UtilityWorkspaceTest, ReusedWorkspaceIsBitIdenticalToAllocatingPath) {
+  Rng rng(11);
+  auto g = ErdosRenyiGnm(120, 700, /*directed=*/false, rng);
+  ASSERT_TRUE(g.ok());
+  UtilityWorkspace workspace;  // deliberately shared across everything
+  for (const auto& utility : AllUtilities()) {
+    for (NodeId target : {NodeId(0), NodeId(17), NodeId(63), NodeId(119)}) {
+      UtilityVector fresh = utility->Compute(*g, target);
+      UtilityVector reused = utility->Compute(*g, target, workspace);
+      SCOPED_TRACE(utility->name());
+      ExpectIdentical(fresh, reused);
+    }
+  }
+}
+
+TEST(UtilityWorkspaceTest, WorkspaceSurvivesGraphSizeChanges) {
+  // One workspace ping-ponging between a small and a large graph must keep
+  // producing correct results (counters are Resize()d between uses).
+  Rng rng(13);
+  auto small = ErdosRenyiGnm(30, 120, false, rng);
+  auto large = ErdosRenyiGnm(500, 4000, false, rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  CommonNeighborsUtility cn;
+  UtilityWorkspace workspace;
+  for (int round = 0; round < 3; ++round) {
+    ExpectIdentical(cn.Compute(*small, 5), cn.Compute(*small, 5, workspace));
+    ExpectIdentical(cn.Compute(*large, 77),
+                    cn.Compute(*large, 77, workspace));
+  }
+}
+
+TEST(UtilityWorkspaceTest, DirectedGraphsMatchToo) {
+  Rng rng(17);
+  auto g = ErdosRenyiGnm(80, 600, /*directed=*/true, rng);
+  ASSERT_TRUE(g.ok());
+  UtilityWorkspace workspace;
+  for (const auto& utility : AllUtilities()) {
+    UtilityVector fresh = utility->Compute(*g, 42);
+    UtilityVector reused = utility->Compute(*g, 42, workspace);
+    SCOPED_TRACE(utility->name());
+    ExpectIdentical(fresh, reused);
+  }
+}
+
+// ------------------------------------------------------------ SparseCounter
+
+TEST(SparseCounterTest, ResizeAcrossSizesKeepsSemantics) {
+  SparseCounter counter;  // default: zero capacity
+  counter.Resize(10);
+  counter.Add(3, 2.5);
+  counter.Add(9, 1.0);
+  EXPECT_EQ(counter.touched().size(), 2u);
+  counter.Clear();
+  counter.Resize(4);  // shrink
+  counter.Add(3, 1.0);
+  EXPECT_DOUBLE_EQ(counter.Get(3), 1.0);
+  counter.Clear();
+  counter.Resize(1000);  // grow again
+  EXPECT_EQ(counter.num_nodes(), 1000u);
+  counter.Add(999, 7.0);
+  EXPECT_DOUBLE_EQ(counter.Get(999), 7.0);
+  EXPECT_DOUBLE_EQ(counter.Get(9), 0.0);  // no stale state from round one
+}
+
+TEST(SparseCounterTest, ReservePreallocatesTouchedList) {
+  SparseCounter counter(100);
+  counter.Reserve(64);
+  for (NodeId v = 0; v < 64; ++v) counter.Add(v, 1.0);
+  EXPECT_EQ(counter.touched().size(), 64u);
+}
+
+}  // namespace
+}  // namespace privrec
