@@ -1,0 +1,146 @@
+// Parallel-scaling benchmark for the sharded RecommendationService: drives
+// the concurrent load generator (serve/concurrent_driver.h) at 1..T worker
+// threads over (a) read-only traffic on an unmutated graph — the RCU
+// snapshot + shard-pinning fast path — and (b) mixed serve/mutate traffic,
+// and prints median serve throughput per thread count plus the 1→T scaling
+// factor. Medians feed BENCH_concurrent_serving.json.
+//
+// Flags:
+//   --nodes=N            graph size (default 5000)
+//   --edges=M            edge count (default 25000)
+//   --threads=T          max thread count, swept in powers of two (def. 8)
+//   --ops=K              ops per thread per run (default 4000)
+//   --reps=R             repetitions per configuration (default 5)
+//   --mutate-fraction=F  mutate share for the mixed workload (default 0.05)
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "random/rng.h"
+#include "serve/concurrent_driver.h"
+#include "serve/recommendation_service.h"
+#include "utility/common_neighbors.h"
+
+namespace privrec {
+namespace bench {
+namespace {
+
+double Median(std::vector<double> values) {
+  PRIVREC_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+struct SweepPoint {
+  unsigned threads;
+  double serves_per_second;
+};
+
+/// One workload sweep over thread counts; returns median serve throughput
+/// per thread count.
+std::vector<SweepPoint> Sweep(const CsrGraph& base, unsigned max_threads,
+                              uint64_t ops, int reps, double mutate_fraction,
+                              double list_fraction) {
+  std::vector<SweepPoint> points;
+  for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+    std::vector<double> runs;
+    for (int rep = 0; rep < reps; ++rep) {
+      // Fresh graph + service per run: budgets, caches, and graph churn
+      // must not leak across configurations.
+      DynamicGraph graph(base);
+      ServiceOptions options;
+      options.release_epsilon = 0.1;
+      options.per_user_budget = 1e9;  // throughput, not refusal, is measured
+      options.cache_capacity = 1 << 14;
+      options.num_shards = std::max(8u, max_threads);
+      options.seed = 1000 + rep;
+      RecommendationService service(
+          &graph, std::make_unique<CommonNeighborsUtility>(), options);
+      ConcurrentDriverOptions driver;
+      driver.num_threads = threads;
+      driver.ops_per_thread = ops;
+      driver.mutate_fraction = mutate_fraction;
+      driver.list_fraction = list_fraction;
+      driver.list_k = 5;
+      driver.seed = 42 + rep;
+      const ConcurrentDriverReport report =
+          RunConcurrentDriver(service, graph, driver);
+      PRIVREC_CHECK_EQ(report.serve_failed, 0u);
+      runs.push_back(report.serves_per_second);
+    }
+    points.push_back({threads, Median(runs)});
+  }
+  return points;
+}
+
+void PrintSweep(const char* title, const std::vector<SweepPoint>& points) {
+  std::printf("\n--- %s ---\n", title);
+  TablePrinter table({"threads", "serves/sec (median)", "scaling vs 1T"});
+  for (const SweepPoint& p : points) {
+    table.AddRow({std::to_string(p.threads),
+                  FormatDouble(p.serves_per_second, 0),
+                  FormatDouble(p.serves_per_second /
+                                   points.front().serves_per_second,
+                               2) +
+                      "x"});
+  }
+  table.Print();
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const NodeId nodes = static_cast<NodeId>(flags.GetInt("nodes", 5000));
+  const uint64_t edges = static_cast<uint64_t>(flags.GetInt("edges", 25000));
+  const unsigned max_threads =
+      static_cast<unsigned>(flags.GetInt("threads", 8));
+  const uint64_t ops = static_cast<uint64_t>(flags.GetInt("ops", 4000));
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+  const double mutate_fraction = flags.GetDouble("mutate-fraction", 0.05);
+
+  std::printf("=== Concurrent serving: parallel scaling ===\n");
+  Rng rng(20260730);
+  auto weights = PowerLawWeights(nodes, 2.2);
+  auto base = ChungLu(weights, weights, edges, /*directed=*/false, rng);
+  PRIVREC_CHECK_OK(base.status());
+  PrintDatasetBanner("chung-lu power-law", *base);
+  std::printf("sweep: 1..%u threads, %llu ops/thread, %d reps, "
+              "hardware_concurrency=%u\n",
+              max_threads, static_cast<unsigned long long>(ops), reps,
+              std::thread::hardware_concurrency());
+
+  const auto serve_only =
+      Sweep(*base, max_threads, ops, reps, /*mutate_fraction=*/0.0,
+            /*list_fraction=*/0.0);
+  PrintSweep("read-only traffic, unmutated graph (RCU fast path)",
+             serve_only);
+
+  const auto mixed = Sweep(*base, max_threads, ops, reps, mutate_fraction,
+                           /*list_fraction=*/0.2);
+  PrintSweep("mixed traffic (5% edge toggles, 20% k=5 lists)", mixed);
+
+  const double scaling = serve_only.back().serves_per_second /
+                         serve_only.front().serves_per_second;
+  std::printf("\nshape: serve-only scaling 1 -> %u threads: %.2fx "
+              "(shards independent; snapshot validation is one atomic "
+              "load). Expect near-linear on real cores; a single-vCPU "
+              "container time-slices to ~1x.\n",
+              serve_only.back().threads, scaling);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::bench::Run(argc, argv); }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Sanitizer CI for the concurrent serving stack.
+#
+# Builds the library + tests under ThreadSanitizer and runs the `concurrent`
+# ctest label (the stress/property suites in tests/concurrent_service_test.cc),
+# then optionally repeats under AddressSanitizer+UBSan for the whole suite.
+#
+# Usage:
+#   ci/sanitize.sh            # TSAN build + concurrent label (the gate)
+#   ci/sanitize.sh --asan     # additionally ASan+UBSan over ALL tests
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== [tsan] configure + build ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+echo "=== [tsan] ctest -L concurrent ==="
+# halt_on_error so a single data race fails the build; second_deadlock_stack
+# for readable lock-order reports.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}" \
+  ctest --preset tsan-concurrent
+
+if [[ "$run_asan" == "1" ]]; then
+  echo "=== [asan] configure + build ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  echo "=== [asan] ctest (all) ==="
+  ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ctest --preset asan-all
+fi
+
+echo "sanitize: OK"

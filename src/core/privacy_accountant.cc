@@ -9,20 +9,36 @@ PrivacyAccountant::PrivacyAccountant(double budget) : budget_(budget) {
   PRIVREC_CHECK_GE(budget, 0.0);
 }
 
+namespace {
+
+constexpr const char kExhaustedPrefix[] = "privacy budget exhausted";
+
+}  // namespace
+
+bool PrivacyAccountant::CanCharge(double epsilon) const {
+  // Tolerate float dust at the boundary so k charges of budget/k succeed.
+  return epsilon >= 0 && spent_ + epsilon <= budget_ * (1.0 + 1e-12) + 1e-12;
+}
+
 Status PrivacyAccountant::Charge(double epsilon, const std::string& reason) {
   if (epsilon < 0) {
     return Status::InvalidArgument("cannot charge negative epsilon");
   }
-  // Tolerate float dust at the boundary so k charges of budget/k succeed.
-  if (spent_ + epsilon > budget_ * (1.0 + 1e-12) + 1e-12) {
+  if (!CanCharge(epsilon)) {
     return Status::FailedPrecondition(
-        "privacy budget exhausted: spent " + FormatDouble(spent_, 4) +
-        " of " + FormatDouble(budget_, 4) + ", cannot charge " +
-        FormatDouble(epsilon, 4) + " for '" + reason + "'");
+        std::string(kExhaustedPrefix) + ": spent " +
+        FormatDouble(spent_, 4) + " of " + FormatDouble(budget_, 4) +
+        ", cannot charge " + FormatDouble(epsilon, 4) + " for '" + reason +
+        "'");
   }
   spent_ += epsilon;
   ledger_.push_back({epsilon, reason});
   return Status::OK();
+}
+
+bool IsBudgetExhausted(const Status& status) {
+  return status.IsFailedPrecondition() &&
+         status.message().rfind(kExhaustedPrefix, 0) == 0;
 }
 
 }  // namespace privrec

@@ -27,6 +27,11 @@ class PrivacyAccountant {
   double spent() const { return spent_; }
   double remaining() const { return budget_ - spent_; }
 
+  /// True iff Charge(epsilon, ...) would succeed (same float-dust slack at
+  /// the boundary). Lets callers refuse up front without side effects and
+  /// then commit a Charge that cannot fail.
+  bool CanCharge(double epsilon) const;
+
   /// Records an ε-expenditure tagged with a human-readable reason.
   /// FailedPrecondition (and no charge) if it would exceed the budget.
   Status Charge(double epsilon, const std::string& reason);
@@ -46,6 +51,12 @@ class PrivacyAccountant {
   double spent_ = 0;
   std::vector<Entry> ledger_;
 };
+
+/// True iff `status` is the accountant's budget-exhausted refusal — the
+/// one FailedPrecondition a serving layer treats as healthy back-pressure
+/// rather than an error. Lives here so callers (drivers, dashboards,
+/// tests) share one predicate instead of each matching the message text.
+bool IsBudgetExhausted(const Status& status);
 
 }  // namespace privrec
 

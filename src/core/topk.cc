@@ -188,25 +188,59 @@ Result<TopKResult> OneShotLaplaceTopK(const UtilityVector& utilities,
     Recommendation rec;
   };
   std::vector<Scored> scored;
-  scored.reserve(utilities.nonzero().size() + k);
-  for (const UtilityEntry& e : utilities.nonzero()) {
-    scored.push_back({e.utility + noise.Sample(rng),
-                      Recommendation{e.node, e.utility, false}});
+  // Tie-grouped draws (the same trick the sequential Laplace mechanism
+  // uses, extended from the max to the top-min(k, m) order statistics):
+  // candidates sharing a utility value are exchangeable, so a group of m
+  // contributes at most min(k, m) entries to the final top-k, and its
+  // j-th largest noisy value is the max of (m-j+1) iid samples
+  // conditioned below the (j-1)-th (CDF F(y)^m peeled one winner at a
+  // time, exactly like the zero block below). Conditioned on the values,
+  // the members receiving them form a uniform random subset drawn in rank
+  // order. A draw therefore costs O(k · #distinct utilities) noise
+  // samples, not O(#nonzero) — and is distributed exactly as noising
+  // every candidate independently.
+  const auto& entries = utilities.nonzero();
+  std::vector<uint32_t> members;  // scratch for within-group selection
+  for (size_t i = 0; i < entries.size();) {
+    size_t j = i + 1;
+    while (j < entries.size() && entries[j].utility == entries[i].utility) {
+      ++j;
+    }
+    const size_t run = j - i;
+    if (run == 1) {
+      scored.push_back({entries[i].utility + noise.Sample(rng),
+                        Recommendation{entries[i].node, entries[i].utility,
+                                       false}});
+    } else {
+      const size_t take = std::min(k, run);
+      members.resize(run);
+      for (uint32_t m = 0; m < run; ++m) members[m] = static_cast<uint32_t>(m);
+      double group_ceiling = std::numeric_limits<double>::infinity();
+      for (size_t t = 0; t < take; ++t) {
+        const double draw =
+            noise.SampleMaxOfBelow(rng, run - t, group_ceiling);
+        group_ceiling = draw;
+        // Uniform not-yet-chosen member gets this rank (partial
+        // Fisher-Yates keeps the chosen prefix distinct).
+        const size_t pick = t + static_cast<size_t>(rng.NextBounded(
+                                    static_cast<uint64_t>(run - t)));
+        std::swap(members[t], members[pick]);
+        const UtilityEntry& e = entries[i + members[t]];
+        scored.push_back(
+            {e.utility + draw, Recommendation{e.node, e.utility, false}});
+      }
+    }
+    i = j;
   }
   // The zero block can occupy up to k of the output slots; sample its k
-  // largest noisy values via iterated max-of-m (exact: the j-th largest of
-  // m iid samples is the max of a shrinking block after removing winners).
+  // largest noisy values via iterated conditional max (exact: the j-th
+  // largest of m iid samples is the max of a shrinking block conditioned
+  // below the previous draw).
   uint64_t zeros = utilities.num_zero();
   double ceiling = std::numeric_limits<double>::infinity();
   for (size_t j = 0; j < k && zeros > 0; ++j, --zeros) {
-    // Rejection: draw the max of `zeros` samples conditioned below the
-    // previous zero draw (cheap: few iterations, k is small).
-    double draw;
-    int guard = 0;
-    do {
-      draw = noise.SampleMaxOf(rng, zeros);
-    } while (draw > ceiling && ++guard < 1000);
-    draw = std::min(draw, ceiling);
+    const double draw =
+        noise.SampleMaxOfBelow(rng, static_cast<size_t>(zeros), ceiling);
     ceiling = draw;
     scored.push_back(
         {draw, Recommendation{kUnresolvedZeroNode, 0.0, true}});

@@ -58,6 +58,35 @@ inline void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
       count, [&fn](unsigned, size_t i) { fn(i); }, num_threads);
 }
 
+/// Spawns exactly `num_workers` threads, each running fn(worker) once, and
+/// joins them. All workers pass a start barrier before fn begins, so
+/// throughput measurements (ops/sec across workers) are not skewed by
+/// thread spawn latency — the primitive under the concurrent-serving load
+/// driver and the stress tests. Unlike ParallelForWorkers there is no work
+/// queue: fn(worker) IS the worker's whole job. num_workers == 1 runs fn
+/// inline on the calling thread.
+inline void RunWorkers(unsigned num_workers,
+                       const std::function<void(unsigned)>& fn) {
+  if (num_workers == 0) return;
+  if (num_workers == 1) {
+    fn(0);
+    return;
+  }
+  std::atomic<unsigned> arrived{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (unsigned w = 0; w < num_workers; ++w) {
+    workers.emplace_back([&, w]() {
+      arrived.fetch_add(1, std::memory_order_acq_rel);
+      while (arrived.load(std::memory_order_acquire) < num_workers) {
+        std::this_thread::yield();
+      }
+      fn(w);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
 }  // namespace privrec
 
 #endif  // PRIVREC_EVAL_PARALLEL_H_

@@ -5,74 +5,128 @@
 namespace privrec {
 
 DynamicGraph::DynamicGraph(NodeId num_nodes, bool directed)
-    : directed_(directed), adjacency_(num_nodes) {}
+    : directed_(directed), adjacency_(num_nodes) {
+  num_nodes_.store(num_nodes, std::memory_order_release);
+}
 
 DynamicGraph::DynamicGraph(const CsrGraph& graph)
     : directed_(graph.directed()), adjacency_(graph.num_nodes()) {
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     for (NodeId v : graph.OutNeighbors(u)) adjacency_[u].insert(v);
   }
-  num_edges_ = graph.num_edges();
+  num_nodes_.store(graph.num_nodes(), std::memory_order_release);
+  num_edges_.store(graph.num_edges(), std::memory_order_release);
 }
 
 NodeId DynamicGraph::AddNode() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   adjacency_.emplace_back();
-  ++version_;
-  return static_cast<NodeId>(adjacency_.size() - 1);
+  const NodeId id = static_cast<NodeId>(adjacency_.size() - 1);
+  // Version before node count: a reader that observes the new num_nodes()
+  // (acquire) is then guaranteed to observe the bumped version too, so it
+  // can never pass a bounds check against the grown graph while still
+  // trusting a pinned pre-growth snapshot.
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  num_nodes_.store(static_cast<NodeId>(adjacency_.size()),
+                   std::memory_order_release);
+  return id;
 }
 
 Status DynamicGraph::ValidateEndpoints(NodeId u, NodeId v) const {
   if (u == v) return Status::InvalidArgument("self-loop");
-  if (u >= num_nodes() || v >= num_nodes()) {
+  if (u >= adjacency_.size() || v >= adjacency_.size()) {
     return Status::InvalidArgument("node id out of range");
   }
   return Status::OK();
 }
 
 Status DynamicGraph::AddEdge(NodeId u, NodeId v) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   PRIVREC_RETURN_NOT_OK(ValidateEndpoints(u, v));
   if (!adjacency_[u].insert(v).second) {
     return Status::FailedPrecondition("edge already present");
   }
   if (!directed_) adjacency_[v].insert(u);
-  ++num_edges_;
-  ++version_;
+  num_edges_.fetch_add(1, std::memory_order_acq_rel);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   PRIVREC_RETURN_NOT_OK(ValidateEndpoints(u, v));
   if (adjacency_[u].erase(v) == 0) {
     return Status::FailedPrecondition("edge not present");
   }
   if (!directed_) adjacency_[v].erase(u);
-  --num_edges_;
-  ++version_;
+  num_edges_.fetch_sub(1, std::memory_order_acq_rel);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 bool DynamicGraph::HasEdge(NodeId u, NodeId v) const {
-  if (u >= num_nodes() || v >= num_nodes()) return false;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (u >= adjacency_.size() || v >= adjacency_.size()) return false;
   return adjacency_[u].count(v) > 0;
 }
 
-std::shared_ptr<const CsrGraph> DynamicGraph::SharedSnapshot() const {
-  if (snapshot_ != nullptr && snapshot_version_ == version_) {
-    return snapshot_;
-  }
+uint32_t DynamicGraph::OutDegree(NodeId v) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return static_cast<uint32_t>(adjacency_[v].size());
+}
+
+std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::BuildLocked()
+    const {
   GraphBuilder builder(directed_);
-  builder.SetNumNodes(num_nodes());
-  builder.Reserve(num_edges_);
-  for (NodeId u = 0; u < num_nodes(); ++u) {
+  builder.SetNumNodes(static_cast<NodeId>(adjacency_.size()));
+  builder.Reserve(num_edges_.load(std::memory_order_relaxed));
+  for (NodeId u = 0; u < adjacency_.size(); ++u) {
     for (NodeId v : adjacency_[u]) {
       if (!directed_ && v < u) continue;
       builder.AddEdge(u, v);
     }
   }
-  snapshot_ = std::make_shared<const CsrGraph>(builder.Build());
-  snapshot_version_ = version_;
-  ++snapshot_builds_;
-  return snapshot_;
+  auto built = std::make_shared<VersionedCsr>(
+      VersionedCsr{version_.load(std::memory_order_relaxed),
+                   num_edges_.load(std::memory_order_relaxed),
+                   builder.Build()});
+  snapshot_builds_.fetch_add(1, std::memory_order_acq_rel);
+  return built;
+}
+
+DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
+  // Fast path: copy the published pointer under the (tiny) publication
+  // mutex and compare its stamp to the atomic version. If a mutator bumps
+  // version_ concurrently we either fall through to the rebuild or return
+  // the pre-mutation snapshot — both linearizable; the stamp and CSR can
+  // never disagree because they share one immutable allocation.
+  std::shared_ptr<const VersionedCsr> current;
+  {
+    std::lock_guard<std::mutex> publish_lock(snapshot_mu_);
+    current = snapshot_;
+  }
+  if (current != nullptr &&
+      current->version == version_.load(std::memory_order_acquire)) {
+    return StampedSnapshot{
+        std::shared_ptr<const CsrGraph>(current, &current->graph),
+        current->version, current->num_edges};
+  }
+  // Slow path: rebuild under the writer mutex (excludes mutators, and
+  // collapses concurrent rebuilders into one build via the re-check).
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  {
+    std::lock_guard<std::mutex> publish_lock(snapshot_mu_);
+    current = snapshot_;
+  }
+  if (current == nullptr ||
+      current->version != version_.load(std::memory_order_acquire)) {
+    current = BuildLocked();
+    std::lock_guard<std::mutex> publish_lock(snapshot_mu_);
+    snapshot_ = current;
+  }
+  return StampedSnapshot{
+      std::shared_ptr<const CsrGraph>(current, &current->graph),
+      current->version, current->num_edges};
 }
 
 }  // namespace privrec

@@ -1,8 +1,10 @@
 #ifndef PRIVREC_GRAPH_DYNAMIC_GRAPH_H_
 #define PRIVREC_GRAPH_DYNAMIC_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -21,25 +23,60 @@ namespace privrec {
 /// recommendation spends budget — see PrivacyAccountant); this class only
 /// supplies the substrate.
 ///
-/// Snapshot versioning contract: every successful mutation (AddNode,
-/// AddEdge, RemoveEdge) bumps version(). SharedSnapshot() materializes the
-/// CSR form at most once per version — repeated calls against an unmutated
-/// graph return the *same* immutable instance, which callers may hold and
-/// share across threads for as long as they like; a snapshot taken before
-/// a mutation remains valid and unchanged afterwards. Same external-
-/// synchronization contract as the mutations themselves: calls into one
-/// DynamicGraph must be serialized, but the returned CsrGraph is
-/// immutable and freely shareable.
+/// Thread safety (RCU-style snapshot publication):
+///  - All methods are safe to call concurrently from any thread.
+///  - Mutations (AddNode, AddEdge, RemoveEdge) and point reads
+///    (HasEdge, OutDegree) serialize on a small internal writer mutex;
+///    version() is an atomic stamp bumped inside that critical section.
+///  - SharedSnapshot()/VersionedSnapshot() never block behind a CSR
+///    rebuild that is already current: the published pointer is handed
+///    off under a tiny publication mutex whose critical section is one
+///    shared_ptr copy. (A hand-off mutex instead of
+///    std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic releases its
+///    read-side spinlock with a relaxed RMW, which ThreadSanitizer —
+///    correctly, per the memory model — refuses to treat as a
+///    happens-before edge. The mutex is just as cheap uncontended and
+///    sanitizer-provable.) Callers that need a truly contention-free
+///    steady state pin the snapshot locally and revalidate against the
+///    atomic version() stamp — one relaxed-cost atomic load per request,
+///    no lock, no shared refcount traffic; that is what the sharded
+///    RecommendationService does per shard.
+///  - After a mutation, the first reader to ask rebuilds the CSR under
+///    the writer mutex (which also excludes concurrent mutators from the
+///    adjacency sets being scanned) and publishes the new version; the
+///    publication-mutex re-check collapses concurrent rebuilders into
+///    one build.
+///  - A published snapshot is immutable and stamped with the graph
+///    version (and edge count) it was built at; the stamp and the CSR are
+///    one allocation, so a reader can never observe a "torn" pair.
+///  - Snapshots taken before a mutation remain valid and unchanged
+///    afterwards; hold them as long as you like.
 class DynamicGraph {
  public:
+  /// An immutable CSR snapshot together with the graph version it
+  /// materializes. `graph` aliases into the same control block, so holding
+  /// either member keeps both alive.
+  struct StampedSnapshot {
+    std::shared_ptr<const CsrGraph> graph;
+    /// version() at build time.
+    uint64_t version = 0;
+    /// num_edges() at build time (== graph->num_edges(); the redundancy
+    /// lets tests assert the publication was not torn).
+    uint64_t num_edges = 0;
+  };
+
   /// Empty graph on num_nodes nodes.
   DynamicGraph(NodeId num_nodes, bool directed);
 
   /// Imports an existing snapshot.
   explicit DynamicGraph(const CsrGraph& graph);
 
-  NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
-  uint64_t num_edges() const { return num_edges_; }
+  NodeId num_nodes() const {
+    return num_nodes_.load(std::memory_order_acquire);
+  }
+  uint64_t num_edges() const {
+    return num_edges_.load(std::memory_order_acquire);
+  }
   bool directed() const { return directed_; }
 
   /// Appends an isolated node; returns its id.
@@ -54,18 +91,26 @@ class DynamicGraph {
 
   bool HasEdge(NodeId u, NodeId v) const;
 
-  uint32_t OutDegree(NodeId v) const {
-    return static_cast<uint32_t>(adjacency_[v].size());
-  }
+  uint32_t OutDegree(NodeId v) const;
 
   /// Mutation counter; bumped by AddNode/AddEdge/RemoveEdge (only when the
-  /// mutation succeeds).
-  uint64_t version() const { return version_; }
+  /// mutation succeeds, while the writer mutex is held).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
-  /// The cached immutable CSR snapshot of the current state. Rebuilt
-  /// lazily after a mutation; O(1) on an unmutated graph. See the class
-  /// comment for the versioning contract.
-  std::shared_ptr<const CsrGraph> SharedSnapshot() const;
+  /// The cached immutable CSR snapshot of the current state. On an
+  /// unmutated graph this is one shared_ptr copy under the publication
+  /// mutex; the CSR is rebuilt (under the writer mutex) by the first
+  /// caller after a mutation. See the class comment for the publication
+  /// protocol and the version()-revalidation pattern for lock-free
+  /// steady-state callers.
+  std::shared_ptr<const CsrGraph> SharedSnapshot() const {
+    return VersionedSnapshot().graph;
+  }
+
+  /// SharedSnapshot plus the version stamp it was built at. The stamp is
+  /// exactly the version the CSR materializes: callers that need
+  /// "utilities and sensitivity from the same graph state" key off it.
+  StampedSnapshot VersionedSnapshot() const;
 
   /// Materializes the current state as an owned CSR copy. Prefer
   /// SharedSnapshot(): this exists for callers that need an independent
@@ -75,21 +120,41 @@ class DynamicGraph {
   /// Number of times a CSR snapshot has actually been materialized (cache
   /// rebuilds). Observable so tests and monitoring can assert that serving
   /// does not rebuild snapshots on unmutated graphs.
-  uint64_t snapshot_builds() const { return snapshot_builds_; }
+  uint64_t snapshot_builds() const {
+    return snapshot_builds_.load(std::memory_order_acquire);
+  }
 
  private:
+  /// The unit the atomic pointer publishes: stamp + CSR in one immutable
+  /// allocation.
+  struct VersionedCsr {
+    uint64_t version;
+    uint64_t num_edges;
+    CsrGraph graph;
+  };
+
   Status ValidateEndpoints(NodeId u, NodeId v) const;
 
+  /// Builds the CSR for the current adjacency state. Caller must hold
+  /// writer_mu_.
+  std::shared_ptr<const VersionedCsr> BuildLocked() const;
+
   bool directed_;
-  uint64_t num_edges_ = 0;
-  uint64_t version_ = 0;
+  std::atomic<NodeId> num_nodes_{0};
+  std::atomic<uint64_t> num_edges_{0};
+  std::atomic<uint64_t> version_{0};
+
+  /// Serializes mutators with each other and with snapshot rebuilds.
+  /// Never taken by snapshot readers whose version is already published.
+  mutable std::mutex writer_mu_;
   std::vector<std::unordered_set<NodeId>> adjacency_;
 
-  // Lazily built snapshot cache; snapshot_version_ records the graph
-  // version the cache corresponds to (valid only when snapshot_ != null).
-  mutable std::shared_ptr<const CsrGraph> snapshot_;
-  mutable uint64_t snapshot_version_ = 0;
-  mutable uint64_t snapshot_builds_ = 0;
+  /// Publication point: guards only the pointer hand-off (one shared_ptr
+  /// copy). Lock order: writer_mu_ before snapshot_mu_; mutators never
+  /// take snapshot_mu_.
+  mutable std::mutex snapshot_mu_;
+  mutable std::shared_ptr<const VersionedCsr> snapshot_;  // null until asked
+  mutable std::atomic<uint64_t> snapshot_builds_{0};
 };
 
 }  // namespace privrec

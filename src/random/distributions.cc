@@ -1,5 +1,6 @@
 #include "random/distributions.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -43,6 +44,20 @@ double LaplaceDistribution::SampleMaxOf(Rng& rng, size_t m) const {
   if (root >= 1.0) root = 1.0 - 0x1.0p-53;
   if (root <= 0.0) root = 0x1.0p-53;
   return Quantile(root);
+}
+
+double LaplaceDistribution::SampleMaxOfBelow(Rng& rng, size_t m,
+                                             double ceiling) const {
+  PRIVREC_CHECK_GT(m, 0u);
+  // F_max|<=c(y) = (F(y)/F(c))^m  =>  y = F^{-1}(F(c) · u^{1/m}).
+  const double cap = Cdf(ceiling);  // 1.0 when ceiling = +infinity
+  double u = rng.NextDoublePositive();
+  double root = m == 1 ? u : std::exp(std::log(u) / static_cast<double>(m));
+  double p = cap * root;
+  if (p >= 1.0) p = 1.0 - 0x1.0p-53;
+  if (p <= 0.0) p = 0x1.0p-1022;  // cap underflow: deep-tail ceiling
+  // min() guards the float-rounding sliver where Quantile(Cdf(c)) > c.
+  return std::min(Quantile(p), ceiling);
 }
 
 double SampleExponential(Rng& rng, double rate) {

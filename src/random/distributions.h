@@ -36,6 +36,15 @@ class LaplaceDistribution {
   /// maximum is sampled in constant time.
   double SampleMaxOf(Rng& rng, size_t m) const;
 
+  /// Draws max(X_1..X_m) conditioned on the max being <= ceiling, exactly
+  /// and in O(1): F(y|<=c) = (Cdf(y)/Cdf(c))^m, inverted as
+  /// Quantile(Cdf(c) · u^(1/m)). This is the peeling step for order
+  /// statistics — the j-th largest of a block of iid draws is the
+  /// conditional max of the remaining block below the (j-1)-th — used by
+  /// the one-shot top-k mechanism's tie groups and zero block.
+  /// ceiling = +infinity degenerates to SampleMaxOf.
+  double SampleMaxOfBelow(Rng& rng, size_t m, double ceiling) const;
+
  private:
   double scale_;
 };

@@ -1,11 +1,32 @@
 #include "serve/recommendation_service.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/logging.h"
 #include "core/mechanism.h"
 
 namespace privrec {
+namespace {
+
+size_t RoundUpPow2(size_t x) {
+  size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+size_t ResolveShardCount(size_t requested) {
+  size_t n = requested;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  // Clamp before rounding: RoundUpPow2 on a value above 2^63 would never
+  // terminate.
+  return RoundUpPow2(std::min<size_t>(n, 64));
+}
+
+}  // namespace
 
 RecommendationService::RecommendationService(
     DynamicGraph* graph, std::unique_ptr<UtilityFunction> utility,
@@ -16,69 +37,254 @@ RecommendationService::RecommendationService(
   PRIVREC_CHECK_GT(options.release_epsilon, 0.0);
   PRIVREC_CHECK_GE(options.per_user_budget, options.release_epsilon);
   PRIVREC_CHECK_GT(options.cache_capacity, 0u);
+  const size_t num_shards = ResolveShardCount(options.num_shards);
+  shard_mask_ = num_shards - 1;
+  per_shard_capacity_ = std::max<size_t>(1, options.cache_capacity / num_shards);
+  // Splittable seeding: every shard gets an independent stream, derived
+  // deterministically from the service seed (the determinism contract of
+  // the Rng-less overloads).
+  SplitMix64 seeder(options.seed);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(seeder.Next()));
+  }
 }
 
-PrivacyAccountant& RecommendationService::AccountantFor(NodeId user) {
-  auto it = accountants_.find(user);
-  if (it == accountants_.end()) {
-    it = accountants_
+size_t RecommendationService::ShardIndex(NodeId user) const {
+  // Fibonacci-style mixing so striped user-id ranges spread across shards.
+  uint64_t h = static_cast<uint64_t>(user) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>(h >> 32) & shard_mask_;
+}
+
+double RecommendationService::SensitivityForLocked(
+    Shard& shard, const DynamicGraph::StampedSnapshot& snap) {
+  // Computed against this call's own snapshot — never a torn mix of "old
+  // utilities, new sensitivity".
+  if (!shard.sensitivity_valid || shard.sensitivity_version != snap.version) {
+    shard.sensitivity = utility_->SensitivityBound(*snap.graph);
+    shard.sensitivity_version = snap.version;
+    shard.sensitivity_valid = true;
+  }
+  return shard.sensitivity;
+}
+
+const DynamicGraph::StampedSnapshot& RecommendationService::PinnedSnapshotLocked(
+    Shard& shard) {
+  // One atomic load on the unmutated fast path; the graph's publication
+  // mutex is only touched when the version actually moved (once per
+  // mutation per shard).
+  if (shard.pinned.graph == nullptr ||
+      shard.pinned.version != graph_->version()) {
+    shard.pinned = graph_->VersionedSnapshot();
+  }
+  return shard.pinned;
+}
+
+void RecommendationService::EvictIfNeededLocked(Shard& shard) {
+  if (shard.cache.size() < per_shard_capacity_) return;
+  // Evict the least recently used entry (linear scan: per-shard capacity
+  // is modest and eviction rare; a heap would be noise here).
+  auto victim = shard.cache.begin();
+  for (auto it = shard.cache.begin(); it != shard.cache.end(); ++it) {
+    if (it->second.last_used < victim->second.last_used) victim = it;
+  }
+  shard.cache.erase(victim);
+}
+
+PrivacyAccountant& RecommendationService::AccountantForLocked(Shard& shard,
+                                                              NodeId user) {
+  auto it = shard.accountants.find(user);
+  if (it == shard.accountants.end()) {
+    it = shard.accountants
              .emplace(user, PrivacyAccountant(options_.per_user_budget))
              .first;
   }
   return it->second;
 }
 
-const UtilityVector& RecommendationService::GetUtilities(NodeId user) {
-  ++clock_;
-  auto it = cache_.find(user);
-  if (it != cache_.end()) {
-    ++stats_.cache_hits;
-    it->second.last_used = clock_;
-    return it->second.utilities;
+Result<RecommendationService::CacheEntry*>
+RecommendationService::GetEntryLocked(
+    Shard& shard, NodeId user, const DynamicGraph::StampedSnapshot& snap,
+    double sensitivity, bool need_sampler) {
+  ++shard.clock;
+  auto it = shard.cache.find(user);
+  if (it == shard.cache.end()) {
+    ++shard.stats.cache_misses;
+    // Shared snapshot (no copy) + per-shard workspace: a cache miss costs
+    // only the utility traversal, not an O(n + m) graph materialization.
+    CacheEntry entry{utility_->Compute(*snap.graph, user, shard.workspace),
+                     {},
+                     shard.clock,
+                     sensitivity,
+                     std::nullopt,
+                     0.0};
+    entry.watched.insert(user);
+    for (NodeId v : snap.graph->OutNeighbors(user)) entry.watched.insert(v);
+    EvictIfNeededLocked(shard);
+    auto [inserted, ok] = shard.cache.emplace(user, std::move(entry));
+    PRIVREC_CHECK(ok);
+    it = inserted;
+  } else {
+    ++shard.stats.cache_hits;
+    it->second.last_used = shard.clock;
+    // A mutation elsewhere in the graph can drift the global Δf without
+    // invalidating this user's vector; ratchet the entry's calibration up
+    // to the current bound (see CacheEntry::calibration_sensitivity).
+    it->second.calibration_sensitivity =
+        std::max(it->second.calibration_sensitivity, sensitivity);
   }
-  ++stats_.cache_misses;
-  EvictIfNeeded();
-  // Shared snapshot (no copy) + reused workspace: a cache miss costs only
-  // the utility traversal, not an O(n + m) graph materialization.
-  std::shared_ptr<const CsrGraph> snapshot = graph_->SharedSnapshot();
-  CacheEntry entry{utility_->Compute(*snapshot, user, workspace_), {},
-                   clock_};
-  entry.watched.insert(user);
-  for (NodeId v : snapshot->OutNeighbors(user)) entry.watched.insert(v);
-  auto [inserted, ok] = cache_.emplace(user, std::move(entry));
-  PRIVREC_CHECK(ok);
-  return inserted->second.utilities;
+  CacheEntry& entry = it->second;
+  if (entry.utilities.num_candidates() == 0) {
+    // Cached like any other vector (the watched-set sweep keeps it fresh)
+    // so repeated requests for an unservable user are O(1) hits, not
+    // recomputes; the release itself can never happen.
+    return Status::FailedPrecondition("no candidates to recommend");
+  }
+  if (need_sampler) {
+    if (!entry.sampler.has_value() ||
+        entry.sampler_sensitivity != entry.calibration_sensitivity) {
+      ExponentialMechanism mechanism(options_.release_epsilon,
+                                     entry.calibration_sensitivity);
+      PRIVREC_ASSIGN_OR_RETURN(RecommendationSampler sampler,
+                               mechanism.MakeSampler(entry.utilities));
+      entry.sampler.emplace(std::move(sampler));
+      entry.sampler_sensitivity = entry.calibration_sensitivity;
+    } else {
+      ++shard.stats.sampler_reuses;
+    }
+  }
+  return &entry;
 }
 
-double RecommendationService::CurrentSensitivity(const CsrGraph& snapshot) {
-  if (!sensitivity_valid_ || sensitivity_version_ != graph_->version()) {
-    sensitivity_ = utility_->SensitivityBound(snapshot);
-    sensitivity_version_ = graph_->version();
-    sensitivity_valid_ = true;
+Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
+                                                  Rng& rng) {
+  // Refuse-or-commit charging: budget is checked first (refusals touch
+  // nothing else, so refused traffic costs no cache work), but only
+  // charged AFTER every other failure mode has passed — a failed serve
+  // must never consume lifetime ε it released nothing for. (One corner
+  // survives: in the mutation-to-invalidation-sweep race window a
+  // zero-block resolution against the fresh snapshot can fail after the
+  // charge. Charging without releasing is the conservative direction for
+  // privacy, so the corner is tolerated rather than complicated away.)
+  PrivacyAccountant& accountant = AccountantForLocked(shard, user);
+  if (!accountant.CanCharge(options_.release_epsilon)) {
+    ++shard.stats.refused_budget;
+    return accountant.Charge(options_.release_epsilon,
+                             "single recommendation");  // descriptive refusal
   }
-  return sensitivity_;
+  const DynamicGraph::StampedSnapshot& snap = PinnedSnapshotLocked(shard);
+  if (user >= snap.graph->num_nodes()) {
+    // The caller's bounds check raced an AddNode; the pinned snapshot is
+    // authoritative for everything this serve touches.
+    return Status::InvalidArgument("user out of range");
+  }
+  const double sensitivity = SensitivityForLocked(shard, snap);
+  PRIVREC_ASSIGN_OR_RETURN(
+      CacheEntry * entry,
+      GetEntryLocked(shard, user, snap, sensitivity, /*need_sampler=*/true));
+  PRIVREC_CHECK_OK(
+      accountant.Charge(options_.release_epsilon, "single recommendation"));
+  const Recommendation rec = entry->sampler->Draw(rng);
+  ++shard.stats.served;
+  if (!rec.from_zero_block) return rec.node;
+  return ResolveZeroUtilityNode(*snap.graph, entry->utilities, rng);
 }
 
-void RecommendationService::EvictIfNeeded() {
-  if (cache_.size() < options_.cache_capacity) return;
-  // Evict the least recently used entry (linear scan: capacity is modest
-  // and eviction rare; a heap would be noise here).
-  auto victim = cache_.begin();
-  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-    if (it->second.last_used < victim->second.last_used) victim = it;
+Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
+                                                          NodeId user,
+                                                          size_t k, Rng& rng) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  PrivacyAccountant& accountant = AccountantForLocked(shard, user);
+  const std::string reason = "top-" + std::to_string(k) + " list";
+  if (!accountant.CanCharge(options_.release_epsilon)) {
+    ++shard.stats.refused_budget;
+    return accountant.Charge(options_.release_epsilon, reason);
   }
-  cache_.erase(victim);
+  const DynamicGraph::StampedSnapshot& snap = PinnedSnapshotLocked(shard);
+  if (user >= snap.graph->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  // Pre-validate what PeelingExponentialTopK would reject — cheap snapshot
+  // arithmetic (the paper's candidate convention: everyone but the user
+  // and their neighbors), before any cache work or budget commitment.
+  const uint64_t candidates = static_cast<uint64_t>(snap.graph->num_nodes()) -
+                              1 - snap.graph->OutDegree(user);
+  if (candidates < k) {
+    return Status::FailedPrecondition("fewer candidates than k");
+  }
+  const double sensitivity = SensitivityForLocked(shard, snap);
+  PRIVREC_ASSIGN_OR_RETURN(
+      CacheEntry * entry,
+      GetEntryLocked(shard, user, snap, sensitivity, /*need_sampler=*/false));
+  // Re-check against the vector the peeling will actually run on: a cached
+  // entry can lag the snapshot's candidate count (e.g. after AddNode, which
+  // invalidates nothing), and the charge below must not be spendable on a
+  // release that then fails validation.
+  if (entry->utilities.num_candidates() < k) {
+    return Status::FailedPrecondition("fewer candidates than k");
+  }
+  PRIVREC_CHECK_OK(accountant.Charge(options_.release_epsilon, reason));
+  auto result = PeelingExponentialTopK(entry->utilities, k,
+                                       options_.release_epsilon,
+                                       entry->calibration_sensitivity, rng);
+  if (result.ok()) ++shard.stats.served;
+  return result;
+}
+
+Result<NodeId> RecommendationService::ServeRecommendation(NodeId user,
+                                                          Rng& rng) {
+  if (user >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ServeLocked(shard, user, rng);
+}
+
+Result<NodeId> RecommendationService::ServeRecommendation(NodeId user) {
+  if (user >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ServeLocked(shard, user, shard.rng);
+}
+
+Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k,
+                                                    Rng& rng) {
+  if (user >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ServeListLocked(shard, user, k, rng);
+}
+
+Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k) {
+  if (user >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ServeListLocked(shard, user, k, shard.rng);
 }
 
 void RecommendationService::InvalidateTouching(NodeId u, NodeId v) {
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    const auto& watched = it->second.watched;
-    if (watched.count(u) > 0 || watched.count(v) > 0) {
-      it = cache_.erase(it);
-      ++stats_.cache_invalidations;
-    } else {
-      ++it;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.cache.begin(); it != shard.cache.end();) {
+      const auto& watched = it->second.watched;
+      if (watched.count(u) > 0 || watched.count(v) > 0) {
+        it = shard.cache.erase(it);
+        ++shard.stats.cache_invalidations;
+      } else {
+        ++it;
+      }
     }
+    // Drop the now-stale pinned snapshot so an idle shard does not keep a
+    // dead full-graph CSR alive until its next serve (re-pinned lazily).
+    shard.pinned = DynamicGraph::StampedSnapshot{};
   }
 }
 
@@ -94,54 +300,27 @@ Status RecommendationService::RemoveEdge(NodeId u, NodeId v) {
   return Status::OK();
 }
 
-Result<NodeId> RecommendationService::ServeRecommendation(NodeId user,
-                                                          Rng& rng) {
-  if (user >= graph_->num_nodes()) {
-    return Status::InvalidArgument("user out of range");
-  }
-  PrivacyAccountant& accountant = AccountantFor(user);
-  Status charge =
-      accountant.Charge(options_.release_epsilon, "single recommendation");
-  if (!charge.ok()) {
-    ++stats_.refused_budget;
-    return charge;
-  }
-  const UtilityVector& utilities = GetUtilities(user);
-  std::shared_ptr<const CsrGraph> snapshot = graph_->SharedSnapshot();
-  ExponentialMechanism mechanism(options_.release_epsilon,
-                                 CurrentSensitivity(*snapshot));
-  PRIVREC_ASSIGN_OR_RETURN(Recommendation rec,
-                           mechanism.Recommend(utilities, rng));
-  ++stats_.served;
-  if (!rec.from_zero_block) return rec.node;
-  return ResolveZeroUtilityNode(*snapshot, utilities, rng);
-}
-
-Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k,
-                                                    Rng& rng) {
-  if (user >= graph_->num_nodes()) {
-    return Status::InvalidArgument("user out of range");
-  }
-  PrivacyAccountant& accountant = AccountantFor(user);
-  Status charge = accountant.Charge(options_.release_epsilon,
-                                    "top-" + std::to_string(k) + " list");
-  if (!charge.ok()) {
-    ++stats_.refused_budget;
-    return charge;
-  }
-  const UtilityVector& utilities = GetUtilities(user);
-  std::shared_ptr<const CsrGraph> snapshot = graph_->SharedSnapshot();
-  auto result = PeelingExponentialTopK(utilities, k,
-                                       options_.release_epsilon,
-                                       CurrentSensitivity(*snapshot), rng);
-  if (result.ok()) ++stats_.served;
-  return result;
-}
-
 double RecommendationService::RemainingBudget(NodeId user) const {
-  auto it = accountants_.find(user);
-  return it == accountants_.end() ? options_.per_user_budget
-                                  : it->second.remaining();
+  const Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.accountants.find(user);
+  return it == shard.accountants.end() ? options_.per_user_budget
+                                       : it->second.remaining();
+}
+
+ServiceStats RecommendationService::stats() const {
+  ServiceStats total;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.served += shard.stats.served;
+    total.refused_budget += shard.stats.refused_budget;
+    total.cache_hits += shard.stats.cache_hits;
+    total.cache_misses += shard.stats.cache_misses;
+    total.cache_invalidations += shard.stats.cache_invalidations;
+    total.sampler_reuses += shard.stats.sampler_reuses;
+  }
+  return total;
 }
 
 }  // namespace privrec

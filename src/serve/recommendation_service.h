@@ -2,8 +2,12 @@
 #define PRIVREC_SERVE_RECOMMENDATION_SERVICE_H_
 
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/result.h"
 #include "core/exponential_mechanism.h"
@@ -21,17 +25,31 @@ struct ServiceOptions {
   double release_epsilon = 0.5;
   /// Lifetime ε budget per user (sequential composition cap).
   double per_user_budget = 5.0;
-  /// Maximum cached utility vectors before LRU-ish eviction.
+  /// Maximum cached utility vectors before LRU-ish eviction (split evenly
+  /// across shards, at least one entry per shard).
   size_t cache_capacity = 4096;
+  /// Number of shards (striped slices of users). 0 = auto: the hardware
+  /// concurrency rounded up to a power of two, capped at 64. Values > 0
+  /// are also rounded up to a power of two.
+  size_t num_shards = 0;
+  /// Seed for the per-shard RNG streams used by the Rng-less Serve
+  /// overloads. Two services with equal seeds (and equal shard counts)
+  /// serve identical sequences for identical call sequences.
+  uint64_t seed = 0x5eedf00dULL;
 };
 
-/// Serving statistics.
+/// Serving statistics. Returned by value from stats(): an exact sum of the
+/// per-shard counters at the moment each shard was visited (exact whenever
+/// the service is quiescent).
 struct ServiceStats {
   uint64_t served = 0;
   uint64_t refused_budget = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_invalidations = 0;
+  /// Cache hits that could reuse the frozen sampler as-is (no sensitivity
+  /// drift since it was built).
+  uint64_t sampler_reuses = 0;
 };
 
 /// The production wrapper a deployment would put around this library:
@@ -46,15 +64,28 @@ struct ServiceStats {
 ///  - exponential-mechanism releases calibrated to the utility's
 ///    sensitivity on the current graph.
 ///
-/// Batch-serving fast path: the service never copies the graph — it holds
-/// the DynamicGraph's version-stamped shared snapshot (rebuilt only after
-/// a mutation) — and computes utility vectors into a long-lived
-/// UtilityWorkspace, so steady-state serving performs no O(n) work beyond
-/// the utility traversal itself. Lists are drawn through the exponential
-/// mechanism's O(1) alias sampler (see ExponentialMechanism::MakeSampler).
+/// Thread safety (sharded): users are striped across N shards by a mixed
+/// hash of their id. Each shard owns its slice of the accountant map, the
+/// utility-vector cache, one UtilityWorkspace, and one RNG stream, all
+/// guarded by the shard's mutex, which is held for the duration of one
+/// Serve call. Concurrent Serve/ServeList calls for users on different
+/// shards never contend; calls for the same user serialize, which is what
+/// makes budget accounting exact under races (charge and release happen in
+/// one critical section). Graph mutations go through the thread-safe
+/// DynamicGraph and then sweep every shard's cache for affected entries.
 ///
-/// Thread-compatibility: external synchronization required (same contract
-/// as the underlying DynamicGraph).
+/// Fast path: the service never copies the graph — it rides the
+/// DynamicGraph's RCU snapshot (lock-free atomic load when unmutated) —
+/// and each cache entry carries a frozen RecommendationSampler, so a
+/// cache-hit single recommendation is one O(1) alias-table draw. The
+/// sampler is rebuilt from the cached utilities only when the utility's
+/// sensitivity drifted since it was frozen (a mutation elsewhere in the
+/// graph can change the global Δf without touching this user's vector).
+///
+/// The Rng& overloads use the caller's generator (single-threaded
+/// replay/debug path: the caller must not share one Rng across concurrent
+/// calls); the Rng-less overloads use the shard's own stream and are the
+/// concurrency-safe default.
 class RecommendationService {
  public:
   /// `graph` and `utility` must outlive the service. The utility must be
@@ -70,18 +101,28 @@ class RecommendationService {
   /// candidates.
   Result<NodeId> ServeRecommendation(NodeId user, Rng& rng);
 
+  /// Same, drawing randomness from the user's shard stream.
+  Result<NodeId> ServeRecommendation(NodeId user);
+
   /// Serves a k-slot list via the peeling mechanism, charging the same
   /// release_epsilon total (split ε/k per slot inside).
   Result<TopKResult> ServeList(NodeId user, size_t k, Rng& rng);
 
-  /// Applies a graph mutation and invalidates affected cache entries.
+  /// Same, drawing randomness from the user's shard stream.
+  Result<TopKResult> ServeList(NodeId user, size_t k);
+
+  /// Applies a graph mutation and invalidates affected cache entries in
+  /// every shard.
   Status AddEdge(NodeId u, NodeId v);
   Status RemoveEdge(NodeId u, NodeId v);
 
   /// Remaining lifetime ε for `user` (full budget if never served).
   double RemainingBudget(NodeId user) const;
 
-  const ServiceStats& stats() const { return stats_; }
+  /// Sum of the per-shard counters.
+  ServiceStats stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   struct CacheEntry {
@@ -89,36 +130,84 @@ class RecommendationService {
     /// {user} ∪ N(user) at compute time: the update-influence set.
     std::unordered_set<NodeId> watched;
     uint64_t last_used = 0;
+    /// The Δf this entry's releases are calibrated at. Ratchets up to
+    /// max(creation-time Δf, every Δf observed on later hits): a larger
+    /// calibration only adds noise, so it stays ε-DP both for a still-valid
+    /// entry (vector equals the current graph's) and for an entry caught in
+    /// the mutation-to-invalidation-sweep window (vector reflects the
+    /// pre-mutation graph) — without having to distinguish the two.
+    double calibration_sensitivity = 0;
+    /// Frozen alias sampler for the single-recommendation release
+    /// (release_epsilon, sampler_sensitivity). Built lazily — only the
+    /// single-recommendation path draws from it — and rebuilt from
+    /// `utilities` when the calibration ratchets.
+    std::optional<RecommendationSampler> sampler;
+    double sampler_sensitivity = 0;
   };
 
-  /// Fetches (or computes and caches) the user's utility vector.
-  const UtilityVector& GetUtilities(NodeId user);
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<NodeId, CacheEntry> cache;
+    std::unordered_map<NodeId, PrivacyAccountant> accountants;
+    UtilityWorkspace workspace;
+    /// The shard's private randomness stream (Rng-less overloads).
+    Rng rng;
+    uint64_t clock = 0;
+    ServiceStats stats;
+    /// Shard-pinned graph snapshot, revalidated against the atomic
+    /// version() stamp each request: the steady-state serve path takes no
+    /// graph-side lock and generates no shared refcount traffic.
+    DynamicGraph::StampedSnapshot pinned;
+    /// Per-shard sensitivity memo for pinned.version (recomputing Δf can
+    /// cost an O(n) degree scan; shard-local so shards never share a memo
+    /// cacheline).
+    double sensitivity = 0;
+    uint64_t sensitivity_version = 0;
+    bool sensitivity_valid = false;
 
-  /// The utility's sensitivity on the current snapshot, recomputed only
-  /// when the graph version changes (it can cost an O(n) degree scan).
-  double CurrentSensitivity(const CsrGraph& snapshot);
+    explicit Shard(uint64_t seed) : rng(seed) {}
+  };
 
-  PrivacyAccountant& AccountantFor(NodeId user);
+  Shard& ShardFor(NodeId user) {
+    return *shards_[ShardIndex(user)];
+  }
+  const Shard& ShardFor(NodeId user) const {
+    return *shards_[ShardIndex(user)];
+  }
+  size_t ShardIndex(NodeId user) const;
+
+  /// The utility's sensitivity for `snap`'s version, memoized per shard.
+  /// Caller holds `shard.mu`.
+  double SensitivityForLocked(Shard& shard,
+                              const DynamicGraph::StampedSnapshot& snap);
+
+  /// The shard's pinned snapshot, refreshed from the graph iff the atomic
+  /// version stamp moved. Caller holds `shard.mu`.
+  const DynamicGraph::StampedSnapshot& PinnedSnapshotLocked(Shard& shard);
+
+  /// Finds (or creates) the user's accountant. Caller holds `shard.mu`.
+  PrivacyAccountant& AccountantForLocked(Shard& shard, NodeId user);
+
+  /// Fetches (or computes and caches) the user's entry with its
+  /// calibration ratcheted against `sensitivity`; freezes the alias
+  /// sampler only when `need_sampler`. Caller holds `shard.mu`.
+  Result<CacheEntry*> GetEntryLocked(Shard& shard, NodeId user,
+                                     const DynamicGraph::StampedSnapshot& snap,
+                                     double sensitivity, bool need_sampler);
+
+  Result<NodeId> ServeLocked(Shard& shard, NodeId user, Rng& rng);
+  Result<TopKResult> ServeListLocked(Shard& shard, NodeId user, size_t k,
+                                     Rng& rng);
 
   void InvalidateTouching(NodeId u, NodeId v);
-  void EvictIfNeeded();
+  void EvictIfNeededLocked(Shard& shard);
 
   DynamicGraph* graph_;
   std::unique_ptr<UtilityFunction> utility_;
   ServiceOptions options_;
-  ServiceStats stats_;
-  uint64_t clock_ = 0;
-  std::unordered_map<NodeId, CacheEntry> cache_;
-  std::unordered_map<NodeId, PrivacyAccountant> accountants_;
-
-  /// Reused across every cache-miss Compute; the service contract is
-  /// externally synchronized, so one workspace suffices.
-  UtilityWorkspace workspace_;
-
-  /// Sensitivity memo for the graph version it was computed at.
-  double sensitivity_ = 0;
-  uint64_t sensitivity_version_ = 0;
-  bool sensitivity_valid_ = false;
+  size_t per_shard_capacity_ = 1;
+  size_t shard_mask_ = 0;  // shards_.size() - 1 (power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace privrec

@@ -2,11 +2,13 @@
 // Gumbel-max sampler, multi-recommendation (top-k), the privacy
 // accountant, sensitive-edge-subset auditing, and the non-monotone bound.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "core/baseline_mechanisms.h"
 #include "core/bounds.h"
@@ -20,6 +22,7 @@
 #include "graph/binary_io.h"
 #include "graph/dynamic_graph.h"
 #include "gtest/gtest.h"
+#include "random/distributions.h"
 #include "random/rng.h"
 #include "utility/common_neighbors.h"
 
@@ -391,6 +394,71 @@ TEST(TopKTest, OneShotLaplaceAccuracyGrowsWithEpsilon) {
     prev = mean;
   }
   EXPECT_GT(prev, 0.9);
+}
+
+TEST(TopKTest, OneShotLaplaceTieGroupedMatchesNaiveDistribution) {
+  // Regression for the tie-grouped O(k·#distinct) draw path: on a fixture
+  // dominated by tied utilities, per-node top-k inclusion frequencies must
+  // match a naive per-candidate-noise reference implementation (which is
+  // the definition of the mechanism).
+  UtilityVector u(0, 9,
+                  {{1, 4.0}, {2, 4.0}, {3, 4.0}, {4, 2.0}, {5, 2.0}, {6, 1.0}});
+  ASSERT_EQ(u.num_zero(), 3u);
+  constexpr size_t kK = 3;
+  constexpr double kEps = 2.0, kSens = 1.0;
+  constexpr int kTrials = 30000;
+
+  // Naive reference: independent Laplace(k·Δf/ε) noise on every candidate,
+  // zero block fully materialized, global sort.
+  auto naive = [&](Rng& rng) {
+    const LaplaceDistribution noise(kK * kSens / kEps);
+    std::vector<std::pair<double, NodeId>> scored;
+    for (const UtilityEntry& e : u.nonzero()) {
+      scored.push_back({e.utility + noise.Sample(rng), e.node});
+    }
+    for (uint64_t z = 0; z < u.num_zero(); ++z) {
+      scored.push_back({noise.Sample(rng), kUnresolvedZeroNode});
+    }
+    std::partial_sort(scored.begin(), scored.begin() + kK, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    scored.resize(kK);
+    return scored;
+  };
+
+  // Inclusion counts per node id (index 0 aggregates the zero block).
+  std::vector<int> grouped_counts(7, 0), naive_counts(7, 0);
+  Rng rng_grouped(211), rng_naive(223);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto result = OneShotLaplaceTopK(u, kK, kEps, kSens, rng_grouped);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->picks.size(), kK);
+    std::set<NodeId> distinct;
+    for (const Recommendation& pick : result->picks) {
+      if (pick.from_zero_block) {
+        ++grouped_counts[0];
+      } else {
+        ++grouped_counts[pick.node];
+        EXPECT_TRUE(distinct.insert(pick.node).second)
+            << "duplicate nonzero pick";
+      }
+    }
+    for (const auto& [noisy, node] : naive(rng_naive)) {
+      ++naive_counts[node == kUnresolvedZeroNode ? 0 : node];
+    }
+  }
+  for (int node = 0; node <= 6; ++node) {
+    EXPECT_NEAR(grouped_counts[node] / double(kTrials),
+                naive_counts[node] / double(kTrials), 0.02)
+        << "node " << node;
+  }
+  // Exchangeability within the tied group of {1,2,3}: equal inclusion
+  // frequencies.
+  EXPECT_NEAR(grouped_counts[1] / double(kTrials),
+              grouped_counts[2] / double(kTrials), 0.02);
+  EXPECT_NEAR(grouped_counts[2] / double(kTrials),
+              grouped_counts[3] / double(kTrials), 0.02);
 }
 
 TEST(TopKTest, KEqualsOneMatchesSingleMechanism) {
