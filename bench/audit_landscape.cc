@@ -1,0 +1,218 @@
+// Audit landscape: sweeps configured ε against the black-box empirical ε̂
+// of the serving stack, across the service's 2-hop utility family, on all
+// four audited serve paths (cold / cache-hit / post-mutation /
+// multi-shard). Also drives one deliberately mis-calibrated service
+// (sensitivity halved => noise scale halved) to show the certified lower
+// bound crossing the configured ε — the audit's whole reason to exist.
+//
+// Output: a table per utility, plus (with --json=PATH) a machine-readable
+// dump; BENCH_audit_landscape.json in the repo root is a checked-in run
+// (see ci/sanitize.sh --audit for the refresh command).
+//
+// Flags:
+//   --trials=N     serve trials per side per path (default 4000)
+//   --pairs=K      edge-toggle pairs audited per configuration (default 3)
+//   --nodes=N      ER graph size (default 12)
+//   --edges=M      ER edge count (default 24)
+//   --json=PATH    write results as JSON
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/service_auditor.h"
+#include "gen/fixtures.h"
+#include "gen/generators.h"
+#include "gen/neighboring.h"
+#include "random/rng.h"
+#include "utility/adamic_adar.h"
+#include "utility/common_neighbors.h"
+#include "utility/link_predictors.h"
+
+namespace privrec {
+namespace bench {
+namespace {
+
+/// Common neighbors with its Δf bound divided by `factor`: the broken
+/// calibration the audit must flag (factor 2 == "noise scale halved").
+class UnderscaledCn : public CommonNeighborsUtility {
+ public:
+  explicit UnderscaledCn(double factor) : factor_(factor) {}
+  double SensitivityBound(const CsrGraph& graph) const override {
+    return CommonNeighborsUtility::SensitivityBound(graph) / factor_;
+  }
+
+ private:
+  double factor_;
+};
+
+struct SweepRow {
+  std::string utility;
+  double configured_epsilon;
+  bool broken;
+  DpAuditResult audit;
+};
+
+void PrintRows(const std::vector<SweepRow>& rows) {
+  TablePrinter table({"utility", "eps", "calibration", "path",
+                      "eps_hat", "certified_lower", "verdict"});
+  for (const SweepRow& row : rows) {
+    for (const PathEpsilonEstimate& path : row.audit.per_path) {
+      const bool violation =
+          path.epsilon_lower_bound > row.configured_epsilon;
+      table.AddRow({row.utility, FormatDouble(row.configured_epsilon, 2),
+                    row.broken ? "Δf/2 (broken)" : "honest", path.path,
+                    FormatDouble(path.epsilon_hat, 3),
+                    FormatDouble(path.epsilon_lower_bound, 3),
+                    violation ? "VIOLATION" : "ok"});
+    }
+  }
+  table.Print();
+}
+
+void WriteJson(const std::string& path, const std::vector<SweepRow>& rows,
+               uint64_t trials, size_t pairs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    PRIVREC_WLOG << "cannot write " << path;
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(
+      f,
+      "  \"description\": \"Black-box audit landscape: configured eps vs "
+      "empirical eps-hat of the serving stack (ServiceAuditor, %llu trials "
+      "per side per path, %zu edge-toggle pairs per row, Clopper-Pearson "
+      "certified lower bounds at 99%% confidence). A row is a certified "
+      "violation when certified_lower > configured eps.\",\n",
+      static_cast<unsigned long long>(trials), pairs);
+  std::fprintf(f, "  \"rows\": [\n");
+  bool first = true;
+  for (const SweepRow& row : rows) {
+    for (const PathEpsilonEstimate& path : row.audit.per_path) {
+      if (!first) std::fprintf(f, ",\n");
+      first = false;
+      std::fprintf(
+          f,
+          "    { \"utility\": \"%s\", \"eps\": %.3f, \"calibration\": "
+          "\"%s\", \"path\": \"%s\", \"eps_hat\": %.4f, "
+          "\"certified_lower\": %.4f, \"violation\": %s }",
+          row.utility.c_str(), row.configured_epsilon,
+          row.broken ? "underscaled_half" : "honest", path.path.c_str(),
+          path.epsilon_hat, path.epsilon_lower_bound,
+          path.epsilon_lower_bound > row.configured_epsilon ? "true"
+                                                            : "false");
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const uint64_t trials = static_cast<uint64_t>(flags.GetInt("trials", 4000));
+  const size_t pairs = static_cast<size_t>(flags.GetInt("pairs", 3));
+  const NodeId nodes = static_cast<NodeId>(flags.GetInt("nodes", 12));
+  const uint64_t edges = static_cast<uint64_t>(flags.GetInt("edges", 24));
+  const std::string json_path = flags.GetString("json", "");
+
+  std::printf("=== Audit landscape: configured eps vs empirical eps-hat ===\n");
+  Rng rng(kTargetSeed);
+  auto graph = ErdosRenyiGnm(nodes, edges, /*directed=*/false, rng);
+  PRIVREC_CHECK_OK(graph.status());
+  PrintDatasetBanner("erdos-renyi audit graph", *graph);
+  std::printf("%llu trials/side/path, %zu pairs per configuration\n\n",
+              static_cast<unsigned long long>(trials), pairs);
+
+  struct UtilitySpec {
+    const char* name;
+    ServiceAuditor::UtilityFactory factory;
+  };
+  const std::vector<UtilitySpec> specs = {
+      {"common_neighbors",
+       [] { return std::make_unique<CommonNeighborsUtility>(); }},
+      {"adamic_adar", [] { return std::make_unique<AdamicAdarUtility>(); }},
+      {"jaccard", [] { return std::make_unique<JaccardUtility>(); }},
+  };
+
+  std::vector<SweepRow> rows;
+  for (const UtilitySpec& spec : specs) {
+    for (double eps : {0.25, 0.5, 1.0, 2.0}) {
+      ServiceAuditOptions options;
+      options.release_epsilon = eps;
+      options.trials_per_side = trials;
+      options.confidence = 0.99;
+      options.seed = 20260730 + static_cast<uint64_t>(eps * 1000);
+      ServiceAuditor auditor(spec.factory, options);
+      Rng pair_rng(kTargetSeed + static_cast<uint64_t>(eps * 100));
+      auto audit = auditor.AuditEdgeToggles(*graph, /*target=*/0, pairs,
+                                            pair_rng);
+      PRIVREC_CHECK_OK(audit.status());
+      rows.push_back({spec.name, eps, /*broken=*/false, *audit});
+    }
+  }
+
+  // Broken-calibration sweep on the directed audit fixture, whose Δf
+  // bound is TIGHT (one arc toggle moves a candidate's utility by the
+  // full Δf = 1). On loose-bound graphs (undirected CN: Δf = 2, realized
+  // Δu = 1 per toggle) halved noise still lands under ε — a reminder that
+  // a sampling audit lower-bounds the leak actually realized by its
+  // pairs, so detection benches must use pairs that realize the bound.
+  CsrGraph fixture = MakeDirectedAuditFixture();
+  auto fixture_pair = MakeEdgeTogglePair(fixture, /*target=*/0, 2, 4);
+  PRIVREC_CHECK_OK(fixture_pair.status());
+  for (double eps : {0.25, 0.5, 1.0, 2.0}) {
+    ServiceAuditOptions options;
+    options.release_epsilon = eps;
+    options.trials_per_side = trials;
+    options.confidence = 0.99;
+    options.seed = 20260730 + static_cast<uint64_t>(eps * 1000);
+    ServiceAuditor auditor([] { return std::make_unique<UnderscaledCn>(2.0); },
+                           options);
+    auto audit = auditor.AuditPair(*fixture_pair, /*target=*/0);
+    PRIVREC_CHECK_OK(audit.status());
+    rows.push_back({"common_neighbors[fixture]", eps, /*broken=*/true,
+                    *audit});
+  }
+  PrintRows(rows);
+
+  // Shape check: honest rows certify no violation; broken rows certify a
+  // violation once eps is large enough for the sampling power available.
+  size_t honest_violations = 0, broken_flags = 0, broken_rows = 0;
+  for (const SweepRow& row : rows) {
+    for (const PathEpsilonEstimate& path : row.audit.per_path) {
+      if (!row.broken &&
+          path.epsilon_lower_bound > row.configured_epsilon) {
+        ++honest_violations;
+      }
+    }
+    if (row.broken) {
+      ++broken_rows;
+      bool flagged = false;
+      for (const PathEpsilonEstimate& path : row.audit.per_path) {
+        flagged |= path.epsilon_lower_bound > row.configured_epsilon;
+      }
+      broken_flags += flagged ? 1 : 0;
+    }
+  }
+  std::printf("\nshape: honest certified violations: %zu (expect 0); "
+              "broken configurations flagged: %zu / %zu\n",
+              honest_violations, broken_flags, broken_rows);
+
+  if (!json_path.empty()) WriteJson(json_path, rows, trials, pairs);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::bench::Run(argc, argv); }

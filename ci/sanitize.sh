@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
-# Sanitizer CI for the concurrent serving stack.
+# Sanitizer CI for the concurrent serving stack and the DP audit harness.
 #
 # Builds the library + tests under ThreadSanitizer and runs the `concurrent`
 # ctest label (the stress/property suites in tests/concurrent_service_test.cc),
-# then optionally repeats under AddressSanitizer+UBSan for the whole suite.
+# then optionally repeats under AddressSanitizer+UBSan for the whole suite,
+# and/or runs the DP `audit` label under ASan+UBSan plus the audit-landscape
+# bench that refreshes BENCH_audit_landscape.json.
 #
 # Usage:
 #   ci/sanitize.sh            # TSAN build + concurrent label (the gate)
 #   ci/sanitize.sh --asan     # additionally ASan+UBSan over ALL tests
+#   ci/sanitize.sh --audit    # additionally ASan+UBSan over the `audit`
+#                             # label, then bench_audit_landscape with its
+#                             # output wired into BENCH_audit_landscape.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_asan=0
+run_audit=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
+    --audit) run_audit=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -38,6 +45,21 @@ if [[ "$run_asan" == "1" ]]; then
   ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}" \
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
     ctest --preset asan-all
+fi
+
+if [[ "$run_audit" == "1" ]]; then
+  echo "=== [asan] configure + build (audit label) ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  echo "=== [asan] ctest -L audit ==="
+  ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ctest --preset asan-audit
+  echo "=== [default] bench_audit_landscape -> BENCH_audit_landscape.json ==="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target bench_audit_landscape
+  ./build/bench_audit_landscape --trials=4000 --pairs=3 \
+    --json=BENCH_audit_landscape.json
 fi
 
 echo "sanitize: OK"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
+
 namespace privrec {
 
 SummaryStats Summarize(const std::vector<double>& values) {
@@ -52,6 +54,130 @@ double KsStatistic(std::vector<double> a, std::vector<double> b) {
     ks = std::max(ks, std::fabs(fa - fb));
   }
   return ks;
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta (Numerical Recipes "betacf"
+/// shape, modified Lentz iteration).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-15;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+/// Smallest p with I_p(a, b) >= target, by bisection (I_x is monotone
+/// increasing in x). 200 halvings take p well past double precision.
+double InverseRegularizedIncompleteBeta(double a, double b, double target) {
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (RegularizedIncompleteBeta(a, b, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction on whichever side converges fast.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+BinomialCi ClopperPearsonInterval(uint64_t successes, uint64_t trials,
+                                  double confidence) {
+  BinomialCi ci;
+  if (trials == 0) return ci;  // vacuous [0, 1]
+  const double alpha = std::clamp(1.0 - confidence, 1e-12, 1.0);
+  const double k = static_cast<double>(successes);
+  const double n = static_cast<double>(trials);
+  // Exact interval via the beta quantiles:
+  //   lower = BetaInv(alpha/2; k, n-k+1), upper = BetaInv(1-alpha/2; k+1, n-k).
+  if (successes > 0) {
+    ci.lower = InverseRegularizedIncompleteBeta(k, n - k + 1.0, alpha / 2.0);
+  }
+  if (successes < trials) {
+    ci.upper =
+        InverseRegularizedIncompleteBeta(k + 1.0, n - k, 1.0 - alpha / 2.0);
+  }
+  return ci;
+}
+
+ChiSquaredGof ChiSquaredGoodnessOfFit(const std::vector<double>& observed,
+                                      const std::vector<double>& expected,
+                                      double min_expected) {
+  // A size mismatch is always a caller bug (a dropped cell would silently
+  // pass the GOF check for exactly the distribution bug it should catch).
+  PRIVREC_CHECK_EQ(observed.size(), expected.size());
+  ChiSquaredGof gof;
+  const size_t cells = observed.size();
+  for (size_t i = 0; i < cells; ++i) {
+    if (expected[i] < min_expected) continue;
+    const double diff = observed[i] - expected[i];
+    gof.statistic += diff * diff / expected[i];
+    ++gof.cells_used;
+  }
+  gof.dof = gof.cells_used > 0 ? static_cast<double>(gof.cells_used) - 1.0 : 0.0;
+  return gof;
+}
+
+double ChiSquaredConservativeBound(double dof, double num_sds) {
+  return dof + num_sds * std::sqrt(2.0 * dof);
+}
+
+double TwoProportionZ(uint64_t successes_a, uint64_t trials_a,
+                      uint64_t successes_b, uint64_t trials_b) {
+  if (trials_a == 0 || trials_b == 0) return 0.0;
+  const double na = static_cast<double>(trials_a);
+  const double nb = static_cast<double>(trials_b);
+  const double pa = static_cast<double>(successes_a) / na;
+  const double pb = static_cast<double>(successes_b) / nb;
+  const double pooled =
+      static_cast<double>(successes_a + successes_b) / (na + nb);
+  const double var = pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb);
+  if (var <= 0.0) return 0.0;
+  return (pa - pb) / std::sqrt(var);
 }
 
 double PearsonCorrelation(const std::vector<double>& x,

@@ -2,6 +2,7 @@
 #define PRIVREC_COMMON_STATISTICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace privrec {
@@ -31,6 +32,62 @@ double KsStatistic(std::vector<double> a, std::vector<double> b);
 /// mismatch/empty.
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y);
+
+// ---------------------------------------------------------------------------
+// Statistical test kit shared by the DP audit harness and the test suites.
+// Everything here is deterministic, allocation-light, and dependency-free so
+// tests, benches, and src/eval can all lean on one implementation.
+// ---------------------------------------------------------------------------
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0, x in [0,1].
+/// Continued-fraction evaluation (Lentz), accurate to ~1e-12 — the kernel
+/// behind exact binomial tail probabilities and Clopper–Pearson intervals.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Two-sided binomial confidence interval.
+struct BinomialCi {
+  double lower = 0;
+  double upper = 1;
+};
+
+/// Exact (Clopper–Pearson) two-sided confidence interval for a binomial
+/// proportion: `successes` out of `trials` at the given `confidence` (e.g.
+/// 0.99). Guaranteed coverage >= confidence for every true p — which is what
+/// lets the DP auditor certify its empirical ε̂ as a high-probability lower
+/// bound instead of a point guess. lower = 0 when successes == 0 and
+/// upper = 1 when successes == trials, as the exact interval requires.
+BinomialCi ClopperPearsonInterval(uint64_t successes, uint64_t trials,
+                                  double confidence);
+
+/// Pearson chi-squared goodness-of-fit over pre-binned cells. `observed`
+/// and `expected` must be the same length (checked fatally — a dropped
+/// cell would silently mask the very bugs this test exists to catch).
+/// Cells whose expected count is below `min_expected` are skipped (the
+/// classical validity rule); `dof` is (#cells used - 1), the usual GOF
+/// degrees of freedom when the expected distribution is fully specified.
+struct ChiSquaredGof {
+  double statistic = 0;
+  size_t cells_used = 0;
+  double dof = 0;
+};
+ChiSquaredGof ChiSquaredGoodnessOfFit(const std::vector<double>& observed,
+                                      const std::vector<double>& expected,
+                                      double min_expected = 5.0);
+
+/// Conservative acceptance threshold for a chi-squared statistic: the
+/// mean + num_sds · stddev of the chi2(dof) distribution (mean = dof,
+/// variance = 2·dof). At num_sds = 6 this sits far beyond the 99.9th
+/// percentile for any dof, so an exceedance means a real distribution bug,
+/// not a flake.
+double ChiSquaredConservativeBound(double dof, double num_sds);
+
+/// Two-proportion pooled z statistic for H0: p_a == p_b, given
+/// `successes_a`/`trials_a` vs `successes_b`/`trials_b`. Positive when side
+/// a's rate is higher. Returns 0 when either trial count is zero or the
+/// pooled rate is degenerate (0 or 1). Used by the service auditor to rank
+/// which outcome diverges most between neighboring graphs.
+double TwoProportionZ(uint64_t successes_a, uint64_t trials_a,
+                      uint64_t successes_b, uint64_t trials_b);
 
 }  // namespace privrec
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <unordered_map>
+#include <utility>
 
 #include "graph/transforms.h"
 
@@ -42,6 +43,18 @@ double ProbabilityOf(const ExpandedDistribution& dist, NodeId node,
   return dist.per_zero_node;
 }
 
+/// Closed-form audits have no sampling error: the per-path entry carries
+/// the exact max ratio as both the point estimate and the certified bound.
+void FillClosedFormPath(DpAuditResult& audit, NodeId worst_outcome) {
+  PathEpsilonEstimate entry;
+  entry.path = "closed_form";
+  entry.epsilon_hat = audit.max_abs_log_ratio;
+  entry.epsilon_lower_bound = audit.max_abs_log_ratio;
+  entry.trials_per_side = 0;
+  entry.worst_outcome = worst_outcome;
+  audit.per_path.push_back(std::move(entry));
+}
+
 }  // namespace
 
 Result<DpAuditResult> AuditEdgeDp(const CsrGraph& graph,
@@ -61,6 +74,7 @@ Result<DpAuditResult> AuditSensitiveEdgeDp(
     return Status::InvalidArgument("target out of range");
   }
   DpAuditResult audit;
+  NodeId worst_outcome = 0;
   UtilityVector base_utilities = utility.Compute(graph, target);
   PRIVREC_ASSIGN_OR_RETURN(ExpandedDistribution base,
                            Expand(mechanism, base_utilities));
@@ -91,10 +105,12 @@ Result<DpAuditResult> AuditSensitiveEdgeDp(
           audit.max_abs_log_ratio = ratio;
           audit.worst_edge_u = u;
           audit.worst_edge_v = v;
+          worst_outcome = o;
         }
       }
     }
   }
+  FillClosedFormPath(audit, worst_outcome);
   return audit;
 }
 
@@ -108,6 +124,7 @@ Result<DpAuditResult> AuditNodeDpSampled(const CsrGraph& graph,
     return Status::InvalidArgument("target out of range");
   }
   DpAuditResult audit;
+  NodeId worst_outcome = 0;
   UtilityVector base_utilities = utility.Compute(graph, target);
   PRIVREC_ASSIGN_OR_RETURN(ExpandedDistribution base,
                            Expand(mechanism, base_utilities));
@@ -147,10 +164,12 @@ Result<DpAuditResult> AuditNodeDpSampled(const CsrGraph& graph,
           audit.max_abs_log_ratio = ratio;
           audit.worst_edge_u = w;
           audit.worst_edge_v = w;
+          worst_outcome = o;
         }
       }
     }
   }
+  FillClosedFormPath(audit, worst_outcome);
   return audit;
 }
 

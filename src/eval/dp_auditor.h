@@ -2,6 +2,8 @@
 #define PRIVREC_EVAL_DP_AUDITOR_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/mechanism.h"
@@ -11,9 +13,36 @@
 
 namespace privrec {
 
-/// Result of an exhaustive differential-privacy audit.
+/// Empirical ε of ONE audited code path, so privacy regressions localize
+/// to the path that leaks instead of hiding behind one global max. The
+/// closed-form auditors report a single "closed_form" path; the black-box
+/// ServiceAuditor (eval/service_auditor.h) reports one entry per serve
+/// path it drove (cold / cache_hit / post_mutation / multi_shard).
+struct PathEpsilonEstimate {
+  /// "closed_form", "cold", "cache_hit", "post_mutation", "multi_shard".
+  std::string path;
+  /// Point estimate: max over outcomes of |ln(p̂ / q̂)| (exact likelihood
+  /// ratio for the closed-form audits; plug-in frequency ratio for the
+  /// sampling audits, floored at half a count to stay finite).
+  double epsilon_hat = 0;
+  /// Certified high-probability lower bound on the true ε of this path:
+  /// max over outcomes of ln(CP_lower(p) / CP_upper(q)) using
+  /// Clopper–Pearson intervals, Bonferroni-corrected across outcomes. For
+  /// closed-form audits (no sampling error) this equals epsilon_hat.
+  double epsilon_lower_bound = 0;
+  /// Trials drawn per side (0 for closed-form audits).
+  uint64_t trials_per_side = 0;
+  /// The outcome (node id) achieving epsilon_hat.
+  NodeId worst_outcome = 0;
+  /// Largest |two-proportion z| observed across outcomes (sampling audits
+  /// only): a scale-free divergence ranking for dashboards.
+  double worst_z = 0;
+};
+
+/// Result of a differential-privacy audit (exhaustive closed-form or
+/// sampling-based service audit).
 struct DpAuditResult {
-  /// max over neighboring graph pairs and outcomes of
+  /// max over neighboring graph pairs, audited paths, and outcomes of
   /// |ln(Pr[R(G)=o] / Pr[R(G')=o])| — the empirical ε.
   double max_abs_log_ratio = 0;
   /// Neighboring pairs examined.
@@ -21,6 +50,16 @@ struct DpAuditResult {
   /// The edge achieving the max ratio.
   NodeId worst_edge_u = 0;
   NodeId worst_edge_v = 0;
+  /// Per-code-path breakdown (see PathEpsilonEstimate).
+  std::vector<PathEpsilonEstimate> per_path;
+
+  /// The entry for `path`, or nullptr when that path was not audited.
+  const PathEpsilonEstimate* FindPath(const std::string& path) const {
+    for (const PathEpsilonEstimate& entry : per_path) {
+      if (entry.path == path) return &entry;
+    }
+    return nullptr;
+  }
 };
 
 /// Empirically verifies Definition 1 (relaxed variant of Section 3.2) for

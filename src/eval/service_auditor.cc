@@ -1,0 +1,296 @@
+#include "eval/service_auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/statistics.h"
+#include "graph/dynamic_graph.h"
+#include "serve/recommendation_service.h"
+
+namespace privrec {
+namespace {
+
+/// One identical mutation applied to both sides of a pair for the
+/// post-mutation path.
+struct CommonToggle {
+  NodeId a = 0;
+  NodeId b = 0;
+  bool present = false;  // present in both sides => toggle is a removal
+};
+
+bool SameUnorderedEdge(NodeId a, NodeId b, NodeId u, NodeId v) {
+  return (a == u && b == v) || (a == v && b == u);
+}
+
+/// Picks an edge slot (a, b) whose state matches on both sides, is not
+/// incident to the target, and is not the pair's differing edge — so
+/// toggling it on BOTH services keeps the graphs neighbors. Prefers a in
+/// N(target): that lands inside the target's watched set, forcing the
+/// cache invalidation + re-freeze machinery the post-mutation path exists
+/// to audit (a mutation outside the watched set would only exercise the
+/// ratchet).
+std::optional<CommonToggle> ChooseCommonToggle(const NeighboringPair& pair,
+                                               NodeId target) {
+  const CsrGraph& base = pair.base;
+  const CsrGraph& nb = pair.neighbor;
+  const NodeId n = base.num_nodes();
+  auto eligible = [&](NodeId a, NodeId b) -> std::optional<CommonToggle> {
+    if (a == b || a == target || b == target) return std::nullopt;
+    if (pair.kind != NeighboringPair::Kind::kNodeRewired &&
+        SameUnorderedEdge(a, b, pair.u, pair.v)) {
+      return std::nullopt;
+    }
+    const bool in_base = base.HasEdge(a, b);
+    if (in_base != nb.HasEdge(a, b)) return std::nullopt;
+    if (!base.directed() && in_base != nb.HasEdge(b, a)) return std::nullopt;
+    return CommonToggle{a, b, in_base};
+  };
+  for (NodeId a : base.OutNeighbors(target)) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (auto toggle = eligible(a, b)) return toggle;
+    }
+  }
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (auto toggle = eligible(a, b)) return toggle;
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t DeriveSeed(uint64_t root, uint64_t path, uint64_t side) {
+  SplitMix64 mixer(root ^ (path * 0x9e3779b97f4a7c15ULL));
+  mixer.Next();
+  for (uint64_t i = 0; i <= side; ++i) mixer.Next();
+  return mixer.Next() ^ (side + 1);
+}
+
+}  // namespace
+
+PathEpsilonEstimate EstimateEpsilonFromCounts(
+    const std::string& path_name,
+    const std::map<NodeId, uint64_t>& base_counts,
+    const std::map<NodeId, uint64_t>& neighbor_counts, uint64_t trials,
+    double confidence) {
+  PathEpsilonEstimate estimate;
+  estimate.path = path_name;
+  estimate.trials_per_side = trials;
+  std::set<NodeId> outcomes;
+  for (const auto& [node, count] : base_counts) outcomes.insert(node);
+  for (const auto& [node, count] : neighbor_counts) outcomes.insert(node);
+  if (outcomes.empty() || trials == 0) return estimate;
+
+  // Bonferroni: the certified bound takes a max over 2·|outcomes| CP
+  // intervals, so each interval runs at confidence 1 - (1-γ)/(2m) to make
+  // the joint "every interval covers" event hold at >= γ.
+  const double per_interval_confidence =
+      1.0 - (1.0 - confidence) / (2.0 * static_cast<double>(outcomes.size()));
+  const double n = static_cast<double>(trials);
+  auto count_of = [](const std::map<NodeId, uint64_t>& counts, NodeId node) {
+    auto it = counts.find(node);
+    return it == counts.end() ? uint64_t{0} : it->second;
+  };
+  for (NodeId node : outcomes) {
+    const uint64_t c_base = count_of(base_counts, node);
+    const uint64_t c_nb = count_of(neighbor_counts, node);
+    // Point estimate with a half-count floor so unseen-on-one-side
+    // outcomes stay finite (they are exactly the interesting ones).
+    const double p_hat = std::max(static_cast<double>(c_base), 0.5) / n;
+    const double q_hat = std::max(static_cast<double>(c_nb), 0.5) / n;
+    const double point = std::fabs(std::log(p_hat / q_hat));
+    if (point > estimate.epsilon_hat) {
+      estimate.epsilon_hat = point;
+      estimate.worst_outcome = node;
+    }
+    const BinomialCi p_ci =
+        ClopperPearsonInterval(c_base, trials, per_interval_confidence);
+    const BinomialCi q_ci =
+        ClopperPearsonInterval(c_nb, trials, per_interval_confidence);
+    // Certified lower bound on |ln(p/q)| for this outcome: the smallest
+    // ratio any (p, q) inside the joint confidence box can achieve.
+    double certified = 0;
+    if (p_ci.lower > 0 && q_ci.upper > 0) {
+      certified = std::max(certified, std::log(p_ci.lower / q_ci.upper));
+    }
+    if (q_ci.lower > 0 && p_ci.upper > 0) {
+      certified = std::max(certified, std::log(q_ci.lower / p_ci.upper));
+    }
+    estimate.epsilon_lower_bound =
+        std::max(estimate.epsilon_lower_bound, certified);
+    estimate.worst_z = std::max(
+        estimate.worst_z, std::fabs(TwoProportionZ(c_base, trials, c_nb,
+                                                   trials)));
+  }
+  return estimate;
+}
+
+const char* ServeAuditPathName(ServeAuditPath path) {
+  switch (path) {
+    case ServeAuditPath::kCold:
+      return "cold";
+    case ServeAuditPath::kCacheHit:
+      return "cache_hit";
+    case ServeAuditPath::kPostMutation:
+      return "post_mutation";
+    case ServeAuditPath::kMultiShard:
+      return "multi_shard";
+  }
+  return "unknown";
+}
+
+ServiceAuditor::ServiceAuditor(UtilityFactory utility_factory,
+                               ServiceAuditOptions options)
+    : utility_factory_(std::move(utility_factory)),
+      options_(std::move(options)) {
+  PRIVREC_CHECK(utility_factory_ != nullptr);
+  PRIVREC_CHECK_GT(options_.release_epsilon, 0.0);
+  PRIVREC_CHECK_GT(options_.trials_per_side, 0u);
+  PRIVREC_CHECK_GT(options_.confidence, 0.0);
+  PRIVREC_CHECK(options_.confidence < 1.0);
+  if (options_.paths.empty()) {
+    options_.paths.assign(std::begin(kAllServeAuditPaths),
+                          std::end(kAllServeAuditPaths));
+  }
+}
+
+Result<DpAuditResult> ServiceAuditor::AuditPair(const NeighboringPair& pair,
+                                                NodeId target) const {
+  return AuditPairAtConfidence(pair, target, options_.confidence);
+}
+
+Result<DpAuditResult> ServiceAuditor::AuditPairAtConfidence(
+    const NeighboringPair& pair, NodeId target, double confidence) const {
+  if (pair.base.num_nodes() != pair.neighbor.num_nodes() ||
+      pair.base.directed() != pair.neighbor.directed()) {
+    return Status::InvalidArgument(
+        "pair sides disagree on node count or direction");
+  }
+  if (target >= pair.base.num_nodes()) {
+    return Status::InvalidArgument("target out of range");
+  }
+
+  DpAuditResult result;
+  result.pairs_checked = 1;
+  result.worst_edge_u = pair.u;
+  result.worst_edge_v = pair.v;
+
+  for (ServeAuditPath path : options_.paths) {
+    std::optional<CommonToggle> toggle;
+    if (path == ServeAuditPath::kPostMutation) {
+      toggle = ChooseCommonToggle(pair, target);
+      if (!toggle.has_value()) {
+        return Status::FailedPrecondition(
+            "no common edge slot available for the post-mutation toggle");
+      }
+    }
+    std::map<NodeId, uint64_t> counts[2];
+    for (int side = 0; side < 2; ++side) {
+      const CsrGraph& side_graph = side == 0 ? pair.base : pair.neighbor;
+      // Each (path, side) owns a fresh dynamic graph: the post-mutation
+      // path mutates it, and cross-path state bleed would make the audit
+      // depend on path order.
+      DynamicGraph graph(side_graph);
+      ServiceOptions service_options;
+      service_options.release_epsilon = options_.release_epsilon;
+      service_options.per_user_budget = options_.release_epsilon;
+      service_options.num_shards = path == ServeAuditPath::kMultiShard
+                                       ? options_.multi_shard_count
+                                       : 1;
+      service_options.seed = options_.seed;
+      Rng rng(DeriveSeed(options_.seed, static_cast<uint64_t>(path),
+                         static_cast<uint64_t>(side)));
+      auto record = [&](Result<NodeId> outcome) -> Status {
+        PRIVREC_RETURN_NOT_OK(outcome.status());
+        ++counts[side][*outcome];
+        return Status::OK();
+      };
+      if (path == ServeAuditPath::kCold) {
+        for (uint64_t t = 0; t < options_.trials_per_side; ++t) {
+          RecommendationService service(&graph, utility_factory_(),
+                                        service_options);
+          PRIVREC_RETURN_NOT_OK(record(service.ServeForAudit(target, rng)));
+        }
+        continue;
+      }
+      RecommendationService service(&graph, utility_factory_(),
+                                    service_options);
+      // Warm the cache so the sampled trials sit on the path under audit
+      // (the warm-up draw itself is the cold path; discard it).
+      PRIVREC_RETURN_NOT_OK(service.ServeForAudit(target, rng).status());
+      if (path == ServeAuditPath::kPostMutation) {
+        const Status mutated =
+            toggle->present ? service.RemoveEdge(toggle->a, toggle->b)
+                            : service.AddEdge(toggle->a, toggle->b);
+        PRIVREC_RETURN_NOT_OK(mutated);
+      }
+      for (uint64_t t = 0; t < options_.trials_per_side; ++t) {
+        PRIVREC_RETURN_NOT_OK(record(service.ServeForAudit(target, rng)));
+      }
+    }
+    PathEpsilonEstimate estimate = EstimateEpsilonFromCounts(
+        ServeAuditPathName(path), counts[0], counts[1],
+        options_.trials_per_side, confidence);
+    result.max_abs_log_ratio =
+        std::max(result.max_abs_log_ratio, estimate.epsilon_hat);
+    result.per_path.push_back(std::move(estimate));
+  }
+  return result;
+}
+
+Result<DpAuditResult> ServiceAuditor::AuditEdgeToggles(const CsrGraph& graph,
+                                                       NodeId target,
+                                                       size_t max_pairs,
+                                                       Rng& rng) const {
+  PRIVREC_ASSIGN_OR_RETURN(std::vector<NeighboringPair> pairs,
+                           SampleEdgeTogglePairs(graph, target, max_pairs,
+                                                 rng));
+  if (pairs.empty()) {
+    return Status::InvalidArgument("no eligible neighboring pairs");
+  }
+  // The merged bound takes a max over the pairs, so the per-pair
+  // confidence must absorb a Bonferroni factor of K for the merged result
+  // to stay certified at options_.confidence.
+  const double per_pair_confidence =
+      1.0 - (1.0 - options_.confidence) / static_cast<double>(pairs.size());
+  DpAuditResult merged;
+  for (const NeighboringPair& pair : pairs) {
+    PRIVREC_ASSIGN_OR_RETURN(
+        DpAuditResult audit,
+        AuditPairAtConfidence(pair, target, per_pair_confidence));
+    merged.pairs_checked += audit.pairs_checked;
+    if (audit.max_abs_log_ratio > merged.max_abs_log_ratio) {
+      merged.max_abs_log_ratio = audit.max_abs_log_ratio;
+      merged.worst_edge_u = audit.worst_edge_u;
+      merged.worst_edge_v = audit.worst_edge_v;
+    }
+    // Merge per-path by max so each path's worst pair survives.
+    for (PathEpsilonEstimate& estimate : audit.per_path) {
+      PathEpsilonEstimate* existing = nullptr;
+      for (PathEpsilonEstimate& entry : merged.per_path) {
+        if (entry.path == estimate.path) {
+          existing = &entry;
+          break;
+        }
+      }
+      if (existing == nullptr) {
+        merged.per_path.push_back(std::move(estimate));
+        continue;
+      }
+      if (estimate.epsilon_hat > existing->epsilon_hat) {
+        existing->epsilon_hat = estimate.epsilon_hat;
+        existing->worst_outcome = estimate.worst_outcome;
+      }
+      existing->epsilon_lower_bound = std::max(existing->epsilon_lower_bound,
+                                               estimate.epsilon_lower_bound);
+      existing->worst_z = std::max(existing->worst_z, estimate.worst_z);
+    }
+  }
+  return merged;
+}
+
+}  // namespace privrec

@@ -1,0 +1,138 @@
+#ifndef PRIVREC_EVAL_SERVICE_AUDITOR_H_
+#define PRIVREC_EVAL_SERVICE_AUDITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/dp_auditor.h"
+#include "gen/neighboring.h"
+#include "graph/csr_graph.h"
+#include "random/rng.h"
+#include "utility/utility_function.h"
+
+namespace privrec {
+
+/// The serving-stack code paths the black-box auditor drives. Each path is
+/// the REAL production path — the auditor never reimplements the release;
+/// it only arranges the service state (cold cache, warm cache, fresh
+/// mutation, shard count) before sampling.
+enum class ServeAuditPath {
+  /// Fresh service per trial: cache miss, snapshot pin, sensitivity
+  /// compute, sampler freeze — the first-request path.
+  kCold = 0,
+  /// One warm-up serve, then every trial hits the cached entry's frozen
+  /// RecommendationSampler — the steady-state O(1) path.
+  kCacheHit = 1,
+  /// Warm the cache, apply one identical graph mutation to BOTH services
+  /// (so the pair stays neighboring), then sample: exercises the
+  /// invalidation sweep, the Δf ratchet, and the sampler re-freeze.
+  kPostMutation = 2,
+  /// Cache-hit sampling on a service with ServiceAuditOptions::
+  /// multi_shard_count shards: exercises shard striping, per-shard
+  /// snapshot pinning, and per-shard sensitivity memos.
+  kMultiShard = 3,
+};
+
+inline constexpr ServeAuditPath kAllServeAuditPaths[] = {
+    ServeAuditPath::kCold, ServeAuditPath::kCacheHit,
+    ServeAuditPath::kPostMutation, ServeAuditPath::kMultiShard};
+
+/// "cold" / "cache_hit" / "post_mutation" / "multi_shard" — the names used
+/// in DpAuditResult::per_path.
+const char* ServeAuditPathName(ServeAuditPath path);
+
+/// The statistical core of the sampling audit, usable standalone (property
+/// tests drive their own serve loops and hand the histograms here): given
+/// per-outcome counts from `trials` draws on each side of a neighboring
+/// pair, returns the point-estimate ε̂ (max |ln(p̂/q̂)| with half-count
+/// floors) and the Clopper–Pearson-certified lower bound (Bonferroni-
+/// corrected across outcomes at `confidence`). `path_name` labels the
+/// resulting entry.
+PathEpsilonEstimate EstimateEpsilonFromCounts(
+    const std::string& path_name,
+    const std::map<NodeId, uint64_t>& base_counts,
+    const std::map<NodeId, uint64_t>& neighbor_counts, uint64_t trials,
+    double confidence);
+
+struct ServiceAuditOptions {
+  /// ε the audited services are configured to release at (the guarantee
+  /// being audited).
+  double release_epsilon = 0.5;
+  /// Serve trials per side (base / neighbor) per audited path. The
+  /// Clopper–Pearson half-widths shrink like 1/sqrt(trials); ~2500 per
+  /// side resolves ratios of e^0.3 at 99% confidence on small fixtures.
+  uint64_t trials_per_side = 2500;
+  /// Overall confidence of the certified epsilon_lower_bound, Bonferroni-
+  /// split across the per-outcome intervals.
+  double confidence = 0.99;
+  /// Root seed; every (path, side) gets a splittable sub-stream, so a
+  /// fixed seed reproduces the audit exactly.
+  uint64_t seed = 0x5eed'a0d1'7000ULL;
+  /// Shard count for the multi_shard path (other paths run 1 shard so the
+  /// cold/cache-hit/post-mutation state machines are deterministic).
+  size_t multi_shard_count = 8;
+  /// Which paths to drive. Empty means all four.
+  std::vector<ServeAuditPath> paths;
+};
+
+/// Black-box, sampling-based DP auditor for the serving stack. Where
+/// AuditEdgeDp checks a mechanism's closed-form distribution on a static
+/// CsrGraph, this auditor stands up two live RecommendationService
+/// instances on the two sides of a NeighboringPair and estimates
+///   ε̂ = max over audited paths and outcomes of |ln(Pr[serve(G)=o] /
+///        Pr[serve(G')=o])|
+/// from fixed-seed trials through the real serve paths (frozen cached
+/// samplers, Δf ratchet, invalidation sweeps, sharding included). Each
+/// per-path estimate comes with a Clopper–Pearson-certified lower bound
+/// (DpAuditResult::per_path[i].epsilon_lower_bound): with probability >=
+/// `confidence` the true ε of that path is at least the bound, so
+///   - bound > configured ε  ==> certified privacy violation;
+///   - point estimate ε̂ well under ε across many pairs ==> evidence (not
+///     proof: a sampling audit can only ever lower-bound ε) the path
+///     honors its budget.
+class ServiceAuditor {
+ public:
+  /// Factory for the utility the audited services run; invoked once per
+  /// service instance (services own their utility).
+  using UtilityFactory = std::function<std::unique_ptr<UtilityFunction>()>;
+
+  ServiceAuditor(UtilityFactory utility_factory, ServiceAuditOptions options);
+
+  /// Audits one neighboring pair end to end. The returned result has one
+  /// per_path entry per audited path, max_abs_log_ratio = the largest
+  /// point estimate across paths, and worst_edge_u/v = the pair's toggled
+  /// edge. Fails if `target` cannot be served on either side (no
+  /// candidates) or the pair's sides disagree on node count/direction.
+  Result<DpAuditResult> AuditPair(const NeighboringPair& pair,
+                                  NodeId target) const;
+
+  /// Samples up to `max_pairs` edge-toggle neighboring pairs of `graph`
+  /// (gen/neighboring.h) and audits each, merging results per path by max.
+  /// pairs_checked counts the pairs audited. The merged
+  /// epsilon_lower_bound stays certified at `confidence`: each pair's
+  /// intervals run at the Bonferroni-split confidence 1 - (1-γ)/K, so the
+  /// max over the K pairs cannot inflate the joint failure probability.
+  Result<DpAuditResult> AuditEdgeToggles(const CsrGraph& graph, NodeId target,
+                                         size_t max_pairs, Rng& rng) const;
+
+  const ServiceAuditOptions& options() const { return options_; }
+
+ private:
+  /// AuditPair with the per-pair confidence overridden (multi-pair audits
+  /// split their confidence budget across pairs).
+  Result<DpAuditResult> AuditPairAtConfidence(const NeighboringPair& pair,
+                                              NodeId target,
+                                              double confidence) const;
+
+  UtilityFactory utility_factory_;
+  ServiceAuditOptions options_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_EVAL_SERVICE_AUDITOR_H_

@@ -47,4 +47,36 @@ CsrGraph MakeTwoTriangleFixture() {
   return builder.Build();
 }
 
+CsrGraph MakeDirectedAuditFixture() {
+  GraphBuilder builder(/*directed=*/true);
+  builder.SetNumNodes(6);
+  builder.AddEdge(0, 1);  // r follows 1
+  builder.AddEdge(0, 2);  // r follows 2
+  builder.AddEdge(1, 3);  // candidate 3 reachable via both follows
+  builder.AddEdge(2, 3);
+  builder.AddEdge(1, 4);  // candidate 4 reachable via 1 only
+  return builder.Build();
+}
+
+CsrGraph MakePeopleProductFixture() {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(7);
+  // Friendships (public relation).
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  // Purchases (sensitive relation): person -- product.
+  builder.AddEdge(1, 4);
+  builder.AddEdge(2, 4);
+  builder.AddEdge(1, 5);
+  builder.AddEdge(3, 5);
+  builder.AddEdge(2, 6);
+  builder.AddEdge(3, 6);
+  return builder.Build();
+}
+
+bool IsPersonProductEdge(NodeId u, NodeId v, void* context) {
+  const NodeId boundary = *static_cast<const NodeId*>(context);
+  return (u < boundary) != (v < boundary);
+}
+
 }  // namespace privrec

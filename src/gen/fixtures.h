@@ -27,6 +27,33 @@ CsrGraph MakeCycle(NodeId n);
 ///   u_CN(3) = 2, u_CN(4) = 1, u_CN(5) = 0.
 CsrGraph MakeTwoTriangleFixture();
 
+/// Directed audit fixture used by the black-box service auditor: target
+/// r=0 follows 1 and 2; 1 -> {3, 4}, 2 -> 3. Hand-checkable directed
+/// common-neighbors utilities for target 0 (candidates {3, 4, 5}):
+///   u_CN(3) = 2, u_CN(4) = 1, u_CN(5) = 0,
+/// and the directed CN sensitivity is exactly 1, so a single arc toggle
+/// (2, 4) moves one candidate's utility by the full Δf — the configuration
+/// where a mis-calibrated (noise-scale-halved) mechanism is maximally
+/// visible to a sampling audit.
+CsrGraph MakeDirectedAuditFixture();
+
+/// Bipartite people–product fixture for the Section 8 sensitive-edge
+/// extension: people 0..3, products 4..6. Person–person friendships
+/// (0-1, 0-2) are public; person–product purchase edges (1-4, 2-4, 1-5,
+/// 3-5, 2-6, 3-6) are the sensitive relation. Undirected. For target r=0
+/// (friends {1, 2}) the candidate set is {3, 4, 5, 6} with
+///   u_CN(4) = 2, u_CN(5) = 1, u_CN(6) = 1, u_CN(3) = 0.
+CsrGraph MakePeopleProductFixture();
+
+/// Number of people in MakePeopleProductFixture (ids below this are
+/// people; ids at or above are products).
+inline constexpr NodeId kPeopleProductBoundary = 4;
+
+/// SensitiveEdgePredicate (see eval/dp_auditor.h) marking person–product
+/// edges as the sensitive relation. `context` must point to a NodeId
+/// holding the people/product id boundary (first product id).
+bool IsPersonProductEdge(NodeId u, NodeId v, void* context);
+
 }  // namespace privrec
 
 #endif  // PRIVREC_GEN_FIXTURES_H_

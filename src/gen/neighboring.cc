@@ -1,0 +1,116 @@
+#include "gen/neighboring.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "graph/transforms.h"
+
+namespace privrec {
+
+std::string NeighboringPair::ToString() const {
+  switch (kind) {
+    case Kind::kEdgeAdded:
+      return "edge_added(" + std::to_string(u) + "," + std::to_string(v) + ")";
+    case Kind::kEdgeRemoved:
+      return "edge_removed(" + std::to_string(u) + "," + std::to_string(v) +
+             ")";
+    case Kind::kNodeRewired:
+      return "node_rewired(" + std::to_string(u) + ")";
+  }
+  return "unknown";
+}
+
+Result<NeighboringPair> MakeEdgeTogglePair(const CsrGraph& graph,
+                                           NodeId target, NodeId u, NodeId v) {
+  if (u >= graph.num_nodes() || v >= graph.num_nodes()) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loop is not an edge");
+  if (u == target || v == target) {
+    return Status::InvalidArgument(
+        "edge incident to the target leaves the relaxed edge-DP relation");
+  }
+  NeighboringPair pair;
+  pair.u = u;
+  pair.v = v;
+  if (graph.HasEdge(u, v)) {
+    PRIVREC_ASSIGN_OR_RETURN(pair.neighbor, WithEdgeRemoved(graph, u, v));
+    pair.kind = NeighboringPair::Kind::kEdgeRemoved;
+  } else {
+    PRIVREC_ASSIGN_OR_RETURN(pair.neighbor, WithEdgeAdded(graph, u, v));
+    pair.kind = NeighboringPair::Kind::kEdgeAdded;
+  }
+  pair.base = graph;
+  return pair;
+}
+
+Result<std::vector<NeighboringPair>> SampleEdgeTogglePairs(
+    const CsrGraph& graph, NodeId target, size_t max_pairs, Rng& rng) {
+  if (target >= graph.num_nodes()) {
+    return Status::InvalidArgument("target out of range");
+  }
+  const NodeId n = graph.num_nodes();
+  if (n < 3) {
+    return Status::InvalidArgument(
+        "need at least 3 nodes for a non-target pair");
+  }
+  // Eligible unordered pairs {u, v} with u, v != target. (For directed
+  // graphs a uniform unordered pair still toggles a uniformly random arc
+  // direction via the order the sample produces.)
+  const uint64_t eligible =
+      static_cast<uint64_t>(n - 1) * static_cast<uint64_t>(n - 2) / 2;
+  std::vector<NeighboringPair> pairs;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(max_pairs, eligible));
+  pairs.reserve(want);
+  while (pairs.size() < want) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v || u == target || v == target) continue;
+    const auto key = std::minmax(u, v);
+    if (!seen.insert({key.first, key.second}).second) continue;
+    PRIVREC_ASSIGN_OR_RETURN(NeighboringPair pair,
+                             MakeEdgeTogglePair(graph, target, u, v));
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+Result<NeighboringPair> MakeNodeRewiringPair(const CsrGraph& graph,
+                                             NodeId target, NodeId node,
+                                             Rng& rng) {
+  if (target >= graph.num_nodes() || node >= graph.num_nodes()) {
+    return Status::InvalidArgument("node out of range");
+  }
+  if (node == target) {
+    return Status::InvalidArgument("cannot rewire the target itself");
+  }
+  const NodeId n = graph.num_nodes();
+  // Drop node's entire adjacency except edges to the target (kept so both
+  // graphs share one candidate set), then attach a random replacement
+  // neighborhood of comparable size.
+  std::vector<std::pair<NodeId, NodeId>> removals;
+  for (NodeId old_neighbor : graph.OutNeighbors(node)) {
+    if (old_neighbor == target) continue;
+    removals.emplace_back(node, old_neighbor);
+  }
+  std::vector<std::pair<NodeId, NodeId>> additions;
+  const uint32_t new_degree = static_cast<uint32_t>(
+      rng.NextBounded(graph.OutDegree(node) + 3));
+  for (uint32_t i = 0; i < new_degree; ++i) {
+    const NodeId candidate = static_cast<NodeId>(rng.NextBounded(n));
+    if (candidate == node || candidate == target) continue;
+    additions.emplace_back(node, candidate);
+  }
+  NeighboringPair pair;
+  pair.base = graph;
+  pair.neighbor = WithEdits(graph, additions, removals);
+  pair.kind = NeighboringPair::Kind::kNodeRewired;
+  pair.u = node;
+  pair.v = node;
+  return pair;
+}
+
+}  // namespace privrec

@@ -1,0 +1,69 @@
+#ifndef PRIVREC_GEN_NEIGHBORING_H_
+#define PRIVREC_GEN_NEIGHBORING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "random/rng.h"
+
+namespace privrec {
+
+/// A pair of graphs that are neighbors under the paper's relaxed edge-DP
+/// relation (Definition 1 + Section 3.2: they differ in edges not incident
+/// to the audited target, so both sides share one candidate set) or under
+/// the Appendix A node-identity relation (one node's entire neighborhood is
+/// rewired). These pairs are the input of the black-box service auditor:
+/// stand up the serving stack on `base` and on `neighbor`, drive identical
+/// trial sequences through both, and compare the output distributions.
+struct NeighboringPair {
+  enum class Kind {
+    kEdgeAdded,    // neighbor = base + edge (u, v)
+    kEdgeRemoved,  // neighbor = base - edge (u, v)
+    kNodeRewired,  // neighbor = base with node u's neighborhood replaced
+  };
+
+  CsrGraph base = CsrGraph::Empty(0, false);
+  CsrGraph neighbor = CsrGraph::Empty(0, false);
+  Kind kind = Kind::kEdgeAdded;
+  /// The toggled edge for the edge kinds; (u, u) for node rewiring where u
+  /// is the rewired node.
+  NodeId u = 0;
+  NodeId v = 0;
+
+  /// "edge_added(3,5)" / "edge_removed(1,4)" / "node_rewired(2)".
+  std::string ToString() const;
+};
+
+/// Deterministic single edge-toggle pair: neighbor is `graph` with (u, v)
+/// toggled (added when absent, removed when present). InvalidArgument when
+/// u == v, either endpoint is out of range, or the edge is incident to
+/// `target` (which would change the candidate set and leave the relaxed
+/// edge-DP relation).
+Result<NeighboringPair> MakeEdgeTogglePair(const CsrGraph& graph,
+                                           NodeId target, NodeId u, NodeId v);
+
+/// Samples up to `max_pairs` distinct edge-toggle pairs with endpoints not
+/// incident to `target`, uniformly over node pairs (so both present edges
+/// — removals — and absent edges — additions — appear). Returns fewer than
+/// `max_pairs` only when the graph has fewer eligible pairs.
+Result<std::vector<NeighboringPair>> SampleEdgeTogglePairs(
+    const CsrGraph& graph, NodeId target, size_t max_pairs, Rng& rng);
+
+/// Node-identity neighboring pair (Appendix A): neighbor is `graph` with
+/// `node`'s neighborhood replaced by a random one of comparable size. The
+/// target's own adjacency is kept fixed (edges between `node` and `target`
+/// are preserved) so the candidate sets of the two graphs coincide —
+/// mirroring AuditNodeDpSampled's convention. InvalidArgument when `node`
+/// == `target` or out of range. Note: node-rewiring pairs measure the
+/// *node-DP* leakage of an edge-DP mechanism; the empirical ε̂ they produce
+/// is expected to exceed the edge-ε (that gap is Appendix A's point), so
+/// don't assert ε̂ <= ε on them.
+Result<NeighboringPair> MakeNodeRewiringPair(const CsrGraph& graph,
+                                             NodeId target, NodeId node,
+                                             Rng& rng);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_GEN_NEIGHBORING_H_

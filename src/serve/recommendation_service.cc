@@ -157,7 +157,8 @@ RecommendationService::GetEntryLocked(
 }
 
 Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
-                                                  Rng& rng) {
+                                                  Rng& rng,
+                                                  bool charge_budget) {
   // Refuse-or-commit charging: budget is checked first (refusals touch
   // nothing else, so refused traffic costs no cache work), but only
   // charged AFTER every other failure mode has passed — a failed serve
@@ -166,11 +167,15 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
   // zero-block resolution against the fresh snapshot can fail after the
   // charge. Charging without releasing is the conservative direction for
   // privacy, so the corner is tolerated rather than complicated away.)
-  PrivacyAccountant& accountant = AccountantForLocked(shard, user);
-  if (!accountant.CanCharge(options_.release_epsilon)) {
-    ++shard.stats.refused_budget;
-    return accountant.Charge(options_.release_epsilon,
-                             "single recommendation");  // descriptive refusal
+  // The audit path (charge_budget == false) skips the accountant entirely;
+  // everything else is byte-identical to the production path.
+  if (charge_budget) {
+    PrivacyAccountant& accountant = AccountantForLocked(shard, user);
+    if (!accountant.CanCharge(options_.release_epsilon)) {
+      ++shard.stats.refused_budget;
+      return accountant.Charge(options_.release_epsilon,
+                               "single recommendation");  // descriptive refusal
+    }
   }
   const DynamicGraph::StampedSnapshot& snap = PinnedSnapshotLocked(shard);
   if (user >= snap.graph->num_nodes()) {
@@ -182,10 +187,15 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
   PRIVREC_ASSIGN_OR_RETURN(
       CacheEntry * entry,
       GetEntryLocked(shard, user, snap, sensitivity, /*need_sampler=*/true));
-  PRIVREC_CHECK_OK(
-      accountant.Charge(options_.release_epsilon, "single recommendation"));
+  if (charge_budget) {
+    PRIVREC_CHECK_OK(AccountantForLocked(shard, user)
+                         .Charge(options_.release_epsilon,
+                                 "single recommendation"));
+    ++shard.stats.served;
+  } else {
+    ++shard.stats.audit_serves;
+  }
   const Recommendation rec = entry->sampler->Draw(rng);
-  ++shard.stats.served;
   if (!rec.from_zero_block) return rec.node;
   return ResolveZeroUtilityNode(*snap.graph, entry->utilities, rng);
 }
@@ -248,6 +258,15 @@ Result<NodeId> RecommendationService::ServeRecommendation(NodeId user) {
   Shard& shard = ShardFor(user);
   std::lock_guard<std::mutex> lock(shard.mu);
   return ServeLocked(shard, user, shard.rng);
+}
+
+Result<NodeId> RecommendationService::ServeForAudit(NodeId user, Rng& rng) {
+  if (user >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ServeLocked(shard, user, rng, /*charge_budget=*/false);
 }
 
 Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k,
@@ -319,6 +338,7 @@ ServiceStats RecommendationService::stats() const {
     total.cache_misses += shard.stats.cache_misses;
     total.cache_invalidations += shard.stats.cache_invalidations;
     total.sampler_reuses += shard.stats.sampler_reuses;
+    total.audit_serves += shard.stats.audit_serves;
   }
   return total;
 }

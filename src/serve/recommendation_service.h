@@ -50,6 +50,9 @@ struct ServiceStats {
   /// Cache hits that could reuse the frozen sampler as-is (no sensitivity
   /// drift since it was built).
   uint64_t sampler_reuses = 0;
+  /// Releases performed by ServeForAudit (not counted in `served` and not
+  /// charged against any lifetime budget).
+  uint64_t audit_serves = 0;
 };
 
 /// The production wrapper a deployment would put around this library:
@@ -110,6 +113,22 @@ class RecommendationService {
 
   /// Same, drawing randomness from the user's shard stream.
   Result<TopKResult> ServeList(NodeId user, size_t k);
+
+  /// Audit hook for the black-box DP auditor (eval/service_auditor.h):
+  /// identical to ServeRecommendation(user, rng) through every real code
+  /// path — shard routing, snapshot pinning, sensitivity memo, cache
+  /// lookup, calibration ratchet, frozen-sampler draw, zero-block
+  /// resolution — except that the user's lifetime budget is neither
+  /// checked nor charged. An audit needs thousands of trials per user to
+  /// estimate the output distribution; charging them would either exhaust
+  /// the real budget (refusing the very trials the audit needs) or force
+  /// the auditor onto a synthetic side path that is not the code being
+  /// audited. Counted in ServiceStats::audit_serves, NOT in `served`, so
+  /// budget-exactness invariants over `served` are unaffected. Production
+  /// callers must not use this to bypass accounting — it exists so the
+  /// audit can observe per-trial outcomes without double-charging the
+  /// lifetime ε that the single real release already spent.
+  Result<NodeId> ServeForAudit(NodeId user, Rng& rng);
 
   /// Applies a graph mutation and invalidates affected cache entries in
   /// every shard.
@@ -195,7 +214,10 @@ class RecommendationService {
                                      const DynamicGraph::StampedSnapshot& snap,
                                      double sensitivity, bool need_sampler);
 
-  Result<NodeId> ServeLocked(Shard& shard, NodeId user, Rng& rng);
+  /// `charge_budget` == false is the ServeForAudit path: skips the
+  /// accountant check-and-charge, counts the release in audit_serves.
+  Result<NodeId> ServeLocked(Shard& shard, NodeId user, Rng& rng,
+                             bool charge_budget = true);
   Result<TopKResult> ServeListLocked(Shard& shard, NodeId user, size_t k,
                                      Rng& rng);
 

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/statistics.h"
 #include "core/exponential_mechanism.h"
 #include "core/privacy_accountant.h"
 #include "eval/parallel.h"
@@ -234,27 +235,21 @@ TEST(ConcurrentServiceTest, CachedSamplerMatchesExactDistribution) {
   EXPECT_EQ(stats.cache_hits, static_cast<uint64_t>(kDraws - 1));
   EXPECT_EQ(stats.sampler_reuses, static_cast<uint64_t>(kDraws - 1));
 
-  // Chi-squared over cells with enough expectation, zero block as one cell.
-  double chi2 = 0;
-  int cells = 0;
+  // Chi-squared GOF from the shared statistics kit: one cell per nonzero
+  // candidate plus the zero block as one cell; sparse cells (expected < 5)
+  // are skipped by the kit.
+  std::vector<double> observed, expected;
   for (size_t i = 0; i < utilities.nonzero().size(); ++i) {
-    const double expected = dist->nonzero_probs[i] * kDraws;
-    if (expected < 5.0) continue;
-    const double observed = counts[utilities.nonzero()[i].node];
-    chi2 += (observed - expected) * (observed - expected) / expected;
-    ++cells;
+    observed.push_back(counts[utilities.nonzero()[i].node]);
+    expected.push_back(dist->nonzero_probs[i] * kDraws);
   }
-  const double expected_zero = dist->zero_block_prob * kDraws;
-  if (expected_zero >= 5.0) {
-    chi2 += (zero_count - expected_zero) * (zero_count - expected_zero) /
-            expected_zero;
-    ++cells;
-  }
-  ASSERT_GT(cells, 1);
-  // Conservative acceptance: mean df + 6·sd — far beyond the 99.9th
-  // percentile of chi2(df), so flakes mean a real distribution bug.
-  const double df = cells - 1;
-  EXPECT_LT(chi2, df + 6.0 * std::sqrt(2.0 * df))
+  observed.push_back(zero_count);
+  expected.push_back(dist->zero_block_prob * kDraws);
+  const ChiSquaredGof gof = ChiSquaredGoodnessOfFit(observed, expected);
+  ASSERT_GT(gof.cells_used, 1u);
+  // Conservative acceptance: mean dof + 6·sd — far beyond the 99.9th
+  // percentile of chi2(dof), so flakes mean a real distribution bug.
+  EXPECT_LT(gof.statistic, ChiSquaredConservativeBound(gof.dof, 6.0))
       << "cache-hit sampler draws diverge from the exact distribution";
 }
 

@@ -129,6 +129,80 @@ TEST(DpAuditorTest, RejectsOutOfRangeTarget) {
   EXPECT_TRUE(AuditEdgeDp(g, cn, uniform, 99).status().IsInvalidArgument());
 }
 
+TEST(DpAuditorTest, ClosedFormAuditsReportTheirCodePath) {
+  // Satellite of the per-path reporting fix: closed-form audits carry one
+  // "closed_form" per_path entry whose point estimate and certified bound
+  // coincide (no sampling error), matching the legacy global max.
+  CsrGraph g = MakeTwoTriangleFixture();
+  CommonNeighborsUtility cn;
+  ExponentialMechanism mech(1.0, cn.SensitivityBound(g));
+  auto audit = AuditEdgeDp(g, cn, mech, 0);
+  ASSERT_TRUE(audit.ok());
+  ASSERT_EQ(audit->per_path.size(), 1u);
+  const PathEpsilonEstimate* path = audit->FindPath("closed_form");
+  ASSERT_NE(path, nullptr);
+  EXPECT_DOUBLE_EQ(path->epsilon_hat, audit->max_abs_log_ratio);
+  EXPECT_DOUBLE_EQ(path->epsilon_lower_bound, audit->max_abs_log_ratio);
+  EXPECT_EQ(path->trials_per_side, 0u);
+  EXPECT_EQ(audit->FindPath("cache_hit"), nullptr);
+}
+
+// ------------------------------------------- sensitive-edge audit (Sec. 8)
+// The people–product fixture: friendships are public, purchase edges are
+// the sensitive relation. AuditSensitiveEdgeDp restricts the neighboring
+// relation to the predicate-marked pairs.
+
+TEST(SensitiveEdgeAuditTest, ExponentialHonorsEpsilonOnPeopleProductGraph) {
+  CsrGraph g = MakePeopleProductFixture();
+  CommonNeighborsUtility cn;
+  NodeId boundary = kPeopleProductBoundary;
+  for (double eps : {0.5, 1.0, 2.0}) {
+    ExponentialMechanism mech(eps, cn.SensitivityBound(g));
+    auto audit = AuditSensitiveEdgeDp(g, cn, mech, /*target=*/0,
+                                      IsPersonProductEdge, &boundary);
+    ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+    // Sensitive pairs not incident to target 0: people {1,2,3} x products
+    // {4,5,6} = 9 toggles, each checked exhaustively.
+    EXPECT_EQ(audit->pairs_checked, 9u);
+    EXPECT_LE(audit->max_abs_log_ratio, eps + 1e-6) << "eps=" << eps;
+  }
+}
+
+TEST(SensitiveEdgeAuditTest, RestrictedRelationAuditsSubsetOfFullAudit) {
+  CsrGraph g = MakePeopleProductFixture();
+  CommonNeighborsUtility cn;
+  ExponentialMechanism mech(1.0, cn.SensitivityBound(g));
+  NodeId boundary = kPeopleProductBoundary;
+  auto restricted = AuditSensitiveEdgeDp(g, cn, mech, 0, IsPersonProductEdge,
+                                         &boundary);
+  auto full = AuditEdgeDp(g, cn, mech, 0);
+  ASSERT_TRUE(restricted.ok());
+  ASSERT_TRUE(full.ok());
+  // The sensitive relation toggles a strict subset of the full relation's
+  // pairs, so its empirical ε can never exceed the unrestricted one.
+  EXPECT_LT(restricted->pairs_checked, full->pairs_checked);
+  EXPECT_LE(restricted->max_abs_log_ratio,
+            full->max_abs_log_ratio + 1e-12);
+  // And the restricted audit's worst edge must itself be sensitive.
+  EXPECT_TRUE(IsPersonProductEdge(restricted->worst_edge_u,
+                                  restricted->worst_edge_v, &boundary));
+}
+
+TEST(SensitiveEdgeAuditTest, UnderscaledSensitivityIsDetectedOnPurchases) {
+  // A mechanism calibrated at Δf/4 leaks through purchase-edge toggles
+  // alone: the Section 8 deployment (only person–product links private)
+  // still needs honest calibration.
+  CsrGraph g = MakePeopleProductFixture();
+  CommonNeighborsUtility cn;
+  const double eps = 0.5;
+  ExponentialMechanism cheating(eps, cn.SensitivityBound(g) / 4.0);
+  NodeId boundary = kPeopleProductBoundary;
+  auto audit = AuditSensitiveEdgeDp(g, cn, cheating, 0, IsPersonProductEdge,
+                                    &boundary);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_GT(audit->max_abs_log_ratio, eps + 1e-6);
+}
+
 TEST(DpAuditorTest, EpsilonScalesAcrossBudgets) {
   // The observed worst-case ratio should track ε (not just stay below it):
   // at double the budget, the exponential mechanism's worst ratio doubles.

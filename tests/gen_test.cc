@@ -1,10 +1,16 @@
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "gen/datasets.h"
+#include "gen/fixtures.h"
 #include "gen/generators.h"
+#include "gen/neighboring.h"
 #include "graph/degree_stats.h"
 #include "gtest/gtest.h"
 #include "random/rng.h"
+#include "utility/common_neighbors.h"
 
 namespace privrec {
 namespace {
@@ -264,6 +270,129 @@ TEST(DatasetsTest, LoadOrSynthesizeFallsBackWhenMissing) {
   auto g = LoadOrSynthesizeWikiVote("/no/such/wiki-Vote.txt", 3);
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->num_nodes(), WikiVoteSpec::kNodes);
+}
+
+// ------------------------------------------------- neighboring-pair gen
+
+TEST(NeighboringPairTest, EdgeToggleAddsAbsentAndRemovesPresent) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  auto removed = MakeEdgeTogglePair(g, /*target=*/0, 1, 3);  // present
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->kind, NeighboringPair::Kind::kEdgeRemoved);
+  EXPECT_TRUE(removed->base.HasEdge(1, 3));
+  EXPECT_FALSE(removed->neighbor.HasEdge(1, 3));
+  EXPECT_EQ(removed->neighbor.num_edges(), g.num_edges() - 1);
+
+  auto added = MakeEdgeTogglePair(g, 0, 3, 5);  // absent
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added->kind, NeighboringPair::Kind::kEdgeAdded);
+  EXPECT_TRUE(added->neighbor.HasEdge(3, 5));
+  EXPECT_EQ(added->neighbor.num_edges(), g.num_edges() + 1);
+  EXPECT_EQ(added->ToString(), "edge_added(3,5)");
+}
+
+TEST(NeighboringPairTest, EdgeToggleRejectsTargetIncidentAndInvalid) {
+  CsrGraph g = MakeTwoTriangleFixture();
+  EXPECT_TRUE(MakeEdgeTogglePair(g, 0, 0, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeEdgeTogglePair(g, 0, 3, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeEdgeTogglePair(g, 0, 3, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeEdgeTogglePair(g, 0, 3, 99).status().IsInvalidArgument());
+}
+
+TEST(NeighboringPairTest, SampledTogglesAreDistinctAndTargetFree) {
+  Rng rng(5);
+  auto g = ErdosRenyiGnm(12, 20, /*directed=*/false, rng);
+  ASSERT_TRUE(g.ok());
+  auto pairs = SampleEdgeTogglePairs(*g, /*target=*/3, 15, rng);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 15u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const NeighboringPair& pair : *pairs) {
+    EXPECT_NE(pair.u, 3u);
+    EXPECT_NE(pair.v, 3u);
+    const auto key = std::minmax(pair.u, pair.v);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate toggle " << pair.ToString();
+    // Each pair differs from the base in exactly one edge.
+    const uint64_t diff = pair.kind == NeighboringPair::Kind::kEdgeAdded
+                              ? pair.neighbor.num_edges() - pair.base.num_edges()
+                              : pair.base.num_edges() - pair.neighbor.num_edges();
+    EXPECT_EQ(diff, 1u);
+  }
+  // Exhaustion: more pairs than exist on a tiny graph returns all of them.
+  CsrGraph small = MakeTwoTriangleFixture();  // 6 nodes: C(5,2) = 10 pairs
+  Rng rng2(6);
+  auto all = SampleEdgeTogglePairs(small, 0, 1000, rng2);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 10u);
+}
+
+TEST(NeighboringPairTest, NodeRewiringPreservesTargetAdjacency) {
+  Rng rng(9);
+  auto g = ErdosRenyiGnm(14, 30, /*directed=*/false, rng);
+  ASSERT_TRUE(g.ok());
+  for (NodeId node : {1u, 5u, 9u}) {
+    auto pair = MakeNodeRewiringPair(*g, /*target=*/0, node, rng);
+    ASSERT_TRUE(pair.ok());
+    EXPECT_EQ(pair->kind, NeighboringPair::Kind::kNodeRewired);
+    EXPECT_EQ(pair->u, node);
+    // The target's neighborhood — hence the audited candidate set — is
+    // identical on both sides, including any target-node edge.
+    ASSERT_EQ(pair->base.OutDegree(0), pair->neighbor.OutDegree(0));
+    auto base_n = pair->base.OutNeighbors(0);
+    auto nb_n = pair->neighbor.OutNeighbors(0);
+    for (size_t i = 0; i < base_n.size(); ++i) {
+      EXPECT_EQ(base_n[i], nb_n[i]);
+    }
+  }
+  EXPECT_TRUE(MakeNodeRewiringPair(*g, 0, 0, rng).status().IsInvalidArgument());
+}
+
+// ----------------------------------------------------- audit fixtures
+
+double UtilityOf(const UtilityVector& u, NodeId node) {
+  for (const UtilityEntry& entry : u.nonzero()) {
+    if (entry.node == node) return entry.utility;
+  }
+  return 0.0;
+}
+
+TEST(FixturesTest, DirectedAuditFixtureHasHandCheckableUtilities) {
+  CsrGraph g = MakeDirectedAuditFixture();
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.num_nodes(), 6u);
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 0);
+  EXPECT_EQ(u.num_candidates(), 3u);  // {3, 4, 5}
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 3), 2.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 4), 1.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 5), 0.0);
+  EXPECT_DOUBLE_EQ(cn.SensitivityBound(g), 1.0);  // directed CN
+}
+
+TEST(FixturesTest, PeopleProductFixtureIsBipartiteInPurchases) {
+  CsrGraph g = MakePeopleProductFixture();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  NodeId boundary = kPeopleProductBoundary;
+  // Every edge is either a friendship (both people) or a purchase
+  // (person-product): no product-product edges exist.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      EXPECT_FALSE(u >= boundary && v >= boundary)
+          << "product-product edge " << u << "-" << v;
+    }
+  }
+  EXPECT_TRUE(IsPersonProductEdge(1, 4, &boundary));
+  EXPECT_TRUE(IsPersonProductEdge(4, 1, &boundary));
+  EXPECT_FALSE(IsPersonProductEdge(0, 1, &boundary));
+  EXPECT_FALSE(IsPersonProductEdge(4, 5, &boundary));
+  // Hand-checked CN utilities for target 0 (friends {1, 2}).
+  CommonNeighborsUtility cn;
+  UtilityVector u = cn.Compute(g, 0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 4), 2.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 5), 1.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 6), 1.0);
+  EXPECT_DOUBLE_EQ(UtilityOf(u, 3), 0.0);
 }
 
 }  // namespace

@@ -75,6 +75,77 @@ TEST(StatisticsTest, PearsonCorrelation) {
   EXPECT_TRUE(std::isnan(PearsonCorrelation(x, {1, 2})));
 }
 
+// -------------------------------------------------- Statistical test kit
+
+TEST(StatisticsTest, RegularizedIncompleteBetaKnownValues) {
+  // I_x(1, 1) = x and I_x(2, 1) = x^2 exactly.
+  for (double x : {0.0, 0.1, 0.37, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, x), x, 1e-10) << x;
+    EXPECT_NEAR(RegularizedIncompleteBeta(2, 1, x), x * x, 1e-10) << x;
+  }
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.5, 2.25, 0.3),
+              1.0 - RegularizedIncompleteBeta(2.25, 3.5, 0.7), 1e-10);
+  // Median of Beta(2, 2) is exactly 1/2.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 2, 0.5), 0.5, 1e-10);
+}
+
+TEST(StatisticsTest, ClopperPearsonMatchesClosedFormEdgeCases) {
+  // k = 0: lower = 0, upper = 1 - (alpha/2)^(1/n); k = n mirrors it.
+  const double confidence = 0.95;
+  const uint64_t n = 10;
+  const double expected_upper = 1.0 - std::pow(0.025, 1.0 / 10.0);
+  BinomialCi zero = ClopperPearsonInterval(0, n, confidence);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_NEAR(zero.upper, expected_upper, 1e-9);
+  BinomialCi full = ClopperPearsonInterval(n, n, confidence);
+  EXPECT_DOUBLE_EQ(full.upper, 1.0);
+  EXPECT_NEAR(full.lower, 1.0 - expected_upper, 1e-9);
+}
+
+TEST(StatisticsTest, ClopperPearsonBracketsTheMle) {
+  for (uint64_t k : {1ull, 25ull, 250ull, 499ull}) {
+    const uint64_t n = 500;
+    const BinomialCi ci = ClopperPearsonInterval(k, n, 0.99);
+    const double mle = static_cast<double>(k) / n;
+    EXPECT_LT(ci.lower, mle);
+    EXPECT_GT(ci.upper, mle);
+    EXPECT_GT(ci.lower, 0.0);
+    EXPECT_LT(ci.upper, 1.0);
+  }
+  // Wider confidence, wider interval.
+  const BinomialCi narrow = ClopperPearsonInterval(100, 1000, 0.9);
+  const BinomialCi wide = ClopperPearsonInterval(100, 1000, 0.999);
+  EXPECT_LT(wide.lower, narrow.lower);
+  EXPECT_GT(wide.upper, narrow.upper);
+  // Reference value (R: binom.test(100, 1000)$conf.int): [0.0821, 0.1203]
+  // at 95%.
+  const BinomialCi ref = ClopperPearsonInterval(100, 1000, 0.95);
+  EXPECT_NEAR(ref.lower, 0.0821, 5e-4);
+  EXPECT_NEAR(ref.upper, 0.1203, 5e-4);
+}
+
+TEST(StatisticsTest, ChiSquaredGofSkipsSparseCells) {
+  // Two dense cells contribute (10-8)^2/8 + (6-8)^2/8 = 1.0; the sparse
+  // cell (expected 2 < 5) is excluded from both statistic and dof.
+  ChiSquaredGof gof =
+      ChiSquaredGoodnessOfFit({10, 6, 4}, {8, 8, 2}, /*min_expected=*/5);
+  EXPECT_NEAR(gof.statistic, 1.0, 1e-12);
+  EXPECT_EQ(gof.cells_used, 2u);
+  EXPECT_DOUBLE_EQ(gof.dof, 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquaredConservativeBound(1.0, 6.0),
+                   1.0 + 6.0 * std::sqrt(2.0));
+}
+
+TEST(StatisticsTest, TwoProportionZSignAndMagnitude) {
+  EXPECT_DOUBLE_EQ(TwoProportionZ(50, 100, 50, 100), 0.0);
+  const double z = TwoProportionZ(60, 100, 40, 100);
+  EXPECT_NEAR(z, 2.8284, 1e-3);  // (0.6-0.4)/sqrt(0.5*0.5*(2/100))
+  EXPECT_NEAR(TwoProportionZ(40, 100, 60, 100), -z, 1e-12);
+  EXPECT_DOUBLE_EQ(TwoProportionZ(0, 0, 5, 10), 0.0);
+  EXPECT_DOUBLE_EQ(TwoProportionZ(10, 10, 10, 10), 0.0);  // degenerate pool
+}
+
 // ----------------------------------------------------------- Graph metrics
 
 TEST(MetricsTest, TriangleCountOnKnownGraphs) {
