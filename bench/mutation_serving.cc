@@ -1,0 +1,361 @@
+// Mutation-heavy serving benchmark: measures what one edge toggle costs
+// the users who did NOT ask for it. Compares the incremental-maintenance
+// stack (edge-delta journal + delta-patched cache repair,
+// ServiceOptions::enable_delta_repair = true) against the full-recompute
+// baseline (repair disabled: every version change costs each cached entry
+// a fresh 2-hop Compute + sampler re-freeze on its next serve) on the
+// SAME fixture with the SAME seeds:
+//
+//   (a) post-toggle serve latency: warm a cache, toggle one random edge,
+//       serve every warm user once; repeat. The median serve is a
+//       cache-hit after an unrelated toggle — O(1) alias draw under delta
+//       repair vs a full recompute under the baseline. This is the
+//       ISSUE's >= 5x acceptance metric.
+//   (b) mixed mutate/serve throughput at several write ratios and graph
+//       sizes (single thread, so the delta is repair cost, not lock
+//       contention).
+//
+// Output: tables, plus (with --json=PATH) a machine-readable dump;
+// BENCH_mutation_serving.json in the repo root is a checked-in run
+// (refreshed by ci/sanitize.sh --audit alongside the audit landscape).
+//
+// Flags (defaults sized for the 1-vCPU CI container; the medians are
+// stable because each run contributes thousands of serve samples):
+//   --users=U      warm-cache users for workload (a) (default 300)
+//   --toggles=T    toggles (= post-toggle sweeps) per run (default 12)
+//   --ops=K        operations per mixed-workload run (default 8000)
+//   --reps=R       repetitions per configuration, median kept (default 3)
+//   --json=PATH    write results as JSON
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "random/rng.h"
+#include "serve/recommendation_service.h"
+#include "utility/common_neighbors.h"
+
+namespace privrec {
+namespace bench {
+namespace {
+
+struct GraphConfig {
+  NodeId nodes;
+  uint64_t edges;
+};
+
+constexpr GraphConfig kConfigs[] = {{2000, 10000}, {8000, 40000}};
+
+ServiceOptions BenchOptions(bool enable_delta_repair, uint64_t seed) {
+  ServiceOptions options;
+  options.release_epsilon = 0.1;
+  options.per_user_budget = 1e9;  // throughput, not refusal, is measured
+  options.cache_capacity = 1 << 15;
+  options.num_shards = 8;
+  options.seed = seed;
+  options.enable_delta_repair = enable_delta_repair;
+  return options;
+}
+
+CsrGraph MakeGraph(const GraphConfig& config) {
+  Rng rng(kWikiSeed);
+  auto weights = PowerLawWeights(config.nodes, 2.2);
+  auto graph = ChungLu(weights, weights, config.edges, /*directed=*/false,
+                       rng);
+  PRIVREC_CHECK_OK(graph.status());
+  return *graph;
+}
+
+double Median(std::vector<double> values) {
+  PRIVREC_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// One random present/absent toggle through the service; returns false if
+/// the sampled pair was degenerate (skipped).
+bool ToggleRandomEdge(RecommendationService& service, DynamicGraph& graph,
+                      NodeId nodes, Rng& rng) {
+  const NodeId u = static_cast<NodeId>(rng.NextBounded(nodes));
+  const NodeId v = static_cast<NodeId>(rng.NextBounded(nodes));
+  if (u == v) return false;
+  const Status status = graph.HasEdge(u, v) ? service.RemoveEdge(u, v)
+                                            : service.AddEdge(u, v);
+  return status.ok();
+}
+
+// ------------------------------------------------- (a) post-toggle latency
+
+struct LatencyResult {
+  double median_us = 0;
+  ServiceStats stats;
+};
+
+/// Warm `users` cache entries (vector + frozen sampler), then `toggles`
+/// times: toggle one random edge and serve every warm user once, timing
+/// each serve individually. Returns the median serve latency.
+LatencyResult MeasurePostToggleLatency(const CsrGraph& base, NodeId users,
+                                       int toggles, bool enable_delta_repair,
+                                       uint64_t seed) {
+  DynamicGraph graph(base);
+  RecommendationService service(&graph,
+                                std::make_unique<CommonNeighborsUtility>(),
+                                BenchOptions(enable_delta_repair, seed));
+  Rng rng(seed * 7919 + 1);
+  for (NodeId user = 0; user < users; ++user) {
+    (void)service.ServeRecommendation(user, rng);  // compute + freeze
+    (void)service.ServeRecommendation(user, rng);  // cache-hit steady state
+  }
+  Rng toggle_rng(seed * 104729 + 2);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<size_t>(toggles) * users);
+  for (int t = 0; t < toggles; ++t) {
+    while (!ToggleRandomEdge(service, graph, graph.num_nodes(), toggle_rng)) {
+    }
+    for (NodeId user = 0; user < users; ++user) {
+      Stopwatch watch;
+      (void)service.ServeRecommendation(user, rng);
+      latencies_us.push_back(watch.ElapsedSeconds() * 1e6);
+    }
+  }
+  LatencyResult result;
+  result.median_us = Median(std::move(latencies_us));
+  result.stats = service.stats();
+  return result;
+}
+
+// --------------------------------------------- (b) mixed-traffic throughput
+
+/// Single-threaded mutate/serve mix; returns successful serves per second.
+double MeasureMixedThroughput(const CsrGraph& base, uint64_t ops,
+                              double write_fraction,
+                              bool enable_delta_repair, uint64_t seed) {
+  DynamicGraph graph(base);
+  RecommendationService service(&graph,
+                                std::make_unique<CommonNeighborsUtility>(),
+                                BenchOptions(enable_delta_repair, seed));
+  Rng rng(seed * 31 + 5);
+  uint64_t serves = 0;
+  Stopwatch watch;
+  for (uint64_t op = 0; op < ops; ++op) {
+    if (rng.NextBernoulli(write_fraction)) {
+      (void)ToggleRandomEdge(service, graph, graph.num_nodes(), rng);
+    } else {
+      const NodeId user =
+          static_cast<NodeId>(rng.NextBounded(graph.num_nodes() / 4));
+      if (service.ServeRecommendation(user).ok()) ++serves;
+    }
+  }
+  const double seconds = watch.ElapsedSeconds();
+  return seconds > 0 ? static_cast<double>(serves) / seconds : 0;
+}
+
+// ------------------------------------------------------------------ driver
+
+struct LatencyRow {
+  GraphConfig config;
+  double baseline_us = 0;
+  double delta_us = 0;
+  ServiceStats delta_stats;
+};
+
+struct ThroughputRow {
+  GraphConfig config;
+  double write_fraction = 0;
+  double baseline_sps = 0;
+  double delta_sps = 0;
+};
+
+void WriteJson(const std::string& path, NodeId users, int toggles,
+               uint64_t ops, int reps,
+               const std::vector<LatencyRow>& latency_rows,
+               const std::vector<ThroughputRow>& throughput_rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(
+      f,
+      "  \"description\": \"Before/after medians for incremental utility "
+      "maintenance (edge-delta journal + delta-patched serving cache). "
+      "Measured with bench/mutation_serving.cc: Chung-Lu power-law graphs "
+      "(alpha=2.2, undirected), common-neighbors utility, 8 shards, %u "
+      "warm users, %d toggles per run, %d repetitions (medians), "
+      "RelWithDebInfo (-O2). 'baseline' disables delta repair "
+      "(ServiceOptions::enable_delta_repair=false): every edge toggle "
+      "costs each cached entry a full 2-hop recompute + sampler re-freeze "
+      "on its next serve — the pre-incremental behavior. 'delta' drains "
+      "the journal and keeps/patches entries.\",\n",
+      users, toggles, reps);
+  std::fprintf(f,
+               "  \"unit_latency\": \"microseconds per cache-hit serve "
+               "immediately after an unrelated edge toggle (median)\",\n");
+  std::fprintf(f, "  \"post_toggle_serve_latency\": [\n");
+  for (size_t i = 0; i < latency_rows.size(); ++i) {
+    const LatencyRow& row = latency_rows[i];
+    std::fprintf(
+        f,
+        "    { \"nodes\": %u, \"edges\": %llu, \"baseline_us\": %.3f, "
+        "\"delta_us\": %.3f, \"speedup\": \"%.1fx\", \"delta_kept\": %llu, "
+        "\"delta_patched\": %llu, \"delta_recomputed\": %llu }%s\n",
+        row.config.nodes,
+        static_cast<unsigned long long>(row.config.edges), row.baseline_us,
+        row.delta_us, row.baseline_us / row.delta_us,
+        static_cast<unsigned long long>(row.delta_stats.delta_kept),
+        static_cast<unsigned long long>(row.delta_stats.delta_patched),
+        static_cast<unsigned long long>(row.delta_stats.delta_recomputed),
+        i + 1 < latency_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"unit_throughput\": \"successful serves per second, "
+               "single thread, %llu-op mutate/serve mix (median)\",\n",
+               static_cast<unsigned long long>(ops));
+  std::fprintf(f, "  \"mixed_traffic_throughput\": [\n");
+  for (size_t i = 0; i < throughput_rows.size(); ++i) {
+    const ThroughputRow& row = throughput_rows[i];
+    std::fprintf(
+        f,
+        "    { \"nodes\": %u, \"edges\": %llu, \"write_fraction\": %.2f, "
+        "\"baseline_serves_per_sec\": %.0f, \"delta_serves_per_sec\": "
+        "%.0f, \"speedup\": \"%.1fx\" }%s\n",
+        row.config.nodes,
+        static_cast<unsigned long long>(row.config.edges),
+        row.write_fraction, row.baseline_sps, row.delta_sps,
+        row.delta_sps / row.baseline_sps,
+        i + 1 < throughput_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(
+      f,
+      "  \"notes\": [\n"
+      "    \"post-toggle latency is the ISSUE 4 acceptance metric: the "
+      "median serve is a cache hit for a user the toggle did not affect — "
+      "one O(1) frozen-sampler alias draw under delta repair, a full "
+      "2-hop recompute under the baseline\",\n"
+      "    \"delta_kept counts entries that survived a toggle untouched "
+      "(frozen sampler included); delta_patched/recomputed count how the "
+      "entries the toggles DID affect were repaired (recomputed = "
+      "multi-delta batches between two serves of the same user)\",\n"
+      "    \"mixed-traffic speedups shrink toward 1x as the write "
+      "fraction grows because BOTH modes pay the O(n+m) CSR snapshot "
+      "rebuild the first serve after every toggle triggers — with "
+      "recompute avalanches gone, snapshot rebuilding is now the "
+      "mutation-path bottleneck; an incrementally-patched CSR (apply the "
+      "journal to the previous snapshot instead of rebuilding from the "
+      "adjacency sets) is the ROADMAP follow-up this measurement "
+      "motivates\"\n"
+      "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  PRIVREC_CHECK_OK(flags.Parse(argc, argv));
+  const NodeId users = static_cast<NodeId>(flags.GetInt("users", 300));
+  const int toggles = static_cast<int>(flags.GetInt("toggles", 12));
+  const uint64_t ops = static_cast<uint64_t>(flags.GetInt("ops", 8000));
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const std::string json_path = flags.GetString("json", "");
+
+  std::vector<LatencyRow> latency_rows;
+  std::vector<ThroughputRow> throughput_rows;
+
+  for (const GraphConfig& config : kConfigs) {
+    const CsrGraph base = MakeGraph(config);
+    PrintDatasetBanner("chung-lu " + std::to_string(config.nodes), base);
+
+    LatencyRow lrow;
+    lrow.config = config;
+    {
+      std::vector<double> baseline_medians, delta_medians;
+      for (int rep = 0; rep < reps; ++rep) {
+        baseline_medians.push_back(
+            MeasurePostToggleLatency(base, users, toggles,
+                                     /*enable_delta_repair=*/false,
+                                     1000 + rep)
+                .median_us);
+        LatencyResult delta = MeasurePostToggleLatency(
+            base, users, toggles, /*enable_delta_repair=*/true, 1000 + rep);
+        delta_medians.push_back(delta.median_us);
+        lrow.delta_stats = delta.stats;
+      }
+      lrow.baseline_us = Median(std::move(baseline_medians));
+      lrow.delta_us = Median(std::move(delta_medians));
+      latency_rows.push_back(lrow);
+    }
+
+    for (double write_fraction : {0.02, 0.1, 0.3}) {
+      ThroughputRow trow;
+      trow.config = config;
+      trow.write_fraction = write_fraction;
+      std::vector<double> baseline_runs, delta_runs;
+      for (int rep = 0; rep < reps; ++rep) {
+        baseline_runs.push_back(MeasureMixedThroughput(
+            base, ops, write_fraction, /*enable_delta_repair=*/false,
+            2000 + rep));
+        delta_runs.push_back(MeasureMixedThroughput(
+            base, ops, write_fraction, /*enable_delta_repair=*/true,
+            2000 + rep));
+      }
+      trow.baseline_sps = Median(std::move(baseline_runs));
+      trow.delta_sps = Median(std::move(delta_runs));
+      throughput_rows.push_back(trow);
+    }
+  }
+
+  TablePrinter latency_table({"graph", "baseline us/serve", "delta us/serve",
+                              "speedup", "kept", "patched", "recomputed"});
+  for (const LatencyRow& row : latency_rows) {
+    latency_table.AddRow(
+        {std::to_string(row.config.nodes) + "n/" +
+             std::to_string(row.config.edges) + "m",
+         FormatDouble(row.baseline_us, 2), FormatDouble(row.delta_us, 2),
+         FormatDouble(row.baseline_us / row.delta_us, 1) + "x",
+         std::to_string(row.delta_stats.delta_kept),
+         std::to_string(row.delta_stats.delta_patched),
+         std::to_string(row.delta_stats.delta_recomputed)});
+  }
+  std::printf("\npost-toggle cache-hit serve latency (median)\n");
+  latency_table.Print();
+
+  TablePrinter throughput_table(
+      {"graph", "write frac", "baseline serves/s", "delta serves/s",
+       "speedup"});
+  for (const ThroughputRow& row : throughput_rows) {
+    throughput_table.AddRow(
+        {std::to_string(row.config.nodes) + "n/" +
+             std::to_string(row.config.edges) + "m",
+         FormatDouble(row.write_fraction, 2),
+         FormatDouble(row.baseline_sps, 0), FormatDouble(row.delta_sps, 0),
+         FormatDouble(row.delta_sps / row.baseline_sps, 1) + "x"});
+  }
+  std::printf("\nmixed mutate/serve throughput (single thread, median)\n");
+  throughput_table.Print();
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, users, toggles, ops, reps, latency_rows,
+              throughput_rows);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privrec
+
+int main(int argc, char** argv) { return privrec::bench::Main(argc, argv); }

@@ -2,17 +2,21 @@
 # Sanitizer CI for the concurrent serving stack and the DP audit harness.
 #
 # Builds the library + tests under ThreadSanitizer and runs the `concurrent`
-# ctest label (the stress/property suites in tests/concurrent_service_test.cc),
+# and `incremental` ctest labels (the stress/property suites in
+# tests/concurrent_service_test.cc and tests/incremental_test.cc — the
+# latter covers concurrent mutation racing delta-patched cache repair),
 # then optionally repeats under AddressSanitizer+UBSan for the whole suite,
 # and/or runs the DP `audit` label under ASan+UBSan plus the audit-landscape
-# bench that refreshes BENCH_audit_landscape.json.
+# and mutation-serving benches that refresh BENCH_audit_landscape.json and
+# BENCH_mutation_serving.json.
 #
 # Usage:
-#   ci/sanitize.sh            # TSAN build + concurrent label (the gate)
+#   ci/sanitize.sh            # TSAN build + concurrent/incremental labels
 #   ci/sanitize.sh --asan     # additionally ASan+UBSan over ALL tests
 #   ci/sanitize.sh --audit    # additionally ASan+UBSan over the `audit`
-#                             # label, then bench_audit_landscape with its
-#                             # output wired into BENCH_audit_landscape.json
+#                             # label, then bench_audit_landscape /
+#                             # bench_mutation_serving with their output
+#                             # wired into the checked-in BENCH JSONs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +41,13 @@ echo "=== [tsan] ctest -L concurrent ==="
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}" \
   ctest --preset tsan-concurrent
 
+echo "=== [tsan] ctest -L incremental ==="
+# Incremental-maintenance suite: concurrent mutators racing delta-repair
+# serves (journal drain + keep/patch under the shard mutex) is the payload;
+# the exact-equality property tests ride along under TSAN too.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}" \
+  ctest --preset tsan-incremental
+
 if [[ "$run_asan" == "1" ]]; then
   echo "=== [asan] configure + build ==="
   cmake --preset asan
@@ -60,6 +71,9 @@ if [[ "$run_audit" == "1" ]]; then
   cmake --build --preset default -j "$(nproc)" --target bench_audit_landscape
   ./build/bench_audit_landscape --trials=4000 --pairs=3 \
     --json=BENCH_audit_landscape.json
+  echo "=== [default] bench_mutation_serving -> BENCH_mutation_serving.json ==="
+  cmake --build --preset default -j "$(nproc)" --target bench_mutation_serving
+  ./build/bench_mutation_serving --json=BENCH_mutation_serving.json
 fi
 
 echo "sanitize: OK"

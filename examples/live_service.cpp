@@ -81,6 +81,15 @@ int main(int argc, char** argv) {
   table.AddRow({"cache misses", std::to_string(stats.cache_misses)});
   table.AddRow({"cache invalidations",
                 std::to_string(stats.cache_invalidations)});
+  // Incremental maintenance at work: under churn, most cached entries
+  // survive a mutation untouched (kept) or are patched in O(Δ) instead of
+  // recomputed — see README "Incremental maintenance".
+  table.AddRow({"entries kept across mutations",
+                std::to_string(stats.delta_kept)});
+  table.AddRow({"entries delta-patched", std::to_string(stats.delta_patched)});
+  table.AddRow({"entries recomputed (multi-delta)",
+                std::to_string(stats.delta_recomputed)});
+  table.AddRow({"journal fallbacks", std::to_string(stats.journal_fallbacks)});
   table.Print();
 
   std::printf("\nhot-user budgets after the day:\n");

@@ -30,10 +30,10 @@ bool SameUnorderedEdge(NodeId a, NodeId b, NodeId u, NodeId v) {
 /// Picks an edge slot (a, b) whose state matches on both sides, is not
 /// incident to the target, and is not the pair's differing edge — so
 /// toggling it on BOTH services keeps the graphs neighbors. Prefers a in
-/// N(target): that lands inside the target's watched set, forcing the
-/// cache invalidation + re-freeze machinery the post-mutation path exists
-/// to audit (a mutation outside the watched set would only exercise the
-/// ratchet).
+/// N(target): that lands inside the target's 2-hop influence set, forcing
+/// the delta-patch (or recompute) + re-freeze machinery the post-mutation
+/// path exists to audit (a mutation outside the influence set would only
+/// exercise the kept-entry path and the ratchet).
 std::optional<CommonToggle> ChooseCommonToggle(const NeighboringPair& pair,
                                                NodeId target) {
   const CsrGraph& base = pair.base;

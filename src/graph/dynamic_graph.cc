@@ -5,14 +5,21 @@
 namespace privrec {
 
 DynamicGraph::DynamicGraph(NodeId num_nodes, bool directed)
-    : directed_(directed), adjacency_(num_nodes) {
+    : directed_(directed),
+      adjacency_(num_nodes),
+      in_adjacency_(directed ? num_nodes : 0) {
   num_nodes_.store(num_nodes, std::memory_order_release);
 }
 
 DynamicGraph::DynamicGraph(const CsrGraph& graph)
-    : directed_(graph.directed()), adjacency_(graph.num_nodes()) {
+    : directed_(graph.directed()),
+      adjacency_(graph.num_nodes()),
+      in_adjacency_(graph.directed() ? graph.num_nodes() : 0) {
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    for (NodeId v : graph.OutNeighbors(u)) adjacency_[u].insert(v);
+    for (NodeId v : graph.OutNeighbors(u)) {
+      adjacency_[u].insert(v);
+      if (directed_) in_adjacency_[v].insert(u);
+    }
   }
   num_nodes_.store(graph.num_nodes(), std::memory_order_release);
   num_edges_.store(graph.num_edges(), std::memory_order_release);
@@ -21,6 +28,7 @@ DynamicGraph::DynamicGraph(const CsrGraph& graph)
 NodeId DynamicGraph::AddNode() {
   std::lock_guard<std::mutex> lock(writer_mu_);
   adjacency_.emplace_back();
+  if (directed_) in_adjacency_.emplace_back();
   const NodeId id = static_cast<NodeId>(adjacency_.size() - 1);
   // Version before node count: a reader that observes the new num_nodes()
   // (acquire) is then guaranteed to observe the bumped version too, so it
@@ -29,6 +37,12 @@ NodeId DynamicGraph::AddNode() {
   version_.fetch_add(1, std::memory_order_acq_rel);
   num_nodes_.store(static_cast<NodeId>(adjacency_.size()),
                    std::memory_order_release);
+  // A node addition is a version bump no edge delta can describe (it
+  // changes every target's candidate count); clearing the journal makes
+  // any replay window crossing it OutOfRange, which routes readers onto
+  // the full-recompute fallback.
+  journal_.clear();
+  journal_floor_version_ = version_.load(std::memory_order_relaxed);
   return id;
 }
 
@@ -40,15 +54,33 @@ Status DynamicGraph::ValidateEndpoints(NodeId u, NodeId v) const {
   return Status::OK();
 }
 
+void DynamicGraph::JournalAppendLocked(NodeId u, NodeId v, bool added) {
+  if (journal_capacity_ == 0) {
+    journal_floor_version_ = version_.load(std::memory_order_relaxed);
+    return;
+  }
+  journal_.push_back(
+      EdgeDelta{u, v, added, version_.load(std::memory_order_relaxed)});
+  while (journal_.size() > journal_capacity_) {
+    journal_.pop_front();
+    ++journal_floor_version_;
+  }
+}
+
 Status DynamicGraph::AddEdge(NodeId u, NodeId v) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   PRIVREC_RETURN_NOT_OK(ValidateEndpoints(u, v));
   if (!adjacency_[u].insert(v).second) {
     return Status::FailedPrecondition("edge already present");
   }
-  if (!directed_) adjacency_[v].insert(u);
+  if (directed_) {
+    in_adjacency_[v].insert(u);
+  } else {
+    adjacency_[v].insert(u);
+  }
   num_edges_.fetch_add(1, std::memory_order_acq_rel);
   version_.fetch_add(1, std::memory_order_acq_rel);
+  JournalAppendLocked(u, v, /*added=*/true);
   return Status::OK();
 }
 
@@ -58,9 +90,14 @@ Status DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
   if (adjacency_[u].erase(v) == 0) {
     return Status::FailedPrecondition("edge not present");
   }
-  if (!directed_) adjacency_[v].erase(u);
+  if (directed_) {
+    in_adjacency_[v].erase(u);
+  } else {
+    adjacency_[v].erase(u);
+  }
   num_edges_.fetch_sub(1, std::memory_order_acq_rel);
   version_.fetch_add(1, std::memory_order_acq_rel);
+  JournalAppendLocked(u, v, /*added=*/false);
   return Status::OK();
 }
 
@@ -75,6 +112,48 @@ uint32_t DynamicGraph::OutDegree(NodeId v) const {
   return static_cast<uint32_t>(adjacency_[v].size());
 }
 
+uint32_t DynamicGraph::InDegree(NodeId v) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return static_cast<uint32_t>(directed_ ? in_adjacency_[v].size()
+                                         : adjacency_[v].size());
+}
+
+Result<std::vector<EdgeDelta>> DynamicGraph::EdgeDeltasBetween(
+    uint64_t from_version, uint64_t to_version) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (from_version > to_version) {
+    return Status::InvalidArgument("from_version > to_version");
+  }
+  if (to_version > version_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("to_version was never reached");
+  }
+  if (from_version < journal_floor_version_) {
+    return Status::OutOfRange("journal compacted past from_version");
+  }
+  // Invariant: journal_ holds the consecutive-version deltas
+  // (journal_floor_version_, version_]; the bounds checks above put the
+  // requested window inside it.
+  const size_t begin = static_cast<size_t>(from_version -
+                                           journal_floor_version_);
+  const size_t end = static_cast<size_t>(to_version - journal_floor_version_);
+  return std::vector<EdgeDelta>(journal_.begin() + begin,
+                                journal_.begin() + end);
+}
+
+void DynamicGraph::SetJournalCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  journal_capacity_ = capacity;
+  while (journal_.size() > journal_capacity_) {
+    journal_.pop_front();
+    ++journal_floor_version_;
+  }
+}
+
+uint64_t DynamicGraph::journal_floor_version() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return journal_floor_version_;
+}
+
 std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::BuildLocked()
     const {
   GraphBuilder builder(directed_);
@@ -86,13 +165,38 @@ std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::BuildLocked()
       builder.AddEdge(u, v);
     }
   }
+  std::optional<CsrGraph> in_graph;
+  if (directed_) {
+    // Materialize the incrementally-maintained in-neighbor index as the
+    // snapshot's reverse CSR (arcs transposed, same stamp).
+    GraphBuilder reverse_builder(/*directed=*/true);
+    reverse_builder.SetNumNodes(static_cast<NodeId>(in_adjacency_.size()));
+    reverse_builder.Reserve(num_edges_.load(std::memory_order_relaxed));
+    for (NodeId v = 0; v < in_adjacency_.size(); ++v) {
+      for (NodeId u : in_adjacency_[v]) reverse_builder.AddEdge(v, u);
+    }
+    in_graph.emplace(reverse_builder.Build());
+  }
   auto built = std::make_shared<VersionedCsr>(
       VersionedCsr{version_.load(std::memory_order_relaxed),
                    num_edges_.load(std::memory_order_relaxed),
-                   builder.Build()});
+                   builder.Build(), std::move(in_graph)});
   snapshot_builds_.fetch_add(1, std::memory_order_acq_rel);
   return built;
 }
+
+namespace {
+
+DynamicGraph::StampedSnapshot MakeStamped(
+    std::shared_ptr<const void> owner, const CsrGraph* graph,
+    const CsrGraph* in_graph, uint64_t version, uint64_t num_edges) {
+  return DynamicGraph::StampedSnapshot{
+      std::shared_ptr<const CsrGraph>(owner, graph),
+      std::shared_ptr<const CsrGraph>(std::move(owner), in_graph), version,
+      num_edges};
+}
+
+}  // namespace
 
 DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
   // Fast path: copy the published pointer under the (tiny) publication
@@ -107,9 +211,10 @@ DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
   }
   if (current != nullptr &&
       current->version == version_.load(std::memory_order_acquire)) {
-    return StampedSnapshot{
-        std::shared_ptr<const CsrGraph>(current, &current->graph),
-        current->version, current->num_edges};
+    const CsrGraph* reverse =
+        current->in_graph.has_value() ? &*current->in_graph : &current->graph;
+    return MakeStamped(current, &current->graph, reverse, current->version,
+                       current->num_edges);
   }
   // Slow path: rebuild under the writer mutex (excludes mutators, and
   // collapses concurrent rebuilders into one build via the re-check).
@@ -124,9 +229,10 @@ DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
     std::lock_guard<std::mutex> publish_lock(snapshot_mu_);
     snapshot_ = current;
   }
-  return StampedSnapshot{
-      std::shared_ptr<const CsrGraph>(current, &current->graph),
-      current->version, current->num_edges};
+  const CsrGraph* reverse =
+      current->in_graph.has_value() ? &*current->in_graph : &current->graph;
+  return MakeStamped(current, &current->graph, reverse, current->version,
+                     current->num_edges);
 }
 
 }  // namespace privrec

@@ -3,13 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "graph/csr_graph.h"
+#include "graph/edge_delta.h"
 
 namespace privrec {
 
@@ -51,19 +54,53 @@ namespace privrec {
 ///    one allocation, so a reader can never observe a "torn" pair.
 ///  - Snapshots taken before a mutation remain valid and unchanged
 ///    afterwards; hold them as long as you like.
+///
+/// Incremental maintenance (see README "Incremental maintenance"):
+///  - Every AddEdge/RemoveEdge is appended to an edge-delta journal — a
+///    compacted ring buffer of EdgeDelta records keyed by the version
+///    stamp each mutation produced. EdgeDeltasBetween(v0, v1) replays the
+///    ordered toggles between two stamps, or reports OutOfRange when the
+///    window has been compacted away (capacity overflow) or interrupted by
+///    a non-edge version bump (AddNode clears the journal: a new node
+///    changes every target's candidate count, which no edge delta
+///    describes). Callers — the delta-patched serving cache — fall back to
+///    full recomputation on that error.
+///  - Directed graphs additionally maintain an in-neighbor index
+///    (adjacency transposed) incrementally, O(1) per mutation, and publish
+///    it as a reverse CSR alongside each snapshot, so
+///    AffectedTargets(delta) is O(in-deg(u) + in-deg(v)) instead of a full
+///    scan. For undirected graphs the reverse CSR is the forward CSR
+///    (zero extra cost); directed snapshot rebuilds pay a second O(n+m)
+///    build for the transpose — once per mutation per first reader, the
+///    price of O(in-deg) affected-set enumeration. (The serving hot path
+///    itself only needs the O(log deg) membership test
+///    EdgeDeltaAffectsTarget, which runs on the forward CSR.)
+///  - Journal and index are guarded by the writer mutex like the
+///    adjacency itself; all new accessors are safe from any thread.
 class DynamicGraph {
  public:
   /// An immutable CSR snapshot together with the graph version it
-  /// materializes. `graph` aliases into the same control block, so holding
-  /// either member keeps both alive.
+  /// materializes. `graph` and `in_graph` alias into the same control
+  /// block, so holding any member keeps all alive.
   struct StampedSnapshot {
     std::shared_ptr<const CsrGraph> graph;
+    /// In-neighbor (reverse CSR) companion: in_graph->OutNeighbors(v) are
+    /// the nodes with an arc into v. For undirected graphs this aliases
+    /// `graph` itself (in == out); for directed graphs it is the
+    /// incrementally-maintained transpose, materialized at the same
+    /// version.
+    std::shared_ptr<const CsrGraph> in_graph;
     /// version() at build time.
     uint64_t version = 0;
     /// num_edges() at build time (== graph->num_edges(); the redundancy
     /// lets tests assert the publication was not torn).
     uint64_t num_edges = 0;
   };
+
+  /// Default bound on retained journal entries. Compaction past a pinned
+  /// version only costs the reader a full recompute, so the buffer can be
+  /// generous without correctness risk.
+  static constexpr size_t kDefaultJournalCapacity = 1024;
 
   /// Empty graph on num_nodes nodes.
   DynamicGraph(NodeId num_nodes, bool directed);
@@ -93,9 +130,37 @@ class DynamicGraph {
 
   uint32_t OutDegree(NodeId v) const;
 
+  /// Number of arcs INTO v, maintained incrementally (== OutDegree for
+  /// undirected graphs).
+  uint32_t InDegree(NodeId v) const;
+
   /// Mutation counter; bumped by AddNode/AddEdge/RemoveEdge (only when the
   /// mutation succeeds, while the writer mutex is held).
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// The ordered edge toggles that move the graph from `from_version` to
+  /// `to_version` (exclusive / inclusive). Empty when the stamps are
+  /// equal. Errors:
+  ///  - InvalidArgument: from > to, or to is a stamp the graph has never
+  ///    reached.
+  ///  - OutOfRange: the journal no longer covers the window — either ring
+  ///    compaction discarded it or an AddNode (a non-edge mutation no
+  ///    delta can describe) cleared it. Callers must treat this as "replay
+  ///    impossible, recompute from the snapshot".
+  Result<std::vector<EdgeDelta>> EdgeDeltasBetween(uint64_t from_version,
+                                                   uint64_t to_version) const;
+
+  /// Caps the number of retained journal entries (older deltas are
+  /// compacted away; 0 disables journaling entirely, forcing every
+  /// EdgeDeltasBetween onto the OutOfRange fallback). Takes effect
+  /// immediately.
+  void SetJournalCapacity(size_t capacity);
+
+  /// Versions currently replayable: EdgeDeltasBetween(v0, version()) is OK
+  /// exactly for v0 >= journal_floor_version(). Exposed for tests and
+  /// monitoring; racing mutators can compact the floor forward at any
+  /// time.
+  uint64_t journal_floor_version() const;
 
   /// The cached immutable CSR snapshot of the current state. On an
   /// unmutated graph this is one shared_ptr copy under the publication
@@ -125,15 +190,22 @@ class DynamicGraph {
   }
 
  private:
-  /// The unit the atomic pointer publishes: stamp + CSR in one immutable
-  /// allocation.
+  /// The unit the atomic pointer publishes: stamp + CSR (+ reverse CSR for
+  /// directed graphs) in one immutable allocation.
   struct VersionedCsr {
     uint64_t version;
     uint64_t num_edges;
     CsrGraph graph;
+    /// Transposed arcs; engaged iff the graph is directed (undirected
+    /// snapshots alias `graph` as their own reverse).
+    std::optional<CsrGraph> in_graph;
   };
 
   Status ValidateEndpoints(NodeId u, NodeId v) const;
+
+  /// Appends one toggle to the journal and compacts to capacity. Caller
+  /// must hold writer_mu_ and have already bumped version_.
+  void JournalAppendLocked(NodeId u, NodeId v, bool added);
 
   /// Builds the CSR for the current adjacency state. Caller must hold
   /// writer_mu_.
@@ -148,6 +220,17 @@ class DynamicGraph {
   /// Never taken by snapshot readers whose version is already published.
   mutable std::mutex writer_mu_;
   std::vector<std::unordered_set<NodeId>> adjacency_;
+  /// In-neighbor sets, maintained under writer_mu_; populated only for
+  /// directed graphs (undirected in-neighbors are adjacency_ itself).
+  std::vector<std::unordered_set<NodeId>> in_adjacency_;
+
+  /// Edge-delta journal (guarded by writer_mu_): consecutive-version
+  /// toggles with journal_floor_version_ the stamp just before the oldest
+  /// retained entry. Invariant: journal_floor_version_ + journal_.size()
+  /// == version_.
+  std::deque<EdgeDelta> journal_;
+  uint64_t journal_floor_version_ = 0;
+  size_t journal_capacity_ = kDefaultJournalCapacity;
 
   /// Publication point: guards only the pointer hand-off (one shared_ptr
   /// copy). Lock order: writer_mu_ before snapshot_mu_; mutators never

@@ -1,0 +1,36 @@
+#include "graph/edge_delta.h"
+
+#include <algorithm>
+
+namespace privrec {
+
+bool EdgeDeltaAffectsTarget(const CsrGraph& graph, const EdgeDelta& delta,
+                            NodeId target) {
+  if (target == delta.u) return true;
+  if (graph.directed()) {
+    return graph.HasEdge(target, delta.u);
+  }
+  return target == delta.v || graph.HasEdge(target, delta.u) ||
+         graph.HasEdge(target, delta.v);
+}
+
+std::vector<NodeId> AffectedTargets(const CsrGraph& graph,
+                                    const CsrGraph& in_graph,
+                                    const EdgeDelta& delta) {
+  std::vector<NodeId> targets;
+  // in_graph.OutNeighbors(x) are the nodes with an arc INTO x.
+  const auto in_u = in_graph.OutNeighbors(delta.u);
+  targets.reserve(in_u.size() + 2);
+  targets.push_back(delta.u);
+  targets.insert(targets.end(), in_u.begin(), in_u.end());
+  if (!graph.directed()) {
+    const auto in_v = in_graph.OutNeighbors(delta.v);
+    targets.push_back(delta.v);
+    targets.insert(targets.end(), in_v.begin(), in_v.end());
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  return targets;
+}
+
+}  // namespace privrec

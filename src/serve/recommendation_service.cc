@@ -102,6 +102,68 @@ PrivacyAccountant& RecommendationService::AccountantForLocked(Shard& shard,
   return it->second;
 }
 
+void RecommendationService::RepairEntryLocked(
+    Shard& shard, NodeId user, const DynamicGraph::StampedSnapshot& snap,
+    double sensitivity, CacheEntry& entry) {
+  if (options_.enable_delta_repair && utility_->SupportsIncrementalUpdate()) {
+    auto deltas = graph_->EdgeDeltasBetween(entry.version, snap.version);
+    if (deltas.ok()) {
+      // Membership against the post-batch snapshot is exact as long as the
+      // whole window is tested together (see EdgeDeltaAffectsTarget).
+      bool affected = false;
+      for (const EdgeDelta& delta : *deltas) {
+        if (EdgeDeltaAffectsTarget(*snap.graph, delta, user)) {
+          affected = true;
+          break;
+        }
+      }
+      if (!affected) {
+        // The cached vector — and its frozen sampler — are still exactly
+        // right; only the stamp moves. Sensitivity drift is covered by the
+        // caller's calibration ratchet.
+        ++shard.stats.cache_hits;
+        ++shard.stats.delta_kept;
+        entry.version = snap.version;
+        entry.calibration_sensitivity =
+            std::max(entry.calibration_sensitivity, sensitivity);
+        return;
+      }
+      if (deltas->size() == 1) {
+        // O(Δ) patch, exactly equal to a fresh Compute; the vector changed,
+        // so the frozen sampler dies and the calibration re-anchors at the
+        // snapshot the repaired vector now reflects.
+        entry.utilities = utility_->ApplyEdgeDelta(
+            *snap.graph, deltas->front(), user, entry.utilities,
+            shard.workspace);
+        ++shard.stats.cache_hits;
+        ++shard.stats.delta_patched;
+      } else {
+        // Multi-delta batches recompute (sequential patching across
+        // intermediate graph states is a documented follow-up) — but only
+        // for entries the batch actually touched.
+        entry.utilities = utility_->Compute(*snap.graph, user, shard.workspace);
+        ++shard.stats.cache_misses;
+        ++shard.stats.delta_recomputed;
+      }
+      entry.version = snap.version;
+      entry.calibration_sensitivity = sensitivity;
+      entry.sampler.reset();
+      entry.sampler_sensitivity = 0;
+      return;
+    }
+    ++shard.stats.journal_fallbacks;
+  }
+  // Baseline path: the pre-incremental design would have erased this entry
+  // at mutation time; recompute it in place now.
+  entry.utilities = utility_->Compute(*snap.graph, user, shard.workspace);
+  entry.version = snap.version;
+  entry.calibration_sensitivity = sensitivity;
+  entry.sampler.reset();
+  entry.sampler_sensitivity = 0;
+  ++shard.stats.cache_misses;
+  ++shard.stats.cache_invalidations;
+}
+
 Result<RecommendationService::CacheEntry*>
 RecommendationService::GetEntryLocked(
     Shard& shard, NodeId user, const DynamicGraph::StampedSnapshot& snap,
@@ -113,29 +175,30 @@ RecommendationService::GetEntryLocked(
     // Shared snapshot (no copy) + per-shard workspace: a cache miss costs
     // only the utility traversal, not an O(n + m) graph materialization.
     CacheEntry entry{utility_->Compute(*snap.graph, user, shard.workspace),
-                     {},
+                     snap.version,
                      shard.clock,
                      sensitivity,
                      std::nullopt,
                      0.0};
-    entry.watched.insert(user);
-    for (NodeId v : snap.graph->OutNeighbors(user)) entry.watched.insert(v);
     EvictIfNeededLocked(shard);
     auto [inserted, ok] = shard.cache.emplace(user, std::move(entry));
     PRIVREC_CHECK(ok);
     it = inserted;
+  } else if (it->second.version != snap.version) {
+    it->second.last_used = shard.clock;
+    RepairEntryLocked(shard, user, snap, sensitivity, it->second);
   } else {
     ++shard.stats.cache_hits;
     it->second.last_used = shard.clock;
     // A mutation elsewhere in the graph can drift the global Δf without
-    // invalidating this user's vector; ratchet the entry's calibration up
+    // changing this user's vector; ratchet the entry's calibration up
     // to the current bound (see CacheEntry::calibration_sensitivity).
     it->second.calibration_sensitivity =
         std::max(it->second.calibration_sensitivity, sensitivity);
   }
   CacheEntry& entry = it->second;
   if (entry.utilities.num_candidates() == 0) {
-    // Cached like any other vector (the watched-set sweep keeps it fresh)
+    // Cached like any other vector (delta repair keeps it fresh)
     // so repeated requests for an unservable user are O(1) hits, not
     // recomputes; the release itself can never happen.
     return Status::FailedPrecondition("no candidates to recommend");
@@ -162,11 +225,11 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
   // Refuse-or-commit charging: budget is checked first (refusals touch
   // nothing else, so refused traffic costs no cache work), but only
   // charged AFTER every other failure mode has passed — a failed serve
-  // must never consume lifetime ε it released nothing for. (One corner
-  // survives: in the mutation-to-invalidation-sweep race window a
-  // zero-block resolution against the fresh snapshot can fail after the
-  // charge. Charging without releasing is the conservative direction for
-  // privacy, so the corner is tolerated rather than complicated away.)
+  // must never consume lifetime ε it released nothing for. (Cache repair
+  // pins every entry to this call's snapshot before the charge, so the
+  // post-charge zero-block resolution runs against exactly the state the
+  // entry reflects; if it still fails, charging without releasing is the
+  // conservative direction for privacy.)
   // The audit path (charge_budget == false) skips the accountant entirely;
   // everything else is byte-identical to the production path.
   if (charge_budget) {
@@ -226,10 +289,12 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
   PRIVREC_ASSIGN_OR_RETURN(
       CacheEntry * entry,
       GetEntryLocked(shard, user, snap, sensitivity, /*need_sampler=*/false));
-  // Re-check against the vector the peeling will actually run on: a cached
-  // entry can lag the snapshot's candidate count (e.g. after AddNode, which
-  // invalidates nothing), and the charge below must not be spendable on a
-  // release that then fails validation.
+  // Defense-in-depth re-check against the vector the peeling will
+  // actually run on. Cache repair pins every entry to `snap` before this
+  // point (even AddNode routes through the journal fallback), so today
+  // the two counts always agree; the guard stays because the charge
+  // below must never be spendable on a release that then fails
+  // validation, whatever future repair paths exist.
   if (entry->utilities.num_candidates() < k) {
     return Status::FailedPrecondition("fewer candidates than k");
   }
@@ -288,35 +353,16 @@ Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k) {
   return ServeListLocked(shard, user, k, shard.rng);
 }
 
-void RecommendationService::InvalidateTouching(NodeId u, NodeId v) {
-  for (auto& shard_ptr : shards_) {
-    Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
-    for (auto it = shard.cache.begin(); it != shard.cache.end();) {
-      const auto& watched = it->second.watched;
-      if (watched.count(u) > 0 || watched.count(v) > 0) {
-        it = shard.cache.erase(it);
-        ++shard.stats.cache_invalidations;
-      } else {
-        ++it;
-      }
-    }
-    // Drop the now-stale pinned snapshot so an idle shard does not keep a
-    // dead full-graph CSR alive until its next serve (re-pinned lazily).
-    shard.pinned = DynamicGraph::StampedSnapshot{};
-  }
-}
-
 Status RecommendationService::AddEdge(NodeId u, NodeId v) {
-  PRIVREC_RETURN_NOT_OK(graph_->AddEdge(u, v));
-  InvalidateTouching(u, v);
-  return Status::OK();
+  // O(1): the journal records the toggle; stale entries are repaired
+  // lazily per shard (see RepairEntryLocked). A shard that never serves
+  // again keeps its pre-mutation pinned CSR alive — bounded at one
+  // snapshot per shard, the price of sweep-free mutations.
+  return graph_->AddEdge(u, v);
 }
 
 Status RecommendationService::RemoveEdge(NodeId u, NodeId v) {
-  PRIVREC_RETURN_NOT_OK(graph_->RemoveEdge(u, v));
-  InvalidateTouching(u, v);
-  return Status::OK();
+  return graph_->RemoveEdge(u, v);
 }
 
 double RecommendationService::RemainingBudget(NodeId user) const {
@@ -339,6 +385,10 @@ ServiceStats RecommendationService::stats() const {
     total.cache_invalidations += shard.stats.cache_invalidations;
     total.sampler_reuses += shard.stats.sampler_reuses;
     total.audit_serves += shard.stats.audit_serves;
+    total.delta_kept += shard.stats.delta_kept;
+    total.delta_patched += shard.stats.delta_patched;
+    total.delta_recomputed += shard.stats.delta_recomputed;
+    total.journal_fallbacks += shard.stats.journal_fallbacks;
   }
   return total;
 }

@@ -6,7 +6,6 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -36,6 +35,14 @@ struct ServiceOptions {
   /// overloads. Two services with equal seeds (and equal shard counts)
   /// serve identical sequences for identical call sequences.
   uint64_t seed = 0x5eedf00dULL;
+  /// Delta-patched cache repair (see class comment): when the graph moved
+  /// under a cached entry, drain the edge-delta journal and keep/patch the
+  /// entry instead of recomputing, provided the utility supports
+  /// incremental updates. Disabled, every version change costs each cached
+  /// entry a full recompute on its next serve — the pre-incremental
+  /// baseline path, kept reachable for benchmarks
+  /// (bench/mutation_serving.cc) and differential tests.
+  bool enable_delta_repair = true;
 };
 
 /// Serving statistics. Returned by value from stats(): an exact sum of the
@@ -46,6 +53,11 @@ struct ServiceStats {
   uint64_t refused_budget = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Cached entries whose vector had to be rebuilt from scratch because
+  /// journal repair was unavailable (repair disabled, non-incremental
+  /// utility, or journal fallback). Counted when the stale entry is
+  /// visited, which is when the pre-incremental design would have erased
+  /// it.
   uint64_t cache_invalidations = 0;
   /// Cache hits that could reuse the frozen sampler as-is (no sensitivity
   /// drift since it was built).
@@ -53,6 +65,22 @@ struct ServiceStats {
   /// Releases performed by ServeForAudit (not counted in `served` and not
   /// charged against any lifetime budget).
   uint64_t audit_serves = 0;
+  /// Delta-repair outcomes for cached entries visited after the graph
+  /// version moved (each stale visit lands in exactly one of these four,
+  /// or in cache_invalidations when repair was not attempted):
+  /// journal drained, entry unaffected by every delta — kept as-is,
+  /// frozen sampler and all (the O(1) survival path).
+  uint64_t delta_kept = 0;
+  /// Affected by exactly one drained delta — patched in O(Δ) via
+  /// UtilityFunction::ApplyEdgeDelta.
+  uint64_t delta_patched = 0;
+  /// Affected by a multi-delta batch — recomputed (sequential multi-delta
+  /// patching is a ROADMAP follow-up), but cheaper than a fallback: only
+  /// affected entries pay.
+  uint64_t delta_recomputed = 0;
+  /// Journal could not cover the window (ring compaction or AddNode):
+  /// the visit fell back to the full-recompute path.
+  uint64_t journal_fallbacks = 0;
 };
 
 /// The production wrapper a deployment would put around this library:
@@ -60,12 +88,34 @@ struct ServiceStats {
 /// with
 ///  - per-user privacy accounting (refuses service when a user's lifetime
 ///    budget is spent — the only sound failure mode),
-///  - a utility-vector cache invalidated precisely when a graph update
-///    can change a cached vector (for the 2-hop utility families, an
-///    update (u,v) affects target r only if u or v lies in {r} ∪ N(r);
-///    this service is restricted to those utilities),
+///  - a utility-vector cache repaired precisely when a graph update can
+///    change a cached vector (for the 2-hop utility families, an update
+///    (u,v) affects target r only if u or v lies in {r} ∪ N(r); this
+///    service is restricted to those utilities),
 ///  - exponential-mechanism releases calibrated to the utility's
 ///    sensitivity on the current graph.
+///
+/// Incremental maintenance (the mutation-heavy fast path; README
+/// "Incremental maintenance"): AddEdge/RemoveEdge only mutate the
+/// DynamicGraph — O(1), no cache sweep; the graph's edge-delta journal
+/// carries the history. A cached entry whose version lags the shard's
+/// pinned snapshot is repaired lazily on its next visit by draining the
+/// journal between the two stamps:
+///  - unaffected by every drained delta (checked in O(log deg) per delta
+///    against the post-batch snapshot) → kept wholesale, frozen sampler
+///    included: a cache-hit serve after an unrelated toggle stays one
+///    O(1) alias draw;
+///  - affected by exactly one delta → patched in O(Δ) via
+///    UtilityFunction::ApplyEdgeDelta (exact-equality contract), sampler
+///    re-frozen and calibration re-anchored at the new snapshot's Δf;
+///  - affected by a multi-delta batch, journal compacted past the entry's
+///    version, AddNode in the window, repair disabled, or utility without
+///    incremental support → full recompute of that entry (today's
+///    baseline path), still touching no other entry.
+/// Every repaired (or kept) entry's vector equals a fresh Compute against
+/// the pinned snapshot, so each release stays ε-DP calibrated to the
+/// graph state it reflects; the calibration ratchet still covers
+/// sensitivity drift for kept entries.
 ///
 /// Thread safety (sharded): users are striped across N shards by a mixed
 /// hash of their id. Each shard owns its slice of the accountant map, the
@@ -75,7 +125,7 @@ struct ServiceStats {
 /// shards never contend; calls for the same user serialize, which is what
 /// makes budget accounting exact under races (charge and release happen in
 /// one critical section). Graph mutations go through the thread-safe
-/// DynamicGraph and then sweep every shard's cache for affected entries.
+/// DynamicGraph only; repair happens shard-locally under the shard mutex.
 ///
 /// Fast path: the service never copies the graph — it rides the
 /// DynamicGraph's RCU snapshot (lock-free atomic load when unmutated) —
@@ -130,8 +180,10 @@ class RecommendationService {
   /// lifetime ε that the single real release already spent.
   Result<NodeId> ServeForAudit(NodeId user, Rng& rng);
 
-  /// Applies a graph mutation and invalidates affected cache entries in
-  /// every shard.
+  /// Applies a graph mutation. O(1): the edge-delta journal records the
+  /// toggle and stale cache entries are repaired lazily, per shard, on
+  /// their next serve (no synchronous sweep). Mutating the DynamicGraph
+  /// directly is equivalent — the journal sees those toggles too.
   Status AddEdge(NodeId u, NodeId v);
   Status RemoveEdge(NodeId u, NodeId v);
 
@@ -146,8 +198,9 @@ class RecommendationService {
  private:
   struct CacheEntry {
     UtilityVector utilities;
-    /// {user} ∪ N(user) at compute time: the update-influence set.
-    std::unordered_set<NodeId> watched;
+    /// Graph version `utilities` reflects (a snapshot stamp). A lagging
+    /// stamp triggers journal repair on the next visit.
+    uint64_t version = 0;
     uint64_t last_used = 0;
     /// The Δf this entry's releases are calibrated at. Ratchets up to
     /// max(creation-time Δf, every Δf observed on later hits): a larger
@@ -209,10 +262,19 @@ class RecommendationService {
 
   /// Fetches (or computes and caches) the user's entry with its
   /// calibration ratcheted against `sensitivity`; freezes the alias
-  /// sampler only when `need_sampler`. Caller holds `shard.mu`.
+  /// sampler only when `need_sampler`. Stale entries are repaired first
+  /// (RepairEntryLocked). Caller holds `shard.mu`.
   Result<CacheEntry*> GetEntryLocked(Shard& shard, NodeId user,
                                      const DynamicGraph::StampedSnapshot& snap,
                                      double sensitivity, bool need_sampler);
+
+  /// Brings an entry whose version lags `snap` up to date: journal-drain
+  /// keep/patch when possible, full recompute otherwise (see the class
+  /// comment). Updates the delta_* / cache_* stats. Caller holds
+  /// `shard.mu`.
+  void RepairEntryLocked(Shard& shard, NodeId user,
+                         const DynamicGraph::StampedSnapshot& snap,
+                         double sensitivity, CacheEntry& entry);
 
   /// `charge_budget` == false is the ServeForAudit path: skips the
   /// accountant check-and-charge, counts the release in audit_serves.
@@ -221,7 +283,6 @@ class RecommendationService {
   Result<TopKResult> ServeListLocked(Shard& shard, NodeId user, size_t k,
                                      Rng& rng);
 
-  void InvalidateTouching(NodeId u, NodeId v);
   void EvictIfNeededLocked(Shard& shard);
 
   DynamicGraph* graph_;

@@ -3,29 +3,30 @@
 #include <cmath>
 
 #include "graph/traversal.h"
+#include "utility/incremental.h"
 
 namespace privrec {
-namespace {
-
-double InverseLogDegree(uint32_t degree) {
-  // Clamp so degree-1 intermediates (ln 1 = 0) contribute the max weight.
-  return 1.0 / std::log(std::max<uint32_t>(degree, 2));
-}
-
-}  // namespace
 
 UtilityVector AdamicAdarUtility::Compute(const CsrGraph& graph, NodeId target,
                                          UtilityWorkspace& workspace) const {
   workspace.PrepareFor(graph);
   SparseCounter& counter = workspace.counter(0);
   for (NodeId mid : graph.OutNeighbors(target)) {
-    const double weight = InverseLogDegree(graph.OutDegree(mid));
+    const double weight = InverseLogDegreeWeight(graph.OutDegree(mid));
     for (NodeId far : graph.OutNeighbors(mid)) {
       if (far == target) continue;
       counter.Add(far, weight);
     }
   }
   return FinalizeUtilityScores(graph, target, counter, workspace);
+}
+
+UtilityVector AdamicAdarUtility::ApplyEdgeDelta(
+    const CsrGraph& graph, const EdgeDelta& delta, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  return PatchTwoHopUtility(graph, delta, target, cached, workspace,
+                            &InverseLogDegreeWeight,
+                            /*constant_weight=*/false);
 }
 
 double AdamicAdarUtility::SensitivityBound(const CsrGraph& graph) const {

@@ -1,9 +1,20 @@
 #ifndef PRIVREC_UTILITY_ADAMIC_ADAR_H_
 #define PRIVREC_UTILITY_ADAMIC_ADAR_H_
 
+#include <algorithm>
+#include <cmath>
+
 #include "utility/utility_function.h"
 
 namespace privrec {
+
+/// Adamic-Adar's per-intermediate weight, clamped so degree-1
+/// intermediates (ln 1 = 0) contribute the max weight. Shared between
+/// Compute and the incremental patch path, which must cancel terms
+/// bit-for-bit against what Compute accumulated.
+inline double InverseLogDegreeWeight(uint32_t degree) {
+  return 1.0 / std::log(std::max<uint32_t>(degree, 2));
+}
 
 /// Adamic–Adar utility (an extension beyond the paper's two experimental
 /// functions; listed in its "other utility functions" future work):
@@ -17,6 +28,16 @@ class AdamicAdarUtility : public UtilityFunction {
   using UtilityFunction::Compute;
   UtilityVector Compute(const CsrGraph& graph, NodeId target,
                         UtilityWorkspace& workspace) const override;
+
+  /// Incremental patching: count patch for the toggled common-neighbor
+  /// term plus a degree-weight reweighting of every surviving path
+  /// through the toggled endpoints (their degree moved by one). Scores
+  /// match a fresh Compute to within float-rounding dust; the support
+  /// matches exactly (see utility/incremental.h).
+  bool SupportsIncrementalUpdate() const override { return true; }
+  UtilityVector ApplyEdgeDelta(const CsrGraph& graph, const EdgeDelta& delta,
+                               NodeId target, const UtilityVector& cached,
+                               UtilityWorkspace& workspace) const override;
 
   /// One non-target edge contributes, per orientation, (a) one new
   /// common-neighbor term worth at most 1/ln 2 and (b) a degree shift of

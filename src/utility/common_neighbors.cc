@@ -1,8 +1,14 @@
 #include "utility/common_neighbors.h"
 
 #include "graph/traversal.h"
+#include "utility/incremental.h"
 
 namespace privrec {
+namespace {
+
+double UnitWeight(uint32_t /*degree*/) { return 1.0; }
+
+}  // namespace
 
 UtilityVector CommonNeighborsUtility::Compute(
     const CsrGraph& graph, NodeId target, UtilityWorkspace& workspace) const {
@@ -15,6 +21,13 @@ UtilityVector CommonNeighborsUtility::Compute(
     }
   }
   return FinalizeUtilityScores(graph, target, counter, workspace);
+}
+
+UtilityVector CommonNeighborsUtility::ApplyEdgeDelta(
+    const CsrGraph& graph, const EdgeDelta& delta, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  return PatchTwoHopUtility(graph, delta, target, cached, workspace,
+                            &UnitWeight, /*constant_weight=*/true);
 }
 
 double CommonNeighborsUtility::SensitivityBound(const CsrGraph& graph) const {

@@ -1,0 +1,140 @@
+#include "utility/incremental.h"
+
+#include <cmath>
+
+#include "graph/traversal.h"
+
+namespace privrec {
+namespace {
+
+/// Patched-to-zero rounding bound (see header).
+constexpr double kResidueEpsilon = 1e-9;
+
+/// The other endpoint's score recomputed from scratch: Σ over first hops
+/// z of target with an arc z→node, weighted at z's POST-delta out-degree.
+/// Used when an edge removal returns `node` to the target's candidate set
+/// (its cached entry was suppressed while it was a neighbor). Iterates
+/// first hops in CSR order — the same accumulation order Compute uses, so
+/// even float-weighted scores come out identical.
+double ScoreFromScratch(const CsrGraph& graph, NodeId target, NodeId node,
+                        DegreeWeightFn weight) {
+  double score = 0;
+  for (NodeId z : graph.OutNeighbors(target)) {
+    if (graph.HasEdge(z, node)) score += weight(graph.OutDegree(z));
+  }
+  return score;
+}
+
+}  // namespace
+
+UtilityVector PatchTwoHopUtility(const CsrGraph& graph, const EdgeDelta& delta,
+                                 NodeId target, const UtilityVector& cached,
+                                 UtilityWorkspace& workspace,
+                                 DegreeWeightFn weight, bool constant_weight) {
+  workspace.PrepareFor(graph);
+  SparseCounter& counter = workspace.counter(0);
+  counter.Reserve(cached.nonzero().size() + 8);
+  for (const UtilityEntry& e : cached.nonzero()) {
+    counter.Add(e.node, e.utility);
+  }
+  const NodeId x = delta.u;
+  const NodeId y = delta.v;
+  const bool added = delta.added;
+
+  if (graph.directed()) {
+    if (target == x) {
+      // The target's first-hop set gained/lost y (whose own out-degree the
+      // arc x→y does not touch): every second hop through y shifts by y's
+      // full weight.
+      const double w_y = weight(graph.OutDegree(y));
+      for (NodeId i : graph.OutNeighbors(y)) {
+        if (i == target) continue;
+        counter.Add(i, added ? w_y : -w_y);
+      }
+      if (!added) {
+        // y re-enters the candidate set; its cached entry was suppressed
+        // while it was a neighbor, so rebuild it whole.
+        const double score = ScoreFromScratch(graph, target, y, weight);
+        if (score > 0) counter.Add(y, score);
+      }
+      // On add, y is now excluded as a neighbor; FinalizeUtilityScores
+      // drops any stale y entry against the post-delta graph.
+    } else if (graph.HasEdge(target, x)) {
+      // Paths through intermediate x: its out-neighbor set gained/lost y
+      // and its out-degree shifted by one (reweighting every surviving
+      // path for non-constant weights).
+      const uint32_t d_x = graph.OutDegree(x);
+      const double post_w = weight(d_x);
+      const double pre_w = weight(added ? d_x - 1 : d_x + 1);
+      if (!constant_weight && post_w != pre_w) {
+        const double dw = post_w - pre_w;
+        for (NodeId i : graph.OutNeighbors(x)) {
+          if (i == target || i == y) continue;
+          counter.Add(i, dw);
+        }
+      }
+      if (y != target) counter.Add(y, added ? post_w : -pre_w);
+    }
+    // Any other target is untouched by an arc toggle (see
+    // EdgeDeltaAffectsTarget): the loaded entries pass through unchanged.
+  } else if (target == x || target == y) {
+    const NodeId other = (target == x) ? y : x;
+    const uint32_t d_other = graph.OutDegree(other);
+    if (added) {
+      // `other` joined the target's neighborhood: it contributes as a
+      // whole new intermediate at its post-delta weight, and leaves the
+      // candidate set (handled by the finalize pass).
+      const double w_other = weight(d_other);
+      for (NodeId i : graph.OutNeighbors(other)) {
+        if (i == target) continue;
+        counter.Add(i, w_other);
+      }
+    } else {
+      // `other` left the neighborhood: remove its whole contribution at
+      // its pre-delta weight (degree before the removal), then rebuild
+      // its own re-admitted candidate entry.
+      const double w_other = weight(d_other + 1);
+      for (NodeId i : graph.OutNeighbors(other)) {
+        if (i == target) continue;
+        counter.Add(i, -w_other);
+      }
+      const double score = ScoreFromScratch(graph, target, other, weight);
+      if (score > 0) counter.Add(other, score);
+    }
+  } else {
+    // Non-endpoint target of an undirected toggle: each adjacent endpoint
+    // e is an intermediate whose degree shifted (reweight surviving paths
+    // through e) and whose adjacency to the other endpoint o appeared or
+    // vanished (the ± common-neighbor term for o).
+    for (int side = 0; side < 2; ++side) {
+      const NodeId e = (side == 0) ? x : y;
+      const NodeId o = (side == 0) ? y : x;
+      if (!graph.HasEdge(target, e)) continue;
+      const uint32_t d_e = graph.OutDegree(e);
+      const double post_w = weight(d_e);
+      const double pre_w = weight(added ? d_e - 1 : d_e + 1);
+      if (!constant_weight && post_w != pre_w) {
+        const double dw = post_w - pre_w;
+        for (NodeId i : graph.OutNeighbors(e)) {
+          if (i == target || i == o) continue;
+          counter.Add(i, dw);
+        }
+      }
+      counter.Add(o, added ? post_w : -pre_w);
+    }
+  }
+
+  if (!constant_weight) {
+    // Round float residue on fully-cancelled slots to exact zero so the
+    // nonzero support matches a fresh Compute (see header contract).
+    for (NodeId v : counter.touched()) {
+      const double value = counter.Get(v);
+      if (value != 0.0 && std::fabs(value) < kResidueEpsilon) {
+        counter.Add(v, -value);
+      }
+    }
+  }
+  return FinalizeUtilityScores(graph, target, counter, workspace);
+}
+
+}  // namespace privrec

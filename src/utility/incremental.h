@@ -1,0 +1,48 @@
+#ifndef PRIVREC_UTILITY_INCREMENTAL_H_
+#define PRIVREC_UTILITY_INCREMENTAL_H_
+
+#include "graph/csr_graph.h"
+#include "graph/edge_delta.h"
+#include "utility/utility_vector.h"
+#include "utility/utility_workspace.h"
+
+namespace privrec {
+
+/// Per-intermediate degree weight of a 2-hop utility, evaluated at an
+/// out-degree. Must be the exact function Compute uses, so patched terms
+/// cancel bit-for-bit against the cached ones.
+using DegreeWeightFn = double (*)(uint32_t degree);
+
+/// Shared O(deg(u) + deg(v)) patch engine for every utility of the form
+///   u_r[i] = Σ_{intermediate z on an r→z→i path} weight(out-deg(z))
+/// (common neighbors: weight ≡ 1; Adamic-Adar: 1/ln(max(d,2)); resource
+/// allocation: 1/d). Given the target's cached vector on the graph
+/// immediately BEFORE `delta` and the snapshot immediately AFTER it,
+/// produces the post-delta vector without a 2-hop recomputation:
+///  - non-endpoint targets adjacent to a toggled endpoint gain/lose the
+///    other endpoint's common-neighbor term and (for non-constant
+///    weights) have every path through that endpoint reweighted for its
+///    ±1 degree shift;
+///  - an endpoint target gains/loses the other endpoint as a whole
+///    first-hop/intermediate (and as a candidate: the paper's convention
+///    excludes neighbors, which FinalizeUtilityScores re-derives from the
+///    post-delta graph);
+///  - unaffected targets (see EdgeDeltaAffectsTarget) pass through
+///    unchanged.
+///
+/// Exactness: with `constant_weight` (common neighbors) all arithmetic is
+/// ±1 on small integers — the result is bitwise-identical to a fresh
+/// Compute. Otherwise scores match up to float-rounding dust; slots
+/// patched to |value| < 1e-9 are rounded to exactly zero so the nonzero
+/// support always matches a fresh Compute (genuine scores of the shipped
+/// weight functions are ≥ 1/ln(n), orders of magnitude above the
+/// threshold — a utility whose true scores can fall below it must not use
+/// this engine).
+UtilityVector PatchTwoHopUtility(const CsrGraph& graph, const EdgeDelta& delta,
+                                 NodeId target, const UtilityVector& cached,
+                                 UtilityWorkspace& workspace,
+                                 DegreeWeightFn weight, bool constant_weight);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_UTILITY_INCREMENTAL_H_

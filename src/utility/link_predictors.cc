@@ -6,8 +6,19 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "graph/traversal.h"
+#include "utility/incremental.h"
 
 namespace privrec {
+namespace {
+
+/// Resource allocation's per-intermediate weight; the degree-0 guard only
+/// matters on directed graphs (an out-neighbor can have no out-edges) and
+/// mirrors Compute's `continue`.
+double InverseDegreeWeight(uint32_t degree) {
+  return degree == 0 ? 0.0 : 1.0 / static_cast<double>(degree);
+}
+
+}  // namespace
 
 // ----------------------------------------------------------------- Jaccard
 
@@ -92,6 +103,14 @@ UtilityVector ResourceAllocationUtility::Compute(
     }
   }
   return FinalizeUtilityScores(graph, target, scores, workspace);
+}
+
+UtilityVector ResourceAllocationUtility::ApplyEdgeDelta(
+    const CsrGraph& graph, const EdgeDelta& delta, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  return PatchTwoHopUtility(graph, delta, target, cached, workspace,
+                            &InverseDegreeWeight,
+                            /*constant_weight=*/false);
 }
 
 double ResourceAllocationUtility::SensitivityBound(

@@ -74,6 +74,13 @@ class ResourceAllocationUtility : public UtilityFunction {
   UtilityVector Compute(const CsrGraph& graph, NodeId target,
                         UtilityWorkspace& workspace) const override;
 
+  /// Same two-hop weighted-count shape as Adamic-Adar (weight 1/deg), so
+  /// the shared patch engine applies unchanged.
+  bool SupportsIncrementalUpdate() const override { return true; }
+  UtilityVector ApplyEdgeDelta(const CsrGraph& graph, const EdgeDelta& delta,
+                               NodeId target, const UtilityVector& cached,
+                               UtilityWorkspace& workspace) const override;
+
   /// New common-neighbor term <= 1/1 = 1 (clamped at degree 1... degree of
   /// an intermediate on a path is >= 2 after the toggle, so <= 1/2);
   /// degree-shift term: d·(1/d - 1/(d+1)) = 1/(d+1) <= 1/2. Bound: 1 per

@@ -16,8 +16,21 @@ struct SensitivityEstimate {
   size_t samples = 0;
 };
 
+/// L1 distance ||a - b||_1 between two utility vectors over the union of
+/// their nonzero supports, accumulated in a workspace counter (no per-call
+/// hash map). The vectors must address node ids the workspace's counters
+/// can hold (anything produced by a Compute/ApplyEdgeDelta that prepared
+/// this workspace qualifies).
+double UtilityVectorL1Distance(const UtilityVector& a, const UtilityVector& b,
+                               UtilityWorkspace& workspace);
+
 /// Exact L1 distance between the utility vectors of `target` on `a` and
-/// `b` (zero-padded over the union of nonzero supports).
+/// `b` (zero-padded over the union of nonzero supports). The workspace
+/// overload reuses the caller's scratch across both Computes and the
+/// accumulation; the convenience form allocates a throwaway workspace.
+double UtilityL1Distance(const UtilityFunction& utility, const CsrGraph& a,
+                         const CsrGraph& b, NodeId target,
+                         UtilityWorkspace& workspace);
 double UtilityL1Distance(const UtilityFunction& utility, const CsrGraph& a,
                          const CsrGraph& b, NodeId target);
 
@@ -26,9 +39,23 @@ double UtilityL1Distance(const UtilityFunction& utility, const CsrGraph& a,
 /// if present) and measuring the L1 utility change. With `relaxed` (the
 /// paper's Section 3.2 variant) pairs incident to the target are skipped.
 ///
+/// The sampling loop computes the base vector once and derives each
+/// sample's perturbed vector through the utility's O(Δ) ApplyEdgeDelta
+/// when it supports incremental updates (full Compute otherwise); the
+/// diff is accumulated in a workspace counter, not a per-sample hash
+/// map. One perturbed-CSR materialization per sample remains — the
+/// utility needs post-toggle neighbor views. The workspace overload
+/// additionally reuses the caller's scratch buffers; one workspace is
+/// reused across the whole loop either way.
+///
 /// The observed max is a *lower* bound on the true global sensitivity; the
 /// analytic SensitivityBound is an upper bound. Tests assert
 ///   max_observed <= SensitivityBound  on every graph/utility pair.
+SensitivityEstimate EstimateEdgeSensitivity(const CsrGraph& graph,
+                                            const UtilityFunction& utility,
+                                            NodeId target, size_t num_samples,
+                                            Rng& rng, bool relaxed,
+                                            UtilityWorkspace& workspace);
 SensitivityEstimate EstimateEdgeSensitivity(const CsrGraph& graph,
                                             const UtilityFunction& utility,
                                             NodeId target, size_t num_samples,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "graph/csr_graph.h"
+#include "graph/edge_delta.h"
 #include "utility/utility_vector.h"
 #include "utility/utility_workspace.h"
 
@@ -46,6 +47,32 @@ class UtilityFunction {
   /// (the relaxed edge-DP of Section 3.2, which is what the experiments
   /// use). This calibrates the Laplace/Exponential mechanisms.
   virtual double SensitivityBound(const CsrGraph& graph) const = 0;
+
+  /// Incremental-maintenance capability (see README "Incremental
+  /// maintenance"): true iff ApplyEdgeDelta is overridden with an O(Δ)
+  /// patch whose result is exactly equal to a fresh Compute on the
+  /// post-delta graph — same candidate count, same nonzero support, and
+  /// scores that are bitwise-identical for integer-valued utilities
+  /// (common neighbors) or equal to within float-rounding dust (the
+  /// degree-weighted family), which the patch engine rounds away so the
+  /// support can never differ. Utilities that cannot patch (the 3-hop
+  /// weighted-paths family) leave this false and are served through the
+  /// full-recompute path.
+  virtual bool SupportsIncrementalUpdate() const { return false; }
+
+  /// Patches `cached` — the target's utility vector on the graph
+  /// immediately BEFORE `delta` — into the vector for the graph
+  /// immediately AFTER it. `graph` must be the post-delta snapshot.
+  /// The base implementation ignores the cache and recomputes (always
+  /// correct); overrides must honor the exact-equality contract above.
+  virtual UtilityVector ApplyEdgeDelta(const CsrGraph& graph,
+                                       const EdgeDelta& delta, NodeId target,
+                                       const UtilityVector& cached,
+                                       UtilityWorkspace& workspace) const {
+    (void)delta;
+    (void)cached;
+    return Compute(graph, target, workspace);
+  }
 
   /// The paper's per-target edge-alteration count t used in Corollary 1:
   /// the number of edge additions/removals sufficient to turn a

@@ -30,6 +30,12 @@ class WeightedPathsUtility : public UtilityFunction {
   UtilityVector Compute(const CsrGraph& graph, NodeId target,
                         UtilityWorkspace& workspace) const override;
 
+  // Deliberately NOT incremental (SupportsIncrementalUpdate() stays
+  // false): a 3-hop toggle perturbs targets two hops from either endpoint
+  // and re-threads the backtrack subtraction, so an O(Δ) patch has no
+  // exact-equality story yet. The serving layer's capability gate routes
+  // this utility through the full-recompute path.
+
   /// Conservative relaxed-edge-DP L1 bound: one new edge (x,y) away from r
   /// contributes at most 1 at l=2 per orientation and at most γ·d_max new
   /// length-3 paths per orientation/role, giving

@@ -1,0 +1,624 @@
+// Incremental-maintenance suite (ctest label `incremental`): the
+// edge-delta journal and reverse-adjacency index on DynamicGraph, the
+// exact-equality contract of UtilityFunction::ApplyEdgeDelta (bitwise for
+// common neighbors, support-exact + 1e-9 scores for the degree-weighted
+// family), affected-set completeness, and the delta-patched serving cache
+// (differential vs the full-recompute baseline, journal-compaction
+// fallback, frozen-sampler survival, and a TSAN-facing concurrent
+// mutate/repair stress — ci/sanitize.sh runs this label under
+// ThreadSanitizer and the whole suite under ASan+UBSan).
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/privacy_accountant.h"
+#include "eval/parallel.h"
+#include "gen/generators.h"
+#include "graph/dynamic_graph.h"
+#include "graph/edge_delta.h"
+#include "graph/transforms.h"
+#include "gtest/gtest.h"
+#include "random/rng.h"
+#include "serve/recommendation_service.h"
+#include "utility/adamic_adar.h"
+#include "utility/common_neighbors.h"
+#include "utility/link_predictors.h"
+#include "utility/sensitivity.h"
+
+namespace privrec {
+namespace {
+
+// ------------------------------------------------------------------ journal
+
+TEST(EdgeDeltaJournalTest, ReplayReconstructsTheGraph) {
+  for (bool directed : {false, true}) {
+    Rng rng(directed ? 3u : 4u);
+    auto base = ErdosRenyiGnm(20, 40, directed, rng);
+    ASSERT_TRUE(base.ok());
+    DynamicGraph graph(*base);
+    const DynamicGraph::StampedSnapshot before = graph.VersionedSnapshot();
+
+    for (int i = 0; i < 50; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(20));
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(20));
+      if (u == v) continue;
+      if (graph.HasEdge(u, v)) {
+        ASSERT_TRUE(graph.RemoveEdge(u, v).ok());
+      } else {
+        ASSERT_TRUE(graph.AddEdge(u, v).ok());
+      }
+    }
+    const DynamicGraph::StampedSnapshot after = graph.VersionedSnapshot();
+
+    auto deltas = graph.EdgeDeltasBetween(before.version, after.version);
+    ASSERT_TRUE(deltas.ok()) << deltas.status().ToString();
+    // Consecutive version stamps, replaying exactly onto the old snapshot.
+    DynamicGraph replay(*before.graph);
+    uint64_t expected_version = before.version;
+    for (const EdgeDelta& delta : *deltas) {
+      EXPECT_EQ(delta.version, ++expected_version);
+      ASSERT_TRUE((delta.added ? replay.AddEdge(delta.u, delta.v)
+                               : replay.RemoveEdge(delta.u, delta.v))
+                      .ok());
+    }
+    EXPECT_EQ(expected_version, after.version);
+    EXPECT_TRUE(replay.Snapshot().Equals(*after.graph));
+    // Empty window is fine; inverted or future windows are not.
+    EXPECT_TRUE(graph.EdgeDeltasBetween(after.version, after.version)->empty());
+    EXPECT_TRUE(graph.EdgeDeltasBetween(after.version, before.version)
+                    .status()
+                    .IsInvalidArgument());
+    EXPECT_TRUE(graph.EdgeDeltasBetween(0, after.version + 1)
+                    .status()
+                    .IsInvalidArgument());
+  }
+}
+
+TEST(EdgeDeltaJournalTest, CompactionAndAddNodeForceTheFallback) {
+  DynamicGraph graph(10, /*directed=*/false);
+  graph.SetJournalCapacity(4);
+  for (NodeId v = 1; v <= 8; ++v) {
+    ASSERT_TRUE(graph.AddEdge(0, v).ok());
+  }
+  // Only the last 4 of 8 toggles are retained.
+  EXPECT_EQ(graph.journal_floor_version(), 4u);
+  EXPECT_TRUE(graph.EdgeDeltasBetween(0, 8).status().IsOutOfRange());
+  EXPECT_TRUE(graph.EdgeDeltasBetween(3, 8).status().IsOutOfRange());
+  auto tail = graph.EdgeDeltasBetween(4, 8);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->size(), 4u);
+
+  // AddNode is a version bump no edge delta can describe: every window
+  // crossing it must fail, windows after it work again.
+  graph.AddNode();
+  EXPECT_EQ(graph.version(), 9u);
+  EXPECT_TRUE(graph.EdgeDeltasBetween(8, 9).status().IsOutOfRange());
+  ASSERT_TRUE(graph.AddEdge(10, 3).ok());
+  auto after_node = graph.EdgeDeltasBetween(9, 10);
+  ASSERT_TRUE(after_node.ok());
+  EXPECT_EQ(after_node->size(), 1u);
+
+  // Capacity 0 disables journaling outright.
+  graph.SetJournalCapacity(0);
+  ASSERT_TRUE(graph.AddEdge(10, 4).ok());
+  EXPECT_TRUE(graph.EdgeDeltasBetween(graph.version() - 1, graph.version())
+                  .status()
+                  .IsOutOfRange());
+}
+
+// ------------------------------------------------------------ reverse index
+
+TEST(ReverseIndexTest, SnapshotInGraphIsTheTranspose) {
+  Rng rng(11);
+  auto base = ErdosRenyiGnm(25, 60, /*directed=*/true, rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph(*base);
+  for (int i = 0; i < 40; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(25));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(25));
+    if (u == v) continue;
+    if (graph.HasEdge(u, v)) {
+      ASSERT_TRUE(graph.RemoveEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(graph.AddEdge(u, v).ok());
+    }
+    const DynamicGraph::StampedSnapshot snap = graph.VersionedSnapshot();
+    ASSERT_NE(snap.in_graph, nullptr);
+    EXPECT_TRUE(snap.in_graph->Equals(Reverse(*snap.graph)))
+        << "incrementally-maintained reverse index diverged from the "
+           "transpose after toggle "
+        << i;
+    for (NodeId w = 0; w < 25; ++w) {
+      EXPECT_EQ(graph.InDegree(w), snap.in_graph->OutDegree(w));
+    }
+  }
+  // Undirected graphs alias the forward CSR as their own reverse.
+  DynamicGraph undirected(5, /*directed=*/false);
+  ASSERT_TRUE(undirected.AddEdge(0, 1).ok());
+  const DynamicGraph::StampedSnapshot snap = undirected.VersionedSnapshot();
+  EXPECT_EQ(snap.in_graph.get(), snap.graph.get());
+  EXPECT_EQ(undirected.InDegree(1), 1u);
+}
+
+// ------------------------------------------------- affected-set completeness
+
+/// Utility-agnostic ground truth: a target is REALLY unaffected iff its
+/// fresh vectors before and after the toggle agree for every shipped
+/// 2-hop utility.
+void ExpectVectorsIdentical(const UtilityVector& a, const UtilityVector& b,
+                            bool bitwise) {
+  ASSERT_EQ(a.num_candidates(), b.num_candidates());
+  ASSERT_EQ(a.nonzero().size(), b.nonzero().size());
+  if (bitwise) {
+    // Bitwise-equal scores sort identically (ties break on node id), so
+    // the descending entry arrays must agree position by position.
+    for (size_t i = 0; i < a.nonzero().size(); ++i) {
+      EXPECT_EQ(a.nonzero()[i].node, b.nonzero()[i].node) << "entry " << i;
+      EXPECT_EQ(a.nonzero()[i].utility, b.nonzero()[i].utility)
+          << "entry " << i;
+    }
+    return;
+  }
+  // Float-weighted utilities: scores agree to rounding dust, which can
+  // reorder near-ties — compare node-keyed instead of position-keyed.
+  auto by_node = [](const UtilityVector& vec) {
+    std::vector<UtilityEntry> entries(vec.nonzero().begin(),
+                                      vec.nonzero().end());
+    std::sort(entries.begin(), entries.end(),
+              [](const UtilityEntry& lhs, const UtilityEntry& rhs) {
+                return lhs.node < rhs.node;
+              });
+    return entries;
+  };
+  const std::vector<UtilityEntry> ea = by_node(a);
+  const std::vector<UtilityEntry> eb = by_node(b);
+  for (size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(ea[i].node, eb[i].node) << "support mismatch at entry " << i;
+    EXPECT_NEAR(ea[i].utility, eb[i].utility,
+                1e-9 * std::max(1.0, std::fabs(eb[i].utility)))
+        << "node " << ea[i].node;
+  }
+}
+
+TEST(AffectedTargetsTest, EnumerationIsCompleteAndMatchesMembership) {
+  for (bool directed : {false, true}) {
+    Rng rng(directed ? 21u : 22u);
+    auto base = ErdosRenyiGnm(30, 70, directed, rng);
+    ASSERT_TRUE(base.ok());
+    DynamicGraph graph(*base);
+    CommonNeighborsUtility cn;
+    AdamicAdarUtility aa;
+    UtilityWorkspace workspace;
+    for (int i = 0; i < 25; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(30));
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(30));
+      if (u == v) continue;
+      const DynamicGraph::StampedSnapshot before = graph.VersionedSnapshot();
+      const bool added = !graph.HasEdge(u, v);
+      ASSERT_TRUE((added ? graph.AddEdge(u, v) : graph.RemoveEdge(u, v)).ok());
+      const DynamicGraph::StampedSnapshot after = graph.VersionedSnapshot();
+      const EdgeDelta delta{u, v, added, after.version};
+
+      const std::vector<NodeId> affected =
+          AffectedTargets(*after.graph, *after.in_graph, delta);
+      EXPECT_TRUE(std::is_sorted(affected.begin(), affected.end()));
+      for (NodeId target = 0; target < 30; ++target) {
+        const bool in_set =
+            std::binary_search(affected.begin(), affected.end(), target);
+        EXPECT_EQ(in_set,
+                  EdgeDeltaAffectsTarget(*after.graph, delta, target))
+            << "membership/enumeration disagree at target " << target;
+        if (in_set) continue;
+        // Completeness: an unflagged target's vector must be IDENTICAL
+        // across the toggle, for both the constant-weight and the
+        // degree-weighted utility.
+        ExpectVectorsIdentical(cn.Compute(*before.graph, target, workspace),
+                               cn.Compute(*after.graph, target, workspace),
+                               /*bitwise=*/true);
+        ExpectVectorsIdentical(aa.Compute(*before.graph, target, workspace),
+                               aa.Compute(*after.graph, target, workspace),
+                               /*bitwise=*/true);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ patch exact equality
+
+/// Drives a random toggle sequence, maintaining every target's vector via
+/// ApplyEdgeDelta (affected targets) or carry-over (unaffected), and
+/// checks each step against a fresh Compute. Patched vectors feed the next
+/// step, so per-step dust would compound — which is exactly what the
+/// contract forbids.
+void RunPatchEqualsComputeProperty(const UtilityFunction& utility,
+                                   bool directed, bool bitwise,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  constexpr NodeId kNodes = 30;
+  auto base = ErdosRenyiGnm(kNodes, 75, directed, rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph(*base);
+  UtilityWorkspace workspace;
+
+  std::vector<UtilityVector> cached;
+  cached.reserve(kNodes);
+  const DynamicGraph::StampedSnapshot initial = graph.VersionedSnapshot();
+  for (NodeId target = 0; target < kNodes; ++target) {
+    cached.push_back(utility.Compute(*initial.graph, target, workspace));
+  }
+
+  int toggles = 0;
+  while (toggles < 40) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(kNodes));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(kNodes));
+    if (u == v) continue;
+    const bool added = !graph.HasEdge(u, v);
+    ASSERT_TRUE((added ? graph.AddEdge(u, v) : graph.RemoveEdge(u, v)).ok());
+    ++toggles;
+    const DynamicGraph::StampedSnapshot snap = graph.VersionedSnapshot();
+    const EdgeDelta delta{u, v, added, snap.version};
+    for (NodeId target = 0; target < kNodes; ++target) {
+      if (EdgeDeltaAffectsTarget(*snap.graph, delta, target)) {
+        cached[target] = utility.ApplyEdgeDelta(*snap.graph, delta, target,
+                                                cached[target], workspace);
+      }
+      ExpectVectorsIdentical(cached[target],
+                             utility.Compute(*snap.graph, target, workspace),
+                             bitwise);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << utility.name() << (directed ? " directed" : " undirected")
+               << ": patched vector diverged at toggle " << toggles
+               << " target " << target;
+      }
+    }
+  }
+}
+
+TEST(ApplyEdgeDeltaTest, CommonNeighborsPatchIsBitwiseExact) {
+  CommonNeighborsUtility cn;
+  RunPatchEqualsComputeProperty(cn, /*directed=*/false, /*bitwise=*/true, 31);
+  RunPatchEqualsComputeProperty(cn, /*directed=*/true, /*bitwise=*/true, 32);
+}
+
+TEST(ApplyEdgeDeltaTest, AdamicAdarPatchMatchesFreshCompute) {
+  AdamicAdarUtility aa;
+  RunPatchEqualsComputeProperty(aa, /*directed=*/false, /*bitwise=*/false, 33);
+  RunPatchEqualsComputeProperty(aa, /*directed=*/true, /*bitwise=*/false, 34);
+}
+
+TEST(ApplyEdgeDeltaTest, ResourceAllocationPatchMatchesFreshCompute) {
+  ResourceAllocationUtility ra;
+  RunPatchEqualsComputeProperty(ra, /*directed=*/false, /*bitwise=*/false, 35);
+  RunPatchEqualsComputeProperty(ra, /*directed=*/true, /*bitwise=*/false, 36);
+}
+
+TEST(ApplyEdgeDeltaTest, DefaultImplementationIsTheFullRecompute) {
+  // A utility without incremental support must still be correct through
+  // the base-class ApplyEdgeDelta (it just recomputes).
+  Rng rng(37);
+  auto base = ErdosRenyiGnm(15, 30, /*directed=*/false, rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph(*base);
+  JaccardUtility jaccard;
+  EXPECT_FALSE(jaccard.SupportsIncrementalUpdate());
+  UtilityWorkspace workspace;
+  const DynamicGraph::StampedSnapshot before = graph.VersionedSnapshot();
+  const UtilityVector cached = jaccard.Compute(*before.graph, 0, workspace);
+  ASSERT_TRUE(graph.AddEdge(3, 9).ok() || graph.RemoveEdge(3, 9).ok());
+  const DynamicGraph::StampedSnapshot after = graph.VersionedSnapshot();
+  const EdgeDelta delta{3, 9, true, after.version};
+  ExpectVectorsIdentical(
+      jaccard.ApplyEdgeDelta(*after.graph, delta, 0, cached, workspace),
+      jaccard.Compute(*after.graph, 0, workspace), /*bitwise=*/true);
+}
+
+// ------------------------------------------------- sensitivity-probe parity
+
+TEST(SensitivityProbeTest, WorkspaceOverloadAgreesWithConvenienceForm) {
+  Rng graph_rng(41);
+  auto g = ErdosRenyiGnm(20, 45, /*directed=*/false, graph_rng);
+  ASSERT_TRUE(g.ok());
+  CommonNeighborsUtility cn;
+  UtilityWorkspace workspace;
+  // Identical rng seeds → identical probe pairs → identical estimates
+  // (CN's patches are bitwise-exact, so even max/mean agree exactly).
+  Rng rng_a(43), rng_b(43);
+  const SensitivityEstimate with_ws =
+      EstimateEdgeSensitivity(*g, cn, 0, 25, rng_a, /*relaxed=*/true,
+                              workspace);
+  const SensitivityEstimate convenience =
+      EstimateEdgeSensitivity(*g, cn, 0, 25, rng_b, /*relaxed=*/true);
+  EXPECT_EQ(with_ws.samples, convenience.samples);
+  EXPECT_DOUBLE_EQ(with_ws.max_l1, convenience.max_l1);
+  EXPECT_DOUBLE_EQ(with_ws.mean_l1, convenience.mean_l1);
+  EXPECT_LE(with_ws.max_l1, cn.SensitivityBound(*g));
+}
+
+// ---------------------------------------------------- service differential
+
+ServiceOptions IncrementalServiceOptions(bool enable_delta_repair) {
+  ServiceOptions options;
+  options.release_epsilon = 0.25;
+  options.per_user_budget = 1e6;
+  options.cache_capacity = 256;
+  options.num_shards = 4;
+  options.seed = 2026;
+  options.enable_delta_repair = enable_delta_repair;
+  return options;
+}
+
+TEST(IncrementalServiceTest, DeltaModeServesIdenticallyToBaseline) {
+  // Common neighbors has a graph-independent Δf and a bitwise-exact patch,
+  // so the delta-repaired service and the recompute-everything baseline
+  // must serve BYTE-IDENTICAL sequences from identical seeds — the
+  // strongest possible statement that repair changes cost, not outcomes.
+  Rng graph_rng(51);
+  auto weights = PowerLawWeights(200, 2.2);
+  auto base = ChungLu(weights, weights, 900, /*directed=*/false, graph_rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph_delta(*base);
+  DynamicGraph graph_baseline(*base);
+  RecommendationService delta_service(
+      &graph_delta, std::make_unique<CommonNeighborsUtility>(),
+      IncrementalServiceOptions(true));
+  RecommendationService baseline_service(
+      &graph_baseline, std::make_unique<CommonNeighborsUtility>(),
+      IncrementalServiceOptions(false));
+
+  Rng ops_rng(53);
+  for (int op = 0; op < 1200; ++op) {
+    if (ops_rng.NextBernoulli(0.12)) {
+      const NodeId u = static_cast<NodeId>(ops_rng.NextBounded(200));
+      const NodeId v = static_cast<NodeId>(ops_rng.NextBounded(200));
+      if (u == v) continue;
+      if (graph_delta.HasEdge(u, v)) {
+        ASSERT_TRUE(delta_service.RemoveEdge(u, v).ok());
+        ASSERT_TRUE(baseline_service.RemoveEdge(u, v).ok());
+      } else {
+        ASSERT_TRUE(delta_service.AddEdge(u, v).ok());
+        ASSERT_TRUE(baseline_service.AddEdge(u, v).ok());
+      }
+    } else if (ops_rng.NextBernoulli(0.2)) {
+      const NodeId user = static_cast<NodeId>(ops_rng.NextBounded(200));
+      auto list_a = delta_service.ServeList(user, 3);
+      auto list_b = baseline_service.ServeList(user, 3);
+      ASSERT_EQ(list_a.ok(), list_b.ok()) << "op " << op;
+      if (!list_a.ok()) continue;
+      ASSERT_EQ(list_a->picks.size(), list_b->picks.size());
+      for (size_t p = 0; p < list_a->picks.size(); ++p) {
+        ASSERT_EQ(list_a->picks[p].node, list_b->picks[p].node)
+            << "op " << op << " pick " << p;
+      }
+    } else {
+      const NodeId user = static_cast<NodeId>(ops_rng.NextBounded(200));
+      auto rec_a = delta_service.ServeRecommendation(user);
+      auto rec_b = baseline_service.ServeRecommendation(user);
+      ASSERT_EQ(rec_a.ok(), rec_b.ok()) << "op " << op;
+      if (rec_a.ok()) ASSERT_EQ(*rec_a, *rec_b) << "op " << op;
+    }
+  }
+
+  const ServiceStats delta_stats = delta_service.stats();
+  const ServiceStats baseline_stats = baseline_service.stats();
+  EXPECT_EQ(delta_stats.served, baseline_stats.served);
+  EXPECT_EQ(delta_stats.refused_budget, baseline_stats.refused_budget);
+  // The differential is only meaningful if the repair paths actually ran.
+  EXPECT_GT(delta_stats.delta_kept, 0u);
+  EXPECT_GT(delta_stats.delta_patched, 0u);
+  EXPECT_EQ(delta_stats.cache_invalidations, 0u);
+  EXPECT_EQ(baseline_stats.delta_kept, 0u);
+  EXPECT_EQ(baseline_stats.delta_patched, 0u);
+  EXPECT_GT(baseline_stats.cache_invalidations, 0u);
+  // Delta repair converts baseline recompute-misses into kept/patched
+  // hits; both sides account every lookup exactly once.
+  EXPECT_EQ(delta_stats.cache_hits + delta_stats.cache_misses,
+            baseline_stats.cache_hits + baseline_stats.cache_misses);
+  EXPECT_GT(delta_stats.cache_hits, baseline_stats.cache_hits);
+}
+
+TEST(IncrementalServiceTest, CompactedJournalFallsBackAndKeepsServing) {
+  Rng graph_rng(61);
+  auto base = ErdosRenyiGnm(60, 180, /*directed=*/false, graph_rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph(*base);
+  // A 2-entry journal: any burst of 3+ toggles between two serves of the
+  // same user outruns it.
+  graph.SetJournalCapacity(2);
+  RecommendationService service(&graph,
+                                std::make_unique<CommonNeighborsUtility>(),
+                                IncrementalServiceOptions(true));
+  Rng rng(63);
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  Rng mut_rng(65);
+  int toggles = 0;
+  while (toggles < 6) {
+    const NodeId u = static_cast<NodeId>(mut_rng.NextBounded(60));
+    const NodeId v = static_cast<NodeId>(mut_rng.NextBounded(60));
+    if (u == v) continue;
+    if (graph.HasEdge(u, v)) {
+      ASSERT_TRUE(service.RemoveEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(service.AddEdge(u, v).ok());
+    }
+    ++toggles;
+  }
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.journal_fallbacks, 1u);
+  EXPECT_EQ(stats.cache_invalidations, 1u);
+  EXPECT_EQ(stats.delta_patched + stats.delta_kept + stats.delta_recomputed,
+            0u);
+  // The repaired entry is current again: an immediate re-serve is a plain
+  // hit.
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(IncrementalServiceTest, AddNodeInvalidatesThroughTheFallback) {
+  // A node addition changes every target's candidate count; no delta can
+  // express it, so the journal clears and the next visit recomputes.
+  DynamicGraph graph(8, /*directed=*/false);
+  for (NodeId v = 1; v < 8; ++v) ASSERT_TRUE(graph.AddEdge(0, v).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  RecommendationService service(&graph,
+                                std::make_unique<CommonNeighborsUtility>(),
+                                IncrementalServiceOptions(true));
+  Rng rng(71);
+  ASSERT_TRUE(service.ServeRecommendation(1, rng).ok());
+  graph.AddNode();
+  ASSERT_TRUE(service.ServeRecommendation(1, rng).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.journal_fallbacks, 1u);
+  EXPECT_EQ(stats.delta_kept + stats.delta_patched, 0u);
+}
+
+TEST(IncrementalServiceTest, MultiDeltaBatchRecomputesOnlyAffectedEntries) {
+  // Two toggles land between serves: the affected user recomputes (the
+  // documented multi-delta behavior), the unaffected user is still kept.
+  DynamicGraph graph(10, /*directed=*/false);
+  // 0-1-2 triangle-ish cluster; 5-6-7 cluster far away.
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  ASSERT_TRUE(graph.AddEdge(0, 3).ok());
+  ASSERT_TRUE(graph.AddEdge(3, 2).ok());
+  ASSERT_TRUE(graph.AddEdge(5, 6).ok());
+  ASSERT_TRUE(graph.AddEdge(6, 7).ok());
+  ASSERT_TRUE(graph.AddEdge(5, 8).ok());
+  ASSERT_TRUE(graph.AddEdge(8, 7).ok());
+  ServiceOptions options = IncrementalServiceOptions(true);
+  options.num_shards = 1;
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), options);
+  Rng rng(73);
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  ASSERT_TRUE(service.ServeRecommendation(5, rng).ok());
+  // Batch of two toggles inside the 0-cluster.
+  ASSERT_TRUE(service.AddEdge(1, 3).ok());
+  ASSERT_TRUE(service.AddEdge(0, 4).ok());
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  ASSERT_TRUE(service.ServeRecommendation(5, rng).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.delta_recomputed, 1u);
+  EXPECT_EQ(stats.delta_kept, 1u);
+  EXPECT_EQ(stats.delta_patched, 0u);
+}
+
+TEST(IncrementalServiceTest, UnaffectedEntryKeepsItsFrozenSampler) {
+  // The headline O(1) path: a toggle elsewhere must not cost a cached
+  // user their frozen alias sampler.
+  DynamicGraph graph(10, /*directed=*/false);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph.AddEdge(0, 2).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 3).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 3).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 4).ok());
+  ASSERT_TRUE(graph.AddEdge(6, 7).ok());
+  ServiceOptions options = IncrementalServiceOptions(true);
+  options.num_shards = 1;
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), options);
+  Rng rng(81);
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());  // freeze
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());  // reuse
+  EXPECT_EQ(service.stats().sampler_reuses, 1u);
+  // Toggle far from user 0's 2-hop influence set ({0} ∪ N(0)).
+  ASSERT_TRUE(service.AddEdge(6, 8).ok());
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.delta_kept, 1u);
+  EXPECT_EQ(stats.sampler_reuses, 2u)
+      << "kept entry lost its frozen sampler on an unrelated toggle";
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+// ------------------------------------------------------------- TSAN stress
+
+TEST(IncrementalConcurrencyTest, ConcurrentMutateAndDeltaRepairServes) {
+  // Mutators hammer the graph (through the service AND directly — the
+  // journal sees both) while servers drive the delta-repair path. Run
+  // under ThreadSanitizer by ci/sanitize.sh; the functional assertions
+  // mirror the PR 2 stress suite: exact budgets, exact stat sums, no
+  // unexpected failure modes.
+  constexpr NodeId kNodes = 200;
+  Rng graph_rng(91);
+  auto weights = PowerLawWeights(kNodes, 2.2);
+  auto base = ChungLu(weights, weights, 1000, /*directed=*/false, graph_rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph(*base);
+  ServiceOptions options;
+  options.release_epsilon = 0.25;
+  options.per_user_budget = 3.0;  // 12 releases per user
+  options.cache_capacity = 512;
+  options.num_shards = 8;
+  options.seed = 93;
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), options);
+
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kOpsPerThread = 1200;
+  std::vector<std::atomic<uint64_t>> successes(kNodes);
+  for (auto& s : successes) s.store(0);
+  std::atomic<uint64_t> mutations{0};
+  std::atomic<uint64_t> other_failures{0};
+
+  RunWorkers(kThreads, [&](unsigned w) {
+    Rng rng(9100 + w);
+    for (uint64_t op = 0; op < kOpsPerThread; ++op) {
+      if (rng.NextBernoulli(0.2)) {
+        const NodeId u = static_cast<NodeId>(rng.NextBounded(kNodes));
+        const NodeId v = static_cast<NodeId>(rng.NextBounded(kNodes));
+        if (u == v) continue;
+        // Half through the service wrapper, half straight at the graph:
+        // the journal must make both equivalent.
+        Status status;
+        if (graph.HasEdge(u, v)) {
+          status = (op % 2 == 0) ? service.RemoveEdge(u, v)
+                                 : graph.RemoveEdge(u, v);
+        } else {
+          status =
+              (op % 2 == 0) ? service.AddEdge(u, v) : graph.AddEdge(u, v);
+        }
+        if (status.ok()) mutations.fetch_add(1);
+        continue;
+      }
+      const NodeId user = static_cast<NodeId>(rng.NextBounded(kNodes));
+      auto rec = service.ServeRecommendation(user);
+      if (rec.ok()) {
+        successes[user].fetch_add(1);
+      } else if (!IsBudgetExhausted(rec.status())) {
+        other_failures.fetch_add(1);
+      }
+    }
+  });
+
+  EXPECT_EQ(other_failures.load(), 0u);
+  EXPECT_GT(mutations.load(), 0u);
+  uint64_t total_success = 0;
+  const uint64_t max_releases = static_cast<uint64_t>(
+      options.per_user_budget / options.release_epsilon + 1e-9);
+  for (NodeId user = 0; user < kNodes; ++user) {
+    const uint64_t s = successes[user].load();
+    total_success += s;
+    EXPECT_LE(s, max_releases) << "user " << user;
+    EXPECT_NEAR(service.RemainingBudget(user),
+                options.per_user_budget -
+                    static_cast<double>(s) * options.release_epsilon,
+                1e-9)
+        << "user " << user;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.served, total_success);
+  // Every successful release did exactly one cache lookup, repair paths
+  // included.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, total_success);
+  // The mutation rate guarantees the repair machinery actually ran.
+  EXPECT_GT(stats.delta_kept + stats.delta_patched + stats.delta_recomputed +
+                stats.journal_fallbacks,
+            0u);
+}
+
+}  // namespace
+}  // namespace privrec

@@ -194,9 +194,17 @@ TEST(ServiceAuditorTest, AuditEdgeTogglesMergesPairsPerPath) {
 // catches stale-frozen-sampler leaks: a cached sampler surviving a
 // mutation it should have been invalidated (or re-frozen) for shows up as
 // a certified ε̂ above release_epsilon.
+//
+// Runs in BOTH cache-maintenance modes: delta repair (entries kept or
+// patched through the edge-delta journal — the samplers audited here may
+// never have been recomputed since their vector was first frozen) and the
+// full-recompute baseline. A patch that silently corrupted a vector, or a
+// keep that should have been a patch, surfaces as a certified leak on the
+// delta run; the baseline run keeps the original PR 3 guarantee pinned.
 
 TEST(ServiceAuditPropertyTest, CacheHitEpsilonNeverExceedsChargedEpsilon) {
   const uint64_t trials = AuditTrialsPerSide();
+  for (const bool enable_delta_repair : {true, false}) {
   for (uint64_t seed : {1ull, 2ull, 3ull}) {
     Rng rng(seed);
     auto g = ErdosRenyiGnm(12, 22, /*directed=*/false, rng);
@@ -217,6 +225,7 @@ TEST(ServiceAuditPropertyTest, CacheHitEpsilonNeverExceedsChargedEpsilon) {
     options.per_user_budget = 1e6;
     options.num_shards = 2;
     options.seed = 77;
+    options.enable_delta_repair = enable_delta_repair;
     RecommendationService base_service(
         &base_graph, std::make_unique<CommonNeighborsUtility>(), options);
     RecommendationService neighbor_service(
@@ -275,9 +284,26 @@ TEST(ServiceAuditPropertyTest, CacheHitEpsilonNeverExceedsChargedEpsilon) {
     // The accountant charges release_epsilon per release; the certified
     // empirical ε̂ of the releases must never exceed it.
     EXPECT_LE(estimate.epsilon_lower_bound, options.release_epsilon)
-        << "seed " << seed
+        << "seed " << seed << " delta_repair=" << enable_delta_repair
         << ": cache-hit path leaks more than the charged ε (stale frozen "
            "sampler?)";
+    // The delta run only certifies the new machinery if entries really
+    // were kept/patched rather than recomputed: the interleaving must
+    // have driven at least one service through a journal-repair path.
+    const ServiceStats base_stats = base_service.stats();
+    const ServiceStats neighbor_stats = neighbor_service.stats();
+    const uint64_t repairs =
+        base_stats.delta_kept + base_stats.delta_patched +
+        base_stats.delta_recomputed + neighbor_stats.delta_kept +
+        neighbor_stats.delta_patched + neighbor_stats.delta_recomputed;
+    if (enable_delta_repair) {
+      EXPECT_GT(repairs, 0u)
+          << "seed " << seed
+          << ": audit never exercised the delta-repair paths";
+    } else {
+      EXPECT_EQ(repairs, 0u);
+    }
+  }
   }
 }
 

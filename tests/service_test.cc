@@ -76,7 +76,10 @@ TEST(ServiceTest, CacheHitsOnRepeatQueries) {
   EXPECT_EQ(service.stats().cache_hits, 2u);
 }
 
-TEST(ServiceTest, MutationInvalidatesOnlyAffectedUsers) {
+TEST(ServiceTest, MutationRepairsOnlyAffectedUsers) {
+  // Delta-patched repair (the default): after a toggle incident to a
+  // cached user, that user's next serve patches the entry in place (a
+  // cache hit, O(Δ)); an unaffected cached user is kept wholesale.
   DynamicGraph graph = ServiceGraph();
   RecommendationService service(
       &graph, std::make_unique<CommonNeighborsUtility>(), DefaultOptions());
@@ -96,21 +99,47 @@ TEST(ServiceTest, MutationInvalidatesOnlyAffectedUsers) {
   ASSERT_TRUE(service.ServeRecommendation(user_b, rng).ok());
   EXPECT_EQ(service.stats().cache_misses, 2u);
 
-  // Mutate an edge incident to user_a: a's cached vector must be dropped.
+  // Mutate an edge incident to user_a.
   NodeId endpoint = kUnresolvedZeroNode;
   for (NodeId w = 1; w < snap.num_nodes(); ++w) {
-    if (w != user_a && w != user_b && !snap.HasEdge(user_a, w)) {
+    if (w != user_a && w != user_b && !snap.HasEdge(user_a, w) &&
+        !snap.HasEdge(user_b, w)) {
       endpoint = w;
       break;
     }
   }
   ASSERT_NE(endpoint, kUnresolvedZeroNode);
   ASSERT_TRUE(service.AddEdge(user_a, endpoint).ok());
-  // Query a again: must be a miss (recompute).
-  uint64_t misses_before = service.stats().cache_misses;
+  // Query a again: repaired via a single-delta patch, no recompute.
+  const uint64_t misses_before = service.stats().cache_misses;
   ASSERT_TRUE(service.ServeRecommendation(user_a, rng).ok());
+  EXPECT_EQ(service.stats().cache_misses, misses_before);
+  EXPECT_EQ(service.stats().delta_patched, 1u);
+  // Query b (whose watched set the toggle avoided): kept wholesale.
+  ASSERT_TRUE(service.ServeRecommendation(user_b, rng).ok());
+  EXPECT_EQ(service.stats().cache_misses, misses_before);
+  EXPECT_EQ(service.stats().delta_kept, 1u);
+  EXPECT_EQ(service.stats().cache_invalidations, 0u);
+}
+
+TEST(ServiceTest, BaselineModeRecomputesStaleEntries) {
+  // With delta repair disabled, a version change costs every cached entry
+  // a full recompute on its next visit — the pre-incremental baseline the
+  // mutation bench compares against.
+  DynamicGraph graph = ServiceGraph();
+  ServiceOptions options = DefaultOptions();
+  options.enable_delta_repair = false;
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), options);
+  Rng rng(13);
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  ASSERT_TRUE(service.AddEdge(0, 7).ok() || service.RemoveEdge(0, 7).ok());
+  const uint64_t misses_before = service.stats().cache_misses;
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
   EXPECT_EQ(service.stats().cache_misses, misses_before + 1);
-  EXPECT_GE(service.stats().cache_invalidations, 1u);
+  EXPECT_EQ(service.stats().cache_invalidations, 1u);
+  EXPECT_EQ(service.stats().delta_patched, 0u);
+  EXPECT_EQ(service.stats().delta_kept, 0u);
 }
 
 TEST(ServiceTest, ServeListChargesOnceAndReturnsKPicks) {
