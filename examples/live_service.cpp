@@ -87,10 +87,18 @@ int main(int argc, char** argv) {
   table.AddRow({"entries kept across mutations",
                 std::to_string(stats.delta_kept)});
   table.AddRow({"entries delta-patched", std::to_string(stats.delta_patched)});
-  table.AddRow({"entries recomputed (multi-delta)",
+  table.AddRow({"entries recomputed (wide window)",
                 std::to_string(stats.delta_recomputed)});
   table.AddRow({"journal fallbacks", std::to_string(stats.journal_fallbacks)});
+  table.AddRow({"doomed entries evicted",
+                std::to_string(stats.doomed_evictions)});
   table.Print();
+  // The graph layer publishes mutation-path snapshots by splicing the
+  // journal into the previous CSR instead of rebuilding (O(Δ), see README
+  // "Incremental maintenance").
+  std::printf("\nsnapshots: %llu patched, %llu rebuilt from scratch\n",
+              static_cast<unsigned long long>(graph.snapshot_patches()),
+              static_cast<unsigned long long>(graph.snapshot_builds()));
 
   std::printf("\nhot-user budgets after the day:\n");
   TablePrinter budgets({"user", "remaining eps", "answers left"});

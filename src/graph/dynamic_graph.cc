@@ -1,5 +1,7 @@
 #include "graph/dynamic_graph.h"
 
+#include "common/logging.h"
+#include "graph/csr_patch.h"
 #include "graph/graph_builder.h"
 
 namespace privrec {
@@ -42,7 +44,8 @@ NodeId DynamicGraph::AddNode() {
   // any replay window crossing it OutOfRange, which routes readers onto
   // the full-recompute fallback.
   journal_.clear();
-  journal_floor_version_ = version_.load(std::memory_order_relaxed);
+  journal_floor_version_.store(version_.load(std::memory_order_relaxed),
+                               std::memory_order_release);
   return id;
 }
 
@@ -56,14 +59,15 @@ Status DynamicGraph::ValidateEndpoints(NodeId u, NodeId v) const {
 
 void DynamicGraph::JournalAppendLocked(NodeId u, NodeId v, bool added) {
   if (journal_capacity_ == 0) {
-    journal_floor_version_ = version_.load(std::memory_order_relaxed);
+    journal_floor_version_.store(version_.load(std::memory_order_relaxed),
+                                 std::memory_order_release);
     return;
   }
   journal_.push_back(
       EdgeDelta{u, v, added, version_.load(std::memory_order_relaxed)});
   while (journal_.size() > journal_capacity_) {
     journal_.pop_front();
-    ++journal_floor_version_;
+    journal_floor_version_.fetch_add(1, std::memory_order_acq_rel);
   }
 }
 
@@ -121,21 +125,26 @@ uint32_t DynamicGraph::InDegree(NodeId v) const {
 Result<std::vector<EdgeDelta>> DynamicGraph::EdgeDeltasBetween(
     uint64_t from_version, uint64_t to_version) const {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  return EdgeDeltasBetweenLocked(from_version, to_version);
+}
+
+Result<std::vector<EdgeDelta>> DynamicGraph::EdgeDeltasBetweenLocked(
+    uint64_t from_version, uint64_t to_version) const {
   if (from_version > to_version) {
     return Status::InvalidArgument("from_version > to_version");
   }
   if (to_version > version_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("to_version was never reached");
   }
-  if (from_version < journal_floor_version_) {
+  const uint64_t floor = journal_floor_version_.load(std::memory_order_relaxed);
+  if (from_version < floor) {
     return Status::OutOfRange("journal compacted past from_version");
   }
   // Invariant: journal_ holds the consecutive-version deltas
-  // (journal_floor_version_, version_]; the bounds checks above put the
-  // requested window inside it.
-  const size_t begin = static_cast<size_t>(from_version -
-                                           journal_floor_version_);
-  const size_t end = static_cast<size_t>(to_version - journal_floor_version_);
+  // (floor, version_]; the bounds checks above put the requested window
+  // inside it.
+  const size_t begin = static_cast<size_t>(from_version - floor);
+  const size_t end = static_cast<size_t>(to_version - floor);
   return std::vector<EdgeDelta>(journal_.begin() + begin,
                                 journal_.begin() + end);
 }
@@ -145,13 +154,13 @@ void DynamicGraph::SetJournalCapacity(size_t capacity) {
   journal_capacity_ = capacity;
   while (journal_.size() > journal_capacity_) {
     journal_.pop_front();
-    ++journal_floor_version_;
+    journal_floor_version_.fetch_add(1, std::memory_order_acq_rel);
   }
 }
 
-uint64_t DynamicGraph::journal_floor_version() const {
+void DynamicGraph::SetSnapshotPatchThreshold(size_t max_deltas) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  return journal_floor_version_;
+  snapshot_patch_threshold_ = max_deltas;
 }
 
 std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::BuildLocked()
@@ -182,6 +191,45 @@ std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::BuildLocked()
                    num_edges_.load(std::memory_order_relaxed),
                    builder.Build(), std::move(in_graph)});
   snapshot_builds_.fetch_add(1, std::memory_order_acq_rel);
+  return built;
+}
+
+std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::TryPatchLocked(
+    const std::shared_ptr<const VersionedCsr>& prev) const {
+  if (prev == nullptr || snapshot_patch_threshold_ == 0) return nullptr;
+  // AddNode clears the journal (the window check below fails too), but the
+  // node-count comparison keeps the fallback decision independent of
+  // journal bookkeeping.
+  if (prev->graph.num_nodes() != adjacency_.size()) return nullptr;
+  const uint64_t version = version_.load(std::memory_order_relaxed);
+  if (prev->version >= version ||
+      version - prev->version > snapshot_patch_threshold_) {
+    return nullptr;
+  }
+  // One source of truth for the window index math; OutOfRange here is the
+  // compaction/AddNode fallback. (The O(Δ) copy out of the deque is part
+  // of the patch budget.)
+  Result<std::vector<EdgeDelta>> window =
+      EdgeDeltasBetweenLocked(prev->version, version);
+  if (!window.ok()) return nullptr;
+  Result<CsrGraph> forward =
+      PatchCsr(prev->graph, *window, CsrPatchOrientation::kForward);
+  if (!forward.ok()) return nullptr;
+  std::optional<CsrGraph> in_graph;
+  if (directed_) {
+    Result<CsrGraph> reverse =
+        PatchCsr(*prev->in_graph, *window, CsrPatchOrientation::kReverse);
+    if (!reverse.ok()) return nullptr;
+    in_graph.emplace(*std::move(reverse));
+  }
+  auto built = std::make_shared<VersionedCsr>(
+      VersionedCsr{version, num_edges_.load(std::memory_order_relaxed),
+                   *std::move(forward), std::move(in_graph)});
+  // The patched CSR must materialize exactly the journal's idea of the
+  // current edge count; a disagreement would be a journal bug, not a
+  // recoverable condition.
+  PRIVREC_CHECK_EQ(built->graph.num_edges(), built->num_edges);
+  snapshot_patches_.fetch_add(1, std::memory_order_acq_rel);
   return built;
 }
 
@@ -225,7 +273,11 @@ DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
   }
   if (current == nullptr ||
       current->version != version_.load(std::memory_order_acquire)) {
-    current = BuildLocked();
+    // O(Δ) journal splice into the previous published CSR when possible;
+    // from-scratch rebuild otherwise (first snapshot, AddNode, compacted
+    // or over-threshold window).
+    auto patched = TryPatchLocked(current);
+    current = patched != nullptr ? std::move(patched) : BuildLocked();
     std::lock_guard<std::mutex> publish_lock(snapshot_mu_);
     snapshot_ = current;
   }

@@ -44,11 +44,17 @@ namespace privrec {
 ///    atomic version() stamp — one relaxed-cost atomic load per request,
 ///    no lock, no shared refcount traffic; that is what the sharded
 ///    RecommendationService does per shard.
-///  - After a mutation, the first reader to ask rebuilds the CSR under
-///    the writer mutex (which also excludes concurrent mutators from the
-///    adjacency sets being scanned) and publishes the new version; the
-///    publication-mutex re-check collapses concurrent rebuilders into
-///    one build.
+///  - After a mutation, the first reader to ask materializes the next
+///    snapshot under the writer mutex (which also excludes concurrent
+///    mutators) and publishes the new version; the publication-mutex
+///    re-check collapses concurrent materializers into one. Whenever the
+///    edge-delta journal covers the window since the previous published
+///    snapshot, materialization is an O(Δ) splice of that window into the
+///    previous immutable CSR (graph/csr_patch.h) rather than an O(n+m)
+///    rebuild from the adjacency sets; AddNode, journal compaction, a
+///    window wider than SetSnapshotPatchThreshold, or a splice
+///    inconsistency fall back to the full rebuild. snapshot_patches() /
+///    snapshot_builds() count the two paths.
 ///  - A published snapshot is immutable and stamped with the graph
 ///    version (and edge count) it was built at; the stamp and the CSR are
 ///    one allocation, so a reader can never observe a "torn" pair.
@@ -101,6 +107,14 @@ class DynamicGraph {
   /// version only costs the reader a full recompute, so the buffer can be
   /// generous without correctness risk.
   static constexpr size_t kDefaultJournalCapacity = 1024;
+
+  /// Default crossover threshold for patched snapshot publication: windows
+  /// of up to this many journal deltas are spliced into the previous CSR
+  /// (PatchCsr); wider windows fall back to a from-scratch build. Patching
+  /// is memcpy-bound while rebuilding re-hashes every adjacency set, so
+  /// the crossover sits far above typical per-snapshot deltas; the journal
+  /// capacity is the practical ceiling anyway.
+  static constexpr size_t kDefaultSnapshotPatchThreshold = 512;
 
   /// Empty graph on num_nodes nodes.
   DynamicGraph(NodeId num_nodes, bool directed);
@@ -157,10 +171,14 @@ class DynamicGraph {
   void SetJournalCapacity(size_t capacity);
 
   /// Versions currently replayable: EdgeDeltasBetween(v0, version()) is OK
-  /// exactly for v0 >= journal_floor_version(). Exposed for tests and
-  /// monitoring; racing mutators can compact the floor forward at any
-  /// time.
-  uint64_t journal_floor_version() const;
+  /// exactly for v0 >= journal_floor_version(). Exposed for tests,
+  /// monitoring, and the serving cache's journal-aware eviction (which
+  /// reads it on the serve path — hence lock-free); racing mutators can
+  /// compact the floor forward at any time, so treat the value as a
+  /// monotone lower bound.
+  uint64_t journal_floor_version() const {
+    return journal_floor_version_.load(std::memory_order_acquire);
+  }
 
   /// The cached immutable CSR snapshot of the current state. On an
   /// unmutated graph this is one shared_ptr copy under the publication
@@ -182,12 +200,30 @@ class DynamicGraph {
   /// mutable-lifetime copy and costs a full graph copy per call.
   CsrGraph Snapshot() const { return *SharedSnapshot(); }
 
-  /// Number of times a CSR snapshot has actually been materialized (cache
-  /// rebuilds). Observable so tests and monitoring can assert that serving
-  /// does not rebuild snapshots on unmutated graphs.
+  /// Number of times a CSR snapshot was materialized from scratch
+  /// (GraphBuilder over the adjacency sets). Observable so tests and
+  /// monitoring can assert that serving does not rebuild snapshots on
+  /// unmutated graphs — and, since journal-driven patching landed, that
+  /// the mutation path does not rebuild them either (it patches; see
+  /// snapshot_patches()). Every snapshot materialization lands in exactly
+  /// one of snapshot_builds() or snapshot_patches().
   uint64_t snapshot_builds() const {
     return snapshot_builds_.load(std::memory_order_acquire);
   }
+
+  /// Number of times a snapshot was produced by splicing the journal
+  /// window into the previous published CSR (graph/csr_patch.h) instead
+  /// of rebuilding — the O(Δ) mutation-path publication.
+  uint64_t snapshot_patches() const {
+    return snapshot_patches_.load(std::memory_order_acquire);
+  }
+
+  /// Caps the journal-window size eligible for patched publication; wider
+  /// windows (and windows the journal cannot replay) rebuild from
+  /// scratch. 0 disables patching entirely — every mutation costs the
+  /// next reader a full rebuild, the pre-patching baseline (benchmarks
+  /// and differential tests use this). Takes effect on the next snapshot.
+  void SetSnapshotPatchThreshold(size_t max_deltas);
 
  private:
   /// The unit the atomic pointer publishes: stamp + CSR (+ reverse CSR for
@@ -207,9 +243,26 @@ class DynamicGraph {
   /// must hold writer_mu_ and have already bumped version_.
   void JournalAppendLocked(NodeId u, NodeId v, bool added);
 
+  /// Core of EdgeDeltasBetween — the one place that knows the journal's
+  /// index math (entry i carries version journal_floor_version_ + i + 1).
+  /// Caller must hold writer_mu_.
+  Result<std::vector<EdgeDelta>> EdgeDeltasBetweenLocked(
+      uint64_t from_version, uint64_t to_version) const;
+
   /// Builds the CSR for the current adjacency state. Caller must hold
   /// writer_mu_.
   std::shared_ptr<const VersionedCsr> BuildLocked() const;
+
+  /// Attempts the O(Δ) publication path: splice the journal window
+  /// (prev->version, version()] into `prev` via PatchCsr (forward CSR
+  /// plus, for directed graphs, the reverse CSR from the same window).
+  /// Returns null — caller falls back to BuildLocked() — when `prev` is
+  /// null, patching is disabled, the node count moved (AddNode), the
+  /// journal was compacted past prev->version, the window exceeds the
+  /// patch threshold, or the splice reports an inconsistency. Caller must
+  /// hold writer_mu_.
+  std::shared_ptr<const VersionedCsr> TryPatchLocked(
+      const std::shared_ptr<const VersionedCsr>& prev) const;
 
   bool directed_;
   std::atomic<NodeId> num_nodes_{0};
@@ -227,10 +280,13 @@ class DynamicGraph {
   /// Edge-delta journal (guarded by writer_mu_): consecutive-version
   /// toggles with journal_floor_version_ the stamp just before the oldest
   /// retained entry. Invariant: journal_floor_version_ + journal_.size()
-  /// == version_.
+  /// == version_. The floor is atomic so monitoring and the serving
+  /// cache's eviction heuristic can read it without the writer mutex;
+  /// writes still happen only under writer_mu_.
   std::deque<EdgeDelta> journal_;
-  uint64_t journal_floor_version_ = 0;
+  std::atomic<uint64_t> journal_floor_version_{0};
   size_t journal_capacity_ = kDefaultJournalCapacity;
+  size_t snapshot_patch_threshold_ = kDefaultSnapshotPatchThreshold;
 
   /// Publication point: guards only the pointer hand-off (one shared_ptr
   /// copy). Lock order: writer_mu_ before snapshot_mu_; mutators never
@@ -238,6 +294,7 @@ class DynamicGraph {
   mutable std::mutex snapshot_mu_;
   mutable std::shared_ptr<const VersionedCsr> snapshot_;  // null until asked
   mutable std::atomic<uint64_t> snapshot_builds_{0};
+  mutable std::atomic<uint64_t> snapshot_patches_{0};
 };
 
 }  // namespace privrec

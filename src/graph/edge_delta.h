@@ -41,6 +41,12 @@ struct EdgeDelta {
 /// untouched (paths v -> u -> * involve the separate arc v -> u).
 /// Undirected graphs: both arcs toggle, so the rule applies to both
 /// endpoints: affected iff r is an endpoint or adjacent to one.
+///
+/// This structural test is exact ONLY for the pure two-hop weighted-count
+/// family. Utilities whose scores also read candidate-side state (Jaccard's
+/// union term uses candidate degrees) have a wider blast radius; they
+/// override UtilityFunction::EdgeDeltaAffects, and callers deciding cache
+/// repairs must go through that virtual, not this function directly.
 bool EdgeDeltaAffectsTarget(const CsrGraph& graph, const EdgeDelta& delta,
                             NodeId target);
 

@@ -82,8 +82,30 @@ const DynamicGraph::StampedSnapshot& RecommendationService::PinnedSnapshotLocked
 
 void RecommendationService::EvictIfNeededLocked(Shard& shard) {
   if (shard.cache.size() < per_shard_capacity_) return;
-  // Evict the least recently used entry (linear scan: per-shard capacity
-  // is modest and eviction rare; a heap would be noise here).
+  // Journal-aware eviction: entries whose version fell behind the journal
+  // floor can never be delta-repaired — their next visit would be a full
+  // recompute counted as a journal_fallback. Purging ALL of them first
+  // (they cost a recompute whether evicted or not) keeps capacity for
+  // repairable entries and turns would-be fallbacks into plain misses, so
+  // journal_fallbacks stays a signal of journal undersizing rather than
+  // of cache pressure. One pass, same cost as the LRU scan.
+  const uint64_t floor = graph_->journal_floor_version();
+  uint64_t doomed = 0;
+  for (auto it = shard.cache.begin(); it != shard.cache.end();) {
+    if (it->second.version < floor) {
+      it = shard.cache.erase(it);
+      ++doomed;
+    } else {
+      ++it;
+    }
+  }
+  if (doomed > 0) {
+    shard.stats.doomed_evictions += doomed;
+    return;
+  }
+  // Every entry is still repairable: evict the least recently used one
+  // (linear scan: per-shard capacity is modest and eviction rare; a heap
+  // would be noise here).
   auto victim = shard.cache.begin();
   for (auto it = shard.cache.begin(); it != shard.cache.end(); ++it) {
     if (it->second.last_used < victim->second.last_used) victim = it;
@@ -109,15 +131,12 @@ void RecommendationService::RepairEntryLocked(
     auto deltas = graph_->EdgeDeltasBetween(entry.version, snap.version);
     if (deltas.ok()) {
       // Membership against the post-batch snapshot is exact as long as the
-      // whole window is tested together (see EdgeDeltaAffectsTarget).
-      bool affected = false;
-      for (const EdgeDelta& delta : *deltas) {
-        if (EdgeDeltaAffectsTarget(*snap.graph, delta, user)) {
-          affected = true;
-          break;
-        }
-      }
-      if (!affected) {
+      // whole window is tested together (see EdgeDeltaAffectsTarget); the
+      // utility owns the test because some (Jaccard) see a wider blast
+      // radius than the structural rule — and need the whole window at
+      // once to reconstruct pre-window state (EdgeDeltaWindowAffects).
+      if (!utility_->EdgeDeltaWindowAffects(*snap.graph, *deltas, user,
+                                            entry.utilities)) {
         // The cached vector — and its frozen sampler — are still exactly
         // right; only the stamp moves. Sensitivity drift is covered by the
         // caller's calibration ratchet.
@@ -137,10 +156,21 @@ void RecommendationService::RepairEntryLocked(
             shard.workspace);
         ++shard.stats.cache_hits;
         ++shard.stats.delta_patched;
+      } else if (utility_->SupportsIncrementalBatch() &&
+                 deltas->size() <= options_.max_patch_window) {
+        // Sequential multi-delta patching: the whole window is spliced in
+        // one pass against the post-window snapshot (ApplyEdgeDeltaBatch
+        // honors the same exact-equality contract) — cheaper than a
+        // recompute as long as the window stays narrow.
+        entry.utilities = utility_->ApplyEdgeDeltaBatch(
+            *snap.graph, *deltas, user, entry.utilities, shard.workspace);
+        ++shard.stats.cache_hits;
+        ++shard.stats.delta_patched;
       } else {
-        // Multi-delta batches recompute (sequential patching across
-        // intermediate graph states is a documented follow-up) — but only
-        // for entries the batch actually touched.
+        // Capability-gated fallback: a utility that patches single deltas
+        // but not windows — or a window past the patch/recompute
+        // crossover (max_patch_window) — recomputes, still touching no
+        // other entry.
         entry.utilities = utility_->Compute(*snap.graph, user, shard.workspace);
         ++shard.stats.cache_misses;
         ++shard.stats.delta_recomputed;
@@ -389,6 +419,7 @@ ServiceStats RecommendationService::stats() const {
     total.delta_patched += shard.stats.delta_patched;
     total.delta_recomputed += shard.stats.delta_recomputed;
     total.journal_fallbacks += shard.stats.journal_fallbacks;
+    total.doomed_evictions += shard.stats.doomed_evictions;
   }
   return total;
 }

@@ -43,6 +43,13 @@ struct ServiceOptions {
   /// baseline path, kept reachable for benchmarks
   /// (bench/mutation_serving.cc) and differential tests.
   bool enable_delta_repair = true;
+  /// Widest journal window repaired via ApplyEdgeDeltaBatch; wider windows
+  /// recompute the affected entry instead. The window patch walks every
+  /// net-changed intermediate, so its cost grows with the window, while a
+  /// 2-hop recompute is flat — for an entry that lagged hundreds of
+  /// toggles behind, recomputing is the cheaper exact repair. Single-delta
+  /// patches are unaffected.
+  size_t max_patch_window = 32;
 };
 
 /// Serving statistics. Returned by value from stats(): an exact sum of the
@@ -71,16 +78,29 @@ struct ServiceStats {
   /// journal drained, entry unaffected by every delta — kept as-is,
   /// frozen sampler and all (the O(1) survival path).
   uint64_t delta_kept = 0;
-  /// Affected by exactly one drained delta — patched in O(Δ) via
-  /// UtilityFunction::ApplyEdgeDelta.
+  /// Affected by the drained window — repaired through the ApplyEdgeDelta
+  /// contract: one delta via UtilityFunction::ApplyEdgeDelta, a
+  /// multi-delta window in one pass via ApplyEdgeDeltaBatch (counted here
+  /// too; both honor the exact-equality contract). Usually O(Δ); a
+  /// utility may internally choose a recompute where patching cannot be
+  /// exact (directed Jaccard — see link_predictors.h), which still lands
+  /// here: the counter tracks the repair route, not its cost.
   uint64_t delta_patched = 0;
-  /// Affected by a multi-delta batch — recomputed (sequential multi-delta
-  /// patching is a ROADMAP follow-up), but cheaper than a fallback: only
-  /// affected entries pay.
+  /// Affected by a multi-delta window that could not (no batch support)
+  /// or should not (wider than ServiceOptions::max_patch_window — the
+  /// patch/recompute crossover) be patched — recomputed, but cheaper than
+  /// a fallback: only affected entries pay.
   uint64_t delta_recomputed = 0;
   /// Journal could not cover the window (ring compaction or AddNode):
-  /// the visit fell back to the full-recompute path.
+  /// the visit fell back to the full-recompute path. Journal-aware
+  /// eviction keeps this a signal of journal undersizing: entries the
+  /// compaction already doomed are purged at eviction time (see
+  /// doomed_evictions) instead of lingering until a visit lands here.
   uint64_t journal_fallbacks = 0;
+  /// Entries purged by journal-aware eviction because the journal floor
+  /// passed their version (they could never be delta-repaired; their next
+  /// visit would have been a journal_fallback recompute anyway).
+  uint64_t doomed_evictions = 0;
 };
 
 /// The production wrapper a deployment would put around this library:
@@ -101,17 +121,24 @@ struct ServiceStats {
 /// carries the history. A cached entry whose version lags the shard's
 /// pinned snapshot is repaired lazily on its next visit by draining the
 /// journal between the two stamps:
-///  - unaffected by every drained delta (checked in O(log deg) per delta
-///    against the post-batch snapshot) → kept wholesale, frozen sampler
-///    included: a cache-hit serve after an unrelated toggle stays one
-///    O(1) alias draw;
-///  - affected by exactly one delta → patched in O(Δ) via
-///    UtilityFunction::ApplyEdgeDelta (exact-equality contract), sampler
-///    re-frozen and calibration re-anchored at the new snapshot's Δf;
-///  - affected by a multi-delta batch, journal compacted past the entry's
-///    version, AddNode in the window, repair disabled, or utility without
-///    incremental support → full recompute of that entry (today's
+///  - unaffected by every drained delta (checked per delta against the
+///    post-batch snapshot, via the utility's own EdgeDeltaAffects test —
+///    Jaccard widens the structural rule by the cached support) → kept
+///    wholesale, frozen sampler included: a cache-hit serve after an
+///    unrelated toggle stays one O(1) alias draw;
+///  - affected by one delta → patched via UtilityFunction::ApplyEdgeDelta;
+///    affected by a multi-delta window → patched in ONE pass against the
+///    post-window snapshot via ApplyEdgeDeltaBatch (both O(Δ), both under
+///    the exact-equality contract), sampler re-frozen and calibration
+///    re-anchored at the new snapshot's Δf;
+///  - multi-delta window under a utility without batch support
+///    (SupportsIncrementalBatch() == false), journal compacted past the
+///    entry's version, AddNode in the window, repair disabled, or utility
+///    without incremental support → full recompute of that entry (the
 ///    baseline path), still touching no other entry.
+/// Eviction is journal-aware: at capacity, entries the journal floor
+/// already passed (never again repairable) are purged first; LRU applies
+/// only when every entry is still repairable.
 /// Every repaired (or kept) entry's vector equals a fresh Compute against
 /// the pinned snapshot, so each release stays ε-DP calibrated to the
 /// graph state it reflects; the calibration ratchet still covers

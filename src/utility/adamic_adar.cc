@@ -29,6 +29,14 @@ UtilityVector AdamicAdarUtility::ApplyEdgeDelta(
                             /*constant_weight=*/false);
 }
 
+UtilityVector AdamicAdarUtility::ApplyEdgeDeltaBatch(
+    const CsrGraph& graph, std::span<const EdgeDelta> deltas, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  return PatchTwoHopUtilityBatch(graph, deltas, target, cached, workspace,
+                                 &InverseLogDegreeWeight,
+                                 /*constant_weight=*/false);
+}
+
 double AdamicAdarUtility::SensitivityBound(const CsrGraph& graph) const {
   // One new edge (x,y) away from the target changes, per orientation:
   //  (a) one new common-neighbor term, worth at most 1/ln 2;

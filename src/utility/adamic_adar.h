@@ -39,6 +39,14 @@ class AdamicAdarUtility : public UtilityFunction {
                                NodeId target, const UtilityVector& cached,
                                UtilityWorkspace& workspace) const override;
 
+  /// Multi-delta windows patch in one pass (support-exact; see
+  /// PatchTwoHopUtilityBatch).
+  bool SupportsIncrementalBatch() const override { return true; }
+  UtilityVector ApplyEdgeDeltaBatch(const CsrGraph& graph,
+                                    std::span<const EdgeDelta> deltas,
+                                    NodeId target, const UtilityVector& cached,
+                                    UtilityWorkspace& workspace) const override;
+
   /// One non-target edge contributes, per orientation, (a) one new
   /// common-neighbor term worth at most 1/ln 2 and (b) a degree shift of
   /// the intermediate's weight across every path through it, maximized at

@@ -30,6 +30,13 @@ UtilityVector CommonNeighborsUtility::ApplyEdgeDelta(
                             &UnitWeight, /*constant_weight=*/true);
 }
 
+UtilityVector CommonNeighborsUtility::ApplyEdgeDeltaBatch(
+    const CsrGraph& graph, std::span<const EdgeDelta> deltas, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  return PatchTwoHopUtilityBatch(graph, deltas, target, cached, workspace,
+                                 &UnitWeight, /*constant_weight=*/true);
+}
+
 double CommonNeighborsUtility::SensitivityBound(const CsrGraph& graph) const {
   return graph.directed() ? 1.0 : 2.0;
 }

@@ -27,6 +27,14 @@ class CommonNeighborsUtility : public UtilityFunction {
                                NodeId target, const UtilityVector& cached,
                                UtilityWorkspace& workspace) const override;
 
+  /// Multi-delta windows patch in one pass too (still bitwise: every
+  /// window adjustment is ±1 on small integers).
+  bool SupportsIncrementalBatch() const override { return true; }
+  UtilityVector ApplyEdgeDeltaBatch(const CsrGraph& graph,
+                                    std::span<const EdgeDelta> deltas,
+                                    NodeId target, const UtilityVector& cached,
+                                    UtilityWorkspace& workspace) const override;
+
   /// Relaxed edge DP: an edge (x,y) with x,y != r changes C(y,r) by one if
   /// x ~ r and C(x,r) by one if y ~ r, so Δf = 2 (1 on directed graphs,
   /// where only the head's utility moves).

@@ -1,7 +1,12 @@
 #include "utility/incremental.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
 
+#include "common/logging.h"
 #include "graph/traversal.h"
 
 namespace privrec {
@@ -9,6 +14,8 @@ namespace {
 
 /// Patched-to-zero rounding bound (see header).
 constexpr double kResidueEpsilon = 1e-9;
+
+double UnitWeight(uint32_t /*degree*/) { return 1.0; }
 
 /// The other endpoint's score recomputed from scratch: Σ over first hops
 /// z of target with an arc z→node, weighted at z's POST-delta out-degree.
@@ -25,18 +32,13 @@ double ScoreFromScratch(const CsrGraph& graph, NodeId target, NodeId node,
   return score;
 }
 
-}  // namespace
-
-UtilityVector PatchTwoHopUtility(const CsrGraph& graph, const EdgeDelta& delta,
-                                 NodeId target, const UtilityVector& cached,
-                                 UtilityWorkspace& workspace,
-                                 DegreeWeightFn weight, bool constant_weight) {
-  workspace.PrepareFor(graph);
-  SparseCounter& counter = workspace.counter(0);
-  counter.Reserve(cached.nonzero().size() + 8);
-  for (const UtilityEntry& e : cached.nonzero()) {
-    counter.Add(e.node, e.utility);
-  }
+/// Single-delta core: adjusts a counter pre-loaded with the target's
+/// pre-delta scores (or intersection counts) into the post-delta values.
+/// Exactly the arithmetic documented on PatchTwoHopUtility; factored out
+/// so the Jaccard engine can run it on intersection counts.
+void PatchTwoHopCountsOneDelta(const CsrGraph& graph, const EdgeDelta& delta,
+                               NodeId target, SparseCounter& counter,
+                               DegreeWeightFn weight, bool constant_weight) {
   const NodeId x = delta.u;
   const NodeId y = delta.v;
   const bool added = delta.added;
@@ -123,7 +125,192 @@ UtilityVector PatchTwoHopUtility(const CsrGraph& graph, const EdgeDelta& delta,
       counter.Add(o, added ? post_w : -pre_w);
     }
   }
+}
 
+/// Net out-adjacency changes of a journal window, keyed by arc tail.
+/// Undirected windows record both arcs of each toggle, so "out-adjacency"
+/// uniformly means the CSR's stored arcs for either directedness.
+struct NodeOps {
+  std::vector<NodeId> added;    // sorted
+  std::vector<NodeId> removed;  // sorted
+};
+
+class ArcOpsIndex {
+ public:
+  ArcOpsIndex(const CsrGraph& graph, std::span<const EdgeDelta> deltas) {
+    for (const EdgeDelta& delta : deltas) {
+      Accumulate(delta.u, delta.v, delta.added);
+      if (!graph.directed()) Accumulate(delta.v, delta.u, delta.added);
+    }
+    for (auto& [tail, ops] : by_tail_) {
+      (void)tail;
+      std::sort(ops.added.begin(), ops.added.end());
+      std::sort(ops.removed.begin(), ops.removed.end());
+    }
+  }
+
+  const NodeOps* OpsFor(NodeId tail) const {
+    auto it = by_tail_.find(tail);
+    return it == by_tail_.end() ? nullptr : &it->second;
+  }
+
+  /// Whether arc s→t existed before the window, derived from the final
+  /// graph and the net toggle (a net-toggled arc's pre-state is the
+  /// opposite of its post-state).
+  bool PreHasArc(const CsrGraph& graph, NodeId s, NodeId t) const {
+    const bool now = graph.HasEdge(s, t);
+    auto it = net_.find(Pack(s, t));
+    return it == net_.end() ? now : !now;
+  }
+
+  /// Out-degree before the window.
+  uint32_t PreOutDegree(const CsrGraph& graph, NodeId v) const {
+    const NodeOps* ops = OpsFor(v);
+    uint32_t degree = graph.OutDegree(v);
+    if (ops != nullptr) {
+      degree -= static_cast<uint32_t>(ops->added.size());
+      degree += static_cast<uint32_t>(ops->removed.size());
+    }
+    return degree;
+  }
+
+  const std::unordered_map<NodeId, NodeOps>& by_tail() const {
+    return by_tail_;
+  }
+
+ private:
+  static uint64_t Pack(NodeId s, NodeId t) {
+    return (static_cast<uint64_t>(s) << 32) | t;
+  }
+
+  void Accumulate(NodeId s, NodeId t, bool added) {
+    int& n = net_[Pack(s, t)];
+    n += added ? 1 : -1;
+    // A valid journal alternates add/remove per arc, so the net can never
+    // leave ±1; anything else means the window is not a journal replay.
+    PRIVREC_CHECK(n >= -1 && n <= 1)
+        << "malformed journal window: arc toggled out of sequence";
+    NodeOps& ops = by_tail_[s];
+    auto erase_one = [](std::vector<NodeId>& list, NodeId node) {
+      auto it = std::find(list.begin(), list.end(), node);
+      if (it != list.end()) list.erase(it);
+    };
+    erase_one(ops.added, t);
+    erase_one(ops.removed, t);
+    if (n == 0) {
+      net_.erase(Pack(s, t));
+      return;
+    }
+    (n == 1 ? ops.added : ops.removed).push_back(t);
+  }
+
+  std::unordered_map<NodeId, NodeOps> by_tail_;
+  std::unordered_map<uint64_t, int> net_;
+};
+
+/// Multi-delta core: adjusts a counter pre-loaded with the target's
+/// pre-window values into the post-window values in one pass over the
+/// dirty intermediates (see PatchTwoHopUtilityBatch).
+void PatchTwoHopCountsWindow(const CsrGraph& graph, const ArcOpsIndex& ops,
+                             NodeId target, SparseCounter& counter,
+                             DegreeWeightFn weight) {
+  // Dirty intermediates: every node whose out-adjacency changed, plus the
+  // heads of the target's own arc changes (for directed graphs those
+  // heads' adjacency did not move, but their first-hop membership did).
+  std::vector<NodeId> dirty;
+  dirty.reserve(ops.by_tail().size() + 4);
+  for (const auto& [tail, node_ops] : ops.by_tail()) {
+    // Fully-cancelled tails keep an empty entry; they are not dirty.
+    if (node_ops.added.empty() && node_ops.removed.empty()) continue;
+    if (tail != target) dirty.push_back(tail);
+  }
+  const NodeOps* target_ops = ops.OpsFor(target);
+  if (target_ops != nullptr) {
+    for (NodeId head : target_ops->added) dirty.push_back(head);
+    for (NodeId head : target_ops->removed) dirty.push_back(head);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+  for (const NodeId z : dirty) {
+    const NodeOps* z_ops = ops.OpsFor(z);
+    const bool was_first_hop = ops.PreHasArc(graph, target, z);
+    const bool is_first_hop = graph.HasEdge(target, z);
+    if (was_first_hop) {
+      // Subtract z's whole pre-window contribution, reconstructed from
+      // the final snapshot: N_pre(z) = (N_final(z) \ added) ∪ removed,
+      // weighted at z's pre-window degree.
+      const double w_pre = weight(ops.PreOutDegree(graph, z));
+      for (NodeId i : graph.OutNeighbors(z)) {
+        if (i == target) continue;
+        if (z_ops != nullptr &&
+            std::binary_search(z_ops->added.begin(), z_ops->added.end(), i)) {
+          continue;  // not a pre-window neighbor
+        }
+        counter.Add(i, -w_pre);
+      }
+      if (z_ops != nullptr) {
+        for (NodeId i : z_ops->removed) {
+          if (i != target) counter.Add(i, -w_pre);
+        }
+      }
+    }
+    if (is_first_hop) {
+      // Re-add z's whole post-window contribution from the final snapshot.
+      const double w_post = weight(graph.OutDegree(z));
+      for (NodeId i : graph.OutNeighbors(z)) {
+        if (i != target) counter.Add(i, w_post);
+      }
+    }
+  }
+
+  // Candidates the window re-admitted (arcs target→x removed net): their
+  // cached entries were suppressed while they were neighbors, so whatever
+  // the dirty pass accumulated is partial — rebuild them whole. (Zeroing
+  // first, then adding, keeps the slot bit-exact: x + (-x) is exactly 0.)
+  if (target_ops != nullptr) {
+    for (NodeId x : target_ops->removed) {
+      const double partial = counter.Get(x);
+      if (partial != 0.0) counter.Add(x, -partial);
+      const double score = ScoreFromScratch(graph, target, x, weight);
+      if (score > 0) counter.Add(x, score);
+    }
+  }
+}
+
+/// The batch cores may drive a slot to exactly zero and then touch it
+/// again, leaving duplicates in SparseCounter's touched list (the
+/// single-delta core adds at most once per slot and cannot). Rewrites the
+/// surviving values into `clean` — one Add per node, sorted for
+/// deterministic finalize order — rounding float residue to exact zero.
+void CanonicalizeCounts(const SparseCounter& counter, bool constant_weight,
+                        SparseCounter& clean) {
+  std::vector<NodeId> nodes(counter.touched());
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  clean.Reserve(nodes.size());
+  for (NodeId v : nodes) {
+    const double value = counter.Get(v);
+    if (value == 0.0) continue;
+    if (!constant_weight && std::fabs(value) < kResidueEpsilon) continue;
+    clean.Add(v, value);
+  }
+}
+
+}  // namespace
+
+UtilityVector PatchTwoHopUtility(const CsrGraph& graph, const EdgeDelta& delta,
+                                 NodeId target, const UtilityVector& cached,
+                                 UtilityWorkspace& workspace,
+                                 DegreeWeightFn weight, bool constant_weight) {
+  workspace.PrepareFor(graph);
+  SparseCounter& counter = workspace.counter(0);
+  counter.Reserve(cached.nonzero().size() + 8);
+  for (const UtilityEntry& e : cached.nonzero()) {
+    counter.Add(e.node, e.utility);
+  }
+  PatchTwoHopCountsOneDelta(graph, delta, target, counter, weight,
+                            constant_weight);
   if (!constant_weight) {
     // Round float residue on fully-cancelled slots to exact zero so the
     // nonzero support matches a fresh Compute (see header contract).
@@ -135,6 +322,81 @@ UtilityVector PatchTwoHopUtility(const CsrGraph& graph, const EdgeDelta& delta,
     }
   }
   return FinalizeUtilityScores(graph, target, counter, workspace);
+}
+
+UtilityVector PatchTwoHopUtilityBatch(const CsrGraph& graph,
+                                      std::span<const EdgeDelta> deltas,
+                                      NodeId target,
+                                      const UtilityVector& cached,
+                                      UtilityWorkspace& workspace,
+                                      DegreeWeightFn weight,
+                                      bool constant_weight) {
+  PRIVREC_CHECK(!deltas.empty());
+  if (deltas.size() == 1) {
+    // The single-delta engine avoids the subtract-then-re-add dust of the
+    // window core; dispatch to it whenever the window allows.
+    return PatchTwoHopUtility(graph, deltas.front(), target, cached,
+                              workspace, weight, constant_weight);
+  }
+  workspace.PrepareFor(graph);
+  SparseCounter& counter = workspace.counter(0);
+  counter.Reserve(cached.nonzero().size() + 8);
+  for (const UtilityEntry& e : cached.nonzero()) {
+    counter.Add(e.node, e.utility);
+  }
+  const ArcOpsIndex ops(graph, deltas);
+  PatchTwoHopCountsWindow(graph, ops, target, counter, weight);
+  SparseCounter& clean = workspace.counter(1);
+  CanonicalizeCounts(counter, constant_weight, clean);
+  return FinalizeUtilityScores(graph, target, clean, workspace);
+}
+
+UtilityVector PatchJaccardUtility(const CsrGraph& graph,
+                                  std::span<const EdgeDelta> deltas,
+                                  NodeId target, const UtilityVector& cached,
+                                  UtilityWorkspace& workspace) {
+  PRIVREC_CHECK(!deltas.empty());
+  PRIVREC_CHECK(!graph.directed())
+      << "directed Jaccard can hide support behind the uni > 0 guard; "
+         "callers must recompute (see header)";
+  workspace.PrepareFor(graph);
+  const ArcOpsIndex ops(graph, deltas);
+  // Recover the integer intersection I from each cached score against the
+  // PRE-window degrees: u = I/(d_r + d_i - I)  ⇒  I = u·(d_r+d_i)/(1+u),
+  // exact after rounding (see header).
+  SparseCounter& counts = workspace.counter(0);
+  counts.Reserve(cached.nonzero().size() + 8);
+  const double d_r_pre =
+      static_cast<double>(ops.PreOutDegree(graph, target));
+  for (const UtilityEntry& e : cached.nonzero()) {
+    const double d_i_pre =
+        static_cast<double>(ops.PreOutDegree(graph, e.node));
+    const double inter =
+        std::round(e.utility * (d_r_pre + d_i_pre) / (1.0 + e.utility));
+    counts.Add(e.node, inter);
+  }
+  if (deltas.size() == 1) {
+    PatchTwoHopCountsOneDelta(graph, deltas.front(), target, counts,
+                              &UnitWeight, /*constant_weight=*/true);
+  } else {
+    PatchTwoHopCountsWindow(graph, ops, target, counts, &UnitWeight);
+  }
+  // Re-derive every score from the POST-window degrees with the exact
+  // float expression JaccardUtility::Compute uses (the union-size term:
+  // |N(r) ∪ N(i)| = d_r + d_i - I).
+  SparseCounter& deduped = workspace.counter(1);
+  CanonicalizeCounts(counts, /*constant_weight=*/true, deduped);
+  SparseCounter& scores = workspace.counter(2);
+  scores.Reserve(deduped.touched().size());
+  const double d_r = static_cast<double>(graph.OutDegree(target));
+  for (NodeId v : deduped.touched()) {
+    const double inter = deduped.Get(v);
+    if (inter <= 0) continue;
+    const double uni =
+        d_r + static_cast<double>(graph.OutDegree(v)) - inter;
+    if (uni > 0) scores.Add(v, inter / uni);
+  }
+  return FinalizeUtilityScores(graph, target, scores, workspace);
 }
 
 }  // namespace privrec

@@ -1,6 +1,8 @@
 #ifndef PRIVREC_UTILITY_INCREMENTAL_H_
 #define PRIVREC_UTILITY_INCREMENTAL_H_
 
+#include <span>
+
 #include "graph/csr_graph.h"
 #include "graph/edge_delta.h"
 #include "utility/utility_vector.h"
@@ -42,6 +44,61 @@ UtilityVector PatchTwoHopUtility(const CsrGraph& graph, const EdgeDelta& delta,
                                  NodeId target, const UtilityVector& cached,
                                  UtilityWorkspace& workspace,
                                  DegreeWeightFn weight, bool constant_weight);
+
+/// Multi-delta generalization (the "sequential multi-delta patching"
+/// follow-up of README "Incremental maintenance"): patches the target's
+/// vector across a whole ordered journal window in ONE pass against the
+/// post-window snapshot — no intermediate graph states are materialized.
+/// Deltas that cancel inside the window net to nothing; every "dirty"
+/// intermediate z (a node whose out-adjacency changed, or that
+/// entered/left the target's first-hop set) has its pre-window
+/// contribution subtracted — reconstructed from the final snapshot minus
+/// the net arc changes — and its post-window contribution re-added from
+/// the final snapshot directly. Candidates that left the target's
+/// neighborhood are rebuilt from scratch (their cached entries were
+/// suppressed). Cost: O(Δ log Δ + Σ_z∈dirty deg(z)).
+///
+/// Exactness matches the single-delta engine: bitwise for constant
+/// weights (every adjustment is ±1 on small integers); support-exact with
+/// float-rounding dust below 1e-9 otherwise (the subtract-then-re-add of
+/// surviving paths introduces dust the single-delta engine avoids, which
+/// is why windows of size one dispatch to PatchTwoHopUtility).
+/// `deltas` must be the consecutive journal window between the cached
+/// vector's graph and `graph`, in order; `graph` is the post-window
+/// snapshot.
+UtilityVector PatchTwoHopUtilityBatch(const CsrGraph& graph,
+                                      std::span<const EdgeDelta> deltas,
+                                      NodeId target,
+                                      const UtilityVector& cached,
+                                      UtilityWorkspace& workspace,
+                                      DegreeWeightFn weight,
+                                      bool constant_weight);
+
+/// Jaccard patch engine, single- or multi-delta: u_i = I/(d_r + d_i - I)
+/// with I the two-hop intersection. The union-size term is maintained
+/// alongside the intersection by recovering the integer I from each
+/// cached score against the PRE-window degrees (I = u·(d_r+d_i)/(1+u),
+/// exact after rounding — I is an integer recovered through a few ulps of
+/// float noise), patching I with the constant-weight count engine, and
+/// re-deriving every score from the POST-window degrees with the same
+/// float expression JaccardUtility::Compute uses — so the result is
+/// bitwise-identical to a fresh Compute.
+///
+/// UNDIRECTED graphs only (checked): a directed Compute can suppress
+/// full-intersection candidates whose out-degree is zero (uni = 0), so
+/// its cached support under-represents {I > 0} and a support-driven patch
+/// cannot be exact — JaccardUtility routes directed repairs to a
+/// recompute instead.
+///
+/// Unlike the pure two-hop family, Jaccard's scores also move when a
+/// CANDIDATE endpoint's degree shifts (the union term), which the
+/// structural EdgeDeltaAffectsTarget test does not see; callers must gate
+/// repairs on JaccardUtility::EdgeDeltaAffects (which widens the test by
+/// the cached support) rather than the structural test alone.
+UtilityVector PatchJaccardUtility(const CsrGraph& graph,
+                                  std::span<const EdgeDelta> deltas,
+                                  NodeId target, const UtilityVector& cached,
+                                  UtilityWorkspace& workspace);
 
 }  // namespace privrec
 

@@ -1,6 +1,7 @@
 #include "utility/link_predictors.h"
 
 #include <cmath>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
@@ -16,6 +17,15 @@ namespace {
 /// mirrors Compute's `continue`.
 double InverseDegreeWeight(uint32_t degree) {
   return degree == 0 ? 0.0 : 1.0 / static_cast<double>(degree);
+}
+
+/// Linear scan: utility vectors are sorted by score, not node, and the
+/// repair path asks this once per delta per cached entry.
+bool HasPositiveEntry(const UtilityVector& vec, NodeId node) {
+  for (const UtilityEntry& e : vec.nonzero()) {
+    if (e.node == node) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -41,6 +51,65 @@ UtilityVector JaccardUtility::Compute(const CsrGraph& graph, NodeId target,
     if (uni > 0) scores.Add(v, inter / uni);
   }
   return FinalizeUtilityScores(graph, target, scores, workspace);
+}
+
+UtilityVector JaccardUtility::ApplyEdgeDelta(
+    const CsrGraph& graph, const EdgeDelta& delta, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  // Directed graphs recompute: the uni > 0 guard in Compute suppresses
+  // candidates with out-degree 0 and full intersection (uni = d_r - I =
+  // 0), and those hidden candidates can surface later (d_r or I moved) —
+  // a cached-support patch cannot resurrect what the cache never stored.
+  // Undirected graphs cannot hide support (uni >= max(d_r, d_i) >= 1
+  // whenever I > 0), so they take the bitwise O(Δ) patch.
+  if (graph.directed()) return Compute(graph, target, workspace);
+  return PatchJaccardUtility(graph, std::span<const EdgeDelta>(&delta, 1),
+                             target, cached, workspace);
+}
+
+UtilityVector JaccardUtility::ApplyEdgeDeltaBatch(
+    const CsrGraph& graph, std::span<const EdgeDelta> deltas, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  if (graph.directed()) return Compute(graph, target, workspace);
+  return PatchJaccardUtility(graph, deltas, target, cached, workspace);
+}
+
+bool JaccardUtility::EdgeDeltaAffects(const CsrGraph& graph,
+                                      const EdgeDelta& delta, NodeId target,
+                                      const UtilityVector& cached) const {
+  return EdgeDeltaWindowAffects(graph, std::span<const EdgeDelta>(&delta, 1),
+                                target, cached);
+}
+
+bool JaccardUtility::EdgeDeltaWindowAffects(const CsrGraph& graph,
+                                            std::span<const EdgeDelta> deltas,
+                                            NodeId target,
+                                            const UtilityVector& cached) const {
+  for (const EdgeDelta& delta : deltas) {
+    if (EdgeDeltaAffectsTarget(graph, delta, target)) return true;
+    // Union-term dependence: the toggle shifted an endpoint's out-degree —
+    // delta.u always; delta.v only when the mirror arc toggles too.
+    if (HasPositiveEntry(cached, delta.u)) return true;
+    if (!graph.directed() && HasPositiveEntry(cached, delta.v)) return true;
+  }
+  if (!graph.directed()) return false;
+  // Directed hidden-support case (see ApplyEdgeDelta): a tail whose
+  // out-degree was ZERO before the window can hide a full-intersection
+  // candidate behind Compute's uni > 0 guard, and any arc it gained can
+  // surface that candidate — cached support cannot witness it, so flag
+  // every target (rare: toggles on sink nodes only). The pre-window
+  // degree is the post-batch degree minus the window's net arc changes
+  // per tail; a lone post-batch OutDegree test would miss a tail that
+  // left zero in several steps.
+  std::unordered_map<NodeId, int64_t> net;
+  for (const EdgeDelta& delta : deltas) {
+    net[delta.u] += delta.added ? 1 : -1;
+  }
+  for (const auto& [tail, shift] : net) {
+    const int64_t pre = static_cast<int64_t>(graph.OutDegree(tail)) - shift;
+    if (pre <= 0 || graph.OutDegree(tail) == 0) return true;
+  }
+  return false;
 }
 
 double JaccardUtility::SensitivityBound(const CsrGraph& graph) const {
@@ -111,6 +180,14 @@ UtilityVector ResourceAllocationUtility::ApplyEdgeDelta(
   return PatchTwoHopUtility(graph, delta, target, cached, workspace,
                             &InverseDegreeWeight,
                             /*constant_weight=*/false);
+}
+
+UtilityVector ResourceAllocationUtility::ApplyEdgeDeltaBatch(
+    const CsrGraph& graph, std::span<const EdgeDelta> deltas, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  return PatchTwoHopUtilityBatch(graph, deltas, target, cached, workspace,
+                                 &InverseDegreeWeight,
+                                 /*constant_weight=*/false);
 }
 
 double ResourceAllocationUtility::SensitivityBound(

@@ -22,6 +22,50 @@ class JaccardUtility : public UtilityFunction {
   UtilityVector Compute(const CsrGraph& graph, NodeId target,
                         UtilityWorkspace& workspace) const override;
 
+  /// Incremental patching (PatchJaccardUtility): the union-size term is
+  /// maintained alongside the intersection — the integer intersection is
+  /// recovered from each cached score against the pre-window degrees,
+  /// patched with the constant-weight count engine, and re-scored against
+  /// the post-window degrees with Compute's exact float expression, so
+  /// the patched vector is bitwise-identical to a fresh Compute.
+  /// Directed graphs can hide support behind Compute's uni > 0 guard
+  /// (zero-out-degree candidates with full intersection), which no
+  /// cached-support patch can resurrect — there, affected entries
+  /// recompute (exact, just not O(Δ)) while the keep path still rides the
+  /// widened affectedness test below.
+  bool SupportsIncrementalUpdate() const override { return true; }
+  bool SupportsIncrementalBatch() const override { return true; }
+  UtilityVector ApplyEdgeDelta(const CsrGraph& graph, const EdgeDelta& delta,
+                               NodeId target, const UtilityVector& cached,
+                               UtilityWorkspace& workspace) const override;
+  UtilityVector ApplyEdgeDeltaBatch(const CsrGraph& graph,
+                                    std::span<const EdgeDelta> deltas,
+                                    NodeId target, const UtilityVector& cached,
+                                    UtilityWorkspace& workspace) const override;
+
+  /// Jaccard's scores depend on CANDIDATE degrees through the union term,
+  /// so a toggle also reaches every target that scores an endpoint as a
+  /// candidate — a dependence the structural 2-hop test cannot see.
+  /// Widens the test by the cached support: a toggle whose endpoint has a
+  /// nonzero cached score shifts that candidate's denominator. (An
+  /// endpoint with zero intersection keeps score exactly 0 under any
+  /// denominator, so the widened test is still exact, not conservative.)
+  /// On directed graphs an extra clause flags toggles that may surface
+  /// hidden support (see ApplyEdgeDelta).
+  bool EdgeDeltaAffects(const CsrGraph& graph, const EdgeDelta& delta,
+                        NodeId target,
+                        const UtilityVector& cached) const override;
+
+  /// The directed hidden-support clause depends on a tail's PRE-window
+  /// out-degree; over a multi-delta window that must be reconstructed by
+  /// netting the window's arcs per tail (a post-batch OutDegree alone
+  /// misses a tail that crossed zero mid-window, e.g. 0 → 2 across two
+  /// adds).
+  bool EdgeDeltaWindowAffects(const CsrGraph& graph,
+                              std::span<const EdgeDelta> deltas,
+                              NodeId target,
+                              const UtilityVector& cached) const override;
+
   /// One edge toggle moves the intersection by <= 1 and the union by <= 1
   /// for up to two affected candidates, each term bounded by 1 (Jaccard is
   /// in [0,1] and changes by at most 1 per candidate); additionally the
@@ -75,11 +119,16 @@ class ResourceAllocationUtility : public UtilityFunction {
                         UtilityWorkspace& workspace) const override;
 
   /// Same two-hop weighted-count shape as Adamic-Adar (weight 1/deg), so
-  /// the shared patch engine applies unchanged.
+  /// the shared patch engine applies unchanged — single- and multi-delta.
   bool SupportsIncrementalUpdate() const override { return true; }
+  bool SupportsIncrementalBatch() const override { return true; }
   UtilityVector ApplyEdgeDelta(const CsrGraph& graph, const EdgeDelta& delta,
                                NodeId target, const UtilityVector& cached,
                                UtilityWorkspace& workspace) const override;
+  UtilityVector ApplyEdgeDeltaBatch(const CsrGraph& graph,
+                                    std::span<const EdgeDelta> deltas,
+                                    NodeId target, const UtilityVector& cached,
+                                    UtilityWorkspace& workspace) const override;
 
   /// New common-neighbor term <= 1/1 = 1 (clamped at degree 1... degree of
   /// an intermediate on a path is >= 2 after the toggle, so <= 1/2);

@@ -1,6 +1,7 @@
 #ifndef PRIVREC_UTILITY_UTILITY_FUNCTION_H_
 #define PRIVREC_UTILITY_UTILITY_FUNCTION_H_
 
+#include <span>
 #include <string>
 
 #include "graph/csr_graph.h"
@@ -72,6 +73,63 @@ class UtilityFunction {
     (void)delta;
     (void)cached;
     return Compute(graph, target, workspace);
+  }
+
+  /// Multi-delta capability: true iff ApplyEdgeDeltaBatch is overridden
+  /// with a one-pass window patch honoring the same exact-equality
+  /// contract as ApplyEdgeDelta. Kept separate from
+  /// SupportsIncrementalUpdate so a utility can support single-delta
+  /// patches while still recomputing on multi-delta windows (the serving
+  /// cache falls back to a recompute for those — see
+  /// ServiceStats::delta_recomputed).
+  virtual bool SupportsIncrementalBatch() const { return false; }
+
+  /// Patches `cached` — the target's vector on the graph immediately
+  /// BEFORE the ordered journal window `deltas` — into the vector for the
+  /// graph AFTER the whole window, against the post-window snapshot only
+  /// (no intermediate graph states exist anymore; see
+  /// PatchTwoHopUtilityBatch in utility/incremental.h for how that stays
+  /// exact). The base implementation recomputes (always correct).
+  virtual UtilityVector ApplyEdgeDeltaBatch(const CsrGraph& graph,
+                                            std::span<const EdgeDelta> deltas,
+                                            NodeId target,
+                                            const UtilityVector& cached,
+                                            UtilityWorkspace& workspace) const {
+    (void)deltas;
+    (void)cached;
+    return Compute(graph, target, workspace);
+  }
+
+  /// Whether `delta` can change the target's vector, given the cached
+  /// pre-delta vector. The default is the structural 2-hop test
+  /// (EdgeDeltaAffectsTarget), which is exact for utilities of the
+  /// Σ weight(deg(intermediate)) form; utilities whose scores also depend
+  /// on CANDIDATE-side degrees (Jaccard's union term) must widen it —
+  /// keeping an entry this test clears must be exactly as good as
+  /// patching it. Evaluated against the post-batch snapshot with the same
+  /// whole-window caveat as EdgeDeltaAffectsTarget.
+  virtual bool EdgeDeltaAffects(const CsrGraph& graph, const EdgeDelta& delta,
+                                NodeId target,
+                                const UtilityVector& cached) const {
+    (void)cached;
+    return EdgeDeltaAffectsTarget(graph, delta, target);
+  }
+
+  /// Whole-window form of EdgeDeltaAffects — what cache-repair decisions
+  /// must go through. The default ORs the per-delta test, which is exact
+  /// for the structural 2-hop rule; utilities whose per-delta test needs
+  /// pre-window state the final snapshot no longer shows (Jaccard's
+  /// hidden-support clause depends on a tail's PRE-window degree, which a
+  /// single post-batch OutDegree lookup cannot reconstruct once several
+  /// deltas moved it) override this to net the window first.
+  virtual bool EdgeDeltaWindowAffects(const CsrGraph& graph,
+                                      std::span<const EdgeDelta> deltas,
+                                      NodeId target,
+                                      const UtilityVector& cached) const {
+    for (const EdgeDelta& delta : deltas) {
+      if (EdgeDeltaAffects(graph, delta, target, cached)) return true;
+    }
+    return false;
   }
 
   /// The paper's per-target edge-alteration count t used in Corollary 1:

@@ -12,13 +12,16 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/privacy_accountant.h"
 #include "eval/parallel.h"
 #include "gen/generators.h"
+#include "graph/csr_patch.h"
 #include "graph/dynamic_graph.h"
 #include "graph/edge_delta.h"
+#include "graph/graph_builder.h"
 #include "graph/transforms.h"
 #include "gtest/gtest.h"
 #include "random/rng.h"
@@ -143,6 +146,181 @@ TEST(ReverseIndexTest, SnapshotInGraphIsTheTranspose) {
   EXPECT_EQ(undirected.InDegree(1), 1u);
 }
 
+// --------------------------------------------------------- snapshot patching
+
+TEST(CsrPatchTest, SplicesInsertionsDeletionsAndCancelledPairs) {
+  GraphBuilder builder(/*directed=*/true);
+  builder.SetNumNodes(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(2, 4);
+  builder.AddEdge(5, 0);
+  const CsrGraph prev = builder.Build();
+  // Window: insert 0->2 (splices between 1 and 3), delete 2->4, toggle
+  // 4->5 on and off again (nets to nothing), insert 3->1.
+  const std::vector<EdgeDelta> window = {
+      {0, 2, true, 1}, {2, 4, false, 2}, {4, 5, true, 3},
+      {4, 5, false, 4}, {3, 1, true, 5},
+  };
+  auto patched = PatchCsr(prev, window, CsrPatchOrientation::kForward);
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  GraphBuilder expect_builder(/*directed=*/true);
+  expect_builder.SetNumNodes(6);
+  expect_builder.AddEdge(0, 1);
+  expect_builder.AddEdge(0, 2);
+  expect_builder.AddEdge(0, 3);
+  expect_builder.AddEdge(5, 0);
+  expect_builder.AddEdge(3, 1);
+  EXPECT_TRUE(patched->Equals(expect_builder.Build()));
+  // The reverse orientation patches the transpose with the same window.
+  auto reverse = PatchCsr(Reverse(prev), window, CsrPatchOrientation::kReverse);
+  ASSERT_TRUE(reverse.ok()) << reverse.status().ToString();
+  EXPECT_TRUE(reverse->Equals(Reverse(*patched)));
+}
+
+TEST(CsrPatchTest, InconsistentWindowsAreRejected) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const CsrGraph prev = builder.Build();
+  const auto patch_one = [&](EdgeDelta delta) {
+    return PatchCsr(prev, std::span<const EdgeDelta>(&delta, 1),
+                    CsrPatchOrientation::kForward);
+  };
+  // Net insertion of a present edge / deletion of an absent one.
+  EXPECT_TRUE(patch_one({0, 1, true, 1}).status().IsInvalidArgument());
+  EXPECT_TRUE(patch_one({0, 3, false, 1}).status().IsInvalidArgument());
+  // Endpoint out of range (an AddNode happened after the stamp).
+  EXPECT_TRUE(patch_one({0, 9, true, 1}).status().IsInvalidArgument());
+  // Same arc toggled twice in the same direction: not a journal replay.
+  const std::vector<EdgeDelta> doubled = {{0, 2, true, 1}, {0, 2, true, 2}};
+  EXPECT_TRUE(PatchCsr(prev, doubled, CsrPatchOrientation::kForward)
+                  .status()
+                  .IsInvalidArgument());
+  // Regression: a VALID insertion at a low node id balancing an invalid
+  // deletion at a high one (net arc shift 0) must be rejected up front —
+  // the splice must never write the extra arc into a buffer sized on the
+  // assumption every op applies before reaching the bad op (pre-fix this
+  // was a heap-buffer-overflow, caught by ASan in CI).
+  GraphBuilder directed_builder(/*directed=*/true);
+  directed_builder.SetNumNodes(8);
+  directed_builder.AddEdge(0, 1);
+  directed_builder.AddEdge(0, 2);
+  const CsrGraph directed_prev = directed_builder.Build();
+  const std::vector<EdgeDelta> unbalanced = {{0, 5, true, 1},
+                                             {7, 3, false, 2}};
+  EXPECT_TRUE(PatchCsr(directed_prev, unbalanced, CsrPatchOrientation::kForward)
+                  .status()
+                  .IsInvalidArgument());
+  // Reverse orientation is only defined for directed CSRs.
+  EXPECT_TRUE(patch_one({0, 2, true, 1}).ok());
+  const EdgeDelta fine{0, 2, true, 1};
+  EXPECT_TRUE(PatchCsr(prev, std::span<const EdgeDelta>(&fine, 1),
+                       CsrPatchOrientation::kReverse)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SnapshotPatchTest, RandomizedMutationsEqualFromScratchRebuilds) {
+  // The tentpole property: a mutation-heavy DynamicGraph whose snapshots
+  // are journal-patched must publish CSRs Equals()-identical to a mirror
+  // graph that rebuilds every snapshot from scratch — forward AND reverse
+  // CSR, through compaction and AddNode fallbacks (small journal, node
+  // growth) and across multi-delta windows.
+  for (bool directed : {false, true}) {
+    Rng rng(directed ? 211u : 212u);
+    auto base = ErdosRenyiGnm(40, 90, directed, rng);
+    ASSERT_TRUE(base.ok());
+    DynamicGraph patched(*base);
+    DynamicGraph rebuilt(*base);
+    rebuilt.SetSnapshotPatchThreshold(0);  // the from-scratch mirror
+    patched.SetJournalCapacity(8);
+    NodeId nodes = 40;
+    for (int step = 0; step < 400; ++step) {
+      if (rng.NextBernoulli(0.02)) {
+        ASSERT_EQ(patched.AddNode(), rebuilt.AddNode());
+        ++nodes;
+        continue;
+      }
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(nodes));
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(nodes));
+      if (u == v) continue;
+      if (patched.HasEdge(u, v)) {
+        ASSERT_TRUE(patched.RemoveEdge(u, v).ok());
+        ASSERT_TRUE(rebuilt.RemoveEdge(u, v).ok());
+      } else {
+        ASSERT_TRUE(patched.AddEdge(u, v).ok());
+        ASSERT_TRUE(rebuilt.AddEdge(u, v).ok());
+      }
+      // Snapshot sometimes, so windows span 1..many deltas (and sometimes
+      // outrun the 8-entry journal, exercising the compaction fallback).
+      if (!rng.NextBernoulli(0.35)) continue;
+      const DynamicGraph::StampedSnapshot a = patched.VersionedSnapshot();
+      const DynamicGraph::StampedSnapshot b = rebuilt.VersionedSnapshot();
+      ASSERT_EQ(a.version, b.version);
+      ASSERT_EQ(a.num_edges, b.num_edges);
+      ASSERT_TRUE(a.graph->Equals(*b.graph))
+          << (directed ? "directed" : "undirected")
+          << " forward CSR diverged at step " << step;
+      ASSERT_TRUE(a.in_graph->Equals(*b.in_graph))
+          << (directed ? "directed" : "undirected")
+          << " reverse CSR diverged at step " << step;
+      if (!directed) {
+        ASSERT_EQ(a.in_graph.get(), a.graph.get())
+            << "undirected reverse must alias the forward CSR";
+      }
+    }
+    // The property only bites if both publication paths actually ran.
+    EXPECT_GT(patched.snapshot_patches(), 0u);
+    EXPECT_GT(patched.snapshot_builds(), 1u)
+        << "fallback paths (AddNode / compaction) never fired";
+    EXPECT_EQ(rebuilt.snapshot_patches(), 0u);
+  }
+}
+
+TEST(SnapshotPatchTest, ThresholdAndFallbacksRouteToFullRebuild) {
+  DynamicGraph g(10, /*directed=*/false);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  (void)g.VersionedSnapshot();  // first materialization: nothing to patch
+  EXPECT_EQ(g.snapshot_builds(), 1u);
+  EXPECT_EQ(g.snapshot_patches(), 0u);
+
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  (void)g.VersionedSnapshot();  // one-delta window: patched
+  EXPECT_EQ(g.snapshot_builds(), 1u);
+  EXPECT_EQ(g.snapshot_patches(), 1u);
+
+  g.SetSnapshotPatchThreshold(1);
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  (void)g.VersionedSnapshot();  // two-delta window above threshold: rebuilt
+  EXPECT_EQ(g.snapshot_builds(), 2u);
+  EXPECT_EQ(g.snapshot_patches(), 1u);
+
+  ASSERT_TRUE(g.RemoveEdge(0, 3).ok());
+  (void)g.VersionedSnapshot();  // back under threshold: patched
+  EXPECT_EQ(g.snapshot_patches(), 2u);
+
+  g.AddNode();
+  (void)g.VersionedSnapshot();  // node growth: no delta describes it
+  EXPECT_EQ(g.snapshot_builds(), 3u);
+  EXPECT_EQ(g.snapshot_patches(), 2u);
+
+  g.SetJournalCapacity(0);  // journaling off: every window is OutOfRange
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  (void)g.VersionedSnapshot();
+  EXPECT_EQ(g.snapshot_builds(), 4u);
+  EXPECT_EQ(g.snapshot_patches(), 2u);
+
+  g.SetJournalCapacity(DynamicGraph::kDefaultJournalCapacity);
+  g.SetSnapshotPatchThreshold(0);  // patching off entirely
+  ASSERT_TRUE(g.AddEdge(1, 3).ok());
+  (void)g.VersionedSnapshot();
+  EXPECT_EQ(g.snapshot_builds(), 5u);
+  EXPECT_EQ(g.snapshot_patches(), 2u);
+}
+
 // ------------------------------------------------- affected-set completeness
 
 /// Utility-agnostic ground truth: a target is REALLY unaffected iff its
@@ -261,7 +439,12 @@ void RunPatchEqualsComputeProperty(const UtilityFunction& utility,
     const DynamicGraph::StampedSnapshot snap = graph.VersionedSnapshot();
     const EdgeDelta delta{u, v, added, snap.version};
     for (NodeId target = 0; target < kNodes; ++target) {
-      if (EdgeDeltaAffectsTarget(*snap.graph, delta, target)) {
+      // The utility owns the affectedness test (Jaccard widens the
+      // structural rule by the cached support); an entry the test clears
+      // must carry over EXACTLY, which the fresh-Compute comparison below
+      // enforces for kept and patched targets alike.
+      if (utility.EdgeDeltaAffects(*snap.graph, delta, target,
+                                   cached[target])) {
         cached[target] = utility.ApplyEdgeDelta(*snap.graph, delta, target,
                                                 cached[target], workspace);
       }
@@ -295,24 +478,167 @@ TEST(ApplyEdgeDeltaTest, ResourceAllocationPatchMatchesFreshCompute) {
   RunPatchEqualsComputeProperty(ra, /*directed=*/true, /*bitwise=*/false, 36);
 }
 
+TEST(ApplyEdgeDeltaTest, JaccardPatchIsBitwiseExact) {
+  // The union-size term is recovered and re-derived through Compute's own
+  // float expression, so even this ratio utility patches bitwise (see
+  // PatchJaccardUtility; the directed runs exercise the documented
+  // recompute route for affected entries instead). The chained property
+  // also exercises JaccardUtility::EdgeDeltaAffects: a kept entry whose
+  // endpoint-degree or hidden-support dependence was missed would diverge
+  // from the fresh Compute here.
+  JaccardUtility jaccard;
+  RunPatchEqualsComputeProperty(jaccard, /*directed=*/false, /*bitwise=*/true,
+                                38);
+  RunPatchEqualsComputeProperty(jaccard, /*directed=*/true, /*bitwise=*/true,
+                                39);
+}
+
+/// Multi-delta variant: accumulates windows of 1–4 toggles and repairs
+/// every affected target with ONE ApplyEdgeDeltaBatch call against the
+/// post-window snapshot (no intermediate states), checking each window
+/// against a fresh Compute. Patched vectors feed the next window.
+void RunBatchPatchEqualsComputeProperty(const UtilityFunction& utility,
+                                        bool directed, bool bitwise,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  constexpr NodeId kNodes = 30;
+  auto base = ErdosRenyiGnm(kNodes, 75, directed, rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph(*base);
+  UtilityWorkspace workspace;
+
+  std::vector<UtilityVector> cached;
+  cached.reserve(kNodes);
+  const DynamicGraph::StampedSnapshot initial = graph.VersionedSnapshot();
+  for (NodeId target = 0; target < kNodes; ++target) {
+    cached.push_back(utility.Compute(*initial.graph, target, workspace));
+  }
+
+  for (int round = 0; round < 15; ++round) {
+    const size_t window_size = 1 + rng.NextBounded(4);
+    std::vector<EdgeDelta> window;
+    while (window.size() < window_size) {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(kNodes));
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(kNodes));
+      if (u == v) continue;
+      const bool added = !graph.HasEdge(u, v);
+      ASSERT_TRUE((added ? graph.AddEdge(u, v) : graph.RemoveEdge(u, v)).ok());
+      window.push_back(EdgeDelta{u, v, added, graph.version()});
+    }
+    const DynamicGraph::StampedSnapshot snap = graph.VersionedSnapshot();
+    for (NodeId target = 0; target < kNodes; ++target) {
+      // The window form is what the service's repair gate uses — a
+      // per-delta OR can miss pre-window state (Jaccard's directed
+      // hidden-support clause).
+      if (utility.EdgeDeltaWindowAffects(*snap.graph, window, target,
+                                         cached[target])) {
+        cached[target] = utility.ApplyEdgeDeltaBatch(*snap.graph, window,
+                                                     target, cached[target],
+                                                     workspace);
+      }
+      ExpectVectorsIdentical(cached[target],
+                             utility.Compute(*snap.graph, target, workspace),
+                             bitwise);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << utility.name() << (directed ? " directed" : " undirected")
+               << ": batch-patched vector diverged at round " << round
+               << " (window " << window.size() << ") target " << target;
+      }
+    }
+  }
+}
+
+TEST(ApplyEdgeDeltaBatchTest, CommonNeighborsWindowPatchIsBitwiseExact) {
+  CommonNeighborsUtility cn;
+  RunBatchPatchEqualsComputeProperty(cn, /*directed=*/false, /*bitwise=*/true,
+                                     131);
+  RunBatchPatchEqualsComputeProperty(cn, /*directed=*/true, /*bitwise=*/true,
+                                     132);
+}
+
+TEST(ApplyEdgeDeltaBatchTest, AdamicAdarWindowPatchMatchesFreshCompute) {
+  AdamicAdarUtility aa;
+  RunBatchPatchEqualsComputeProperty(aa, /*directed=*/false, /*bitwise=*/false,
+                                     133);
+  RunBatchPatchEqualsComputeProperty(aa, /*directed=*/true, /*bitwise=*/false,
+                                     134);
+}
+
+TEST(ApplyEdgeDeltaBatchTest, ResourceAllocationWindowPatchMatchesFreshCompute) {
+  ResourceAllocationUtility ra;
+  RunBatchPatchEqualsComputeProperty(ra, /*directed=*/false, /*bitwise=*/false,
+                                     135);
+  RunBatchPatchEqualsComputeProperty(ra, /*directed=*/true, /*bitwise=*/false,
+                                     136);
+}
+
+TEST(ApplyEdgeDeltaBatchTest, JaccardWindowPatchIsBitwiseExact) {
+  JaccardUtility jaccard;
+  RunBatchPatchEqualsComputeProperty(jaccard, /*directed=*/false,
+                                     /*bitwise=*/true, 137);
+  RunBatchPatchEqualsComputeProperty(jaccard, /*directed=*/true,
+                                     /*bitwise=*/true, 138);
+}
+
+TEST(ApplyEdgeDeltaBatchTest, JaccardDirectedHiddenSupportSurfacesAcrossWindow) {
+  // Regression: candidate 5 has arcs 1->5 and 2->5, out-degree 0, and full
+  // intersection with target 0 (N_out(0) = {1,2}) — suppressed by
+  // Compute's uni > 0 guard, hence absent from the cached support. A
+  // window {add 5->3, add 5->4} moves 5's out-degree 0 -> 2 without any
+  // structural contact with target 0; a per-delta OutDegree test sees 2
+  // for both deltas and would KEEP the stale vector, but the window form
+  // nets the arcs back to the pre-window degree 0 and must flag it.
+  GraphBuilder builder(/*directed=*/true);
+  builder.SetNumNodes(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 5);
+  builder.AddEdge(2, 5);
+  DynamicGraph graph(builder.Build());
+  JaccardUtility jaccard;
+  UtilityWorkspace workspace;
+  const DynamicGraph::StampedSnapshot before = graph.VersionedSnapshot();
+  const UtilityVector cached = jaccard.Compute(*before.graph, 0, workspace);
+  EXPECT_TRUE(cached.nonzero().empty()) << "candidate 5 must start hidden";
+  ASSERT_TRUE(graph.AddEdge(5, 3).ok());
+  ASSERT_TRUE(graph.AddEdge(5, 4).ok());
+  const DynamicGraph::StampedSnapshot after = graph.VersionedSnapshot();
+  const std::vector<EdgeDelta> window = {{5, 3, true, after.version - 1},
+                                         {5, 4, true, after.version}};
+  ASSERT_TRUE(
+      jaccard.EdgeDeltaWindowAffects(*after.graph, window, 0, cached))
+      << "window form missed the 0 -> 2 out-degree crossing";
+  ExpectVectorsIdentical(
+      jaccard.ApplyEdgeDeltaBatch(*after.graph, window, 0, cached, workspace),
+      jaccard.Compute(*after.graph, 0, workspace), /*bitwise=*/true);
+  EXPECT_FALSE(jaccard.Compute(*after.graph, 0, workspace).nonzero().empty())
+      << "candidate 5 should have surfaced";
+}
+
 TEST(ApplyEdgeDeltaTest, DefaultImplementationIsTheFullRecompute) {
   // A utility without incremental support must still be correct through
-  // the base-class ApplyEdgeDelta (it just recomputes).
+  // the base-class ApplyEdgeDelta / ApplyEdgeDeltaBatch (they recompute).
   Rng rng(37);
   auto base = ErdosRenyiGnm(15, 30, /*directed=*/false, rng);
   ASSERT_TRUE(base.ok());
   DynamicGraph graph(*base);
-  JaccardUtility jaccard;
-  EXPECT_FALSE(jaccard.SupportsIncrementalUpdate());
+  PreferentialAttachmentUtility pa;
+  EXPECT_FALSE(pa.SupportsIncrementalUpdate());
+  EXPECT_FALSE(pa.SupportsIncrementalBatch());
   UtilityWorkspace workspace;
   const DynamicGraph::StampedSnapshot before = graph.VersionedSnapshot();
-  const UtilityVector cached = jaccard.Compute(*before.graph, 0, workspace);
+  const UtilityVector cached = pa.Compute(*before.graph, 0, workspace);
   ASSERT_TRUE(graph.AddEdge(3, 9).ok() || graph.RemoveEdge(3, 9).ok());
   const DynamicGraph::StampedSnapshot after = graph.VersionedSnapshot();
   const EdgeDelta delta{3, 9, true, after.version};
   ExpectVectorsIdentical(
-      jaccard.ApplyEdgeDelta(*after.graph, delta, 0, cached, workspace),
-      jaccard.Compute(*after.graph, 0, workspace), /*bitwise=*/true);
+      pa.ApplyEdgeDelta(*after.graph, delta, 0, cached, workspace),
+      pa.Compute(*after.graph, 0, workspace), /*bitwise=*/true);
+  ExpectVectorsIdentical(
+      pa.ApplyEdgeDeltaBatch(*after.graph,
+                             std::span<const EdgeDelta>(&delta, 1), 0, cached,
+                             workspace),
+      pa.Compute(*after.graph, 0, workspace), /*bitwise=*/true);
 }
 
 // ------------------------------------------------- sensitivity-probe parity
@@ -475,9 +801,10 @@ TEST(IncrementalServiceTest, AddNodeInvalidatesThroughTheFallback) {
   EXPECT_EQ(stats.delta_kept + stats.delta_patched, 0u);
 }
 
-TEST(IncrementalServiceTest, MultiDeltaBatchRecomputesOnlyAffectedEntries) {
-  // Two toggles land between serves: the affected user recomputes (the
-  // documented multi-delta behavior), the unaffected user is still kept.
+TEST(IncrementalServiceTest, MultiDeltaWindowPatchesOnlyAffectedEntries) {
+  // Two toggles land between serves: the affected user is patched in one
+  // ApplyEdgeDeltaBatch pass (sequential multi-delta patching — counted
+  // in delta_patched, no recompute), the unaffected user is still kept.
   DynamicGraph graph(10, /*directed=*/false);
   // 0-1-2 triangle-ish cluster; 5-6-7 cluster far away.
   ASSERT_TRUE(graph.AddEdge(0, 1).ok());
@@ -501,9 +828,9 @@ TEST(IncrementalServiceTest, MultiDeltaBatchRecomputesOnlyAffectedEntries) {
   ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
   ASSERT_TRUE(service.ServeRecommendation(5, rng).ok());
   const ServiceStats stats = service.stats();
-  EXPECT_EQ(stats.delta_recomputed, 1u);
+  EXPECT_EQ(stats.delta_patched, 1u);
   EXPECT_EQ(stats.delta_kept, 1u);
-  EXPECT_EQ(stats.delta_patched, 0u);
+  EXPECT_EQ(stats.delta_recomputed, 0u);
 }
 
 TEST(IncrementalServiceTest, UnaffectedEntryKeepsItsFrozenSampler) {
@@ -532,6 +859,99 @@ TEST(IncrementalServiceTest, UnaffectedEntryKeepsItsFrozenSampler) {
   EXPECT_EQ(stats.sampler_reuses, 2u)
       << "kept entry lost its frozen sampler on an unrelated toggle";
   EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST(IncrementalServiceTest, JaccardServesIdenticallyToBaseline) {
+  // Jaccard's patch is bitwise (intersection recovered, union re-derived),
+  // so the same byte-identical differential as common neighbors must hold
+  // — this drives JaccardUtility::EdgeDeltaAffects through the real
+  // repair path, where a missed union-term dependence would surface as a
+  // diverging serve.
+  Rng graph_rng(151);
+  auto weights = PowerLawWeights(150, 2.2);
+  auto base = ChungLu(weights, weights, 700, /*directed=*/false, graph_rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph_delta(*base);
+  DynamicGraph graph_baseline(*base);
+  RecommendationService delta_service(&graph_delta,
+                                      std::make_unique<JaccardUtility>(),
+                                      IncrementalServiceOptions(true));
+  RecommendationService baseline_service(&graph_baseline,
+                                         std::make_unique<JaccardUtility>(),
+                                         IncrementalServiceOptions(false));
+  Rng ops_rng(153);
+  for (int op = 0; op < 800; ++op) {
+    if (ops_rng.NextBernoulli(0.15)) {
+      const NodeId u = static_cast<NodeId>(ops_rng.NextBounded(150));
+      const NodeId v = static_cast<NodeId>(ops_rng.NextBounded(150));
+      if (u == v) continue;
+      if (graph_delta.HasEdge(u, v)) {
+        ASSERT_TRUE(delta_service.RemoveEdge(u, v).ok());
+        ASSERT_TRUE(baseline_service.RemoveEdge(u, v).ok());
+      } else {
+        ASSERT_TRUE(delta_service.AddEdge(u, v).ok());
+        ASSERT_TRUE(baseline_service.AddEdge(u, v).ok());
+      }
+    } else {
+      const NodeId user = static_cast<NodeId>(ops_rng.NextBounded(150));
+      auto rec_a = delta_service.ServeRecommendation(user);
+      auto rec_b = baseline_service.ServeRecommendation(user);
+      ASSERT_EQ(rec_a.ok(), rec_b.ok()) << "op " << op;
+      if (rec_a.ok()) ASSERT_EQ(*rec_a, *rec_b) << "op " << op;
+    }
+  }
+  const ServiceStats stats = delta_service.stats();
+  EXPECT_GT(stats.delta_kept, 0u);
+  EXPECT_GT(stats.delta_patched, 0u);
+  EXPECT_EQ(stats.cache_invalidations, 0u);
+}
+
+TEST(IncrementalServiceTest, JournalAwareEvictionPurgesDoomedEntries) {
+  // Entries the journal floor passed can never be delta-repaired; at
+  // capacity they are purged wholesale (doomed_evictions) BEFORE any LRU
+  // choice, so later visits to those users are plain misses — under the
+  // old LRU-only policy the lingering doomed entries would be visited in
+  // place and land in journal_fallbacks one by one.
+  Rng graph_rng(161);
+  auto base = ErdosRenyiGnm(60, 180, /*directed=*/false, graph_rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph(*base);
+  graph.SetJournalCapacity(2);
+  ServiceOptions options = IncrementalServiceOptions(true);
+  options.num_shards = 1;
+  options.cache_capacity = 3;
+  RecommendationService service(&graph,
+                                std::make_unique<CommonNeighborsUtility>(),
+                                options);
+  Rng rng(163);
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  ASSERT_TRUE(service.ServeRecommendation(1, rng).ok());
+  ASSERT_TRUE(service.ServeRecommendation(2, rng).ok());
+  // Outrun the 2-entry journal: every cached entry is now doomed.
+  Rng mut_rng(165);
+  int toggles = 0;
+  while (toggles < 4) {
+    const NodeId u = static_cast<NodeId>(mut_rng.NextBounded(60));
+    const NodeId v = static_cast<NodeId>(mut_rng.NextBounded(60));
+    if (u == v) continue;
+    if (graph.HasEdge(u, v)) {
+      ASSERT_TRUE(service.RemoveEdge(u, v).ok());
+    } else {
+      ASSERT_TRUE(service.AddEdge(u, v).ok());
+    }
+    ++toggles;
+  }
+  // The next insert hits capacity and purges all three doomed entries.
+  ASSERT_TRUE(service.ServeRecommendation(3, rng).ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.doomed_evictions, 3u);
+  EXPECT_EQ(stats.journal_fallbacks, 0u);
+  // Revisiting a purged user is a plain miss, not a fallback recompute.
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  stats = service.stats();
+  EXPECT_EQ(stats.journal_fallbacks, 0u);
+  EXPECT_EQ(stats.cache_invalidations, 0u);
+  EXPECT_EQ(stats.cache_misses, 5u);  // 4 first visits + user 0's re-miss
 }
 
 // ------------------------------------------------------------- TSAN stress
@@ -618,6 +1038,71 @@ TEST(IncrementalConcurrencyTest, ConcurrentMutateAndDeltaRepairServes) {
   EXPECT_GT(stats.delta_kept + stats.delta_patched + stats.delta_recomputed +
                 stats.journal_fallbacks,
             0u);
+}
+
+TEST(IncrementalConcurrencyTest, ConcurrentMutateAndSnapshotPatch) {
+  // Mutators hammer the graph while snapshot readers force patched
+  // publications (plus occasional AddNode fallbacks) — the patch path
+  // runs under the writer mutex like the full rebuild, so this must stay
+  // TSAN-clean and every observed snapshot must be internally coherent.
+  for (bool directed : {false, true}) {
+    Rng graph_rng(directed ? 171u : 172u);
+    auto base = ErdosRenyiGnm(120, 400, directed, graph_rng);
+    ASSERT_TRUE(base.ok());
+    DynamicGraph graph(*base);
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kOpsPerThread = 1500;
+    std::atomic<uint64_t> snapshots_checked{0};
+
+    RunWorkers(kThreads, [&](unsigned w) {
+      Rng rng(1700 + 10 * w + (directed ? 1 : 0));
+      uint64_t last_version = 0;
+      for (uint64_t op = 0; op < kOpsPerThread; ++op) {
+        // Every thread both mutates and snapshots, so publication windows
+        // stay small and the patch path (not just the threshold fallback)
+        // is what races the mutators.
+        if (rng.NextBernoulli(0.3)) {  // mutate (with rare node growth)
+          if (rng.NextBernoulli(0.005)) {
+            graph.AddNode();
+            continue;
+          }
+          const NodeId u = static_cast<NodeId>(rng.NextBounded(120));
+          const NodeId v = static_cast<NodeId>(rng.NextBounded(120));
+          if (u == v) continue;
+          if (graph.HasEdge(u, v)) {
+            (void)graph.RemoveEdge(u, v);  // a racing mutator may win
+          } else {
+            (void)graph.AddEdge(u, v);
+          }
+          continue;
+        }
+        const DynamicGraph::StampedSnapshot snap = graph.VersionedSnapshot();
+        // Stamp coherence: the version/edge-count pair and the CSRs come
+        // from one immutable allocation, patched or rebuilt alike.
+        ASSERT_EQ(snap.num_edges, snap.graph->num_edges());
+        ASSERT_EQ(snap.graph->num_nodes(), snap.in_graph->num_nodes());
+        ASSERT_EQ(snap.graph->num_arcs(), snap.in_graph->num_arcs());
+        ASSERT_GE(snap.version, last_version) << "snapshot went backwards";
+        last_version = snap.version;
+        if (!directed) {
+          ASSERT_EQ(snap.in_graph.get(), snap.graph.get());
+        }
+        snapshots_checked.fetch_add(1);
+      }
+    });
+
+    EXPECT_GT(snapshots_checked.load(), 0u);
+    EXPECT_GT(graph.snapshot_patches(), 0u)
+        << "stress never exercised the patched publication path";
+    // A final quiescent check: the published state must equal a
+    // from-scratch rebuild of the same adjacency.
+    const DynamicGraph::StampedSnapshot final_snap = graph.VersionedSnapshot();
+    DynamicGraph mirror(*final_snap.graph);
+    EXPECT_TRUE(mirror.SharedSnapshot()->Equals(*final_snap.graph));
+    EXPECT_TRUE(final_snap.in_graph->Equals(directed
+                                                ? Reverse(*final_snap.graph)
+                                                : *final_snap.graph));
+  }
 }
 
 }  // namespace
