@@ -17,6 +17,10 @@
 //   (c) per-toggle snapshot materialization, patched (journal splice,
 //       graph/csr_patch.h) vs from-scratch rebuild — the ISSUE 5
 //       tentpole: the write path's O(n+m) became O(Δ).
+//   (d) skewed-write window repair: the ONE affected user behind a wide
+//       window of far-away writes, affect filter on vs off — the ISSUE 6
+//       no-recompute-cliff check (delta_recomputed stays 0 with the
+//       filter at window widths far beyond max_patch_window).
 //
 // Output: tables, plus (with --json=PATH) a machine-readable dump;
 // BENCH_mutation_serving.json in the repo root is a checked-in run
@@ -29,6 +33,7 @@
 //   --ops=K        operations per mixed-workload run (default 8000)
 //   --reps=R       repetitions per configuration, median kept (default 3)
 //   --snap_toggles=S  toggles for the snapshot-path table (default 400)
+//   --skew_rounds=N   write-serve rounds per skewed-window run (default 40)
 //   --json=PATH    write results as JSON
 
 #include <algorithm>
@@ -48,6 +53,8 @@
 #include "random/rng.h"
 #include "serve/recommendation_service.h"
 #include "utility/common_neighbors.h"
+#include "utility/adamic_adar.h"
+#include "utility/link_predictors.h"
 
 namespace privrec {
 namespace bench {
@@ -247,6 +254,95 @@ MixedResult MeasureMixedThroughput(const CsrGraph& base, uint64_t ops,
   return result;
 }
 
+// ------------------------------------------ (d) skewed-write window repair
+
+struct SkewedResult {
+  double median_us = 0;
+  ServiceStats stats;
+};
+
+/// The affect-filter workload (ISSUE 6): between two serves of a cached
+/// user, ONE relevant toggle lands inside their neighborhood while
+/// `width` writes hammer a hot pool far away — a window far wider than
+/// max_patch_window in which almost nothing matters for this user. With
+/// the filter, max_patch_window bounds RELEVANT deltas and the repair is
+/// an O(Δ) patch; without it (the PR 5 dispatch), raw window width
+/// triggers the recompute cliff on every serve.
+SkewedResult MeasureSkewedWindow(const CsrGraph& base, size_t width,
+                                 int rounds, bool enable_affect_filter,
+                                 uint64_t seed) {
+  DynamicGraph graph(base);
+  graph.SetJournalCapacity(4 * static_cast<size_t>(base.num_nodes()));
+  ServiceOptions options = BenchOptions(/*enable_delta_repair=*/true, seed);
+  options.enable_affect_filter = enable_affect_filter;
+  RecommendationService service(&graph,
+                                std::make_unique<AdamicAdarUtility>(),
+                                options);
+  const NodeId nodes = base.num_nodes();
+  const NodeId pool_begin = nodes - nodes / 4;  // hot write pool
+  // Measure a mid-degree user (the Chung-Lu weights are rank-ordered, so
+  // node 0 is the hub; nodes/2 is a typical user). Some pool nodes may
+  // still be its neighbors, and writes touching those genuinely change
+  // its 2-hop scores — keep the irrelevant-write pool honest by skipping
+  // them. The skip set is stable during the run: pool writes never touch
+  // `user`, and the relevant toggles cycle partners just above it,
+  // outside the pool.
+  const NodeId user = nodes / 2;
+  std::vector<char> near_user(nodes, 0);
+  near_user[user] = 1;
+  for (NodeId v : base.OutNeighbors(user)) near_user[v] = 1;
+  // The toggle that matters pivots on one of the user's neighbors: edge
+  // (pivot, partner) lands inside the user's 2-hop neighborhood (one
+  // candidate gains/loses the midpoint `pivot`), which is the cheap,
+  // representative patch — a target-incident delta would perturb every
+  // candidate and cost recompute-order work on either path.
+  NodeId pivot = nodes;  // sentinel: one past the last valid id
+  for (NodeId v : base.OutNeighbors(user)) {
+    if (v < pool_begin && v != user) {
+      pivot = v;
+      break;
+    }
+  }
+  PRIVREC_CHECK(pivot < nodes)
+      << "measured user has no neighbor outside the write pool";
+  Rng rng(seed * 7 + 11);
+  (void)service.ServeRecommendation(user, rng);  // warm the measured user
+  Rng write_rng(seed * 13 + 17);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(rounds);
+  for (int round = 0; round < rounds; ++round) {
+    // One toggle that matters (partners cycle so it alternates add and
+    // remove across rounds, and never collides with the pivot).
+    NodeId partner = user + 1 + static_cast<NodeId>(round % 16);
+    if (partner == pivot) partner = user + 17;
+    PRIVREC_CHECK_OK(graph.HasEdge(pivot, partner)
+                         ? service.RemoveEdge(pivot, partner)
+                         : service.AddEdge(pivot, partner));
+    // `width` writes that don't: confined to the hot pool.
+    size_t writes = 0;
+    while (writes < width) {
+      const NodeId u = static_cast<NodeId>(
+          pool_begin + write_rng.NextBounded(nodes - pool_begin));
+      const NodeId v = static_cast<NodeId>(
+          pool_begin + write_rng.NextBounded(nodes - pool_begin));
+      if (u == v || near_user[u] || near_user[v]) continue;
+      if (!(graph.HasEdge(u, v) ? service.RemoveEdge(u, v)
+                                : service.AddEdge(u, v))
+               .ok()) {
+        continue;
+      }
+      ++writes;
+    }
+    Stopwatch watch;
+    (void)service.ServeRecommendation(user, rng);
+    latencies_us.push_back(watch.ElapsedSeconds() * 1e6);
+  }
+  SkewedResult result;
+  result.median_us = Median(std::move(latencies_us));
+  result.stats = service.stats();
+  return result;
+}
+
 // ------------------------------------------------------------------ driver
 
 struct LatencyRow {
@@ -264,11 +360,21 @@ struct ThroughputRow {
   ServiceStats delta_stats;
 };
 
+struct SkewedRow {
+  GraphConfig config;
+  size_t width = 0;
+  double filtered_us = 0;
+  double unfiltered_us = 0;
+  ServiceStats filtered_stats;
+  ServiceStats unfiltered_stats;
+};
+
 void WriteJson(const std::string& path, NodeId users, int toggles,
-               uint64_t ops, int reps,
+               uint64_t ops, int reps, int skew_rounds,
                const std::vector<LatencyRow>& latency_rows,
                const std::vector<ThroughputRow>& throughput_rows,
-               const std::vector<SnapshotPathRow>& snapshot_rows) {
+               const std::vector<SnapshotPathRow>& snapshot_rows,
+               const std::vector<SkewedRow>& skewed_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -355,6 +461,45 @@ void WriteJson(const std::string& path, NodeId users, int toggles,
         i + 1 < snapshot_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"unit_skewed\": \"microseconds per serve of the ONE "
+               "affected user after %d rounds; each round writes 1 edge "
+               "touching that user plus a window of far-away writes "
+               "(median)\",\n",
+               skew_rounds);
+  std::fprintf(f, "  \"skewed_write_traffic\": [\n");
+  for (size_t i = 0; i < skewed_rows.size(); ++i) {
+    const SkewedRow& row = skewed_rows[i];
+    const auto repair_us = [](const ServiceStats& stats) {
+      const uint64_t repairs = stats.delta_patched + stats.delta_recomputed;
+      return repairs == 0 ? 0.0
+                          : static_cast<double>(stats.repair_ns) / 1e3 /
+                                static_cast<double>(repairs);
+    };
+    const double on_us = repair_us(row.filtered_stats);
+    const double off_us = repair_us(row.unfiltered_stats);
+    std::fprintf(
+        f,
+        "    { \"nodes\": %u, \"edges\": %llu, \"window_width\": %llu, "
+        "\"filtered_repair_us\": %.3f, \"unfiltered_repair_us\": %.3f, "
+        "\"repair_speedup\": \"%.1fx\", "
+        "\"filtered_serve_us\": %.3f, \"unfiltered_serve_us\": %.3f, "
+        "\"filter_dropped_deltas\": %llu, "
+        "\"filtered_patched\": %llu, \"filtered_recomputed\": %llu, "
+        "\"unfiltered_recomputed\": %llu }%s\n",
+        row.config.nodes,
+        static_cast<unsigned long long>(row.config.edges),
+        static_cast<unsigned long long>(row.width), on_us, off_us,
+        off_us / on_us, row.filtered_us, row.unfiltered_us,
+        static_cast<unsigned long long>(
+            row.filtered_stats.filter_dropped_deltas),
+        static_cast<unsigned long long>(row.filtered_stats.delta_patched),
+        static_cast<unsigned long long>(row.filtered_stats.delta_recomputed),
+        static_cast<unsigned long long>(
+            row.unfiltered_stats.delta_recomputed),
+        i + 1 < skewed_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(
       f,
       "  \"notes\": [\n"
@@ -376,7 +521,13 @@ void WriteJson(const std::string& path, NodeId users, int toggles,
       "lifts the mixed-traffic write-fraction sweep off its old "
       "1.0-1.1x floor, and the sweep's delta rows additionally fold in "
       "the keep/patch cache repair over the recompute avalanches the "
-      "baseline rows pay\"\n"
+      "baseline rows pay\",\n"
+      "    \"skewed_write_traffic is the ISSUE 6 no-recompute-cliff check: "
+      "with the affect filter on, a window far wider than "
+      "max_patch_window collapses to the handful of deltas that can touch "
+      "the served user's 2-hop score (here exactly one), so every repair "
+      "stays on the O(Delta) patch path — filtered_recomputed is asserted "
+      "to be zero while the unfiltered run recomputes every round\"\n"
       "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -392,11 +543,13 @@ int Main(int argc, char** argv) {
   const int reps = static_cast<int>(flags.GetInt("reps", 3));
   const int snapshot_toggles =
       static_cast<int>(flags.GetInt("snap_toggles", 400));
+  const int skew_rounds = static_cast<int>(flags.GetInt("skew_rounds", 40));
   const std::string json_path = flags.GetString("json", "");
 
   std::vector<LatencyRow> latency_rows;
   std::vector<ThroughputRow> throughput_rows;
   std::vector<SnapshotPathRow> snapshot_rows;
+  std::vector<SkewedRow> skewed_rows;
 
   for (const GraphConfig& config : kConfigs) {
     const CsrGraph base = MakeGraph(config);
@@ -453,6 +606,36 @@ int Main(int argc, char** argv) {
     snapshot_rows.push_back(MeasureSnapshotPath(base, snapshot_toggles,
                                                 3000 + config.nodes));
     snapshot_rows.back().config = config;
+
+    for (size_t width : {size_t{64}, size_t{128}, size_t{256}}) {
+      SkewedRow srow;
+      srow.config = config;
+      srow.width = width;
+      std::vector<double> filtered_runs, unfiltered_runs;
+      for (int rep = 0; rep < reps; ++rep) {
+        const SkewedResult filtered = MeasureSkewedWindow(
+            base, width, skew_rounds, /*enable_affect_filter=*/true,
+            4000 + rep);
+        filtered_runs.push_back(filtered.median_us);
+        srow.filtered_stats = filtered.stats;
+        const SkewedResult unfiltered = MeasureSkewedWindow(
+            base, width, skew_rounds, /*enable_affect_filter=*/false,
+            4000 + rep);
+        unfiltered_runs.push_back(unfiltered.median_us);
+        srow.unfiltered_stats = unfiltered.stats;
+        // The no-recompute-cliff contract: every filtered repair is a
+        // patch (the one relevant delta, plus at most a handful of hot
+        // writes that graze the user's neighborhood), while the
+        // unfiltered dispatch recomputes on every single serve.
+        PRIVREC_CHECK_EQ(filtered.stats.delta_recomputed, 0u);
+        PRIVREC_CHECK_EQ(unfiltered.stats.delta_recomputed,
+                         static_cast<uint64_t>(skew_rounds));
+        PRIVREC_CHECK_GT(filtered.stats.filter_dropped_deltas, 0u);
+      }
+      srow.filtered_us = Median(std::move(filtered_runs));
+      srow.unfiltered_us = Median(std::move(unfiltered_runs));
+      skewed_rows.push_back(srow);
+    }
   }
 
   TablePrinter latency_table({"graph", "baseline us/serve", "delta us/serve",
@@ -502,9 +685,43 @@ int Main(int argc, char** argv) {
       "rebuild, median)\n");
   snapshot_table.Print();
 
+  TablePrinter skewed_table(
+      {"graph", "window", "filtered repair us", "unfiltered repair us",
+       "repair speedup", "filtered serve us", "unfiltered serve us",
+       "dropped", "recomputed (off)"});
+  for (const SkewedRow& row : skewed_rows) {
+    const auto repair_us = [](const ServiceStats& stats) {
+      const uint64_t repairs =
+          stats.delta_patched + stats.delta_recomputed;
+      return repairs == 0
+                 ? 0.0
+                 : static_cast<double>(stats.repair_ns) / 1e3 /
+                       static_cast<double>(repairs);
+    };
+    const double on_us = repair_us(row.filtered_stats);
+    const double off_us = repair_us(row.unfiltered_stats);
+    skewed_table.AddRow(
+        {std::to_string(row.config.nodes) + "n/" +
+             std::to_string(row.config.edges) + "m",
+         std::to_string(row.width) + "+1", FormatDouble(on_us, 2),
+         FormatDouble(off_us, 2), FormatDouble(off_us / on_us, 1) + "x",
+         FormatDouble(row.filtered_us, 2),
+         FormatDouble(row.unfiltered_us, 2),
+         std::to_string(row.filtered_stats.filter_dropped_deltas),
+         std::to_string(row.unfiltered_stats.delta_recomputed)});
+  }
+  std::printf(
+      "\nskewed-write windows: repairing the ONE affected user behind a "
+      "wide window of\nfar-away writes (affect filter on vs off). 'repair "
+      "us' is the filter+patch (or\nrecompute) work alone "
+      "(ServiceStats::repair_ns); 'serve us' is the end-to-end\nmedian, "
+      "which both paths pad with the same journal drain and sampler "
+      "re-freeze.\n");
+  skewed_table.Print();
+
   if (!json_path.empty()) {
-    WriteJson(json_path, users, toggles, ops, reps, latency_rows,
-              throughput_rows, snapshot_rows);
+    WriteJson(json_path, users, toggles, ops, reps, skew_rounds,
+              latency_rows, throughput_rows, snapshot_rows, skewed_rows);
   }
   return 0;
 }

@@ -15,18 +15,26 @@
 #   ci/sanitize.sh --asan     # additionally ASan+UBSan over ALL tests
 #   ci/sanitize.sh --audit    # additionally ASan+UBSan over the `audit`
 #                             # label, then bench_audit_landscape /
-#                             # bench_mutation_serving with their output
+#                             # bench_mutation_serving /
+#                             # bench_two_hop_kernels with their output
 #                             # wired into the checked-in BENCH JSONs
+#   ci/sanitize.sh --native   # additionally a PRIVREC_NATIVE_ARCH=ON
+#                             # (-march=native) smoke build running the
+#                             # kernel differential + incremental suites,
+#                             # proving the vectorized codegen stays
+#                             # bitwise-identical to the portable build
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_asan=0
 run_audit=0
+run_native=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --audit) run_audit=1 ;;
+    --native) run_native=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -74,6 +82,21 @@ if [[ "$run_audit" == "1" ]]; then
   echo "=== [default] bench_mutation_serving -> BENCH_mutation_serving.json ==="
   cmake --build --preset default -j "$(nproc)" --target bench_mutation_serving
   ./build/bench_mutation_serving --json=BENCH_mutation_serving.json
+  echo "=== [default] bench_two_hop_kernels -> BENCH_two_hop_kernels.json ==="
+  cmake --build --preset default -j "$(nproc)" --target bench_two_hop_kernels
+  ./build/bench_two_hop_kernels --json=BENCH_two_hop_kernels.json
+fi
+
+if [[ "$run_native" == "1" ]]; then
+  echo "=== [native] configure + build (-march=native) ==="
+  cmake --preset native
+  cmake --build --preset native -j "$(nproc)"
+  echo "=== [native] ctest (kernel differential + incremental) ==="
+  # The bitwise-identity contract must survive the widest codegen the host
+  # offers: the differential suite re-checks kernel == naive, and the
+  # incremental suite re-checks patch == fresh Compute, both under
+  # -march=native.
+  ctest --preset native-kernels
 fi
 
 echo "sanitize: OK"

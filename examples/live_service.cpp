@@ -87,6 +87,8 @@ int main(int argc, char** argv) {
   table.AddRow({"entries kept across mutations",
                 std::to_string(stats.delta_kept)});
   table.AddRow({"entries delta-patched", std::to_string(stats.delta_patched)});
+  table.AddRow({"deltas dropped by affect filter",
+                std::to_string(stats.filter_dropped_deltas)});
   table.AddRow({"entries recomputed (wide window)",
                 std::to_string(stats.delta_recomputed)});
   table.AddRow({"journal fallbacks", std::to_string(stats.journal_fallbacks)});

@@ -33,4 +33,38 @@ std::vector<NodeId> AffectedTargets(const CsrGraph& graph,
   return targets;
 }
 
+void FilterAffectingDeltas(const CsrGraph& graph,
+                           std::span<const EdgeDelta> deltas, NodeId target,
+                           std::span<const NodeId> extra_nodes,
+                           std::vector<EdgeDelta>& out) {
+  // Ever-neighbors: heads of window arcs incident to the target. These
+  // nodes' adjacency must be fully reconstructible even when the final
+  // snapshot no longer shows the target edge (the batch engine subtracts
+  // their pre-window contribution).
+  std::vector<NodeId> ever;
+  for (const EdgeDelta& delta : deltas) {
+    if (delta.u == target) {
+      ever.push_back(delta.v);
+    } else if (!graph.directed() && delta.v == target) {
+      ever.push_back(delta.u);
+    }
+  }
+  std::sort(ever.begin(), ever.end());
+  ever.erase(std::unique(ever.begin(), ever.end()), ever.end());
+
+  const auto relevant = [&](NodeId x) {
+    return x == target || graph.HasEdge(target, x) ||
+           std::binary_search(ever.begin(), ever.end(), x) ||
+           std::binary_search(extra_nodes.begin(), extra_nodes.end(), x);
+  };
+  for (const EdgeDelta& delta : deltas) {
+    // Directed: only the tail's out-adjacency changes; the head's
+    // out-state is untouched (mirrors EdgeDeltaAffectsTarget).
+    const bool keep = graph.directed()
+                          ? relevant(delta.u)
+                          : (relevant(delta.u) || relevant(delta.v));
+    if (keep) out.push_back(delta);
+  }
+}
+
 }  // namespace privrec

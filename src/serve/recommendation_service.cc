@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "core/mechanism.h"
 
 namespace privrec {
@@ -147,23 +148,54 @@ void RecommendationService::RepairEntryLocked(
             std::max(entry.calibration_sensitivity, sensitivity);
         return;
       }
-      if (deltas->size() == 1) {
+      // Affect-filtered window patching (ISSUE 6): shrink the window to
+      // the deltas that can matter for THIS target before the size-based
+      // dispatch below, so max_patch_window bounds relevant deltas, not
+      // raw width — under skewed write traffic an affected entry behind a
+      // wide window of mostly-elsewhere toggles still takes the O(Δ)
+      // patch instead of the recompute cliff. The filter's exactness
+      // contract (UtilityFunction::FilterAffectingWindow) makes every
+      // dispatch below — including the filtered-singleton single-delta
+      // patch — equal to patching the full window.
+      Stopwatch repair_watch;
+      std::span<const EdgeDelta> window = *deltas;
+      if (options_.enable_affect_filter) {
+        shard.filtered.clear();
+        utility_->FilterAffectingWindow(*snap.graph, *deltas, user,
+                                        entry.utilities, shard.filtered);
+        shard.stats.filter_dropped_deltas +=
+            deltas->size() - shard.filtered.size();
+        window = shard.filtered;
+        if (window.empty()) {
+          // Unreachable for the shipped utilities (an affecting window
+          // never filters to empty — see FilterAffectingDeltas), but the
+          // filter contract makes keeping correct regardless: every
+          // dropped delta provably leaves this vector unchanged.
+          ++shard.stats.cache_hits;
+          ++shard.stats.delta_kept;
+          entry.version = snap.version;
+          entry.calibration_sensitivity =
+              std::max(entry.calibration_sensitivity, sensitivity);
+          return;
+        }
+      }
+      if (window.size() == 1) {
         // O(Δ) patch, exactly equal to a fresh Compute; the vector changed,
         // so the frozen sampler dies and the calibration re-anchors at the
         // snapshot the repaired vector now reflects.
         entry.utilities = utility_->ApplyEdgeDelta(
-            *snap.graph, deltas->front(), user, entry.utilities,
+            *snap.graph, window.front(), user, entry.utilities,
             shard.workspace);
         ++shard.stats.cache_hits;
         ++shard.stats.delta_patched;
       } else if (utility_->SupportsIncrementalBatch() &&
-                 deltas->size() <= options_.max_patch_window) {
+                 window.size() <= options_.max_patch_window) {
         // Sequential multi-delta patching: the whole window is spliced in
         // one pass against the post-window snapshot (ApplyEdgeDeltaBatch
         // honors the same exact-equality contract) — cheaper than a
         // recompute as long as the window stays narrow.
         entry.utilities = utility_->ApplyEdgeDeltaBatch(
-            *snap.graph, *deltas, user, entry.utilities, shard.workspace);
+            *snap.graph, window, user, entry.utilities, shard.workspace);
         ++shard.stats.cache_hits;
         ++shard.stats.delta_patched;
       } else {
@@ -175,6 +207,8 @@ void RecommendationService::RepairEntryLocked(
         ++shard.stats.cache_misses;
         ++shard.stats.delta_recomputed;
       }
+      shard.stats.repair_ns +=
+          static_cast<uint64_t>(repair_watch.ElapsedSeconds() * 1e9);
       entry.version = snap.version;
       entry.calibration_sensitivity = sensitivity;
       entry.sampler.reset();
@@ -420,6 +454,8 @@ ServiceStats RecommendationService::stats() const {
     total.delta_recomputed += shard.stats.delta_recomputed;
     total.journal_fallbacks += shard.stats.journal_fallbacks;
     total.doomed_evictions += shard.stats.doomed_evictions;
+    total.filter_dropped_deltas += shard.stats.filter_dropped_deltas;
+    total.repair_ns += shard.stats.repair_ns;
   }
   return total;
 }

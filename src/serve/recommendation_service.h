@@ -48,8 +48,19 @@ struct ServiceOptions {
   /// net-changed intermediate, so its cost grows with the window, while a
   /// 2-hop recompute is flat — for an entry that lagged hundreds of
   /// toggles behind, recomputing is the cheaper exact repair. Single-delta
-  /// patches are unaffected.
+  /// patches are unaffected. With enable_affect_filter this bounds
+  /// RELEVANT deltas (post-filter), not raw window width.
   size_t max_patch_window = 32;
+  /// Affect-filtered window patching: before dispatching a repair, the
+  /// drained window is filtered down to the deltas that can matter for
+  /// THIS target (UtilityFunction::FilterAffectingWindow — exactness
+  /// contract there), so an entry behind a wide window of mostly-elsewhere
+  /// writes is patched in O(deltas touching its neighborhood) instead of
+  /// falling off the max_patch_window cliff into a full recompute.
+  /// Disabled, repair dispatches on raw window width — the PR 5 behavior,
+  /// kept reachable for differential tests and the skewed-write bench
+  /// contrast (bench/mutation_serving.cc).
+  bool enable_affect_filter = true;
 };
 
 /// Serving statistics. Returned by value from stats(): an exact sum of the
@@ -101,6 +112,19 @@ struct ServiceStats {
   /// passed their version (they could never be delta-repaired; their next
   /// visit would have been a journal_fallback recompute anyway).
   uint64_t doomed_evictions = 0;
+  /// Deltas dropped by the per-target affect filter
+  /// (ServiceOptions::enable_affect_filter) across all repairs: the gap
+  /// between raw drained-window width and what the patches actually had
+  /// to process. High values under write-heavy traffic are the filter
+  /// doing its job (most writes miss most targets' neighborhoods).
+  uint64_t filter_dropped_deltas = 0;
+  /// Wall time spent inside affected-entry repairs (the affect filter plus
+  /// the patch or recompute that follows it; delta_patched +
+  /// delta_recomputed events). Keeps the repair path's cost observable
+  /// without timing every serve: kept entries and sampler work are
+  /// excluded, so repair_ns / (delta_patched + delta_recomputed) is the
+  /// average price of a repair under the current traffic.
+  uint64_t repair_ns = 0;
 };
 
 /// The production wrapper a deployment would put around this library:
@@ -249,6 +273,10 @@ class RecommendationService {
     std::unordered_map<NodeId, CacheEntry> cache;
     std::unordered_map<NodeId, PrivacyAccountant> accountants;
     UtilityWorkspace workspace;
+    /// Reusable buffer for the affect-filtered window (RepairEntryLocked);
+    /// shard-local like the workspace, so steady-state repairs allocate
+    /// nothing.
+    std::vector<EdgeDelta> filtered;
     /// The shard's private randomness stream (Rng-less overloads).
     Rng rng;
     uint64_t clock = 0;

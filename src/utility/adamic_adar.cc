@@ -4,21 +4,19 @@
 
 #include "graph/traversal.h"
 #include "utility/incremental.h"
+#include "utility/two_hop_kernels.h"
 
 namespace privrec {
 
 UtilityVector AdamicAdarUtility::Compute(const CsrGraph& graph, NodeId target,
                                          UtilityWorkspace& workspace) const {
-  workspace.PrepareFor(graph);
-  SparseCounter& counter = workspace.counter(0);
-  for (NodeId mid : graph.OutNeighbors(target)) {
-    const double weight = InverseLogDegreeWeight(graph.OutDegree(mid));
-    for (NodeId far : graph.OutNeighbors(mid)) {
-      if (far == target) continue;
-      counter.Add(far, weight);
-    }
-  }
-  return FinalizeUtilityScores(graph, target, counter, workspace);
+  // Frontier kernel: the per-intermediate weights accumulate in the same
+  // mid-major CSR order as the naive scatter, so the float sums are
+  // bit-identical (see the bitwise-exactness contract in
+  // utility/two_hop_kernels.h).
+  return ComputeTwoHopUtility(graph, target, workspace,
+                              &InverseLogDegreeWeight,
+                              /*constant_weight=*/false);
 }
 
 UtilityVector AdamicAdarUtility::ApplyEdgeDelta(

@@ -2,6 +2,7 @@
 
 #include "graph/traversal.h"
 #include "utility/incremental.h"
+#include "utility/two_hop_kernels.h"
 
 namespace privrec {
 namespace {
@@ -12,15 +13,11 @@ double UnitWeight(uint32_t /*degree*/) { return 1.0; }
 
 UtilityVector CommonNeighborsUtility::Compute(
     const CsrGraph& graph, NodeId target, UtilityWorkspace& workspace) const {
-  workspace.PrepareFor(graph);
-  SparseCounter& counter = workspace.counter(0);
-  for (NodeId mid : graph.OutNeighbors(target)) {
-    for (NodeId far : graph.OutNeighbors(mid)) {
-      if (far == target) continue;
-      counter.Add(far, 1.0);
-    }
-  }
-  return FinalizeUtilityScores(graph, target, counter, workspace);
+  // Frontier kernel (utility/two_hop_kernels.h): bitwise-identical to the
+  // retained NaiveTwoHopReference scatter loop, branch-free expansion +
+  // bitmap finalize.
+  return ComputeTwoHopUtility(graph, target, workspace, &UnitWeight,
+                              /*constant_weight=*/true);
 }
 
 UtilityVector CommonNeighborsUtility::ApplyEdgeDelta(

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "graph/traversal.h"
+#include "utility/two_hop_kernels.h"
 
 namespace privrec {
 namespace {
@@ -20,16 +21,14 @@ double UnitWeight(uint32_t /*degree*/) { return 1.0; }
 /// The other endpoint's score recomputed from scratch: Σ over first hops
 /// z of target with an arc z→node, weighted at z's POST-delta out-degree.
 /// Used when an edge removal returns `node` to the target's candidate set
-/// (its cached entry was suppressed while it was a neighbor). Iterates
-/// first hops in CSR order — the same accumulation order Compute uses, so
-/// even float-weighted scores come out identical.
+/// (its cached entry was suppressed while it was a neighbor). Routed
+/// through the adaptive intersection kernels
+/// (utility/two_hop_kernels.h), which emit matches in the same ascending
+/// first-hop order as Compute — so even float-weighted scores come out
+/// identical.
 double ScoreFromScratch(const CsrGraph& graph, NodeId target, NodeId node,
                         DegreeWeightFn weight) {
-  double score = 0;
-  for (NodeId z : graph.OutNeighbors(target)) {
-    if (graph.HasEdge(z, node)) score += weight(graph.OutDegree(z));
-  }
-  return score;
+  return ScoreCandidateTwoHop(graph, target, node, weight);
 }
 
 /// Single-delta core: adjusts a counter pre-loaded with the target's

@@ -1,13 +1,16 @@
 #include "utility/link_predictors.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "graph/traversal.h"
 #include "utility/incremental.h"
+#include "utility/two_hop_kernels.h"
 
 namespace privrec {
 namespace {
@@ -34,23 +37,43 @@ bool HasPositiveEntry(const UtilityVector& vec, NodeId node) {
 
 UtilityVector JaccardUtility::Compute(const CsrGraph& graph, NodeId target,
                                       UtilityWorkspace& workspace) const {
+  // Frontier kernel with a fused union-term emit: the intersection counts
+  // accumulate in the same order as the naive two-counter pass
+  // (NaiveJaccardReference), and the drain applies the identical
+  // uni > 0 guard and inter/uni float expression per candidate — so the
+  // result is bitwise-identical while touching each candidate once
+  // instead of three times.
   workspace.PrepareFor(graph);
-  SparseCounter& common = workspace.counter(0);
-  for (NodeId mid : graph.OutNeighbors(target)) {
-    for (NodeId far : graph.OutNeighbors(mid)) {
-      if (far == target) continue;
-      common.Add(far, 1.0);
-    }
+  TwoHopScratch& scratch = workspace.two_hop();
+  uint64_t expansion = 0;
+  for (const NodeId mid : graph.OutNeighbors(target)) {
+    expansion += graph.OutDegree(mid);
   }
-  SparseCounter& scores = workspace.counter(1);
+  scratch.PrepareFor(graph.num_nodes(), expansion);
+  const size_t frontier_size = ExpandTwoHopFrontier(
+      graph, target, scratch, nullptr, /*constant_weight=*/true);
+  SetNeighborBits(graph, target, scratch);
+  std::vector<UtilityEntry>& nonzero = workspace.entries();
+  nonzero.reserve(frontier_size);
+  uint32_t* const counts = scratch.counts.data();
+  const NodeId* const frontier = scratch.frontier.data();
   const double d_r = graph.OutDegree(target);
-  for (NodeId v : common.touched()) {
-    const double inter = common.Get(v);
+  for (size_t k = 0; k < frontier_size; ++k) {
+    const NodeId v = frontier[k];
+    const double inter = static_cast<double>(counts[v]);
+    counts[v] = 0;
+    if (v == target) continue;
     const double uni =
         d_r + static_cast<double>(graph.OutDegree(v)) - inter;
-    if (uni > 0) scores.Add(v, inter / uni);
+    if (!(uni > 0)) continue;
+    const double score = inter / uni;
+    if (TestNeighborBit(scratch, v)) continue;
+    if (score > 0) nonzero.push_back({v, score});
   }
-  return FinalizeUtilityScores(graph, target, scores, workspace);
+  ClearNeighborBits(graph, target, scratch);
+  const uint64_t num_candidates =
+      static_cast<uint64_t>(graph.num_nodes()) - 1 - graph.OutDegree(target);
+  return UtilityVector(target, num_candidates, nonzero);
 }
 
 UtilityVector JaccardUtility::ApplyEdgeDelta(
@@ -95,21 +118,54 @@ bool JaccardUtility::EdgeDeltaWindowAffects(const CsrGraph& graph,
   if (!graph.directed()) return false;
   // Directed hidden-support case (see ApplyEdgeDelta): a tail whose
   // out-degree was ZERO before the window can hide a full-intersection
-  // candidate behind Compute's uni > 0 guard, and any arc it gained can
-  // surface that candidate — cached support cannot witness it, so flag
-  // every target (rare: toggles on sink nodes only). The pre-window
-  // degree is the post-batch degree minus the window's net arc changes
-  // per tail; a lone post-batch OutDegree test would miss a tail that
-  // left zero in several steps.
+  // candidate behind Compute's uni > 0 guard (uni = d_r + 0 - I = 0
+  // forces I = d_r), and any arc it gained can surface that candidate —
+  // cached support cannot witness it. The pre-window degree is the
+  // post-batch degree minus the window's net arc changes per tail; a lone
+  // post-batch OutDegree test would miss a tail that left zero in several
+  // steps.
+  //
+  // Narrowed per target (ISSUE 6 — the old target-independent form
+  // flagged EVERY cached entry whenever any sink node toggled, turning
+  // each one into a recompute): only a tail that crossed OUT of degree
+  // zero can surface a hidden candidate, and its post-window score is
+  // nonzero only if the target still 2-hop-reaches it (I_post > 0). The
+  // reverse crossing — a candidate falling TO degree zero — hides an
+  // entry the cache DID store, which the cached-support clause above
+  // already flags; and every intersection/d_r shift is structural.
   std::unordered_map<NodeId, int64_t> net;
   for (const EdgeDelta& delta : deltas) {
     net[delta.u] += delta.added ? 1 : -1;
   }
   for (const auto& [tail, shift] : net) {
     const int64_t pre = static_cast<int64_t>(graph.OutDegree(tail)) - shift;
-    if (pre <= 0 || graph.OutDegree(tail) == 0) return true;
+    if (pre > 0 || graph.OutDegree(tail) == 0) continue;
+    if (TwoHopReaches(graph, target, tail)) return true;
   }
   return false;
+}
+
+void JaccardUtility::FilterAffectingWindow(const CsrGraph& graph,
+                                           std::span<const EdgeDelta> deltas,
+                                           NodeId target,
+                                           const UtilityVector& cached,
+                                           std::vector<EdgeDelta>& out) const {
+  if (graph.directed()) {
+    // Directed repairs recompute regardless (see ApplyEdgeDelta), so
+    // filtering buys nothing and the hidden-support dependence is not
+    // per-delta separable — keep the whole window.
+    out.insert(out.end(), deltas.begin(), deltas.end());
+    return;
+  }
+  // Union-term dependence: every cached score reads its candidate's
+  // degree, and the patch engine nets PRE-window degrees from the window
+  // — so any delta touching a support node must survive the filter, on
+  // top of the structural ever-neighborhood rule.
+  std::vector<NodeId> support;
+  support.reserve(cached.nonzero().size());
+  for (const UtilityEntry& e : cached.nonzero()) support.push_back(e.node);
+  std::sort(support.begin(), support.end());
+  FilterAffectingDeltas(graph, deltas, target, support, out);
 }
 
 double JaccardUtility::SensitivityBound(const CsrGraph& graph) const {
@@ -160,18 +216,11 @@ double PreferentialAttachmentUtility::EdgeAlterationsT(
 
 UtilityVector ResourceAllocationUtility::Compute(
     const CsrGraph& graph, NodeId target, UtilityWorkspace& workspace) const {
-  workspace.PrepareFor(graph);
-  SparseCounter& scores = workspace.counter(0);
-  for (NodeId mid : graph.OutNeighbors(target)) {
-    const uint32_t degree = graph.OutDegree(mid);
-    if (degree == 0) continue;
-    const double weight = 1.0 / static_cast<double>(degree);
-    for (NodeId far : graph.OutNeighbors(mid)) {
-      if (far == target) continue;
-      scores.Add(far, weight);
-    }
-  }
-  return FinalizeUtilityScores(graph, target, scores, workspace);
+  // Frontier kernel; InverseDegreeWeight returns 0 for degree-0
+  // intermediates, which the kernel prunes — the same skip the naive loop
+  // took (and bitwise-identical sums either way).
+  return ComputeTwoHopUtility(graph, target, workspace, &InverseDegreeWeight,
+                              /*constant_weight=*/false);
 }
 
 UtilityVector ResourceAllocationUtility::ApplyEdgeDelta(

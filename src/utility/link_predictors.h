@@ -66,6 +66,15 @@ class JaccardUtility : public UtilityFunction {
                               NodeId target,
                               const UtilityVector& cached) const override;
 
+  /// Widens the structural affect filter by the cached support (the
+  /// union-term dependence: the patch engine nets support nodes'
+  /// pre-window degrees from the window, so their deltas must survive).
+  /// Directed graphs keep the whole window (repairs recompute anyway).
+  void FilterAffectingWindow(const CsrGraph& graph,
+                             std::span<const EdgeDelta> deltas, NodeId target,
+                             const UtilityVector& cached,
+                             std::vector<EdgeDelta>& out) const override;
+
   /// One edge toggle moves the intersection by <= 1 and the union by <= 1
   /// for up to two affected candidates, each term bounded by 1 (Jaccard is
   /// in [0,1] and changes by at most 1 per candidate); additionally the

@@ -1,0 +1,420 @@
+#include "utility/two_hop_kernels.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/traversal.h"
+
+namespace privrec {
+namespace {
+
+// ----------------------------------------------------------- count kernels
+
+uint32_t LinearCount(std::span<const NodeId> a, std::span<const NodeId> b,
+                     size_t i, size_t j) {
+  uint32_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    const NodeId x = a[i];
+    const NodeId y = b[j];
+    count += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return count;
+}
+
+uint32_t GallopCount(std::span<const NodeId> small,
+                     std::span<const NodeId> large) {
+  uint32_t count = 0;
+  size_t lo = 0;
+  for (const NodeId x : small) {
+    if (lo >= large.size()) break;
+    // Exponential probe from the moving lower bound, then binary search
+    // inside the bracketed run.
+    size_t bound = 1;
+    while (lo + bound < large.size() && large[lo + bound] < x) bound *= 2;
+    const size_t end = std::min(lo + bound + 1, large.size());
+    const NodeId* it =
+        std::lower_bound(large.data() + lo, large.data() + end, x);
+    lo = static_cast<size_t>(it - large.data());
+    if (lo < large.size() && large[lo] == x) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+// Fixed block width of the all-pairs merge. 4x4 keeps the compare matrix
+// in two vector registers on any 128-bit-SIMD baseline while still
+// quartering the branch count of the two-pointer merge.
+constexpr size_t kBlock = 4;
+
+uint32_t BlockedCount(std::span<const NodeId> a, std::span<const NodeId> b) {
+  size_t i = 0;
+  size_t j = 0;
+  uint32_t count = 0;
+  while (i + kBlock <= a.size() && j + kBlock <= b.size()) {
+    // 16 independent, branch-free equality tests — the compiler's
+    // auto-vectorizer turns these into packed compares.
+    uint32_t hits = 0;
+    for (size_t ii = 0; ii < kBlock; ++ii) {
+      const NodeId x = a[i + ii];
+      hits += static_cast<uint32_t>(x == b[j]) +
+              static_cast<uint32_t>(x == b[j + 1]) +
+              static_cast<uint32_t>(x == b[j + 2]) +
+              static_cast<uint32_t>(x == b[j + 3]);
+    }
+    count += hits;
+    // Discard the block(s) with the smaller maximum: every match a
+    // discarded element could still make lies inside the other CURRENT
+    // block and was just tested.
+    const NodeId a_max = a[i + kBlock - 1];
+    const NodeId b_max = b[j + kBlock - 1];
+    i += (a_max <= b_max) ? kBlock : 0;
+    j += (b_max <= a_max) ? kBlock : 0;
+  }
+  return count + LinearCount(a, b, i, j);
+}
+
+// -------------------------------------------------------- weighted kernels
+// Every variant emits matches in ascending id order (see header), so the
+// float accumulation order is strategy-independent.
+
+double LinearWeightedSum(const CsrGraph& graph, std::span<const NodeId> a,
+                         std::span<const NodeId> b, DegreeWeightFn weight,
+                         size_t i, size_t j) {
+  double sum = 0;
+  while (i < a.size() && j < b.size()) {
+    const NodeId x = a[i];
+    const NodeId y = b[j];
+    if (x == y) sum += weight(graph.OutDegree(x));
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return sum;
+}
+
+double GallopWeightedSum(const CsrGraph& graph, std::span<const NodeId> small,
+                         std::span<const NodeId> large, DegreeWeightFn weight) {
+  double sum = 0;
+  size_t lo = 0;
+  for (const NodeId x : small) {
+    if (lo >= large.size()) break;
+    size_t bound = 1;
+    while (lo + bound < large.size() && large[lo + bound] < x) bound *= 2;
+    const size_t end = std::min(lo + bound + 1, large.size());
+    const NodeId* it =
+        std::lower_bound(large.data() + lo, large.data() + end, x);
+    lo = static_cast<size_t>(it - large.data());
+    if (lo < large.size() && large[lo] == x) {
+      sum += weight(graph.OutDegree(x));
+      ++lo;
+    }
+  }
+  return sum;
+}
+
+double BlockedWeightedSum(const CsrGraph& graph, std::span<const NodeId> a,
+                          std::span<const NodeId> b, DegreeWeightFn weight) {
+  size_t i = 0;
+  size_t j = 0;
+  double sum = 0;
+  while (i + kBlock <= a.size() && j + kBlock <= b.size()) {
+    for (size_t ii = 0; ii < kBlock; ++ii) {
+      const NodeId x = a[i + ii];
+      // Branch-free hit test; the weight lookup stays behind a branch
+      // because it chases the degree array (and `weight` is an opaque
+      // function pointer).
+      const bool hit = (x == b[j]) | (x == b[j + 1]) | (x == b[j + 2]) |
+                       (x == b[j + 3]);
+      if (hit) sum += weight(graph.OutDegree(x));
+    }
+    const NodeId a_max = a[i + kBlock - 1];
+    const NodeId b_max = b[j + kBlock - 1];
+    i += (a_max <= b_max) ? kBlock : 0;
+    j += (b_max <= a_max) ? kBlock : 0;
+  }
+  return sum + LinearWeightedSum(graph, a, b, weight, i, j);
+}
+
+/// LSD byte-radix sort, ascending. Branch-free scatter passes (no
+/// per-element comparisons, so none of the mispredict cost a comparison
+/// sort pays on tie-heavy keys); byte positions all keys agree on are
+/// skipped, so a (count << 32 | node) key set on an n-node graph costs
+/// ~ceil(log256(n)) + ceil(log256(max_count)) passes.
+void RadixSortKeys(std::vector<uint64_t>& keys, std::vector<uint64_t>& tmp) {
+  const size_t n = keys.size();
+  if (n < 2) return;
+  // One histogram pass for all 8 byte positions (the distribution is
+  // permutation-invariant, so the histograms stay valid across passes).
+  uint32_t hist[8][256] = {};
+  for (const uint64_t key : keys) {
+    for (int b = 0; b < 8; ++b) ++hist[b][(key >> (8 * b)) & 0xff];
+  }
+  if (tmp.size() < n) tmp.resize(n);
+  uint64_t* src = keys.data();
+  uint64_t* dst = tmp.data();
+  for (int b = 0; b < 8; ++b) {
+    // Skip bytes every key shares (one full bucket): the pass would be a
+    // plain copy.
+    if (hist[b][(src[0] >> (8 * b)) & 0xff] == n) continue;
+    uint32_t pos[256];
+    uint32_t run = 0;
+    for (int i = 0; i < 256; ++i) {
+      pos[i] = run;
+      run += hist[b][i];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[pos[(src[i] >> (8 * b)) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != keys.data()) std::copy(src, src + n, keys.data());
+}
+
+}  // namespace
+
+IntersectStrategy ChooseIntersectStrategy(size_t size_a, size_t size_b) {
+  const size_t small = std::min(size_a, size_b);
+  const size_t large = std::max(size_a, size_b);
+  if (small == 0) return IntersectStrategy::kLinearMerge;
+  if (large >= 16 * small) return IntersectStrategy::kGalloping;
+  if (small >= 16) return IntersectStrategy::kBlockedMerge;
+  return IntersectStrategy::kLinearMerge;
+}
+
+uint32_t IntersectCount(std::span<const NodeId> a, std::span<const NodeId> b,
+                        IntersectStrategy strategy) {
+  switch (strategy) {
+    case IntersectStrategy::kGalloping:
+      // Degree-ordered: the shorter list always drives the gallop.
+      return a.size() <= b.size() ? GallopCount(a, b) : GallopCount(b, a);
+    case IntersectStrategy::kBlockedMerge:
+      return BlockedCount(a, b);
+    case IntersectStrategy::kLinearMerge:
+      break;
+  }
+  return LinearCount(a, b, 0, 0);
+}
+
+double IntersectWeightedDegreeSum(const CsrGraph& graph,
+                                  std::span<const NodeId> a,
+                                  std::span<const NodeId> b,
+                                  DegreeWeightFn weight,
+                                  IntersectStrategy strategy) {
+  switch (strategy) {
+    case IntersectStrategy::kGalloping:
+      return a.size() <= b.size() ? GallopWeightedSum(graph, a, b, weight)
+                                  : GallopWeightedSum(graph, b, a, weight);
+    case IntersectStrategy::kBlockedMerge:
+      return BlockedWeightedSum(graph, a, b, weight);
+    case IntersectStrategy::kLinearMerge:
+      break;
+  }
+  return LinearWeightedSum(graph, a, b, weight, 0, 0);
+}
+
+double ScoreCandidateTwoHop(const CsrGraph& graph, NodeId target, NodeId node,
+                            DegreeWeightFn weight) {
+  const std::span<const NodeId> mids = graph.OutNeighbors(target);
+  if (!graph.directed()) {
+    // z → node ⟺ z ∈ N(node) on an undirected graph: the score is a
+    // weighted sorted-list intersection, dispatched adaptively.
+    return IntersectWeightedDegreeSum(graph, mids, graph.OutNeighbors(node),
+                                      weight);
+  }
+  // Directed: the in-adjacency of `node` is not available at this layer,
+  // so probe each intermediate's sorted list (ascending intermediate
+  // order — the same accumulation order as the undirected merge).
+  double score = 0;
+  for (const NodeId z : mids) {
+    if (graph.HasEdge(z, node)) score += weight(graph.OutDegree(z));
+  }
+  return score;
+}
+
+bool TwoHopReaches(const CsrGraph& graph, NodeId target, NodeId node) {
+  const std::span<const NodeId> mids = graph.OutNeighbors(target);
+  // Degree-ordered midpoint pruning: probe cheap lists first so a hit on
+  // a low-degree intermediate short-circuits the hub binary searches.
+  constexpr uint32_t kCheapDegree = 32;
+  for (const NodeId z : mids) {
+    if (graph.OutDegree(z) <= kCheapDegree && graph.HasEdge(z, node)) {
+      return true;
+    }
+  }
+  for (const NodeId z : mids) {
+    if (graph.OutDegree(z) > kCheapDegree && graph.HasEdge(z, node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ExpandTwoHopFrontier(const CsrGraph& graph, NodeId target,
+                            TwoHopScratch& scratch, DegreeWeightFn weight,
+                            bool constant_weight) {
+  NodeId* const frontier = scratch.frontier.data();
+  size_t size = 0;
+  if (constant_weight) {
+    // Constant-weight fast path: exact integer counts in the half-width
+    // accumulator (uint32 -> double is exact, so the emitted values are
+    // bit-identical to summing 1.0 per hit); the smaller working set
+    // keeps the random scatter in closer cache.
+    uint32_t* const counts = scratch.counts.data();
+    for (const NodeId mid : graph.OutNeighbors(target)) {
+      for (const NodeId far : graph.OutNeighbors(mid)) {
+        // Branch-free first-touch capture: the slot joins the frontier
+        // exactly when its accumulator was still zero. This is
+        // SparseCounter::Add without the unpredictable push_back branch.
+        const uint32_t prev = counts[far];
+        frontier[size] = far;
+        size += static_cast<size_t>(prev == 0);
+        counts[far] = prev + 1;
+      }
+    }
+    return size;
+  }
+  double* const acc = scratch.acc.data();
+  for (const NodeId mid : graph.OutNeighbors(target)) {
+    const double w = weight(graph.OutDegree(mid));
+    if (w == 0.0) continue;  // zero-weight midpoint prune (RA, deg 0)
+    for (const NodeId far : graph.OutNeighbors(mid)) {
+      // Same first-touch capture over the weighted accumulator (weights
+      // are > 0 here, so a touched slot can never return to zero
+      // mid-pass).
+      const double prev = acc[far];
+      frontier[size] = far;
+      size += static_cast<size_t>(prev == 0.0);
+      acc[far] = prev + w;
+    }
+  }
+  return size;
+}
+
+void SetNeighborBits(const CsrGraph& graph, NodeId target,
+                     TwoHopScratch& scratch) {
+  uint64_t* const bits = scratch.bits.data();
+  for (const NodeId v : graph.OutNeighbors(target)) {
+    bits[v >> 6] |= (uint64_t{1} << (v & 63));
+  }
+}
+
+void ClearNeighborBits(const CsrGraph& graph, NodeId target,
+                       TwoHopScratch& scratch) {
+  uint64_t* const bits = scratch.bits.data();
+  for (const NodeId v : graph.OutNeighbors(target)) {
+    bits[v >> 6] = 0;
+  }
+}
+
+UtilityVector ComputeTwoHopUtility(const CsrGraph& graph, NodeId target,
+                                   UtilityWorkspace& workspace,
+                                   DegreeWeightFn weight,
+                                   bool constant_weight) {
+  workspace.PrepareFor(graph);
+  TwoHopScratch& scratch = workspace.two_hop();
+  uint64_t expansion = 0;
+  for (const NodeId mid : graph.OutNeighbors(target)) {
+    expansion += graph.OutDegree(mid);
+  }
+  scratch.PrepareFor(graph.num_nodes(), expansion);
+  const size_t frontier_size =
+      ExpandTwoHopFrontier(graph, target, scratch, weight, constant_weight);
+  SetNeighborBits(graph, target, scratch);
+  std::vector<UtilityEntry>& nonzero = workspace.entries();
+  nonzero.reserve(frontier_size);
+  const NodeId* const frontier = scratch.frontier.data();
+  if (constant_weight) {
+    // Integer-count finalize with a branch-free radix pre-sort. The
+    // UtilityVector comparator (utility desc, node asc) is a unique total
+    // order — no two entries share a node — so ANY algorithm producing
+    // that order yields the identical vector; pre-sorting here turns the
+    // constructor's comparison sort (the serve path's mispredict
+    // hotspot: tie-heavy doubles) into a cheap pass over already-sorted
+    // input. Keys pack (count, node) so ascending-key order reversed is
+    // exactly (count desc, node asc).
+    uint32_t* const counts = scratch.counts.data();
+    const uint64_t last = graph.num_nodes() - 1;
+    std::vector<uint64_t>& keys = scratch.keys;
+    keys.clear();
+    keys.reserve(frontier_size);
+    for (size_t k = 0; k < frontier_size; ++k) {
+      const NodeId v = frontier[k];
+      const uint32_t c = counts[v];
+      counts[v] = 0;  // restore the all-zero rest state as we go
+      if (v == target) continue;
+      if (TestNeighborBit(scratch, v)) continue;
+      if (c > 0) {
+        keys.push_back((static_cast<uint64_t>(c) << 32) | (last - v));
+      }
+    }
+    RadixSortKeys(keys, scratch.keys_tmp);
+    for (size_t k = keys.size(); k-- > 0;) {
+      const uint64_t key = keys[k];
+      nonzero.push_back(
+          {static_cast<NodeId>(last - (key & 0xffffffffu)),
+           static_cast<double>(key >> 32)});
+    }
+  } else {
+    double* const acc = scratch.acc.data();
+    // Single drain pass in first-touch order — the same emission order as
+    // FinalizeUtilityScores walking SparseCounter::touched(), with the
+    // O(log d) HasEdge filter replaced by the O(1) neighbor-bitmap probe.
+    for (size_t k = 0; k < frontier_size; ++k) {
+      const NodeId v = frontier[k];
+      const double u = acc[v];
+      acc[v] = 0.0;
+      if (v == target) continue;
+      if (TestNeighborBit(scratch, v)) continue;
+      if (u > 0) nonzero.push_back({v, u});
+    }
+  }
+  ClearNeighborBits(graph, target, scratch);
+  const uint64_t num_candidates =
+      static_cast<uint64_t>(graph.num_nodes()) - 1 - graph.OutDegree(target);
+  return UtilityVector(target, num_candidates, nonzero);
+}
+
+UtilityVector NaiveTwoHopReference(const CsrGraph& graph, NodeId target,
+                                   UtilityWorkspace& workspace,
+                                   DegreeWeightFn weight,
+                                   bool constant_weight) {
+  workspace.PrepareFor(graph);
+  SparseCounter& counter = workspace.counter(0);
+  for (const NodeId mid : graph.OutNeighbors(target)) {
+    double w = 1.0;
+    if (!constant_weight) {
+      w = weight(graph.OutDegree(mid));
+      if (w == 0.0) continue;
+    }
+    for (const NodeId far : graph.OutNeighbors(mid)) {
+      if (far == target) continue;
+      counter.Add(far, w);
+    }
+  }
+  return FinalizeUtilityScores(graph, target, counter, workspace);
+}
+
+UtilityVector NaiveJaccardReference(const CsrGraph& graph, NodeId target,
+                                    UtilityWorkspace& workspace) {
+  workspace.PrepareFor(graph);
+  SparseCounter& common = workspace.counter(0);
+  for (const NodeId mid : graph.OutNeighbors(target)) {
+    for (const NodeId far : graph.OutNeighbors(mid)) {
+      if (far == target) continue;
+      common.Add(far, 1.0);
+    }
+  }
+  SparseCounter& scores = workspace.counter(1);
+  const double d_r = graph.OutDegree(target);
+  for (const NodeId v : common.touched()) {
+    const double inter = common.Get(v);
+    const double uni = d_r + static_cast<double>(graph.OutDegree(v)) - inter;
+    if (uni > 0) scores.Add(v, inter / uni);
+  }
+  return FinalizeUtilityScores(graph, target, scores, workspace);
+}
+
+}  // namespace privrec

@@ -3,6 +3,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "graph/csr_graph.h"
 #include "graph/edge_delta.h"
@@ -130,6 +131,31 @@ class UtilityFunction {
       if (EdgeDeltaAffects(graph, delta, target, cached)) return true;
     }
     return false;
+  }
+
+  /// Affect-filtered window patching: appends to `out` the sub-window of
+  /// `deltas` (an ordered journal window, `graph` the post-window
+  /// snapshot) that can matter for `target`, preserving window order.
+  /// Contract: patching `cached` with the filtered window through
+  /// ApplyEdgeDelta / ApplyEdgeDeltaBatch must equal patching with the
+  /// full window — the filter may only drop deltas that touch no state
+  /// the utility's compute or patch engines read for this target. The
+  /// serving cache uses this so max_patch_window bounds RELEVANT deltas,
+  /// not raw window width (ServiceOptions::enable_affect_filter).
+  ///
+  /// The default is the structural ever-neighborhood filter
+  /// (FilterAffectingDeltas), exact for the Σ weight(deg(intermediate))
+  /// family; utilities whose scores read candidate-side state widen it
+  /// (Jaccard adds its cached support). Must stay consistent with
+  /// EdgeDeltaWindowAffects: a window that test flags must never filter
+  /// to empty.
+  virtual void FilterAffectingWindow(const CsrGraph& graph,
+                                     std::span<const EdgeDelta> deltas,
+                                     NodeId target,
+                                     const UtilityVector& cached,
+                                     std::vector<EdgeDelta>& out) const {
+    (void)cached;
+    FilterAffectingDeltas(graph, deltas, target, out);
   }
 
   /// The paper's per-target edge-alteration count t used in Corollary 1:

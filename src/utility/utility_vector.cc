@@ -12,11 +12,18 @@ UtilityVector::UtilityVector(NodeId target, uint64_t num_candidates,
       num_candidates_(num_candidates),
       nonzero_(std::move(nonzero)) {
   PRIVREC_CHECK_GE(num_candidates_, nonzero_.size());
-  std::sort(nonzero_.begin(), nonzero_.end(),
-            [](const UtilityEntry& a, const UtilityEntry& b) {
-              if (a.utility != b.utility) return a.utility > b.utility;
-              return a.node < b.node;  // deterministic tie-break
-            });
+  const auto descending = [](const UtilityEntry& a, const UtilityEntry& b) {
+    if (a.utility != b.utility) return a.utility > b.utility;
+    return a.node < b.node;  // deterministic tie-break
+  };
+  // The comparator is a unique total order (nodes are distinct), so
+  // pre-sorted input — the 2-hop kernels emit via a branch-free radix
+  // pass (utility/two_hop_kernels.cc) — skips the comparison sort and its
+  // mispredict cost entirely; unsorted producers bail out of the check at
+  // the first inversion.
+  if (!std::is_sorted(nonzero_.begin(), nonzero_.end(), descending)) {
+    std::sort(nonzero_.begin(), nonzero_.end(), descending);
+  }
   for (const UtilityEntry& e : nonzero_) {
     PRIVREC_CHECK_GT(e.utility, 0.0)
         << "nonzero entries must be strictly positive";

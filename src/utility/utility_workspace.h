@@ -10,6 +10,44 @@
 
 namespace privrec {
 
+/// Raw scratch buffers for the 2-hop kernel layer
+/// (utility/two_hop_kernels.h): a dense per-node accumulator, a frontier
+/// buffer listing distinct candidates in first-touch order, and a one-bit
+/// per-node neighbor bitmap (the dense-target finalize fast path).
+///
+/// Invariant: `acc`, `counts`, and `bits` are ALL-ZERO between kernel
+/// calls. The kernels rezero exactly the slots they touched while
+/// draining, so PrepareFor never has to pay an O(n) clear — the same
+/// touched-list trick SparseCounter uses, without the per-add branch.
+///
+/// Constant-weight passes (common neighbors, Jaccard's intersection term)
+/// scatter into `counts` instead of `acc`: the values are exact integer
+/// counts, so the half-width accumulator loses nothing (a uint32 count
+/// converts to double exactly) while the random-access working set halves
+/// — on the bench fixtures that is the difference between the scatter
+/// hitting L1 and spilling to L2.
+struct TwoHopScratch {
+  std::vector<double> acc;        // weighted accumulator, all-zero at rest
+  std::vector<uint32_t> counts;   // constant-weight accumulator, all-zero
+  std::vector<NodeId> frontier;   // distinct candidates, first-touch order
+  std::vector<uint64_t> bits;     // neighbor bitmap, all-zero at rest
+  std::vector<uint64_t> keys;     // radix pre-sort buffers (no rest-state
+  std::vector<uint64_t> keys_tmp; // invariant; cleared on use)
+
+  /// Grows the buffers (zero-filling only the new tail, so the rest-state
+  /// invariant is preserved). `max_frontier` must bound the number of
+  /// frontier writes of the upcoming kernel call (the target's 2-hop
+  /// expansion size). Never shrinks: ping-ponging between graph sizes does
+  /// not reallocate.
+  void PrepareFor(NodeId num_nodes, uint64_t max_frontier) {
+    if (acc.size() < num_nodes) acc.resize(num_nodes, 0.0);
+    if (counts.size() < num_nodes) counts.resize(num_nodes, 0);
+    const size_t words = (static_cast<size_t>(num_nodes) + 63) / 64;
+    if (bits.size() < words) bits.resize(words, 0);
+    if (frontier.size() < max_frontier) frontier.resize(max_frontier);
+  }
+};
+
 /// Reusable scratch space for UtilityFunction::Compute: a pool of
 /// SparseCounters plus an entry buffer, all sized to the graph once and
 /// then recycled target after target. This removes every O(n) allocation
@@ -66,12 +104,18 @@ class UtilityWorkspace {
   /// workspace for the next target.
   std::vector<UtilityEntry>& entries() { return entries_; }
 
+  /// Scratch for the 2-hop kernels (utility/two_hop_kernels.h). NOT reset
+  /// by PrepareFor — the kernels maintain its all-zero rest-state invariant
+  /// themselves (see TwoHopScratch).
+  TwoHopScratch& two_hop() { return two_hop_; }
+
   NodeId num_nodes() const { return num_nodes_; }
 
  private:
   NodeId num_nodes_ = 0;
   std::deque<SparseCounter> counters_;
   std::vector<UtilityEntry> entries_;
+  TwoHopScratch two_hop_;
 };
 
 /// Shared epilogue of every 2-hop-style utility: turns a sparse score

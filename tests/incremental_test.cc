@@ -615,6 +615,140 @@ TEST(ApplyEdgeDeltaBatchTest, JaccardDirectedHiddenSupportSurfacesAcrossWindow) 
       << "candidate 5 should have surfaced";
 }
 
+// ------------------------------------------------- affect-filtered windows
+
+/// Same chained-window drive as RunBatchPatchEqualsComputeProperty, but
+/// every affected target is repaired with the AFFECT-FILTERED sub-window
+/// (UtilityFunction::FilterAffectingWindow) instead of the full window —
+/// the filter's exactness contract under test. Windows are widened (up to
+/// 8 toggles) and biased toward a hot node pool so most deltas are
+/// irrelevant to most targets, making the filter actually drop things.
+void RunFilteredPatchEqualsComputeProperty(const UtilityFunction& utility,
+                                           bool directed, bool bitwise,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  constexpr NodeId kNodes = 30;
+  auto base = ErdosRenyiGnm(kNodes, 75, directed, rng);
+  ASSERT_TRUE(base.ok());
+  DynamicGraph graph(*base);
+  UtilityWorkspace workspace;
+
+  std::vector<UtilityVector> cached;
+  cached.reserve(kNodes);
+  const DynamicGraph::StampedSnapshot initial = graph.VersionedSnapshot();
+  for (NodeId target = 0; target < kNodes; ++target) {
+    cached.push_back(utility.Compute(*initial.graph, target, workspace));
+  }
+
+  uint64_t dropped = 0;
+  for (int round = 0; round < 12; ++round) {
+    const size_t window_size = 1 + rng.NextBounded(8);
+    std::vector<EdgeDelta> window;
+    while (window.size() < window_size) {
+      // Skew: most toggles land inside the hot half of the node space.
+      const NodeId span = rng.NextBounded(4) == 0 ? kNodes : kNodes / 2;
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(span));
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(span));
+      if (u == v) continue;
+      const bool added = !graph.HasEdge(u, v);
+      ASSERT_TRUE((added ? graph.AddEdge(u, v) : graph.RemoveEdge(u, v)).ok());
+      window.push_back(EdgeDelta{u, v, added, graph.version()});
+    }
+    const DynamicGraph::StampedSnapshot snap = graph.VersionedSnapshot();
+    std::vector<EdgeDelta> filtered;
+    for (NodeId target = 0; target < kNodes; ++target) {
+      if (utility.EdgeDeltaWindowAffects(*snap.graph, window, target,
+                                         cached[target])) {
+        filtered.clear();
+        utility.FilterAffectingWindow(*snap.graph, window, target,
+                                      cached[target], filtered);
+        // Consistency with the affectedness gate: an affecting window
+        // never filters to empty (the service's empty-filter branch is
+        // defensive only).
+        ASSERT_FALSE(filtered.empty())
+            << utility.name() << ": affecting window filtered to empty at "
+            << "round " << round << " target " << target;
+        dropped += window.size() - filtered.size();
+        cached[target] = utility.ApplyEdgeDeltaBatch(
+            *snap.graph, filtered, target, cached[target], workspace);
+      }
+      ExpectVectorsIdentical(cached[target],
+                             utility.Compute(*snap.graph, target, workspace),
+                             bitwise);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << utility.name() << (directed ? " directed" : " undirected")
+               << ": filtered-window patch diverged at round " << round
+               << " (window " << window.size() << ") target " << target;
+      }
+    }
+  }
+  // The property is vacuous if the filter never drops anything.
+  EXPECT_GT(dropped, 0u) << utility.name()
+                         << ": filter dropped no deltas across the drive";
+}
+
+TEST(FilterAffectingWindowTest, CommonNeighborsFilteredPatchIsBitwiseExact) {
+  CommonNeighborsUtility cn;
+  RunFilteredPatchEqualsComputeProperty(cn, /*directed=*/false,
+                                        /*bitwise=*/true, 231);
+  RunFilteredPatchEqualsComputeProperty(cn, /*directed=*/true,
+                                        /*bitwise=*/true, 232);
+}
+
+TEST(FilterAffectingWindowTest, AdamicAdarFilteredPatchMatchesFreshCompute) {
+  AdamicAdarUtility aa;
+  RunFilteredPatchEqualsComputeProperty(aa, /*directed=*/false,
+                                        /*bitwise=*/false, 233);
+  RunFilteredPatchEqualsComputeProperty(aa, /*directed=*/true,
+                                        /*bitwise=*/false, 234);
+}
+
+TEST(FilterAffectingWindowTest,
+     ResourceAllocationFilteredPatchMatchesFreshCompute) {
+  ResourceAllocationUtility ra;
+  RunFilteredPatchEqualsComputeProperty(ra, /*directed=*/false,
+                                        /*bitwise=*/false, 235);
+  RunFilteredPatchEqualsComputeProperty(ra, /*directed=*/true,
+                                        /*bitwise=*/false, 236);
+}
+
+TEST(FilterAffectingWindowTest, JaccardFilteredPatchIsBitwiseExact) {
+  // Undirected Jaccard widens the structural filter by its cached
+  // support (candidate-side degrees matter); directed Jaccard keeps the
+  // whole window (its repairs recompute). Both must stay exact.
+  JaccardUtility jaccard;
+  RunFilteredPatchEqualsComputeProperty(jaccard, /*directed=*/false,
+                                        /*bitwise=*/true, 238);
+}
+
+TEST(FilterAffectingWindowTest, StructuralFilterKeepsEverNeighborDeltas) {
+  // The subtle completeness case: the window removes the target's edge to
+  // x, so the final snapshot no longer shows x as a neighbor — but the
+  // batch engine must still reconstruct x's pre-window contribution, so
+  // deltas with tail x MUST be kept (the "ever-neighbors" clause).
+  GraphBuilder builder(false);
+  builder.SetNumNodes(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  CsrGraph before = builder.Build();
+  DynamicGraph graph(before);
+  ASSERT_TRUE(graph.RemoveEdge(0, 1).ok());  // target loses neighbor 1
+  ASSERT_TRUE(graph.AddEdge(1, 5).ok());     // ever-neighbor 1 mutates
+  ASSERT_TRUE(graph.AddEdge(3, 5).ok());     // unrelated to target 0
+  const DynamicGraph::StampedSnapshot snap = graph.VersionedSnapshot();
+  const std::vector<EdgeDelta> window = {
+      EdgeDelta{0, 1, /*added=*/false, 1},
+      EdgeDelta{1, 5, /*added=*/true, 2},
+      EdgeDelta{3, 5, /*added=*/true, 3},
+  };
+  std::vector<EdgeDelta> filtered;
+  FilterAffectingDeltas(*snap.graph, window, /*target=*/0, filtered);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].u, 0u);  // incident to target
+  EXPECT_EQ(filtered[1].u, 1u);  // ever-neighbor, kept though edge is gone
+}
+
 TEST(ApplyEdgeDeltaTest, DefaultImplementationIsTheFullRecompute) {
   // A utility without incremental support must still be correct through
   // the base-class ApplyEdgeDelta / ApplyEdgeDeltaBatch (they recompute).
@@ -859,6 +993,94 @@ TEST(IncrementalServiceTest, UnaffectedEntryKeepsItsFrozenSampler) {
   EXPECT_EQ(stats.sampler_reuses, 2u)
       << "kept entry lost its frozen sampler on an unrelated toggle";
   EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST(IncrementalServiceTest, AffectFilterPatchesThroughWideSkewedWindows) {
+  // The recompute cliff this PR removes: a wide window of writes landing
+  // far from a cached user used to push the repair past max_patch_window
+  // and force a full recompute, even though only ONE delta mattered.
+  // With the affect filter, max_patch_window bounds RELEVANT deltas: the
+  // 41-toggle window filters to a single delta and takes the O(Δ) patch.
+  const auto build_graph = [] {
+    auto graph = std::make_unique<DynamicGraph>(70, /*directed=*/false);
+    EXPECT_TRUE(graph->AddEdge(0, 1).ok());
+    EXPECT_TRUE(graph->AddEdge(0, 2).ok());
+    EXPECT_TRUE(graph->AddEdge(1, 3).ok());
+    EXPECT_TRUE(graph->AddEdge(2, 3).ok());
+    graph->SetJournalCapacity(256);
+    return graph;
+  };
+  const auto drive = [](RecommendationService& service, Rng& rng) {
+    ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+    // One toggle inside user 0's neighborhood...
+    ASSERT_TRUE(service.AddEdge(1, 4).ok());
+    // ...buried under 40 writes in a far-away hot spot (> max_patch_window).
+    for (NodeId i = 0; i < 40; ++i) {
+      ASSERT_TRUE(service.AddEdge(20, 21 + i).ok());
+    }
+    ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  };
+
+  ServiceOptions options = IncrementalServiceOptions(true);
+  options.num_shards = 1;
+  ASSERT_EQ(options.max_patch_window, 32u);
+  ASSERT_TRUE(options.enable_affect_filter);
+  {
+    auto graph = build_graph();
+    RecommendationService service(
+        graph.get(), std::make_unique<CommonNeighborsUtility>(), options);
+    Rng rng(91);
+    drive(service, rng);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.delta_patched, 1u);
+    EXPECT_EQ(stats.delta_recomputed, 0u) << "recompute cliff is back";
+    EXPECT_EQ(stats.filter_dropped_deltas, 40u);
+  }
+  {
+    // Contrast: same traffic with the filter off is the PR 5 behavior —
+    // the raw window width exceeds max_patch_window and recomputes.
+    options.enable_affect_filter = false;
+    auto graph = build_graph();
+    RecommendationService service(
+        graph.get(), std::make_unique<CommonNeighborsUtility>(), options);
+    Rng rng(91);
+    drive(service, rng);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.delta_patched, 0u);
+    EXPECT_EQ(stats.delta_recomputed, 1u);
+    EXPECT_EQ(stats.filter_dropped_deltas, 0u);
+  }
+}
+
+TEST(IncrementalServiceTest, DirectedJaccardKeepsEntriesUntouchedByFarWrites) {
+  // Regression for the directed-Jaccard affectedness trap: the old
+  // hidden-support clause flagged EVERY cached entry whenever any tail
+  // crossed out of degree zero anywhere in the graph, recomputing all of
+  // them. The narrowed clause only fires when the target can actually
+  // 2-hop-reach the crossing tail, so far-away writes keep the entry.
+  auto graph = std::make_unique<DynamicGraph>(12, /*directed=*/true);
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph->AddEdge(0, 2).ok());
+  ASSERT_TRUE(graph->AddEdge(3, 1).ok());  // candidate 3: I=1, uni=2
+  ASSERT_TRUE(graph->AddEdge(8, 9).ok());
+  ServiceOptions options = IncrementalServiceOptions(true);
+  options.num_shards = 1;
+  RecommendationService service(graph.get(),
+                                std::make_unique<JaccardUtility>(), options);
+  Rng rng(93);
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  // Tail 6 crosses OUT of degree zero — the old clause recomputed user
+  // 0's entry for this; 0 cannot 2-hop-reach 6, so it must be kept.
+  ASSERT_TRUE(service.AddEdge(6, 7).ok());
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  // Tail 8 falls back TO degree zero far away: also kept.
+  ASSERT_TRUE(service.RemoveEdge(8, 9).ok());
+  ASSERT_TRUE(service.ServeRecommendation(0, rng).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.delta_kept, 2u)
+      << "directed Jaccard recomputed entries far writes cannot touch";
+  EXPECT_EQ(stats.delta_recomputed, 0u);
+  EXPECT_EQ(stats.delta_patched, 0u);
 }
 
 TEST(IncrementalServiceTest, JaccardServesIdenticallyToBaseline) {
