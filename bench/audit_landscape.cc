@@ -9,12 +9,33 @@
 // dump; BENCH_audit_landscape.json in the repo root is a checked-in run
 // (see ci/sanitize.sh --audit for the refresh command).
 //
+// The landscape covers three release/traffic shapes:
+//   - single-recommendation rows on all four serve paths (the PR 3 sweep);
+//   - ServeList rows (k-slot peeling top-k, reduced to outcome cells via
+//     common/statistics.h ListOutcomeReduction);
+//   - under_mutation rows (ServiceAuditor::AuditPairUnderMutation:
+//     concurrent identical-toggle mutators on both pair sides between
+//     measurement slices).
+//
+// With --baseline=PATH this binary doubles as the CI ε̂-regression gate
+// (ci/sanitize.sh --audit): the fresh rows are compared against the
+// committed artifact via eval/audit_gate.h and any failure exits non-zero.
+//
 // Flags:
-//   --trials=N     serve trials per side per path (default 4000)
-//   --pairs=K      edge-toggle pairs audited per configuration (default 3)
-//   --nodes=N      ER graph size (default 12)
-//   --edges=M      ER edge count (default 24)
-//   --json=PATH    write results as JSON
+//   --trials=N         serve trials per side per path (default 4000)
+//   --pairs=K          edge-toggle pairs audited per configuration (default 3)
+//   --nodes=N          ER graph size (default 12)
+//   --edges=M          ER edge count (default 24)
+//   --json=PATH        write results as JSON
+//   --baseline=PATH    compare fresh rows against this artifact (gate mode)
+//   --tolerance=X      certified-ε̂ regression tolerance in gate mode
+//                      (default 0.1)
+//   --inject=WHAT      deliberately regress the run so the gate's detection
+//                      can be exercised end to end: "halve_noise" swaps
+//                      every honest service for a Δf/2 one;
+//                      "drop_bonferroni" collapses the correction to one
+//                      cell. A clean gate run after an injected failure is
+//                      the gate's own acceptance test.
 
 #include <cstdio>
 #include <memory>
@@ -26,6 +47,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "eval/audit_gate.h"
 #include "eval/service_auditor.h"
 #include "gen/fixtures.h"
 #include "gen/generators.h"
@@ -56,20 +78,24 @@ struct SweepRow {
   std::string utility;
   double configured_epsilon;
   bool broken;
+  /// "honest", "underscaled_half", or "underscaled_quarter".
+  std::string calibration;
+  std::string shape;  // "single" or "list"
   DpAuditResult audit;
 };
 
 void PrintRows(const std::vector<SweepRow>& rows) {
-  TablePrinter table({"utility", "eps", "calibration", "path",
-                      "eps_hat", "certified_lower", "verdict"});
+  TablePrinter table({"utility", "eps", "calibration", "path", "shape",
+                      "eps_hat", "certified_lower", "cells", "verdict"});
   for (const SweepRow& row : rows) {
     for (const PathEpsilonEstimate& path : row.audit.per_path) {
       const bool violation =
           path.epsilon_lower_bound > row.configured_epsilon;
       table.AddRow({row.utility, FormatDouble(row.configured_epsilon, 2),
-                    row.broken ? "Δf/2 (broken)" : "honest", path.path,
-                    FormatDouble(path.epsilon_hat, 3),
+                    row.calibration, path.path,
+                    row.shape, FormatDouble(path.epsilon_hat, 3),
                     FormatDouble(path.epsilon_lower_bound, 3),
+                    std::to_string(path.bonferroni_cells),
                     violation ? "VIOLATION" : "ok"});
     }
   }
@@ -89,8 +115,12 @@ void WriteJson(const std::string& path, const std::vector<SweepRow>& rows,
       "  \"description\": \"Black-box audit landscape: configured eps vs "
       "empirical eps-hat of the serving stack (ServiceAuditor, %llu trials "
       "per side per path, %zu edge-toggle pairs per row, Clopper-Pearson "
-      "certified lower bounds at 99%% confidence). A row is a certified "
-      "violation when certified_lower > configured eps.\",\n",
+      "certified lower bounds at 99%% confidence; shape=list rows audit "
+      "the peeling ServeList release via outcome-cell reductions, "
+      "path=under_mutation rows audit under concurrent identical-toggle "
+      "mutators). A row is a certified violation when certified_lower > "
+      "configured eps; cells is the Bonferroni cell count behind the "
+      "certification (the CI gate rejects runs where it shrinks).\",\n",
       static_cast<unsigned long long>(trials), pairs);
   std::fprintf(f, "  \"rows\": [\n");
   bool first = true;
@@ -101,11 +131,12 @@ void WriteJson(const std::string& path, const std::vector<SweepRow>& rows,
       std::fprintf(
           f,
           "    { \"utility\": \"%s\", \"eps\": %.3f, \"calibration\": "
-          "\"%s\", \"path\": \"%s\", \"eps_hat\": %.4f, "
-          "\"certified_lower\": %.4f, \"violation\": %s }",
+          "\"%s\", \"path\": \"%s\", \"shape\": \"%s\", \"eps_hat\": %.4f, "
+          "\"certified_lower\": %.4f, \"cells\": %llu, \"violation\": %s }",
           row.utility.c_str(), row.configured_epsilon,
-          row.broken ? "underscaled_half" : "honest", path.path.c_str(),
-          path.epsilon_hat, path.epsilon_lower_bound,
+          row.calibration.c_str(), path.path.c_str(),
+          row.shape.c_str(), path.epsilon_hat, path.epsilon_lower_bound,
+          static_cast<unsigned long long>(path.bonferroni_cells),
           path.epsilon_lower_bound > row.configured_epsilon ? "true"
                                                             : "false");
     }
@@ -123,8 +154,27 @@ int Run(int argc, char** argv) {
   const NodeId nodes = static_cast<NodeId>(flags.GetInt("nodes", 12));
   const uint64_t edges = static_cast<uint64_t>(flags.GetInt("edges", 24));
   const std::string json_path = flags.GetString("json", "");
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const double tolerance = flags.GetDouble("tolerance", 0.1);
+  const std::string inject = flags.GetString("inject", "");
+  const bool inject_halve = inject == "halve_noise";
+  const bool inject_drop_bonferroni = inject == "drop_bonferroni";
+  PRIVREC_CHECK(inject.empty() || inject_halve || inject_drop_bonferroni);
+
+  // Load the baseline BEFORE running (and before --json possibly
+  // overwrites the very file it points at).
+  std::vector<AuditLandscapeRow> baseline_rows;
+  if (!baseline_path.empty()) {
+    auto loaded = LoadAuditLandscape(baseline_path);
+    PRIVREC_CHECK_OK(loaded.status());
+    baseline_rows = std::move(*loaded);
+  }
 
   std::printf("=== Audit landscape: configured eps vs empirical eps-hat ===\n");
+  if (!inject.empty()) {
+    std::printf("!!! seeded regression injected: %s (gate self-test)\n",
+                inject.c_str());
+  }
   Rng rng(kTargetSeed);
   auto graph = ErdosRenyiGnm(nodes, edges, /*directed=*/false, rng);
   PRIVREC_CHECK_OK(graph.status());
@@ -132,13 +182,31 @@ int Run(int argc, char** argv) {
   std::printf("%llu trials/side/path, %zu pairs per configuration\n\n",
               static_cast<unsigned long long>(trials), pairs);
 
+  // "halve_noise" swaps honest calibrations for Δf/2 ones while the rows
+  // keep claiming "honest" — exactly what a real mis-calibration
+  // regression would look like to the gate.
+  auto honest_cn = [&]() -> ServiceAuditor::UtilityFactory {
+    if (inject_halve) {
+      return [] { return std::make_unique<UnderscaledCn>(2.0); };
+    }
+    return [] { return std::make_unique<CommonNeighborsUtility>(); };
+  }();
+  auto base_audit_options = [&](double eps) {
+    ServiceAuditOptions options;
+    options.release_epsilon = eps;
+    options.trials_per_side = trials;
+    options.confidence = 0.99;
+    options.seed = 20260730 + static_cast<uint64_t>(eps * 1000);
+    if (inject_drop_bonferroni) options.bonferroni_cells_override = 1;
+    return options;
+  };
+
   struct UtilitySpec {
     const char* name;
     ServiceAuditor::UtilityFactory factory;
   };
   const std::vector<UtilitySpec> specs = {
-      {"common_neighbors",
-       [] { return std::make_unique<CommonNeighborsUtility>(); }},
+      {"common_neighbors", honest_cn},
       {"adamic_adar", [] { return std::make_unique<AdamicAdarUtility>(); }},
       {"jaccard", [] { return std::make_unique<JaccardUtility>(); }},
   };
@@ -146,17 +214,39 @@ int Run(int argc, char** argv) {
   std::vector<SweepRow> rows;
   for (const UtilitySpec& spec : specs) {
     for (double eps : {0.25, 0.5, 1.0, 2.0}) {
-      ServiceAuditOptions options;
-      options.release_epsilon = eps;
-      options.trials_per_side = trials;
-      options.confidence = 0.99;
-      options.seed = 20260730 + static_cast<uint64_t>(eps * 1000);
+      ServiceAuditOptions options = base_audit_options(eps);
       ServiceAuditor auditor(spec.factory, options);
       Rng pair_rng(kTargetSeed + static_cast<uint64_t>(eps * 100));
       auto audit = auditor.AuditEdgeToggles(*graph, /*target=*/0, pairs,
                                             pair_rng);
       PRIVREC_CHECK_OK(audit.status());
-      rows.push_back({spec.name, eps, /*broken=*/false, *audit});
+      rows.push_back({spec.name, eps, /*broken=*/false, "honest", "single",
+                      *audit});
+    }
+  }
+
+  // ServeList rows (honest): the k-slot peeling release on every serve
+  // path, reduced to position/membership (+ bounded identity) cells. One
+  // pair keeps the k-fold serve cost bounded; the reduction spreads the
+  // Bonferroni budget across far more cells than the single shape, so
+  // these rows also pin the correction size the gate watches.
+  for (const char* name : {"common_neighbors", "jaccard"}) {
+    for (double eps : {0.5, 1.0}) {
+      ServiceAuditOptions options = base_audit_options(eps);
+      options.shape = ServeAuditShape::kList;
+      options.list_k = 5;
+      ServiceAuditor auditor(
+          std::string(name) == "jaccard"
+              ? ServiceAuditor::UtilityFactory(
+                    [] { return std::make_unique<JaccardUtility>(); })
+              : honest_cn,
+          options);
+      Rng pair_rng(kTargetSeed + 7 + static_cast<uint64_t>(eps * 100));
+      auto audit =
+          auditor.AuditEdgeToggles(*graph, /*target=*/0, 1, pair_rng);
+      PRIVREC_CHECK_OK(audit.status());
+      rows.push_back({name, eps, /*broken=*/false, "honest", "list",
+                      *audit});
     }
   }
 
@@ -169,18 +259,77 @@ int Run(int argc, char** argv) {
   CsrGraph fixture = MakeDirectedAuditFixture();
   auto fixture_pair = MakeEdgeTogglePair(fixture, /*target=*/0, 2, 4);
   PRIVREC_CHECK_OK(fixture_pair.status());
+  // Honest rows on the same tight fixture: the control group for the
+  // broken sweep below, and the gate's halve-noise trip wire — on this
+  // fixture a Δf/2 service is exactly the broken sweep, so an injected
+  // (or real) halved calibration flips these rows to VIOLATION.
+  for (double eps : {0.5, 1.0}) {
+    ServiceAuditOptions options = base_audit_options(eps);
+    ServiceAuditor auditor(honest_cn, options);
+    auto audit = auditor.AuditPair(*fixture_pair, /*target=*/0);
+    PRIVREC_CHECK_OK(audit.status());
+    rows.push_back({"common_neighbors[fixture]", eps, /*broken=*/false,
+                    "honest", "single", *audit});
+  }
   for (double eps : {0.25, 0.5, 1.0, 2.0}) {
-    ServiceAuditOptions options;
-    options.release_epsilon = eps;
-    options.trials_per_side = trials;
-    options.confidence = 0.99;
-    options.seed = 20260730 + static_cast<uint64_t>(eps * 1000);
+    ServiceAuditOptions options = base_audit_options(eps);
     ServiceAuditor auditor([] { return std::make_unique<UnderscaledCn>(2.0); },
                            options);
     auto audit = auditor.AuditPair(*fixture_pair, /*target=*/0);
     PRIVREC_CHECK_OK(audit.status());
     rows.push_back({"common_neighbors[fixture]", eps, /*broken=*/true,
-                    *audit});
+                    "underscaled_half", "single", *audit});
+  }
+
+  // Broken ServeList rows: peeling splits ε/k per slot, so per-cell
+  // ratios shrink ~k-fold and detection needs larger ε and more trials
+  // than the single shape (the list-identity cells recover some of the
+  // compounding). k = 2 and ε >= 1.5 is where the fixture's halved noise
+  // is decisively certifiable; smaller ε points would be flaky, not
+  // honest power.
+  for (double eps : {1.5, 2.0}) {
+    ServiceAuditOptions options = base_audit_options(eps);
+    options.shape = ServeAuditShape::kList;
+    options.list_k = 2;
+    options.trials_per_side = trials * 4;
+    ServiceAuditor auditor([] { return std::make_unique<UnderscaledCn>(2.0); },
+                           options);
+    auto audit = auditor.AuditPair(*fixture_pair, /*target=*/0);
+    PRIVREC_CHECK_OK(audit.status());
+    rows.push_back({"common_neighbors[fixture]", eps, /*broken=*/true,
+                    "underscaled_half", "list", *audit});
+  }
+
+  // Under-mutation rows: concurrent identical-toggle mutators between
+  // measurement slices (AuditPairUnderMutation), honest and broken, on
+  // the tight-Δf fixture. The differing arc keeps moving one candidate's
+  // utility by the full Δf in EVERY intermediate state, so the broken
+  // calibration stays certifiable through the churn. The broken rows use
+  // Δf/4 rather than Δf/2: per-(round, outcome) cells hold only
+  // trials/rounds counts each, so the Clopper-Pearson slack per cell is
+  // ~sqrt(rounds) wider than the static sweeps' — the stronger
+  // mis-calibration keeps detection decisive instead of borderline at
+  // these trial counts.
+  for (const bool broken : {false, true}) {
+    const std::vector<double> eps_points =
+        broken ? std::vector<double>{0.5, 1.0, 2.0}
+               : std::vector<double>{0.5, 1.0};
+    for (double eps : eps_points) {
+      ServiceAuditOptions options = base_audit_options(eps);
+      ServiceAuditor auditor(
+          broken ? ServiceAuditor::UtilityFactory(
+                       [] { return std::make_unique<UnderscaledCn>(4.0); })
+                 : honest_cn,
+          options);
+      MutationAuditOptions mutation;
+      auto audit =
+          auditor.AuditPairUnderMutation(*fixture_pair, /*target=*/0,
+                                         mutation);
+      PRIVREC_CHECK_OK(audit.status());
+      rows.push_back({"common_neighbors[fixture]", eps, broken,
+                      broken ? "underscaled_quarter" : "honest", "single",
+                      *audit});
+    }
   }
   PrintRows(rows);
 
@@ -208,6 +357,41 @@ int Run(int argc, char** argv) {
               honest_violations, broken_flags, broken_rows);
 
   if (!json_path.empty()) WriteJson(json_path, rows, trials, pairs);
+
+  if (!baseline_path.empty()) {
+    // Gate mode: rebuild the fresh rows in artifact form and compare.
+    std::vector<AuditLandscapeRow> fresh;
+    for (const SweepRow& row : rows) {
+      for (const PathEpsilonEstimate& path : row.audit.per_path) {
+        AuditLandscapeRow out;
+        out.utility = row.utility;
+        out.calibration = row.calibration;
+        out.path = path.path;
+        out.shape = row.shape;
+        out.eps = row.configured_epsilon;
+        out.eps_hat = path.epsilon_hat;
+        out.certified_lower = path.epsilon_lower_bound;
+        out.cells = path.bonferroni_cells;
+        out.violation = path.epsilon_lower_bound > row.configured_epsilon;
+        fresh.push_back(std::move(out));
+      }
+    }
+    const std::vector<std::string> failures =
+        CompareAuditLandscapes(baseline_rows, fresh, tolerance);
+    if (!failures.empty()) {
+      std::printf("\neps-hat regression gate FAILED against %s "
+                  "(tolerance %.3f):\n",
+                  baseline_path.c_str(), tolerance);
+      for (const std::string& failure : failures) {
+        std::printf("  - %s\n", failure.c_str());
+      }
+      return 1;
+    }
+    std::printf("\neps-hat regression gate passed against %s "
+                "(%zu baseline rows, %zu fresh rows, tolerance %.3f)\n",
+                baseline_path.c_str(), baseline_rows.size(), fresh.size(),
+                tolerance);
+  }
   return 0;
 }
 

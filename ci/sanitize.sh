@@ -14,7 +14,15 @@
 #   ci/sanitize.sh            # TSAN build + concurrent/incremental labels
 #   ci/sanitize.sh --asan     # additionally ASan+UBSan over ALL tests
 #   ci/sanitize.sh --audit    # additionally ASan+UBSan over the `audit`
-#                             # label, then bench_audit_landscape /
+#                             # label, a gate self-test (an injected
+#                             # Bonferroni regression must make the gate
+#                             # exit non-zero), then bench_audit_landscape
+#                             # in gate mode (fresh rows compared against
+#                             # the committed BENCH_audit_landscape.json:
+#                             # honest-row violations, lost detections,
+#                             # certified-bound regressions beyond
+#                             # --tolerance, and shrunken Bonferroni cell
+#                             # counts all fail CI) /
 #                             # bench_mutation_serving /
 #                             # bench_two_hop_kernels with their output
 #                             # wired into the checked-in BENCH JSONs
@@ -56,6 +64,14 @@ echo "=== [tsan] ctest -L incremental ==="
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}" \
   ctest --preset tsan-incremental
 
+echo "=== [tsan] ctest -L audit ==="
+# The audit label under TSAN certifies AuditPairUnderMutation: mirrored
+# mutator threads toggling both sides of the neighboring pair while
+# measurement serves interleave. Any race between the mutators and the
+# delta-repair serving path fails here before it can skew an ε̂ estimate.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}" \
+  ctest --preset tsan-audit
+
 if [[ "$run_asan" == "1" ]]; then
   echo "=== [asan] configure + build ==="
   cmake --preset asan
@@ -74,10 +90,29 @@ if [[ "$run_audit" == "1" ]]; then
   ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}" \
   UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
     ctest --preset asan-audit
-  echo "=== [default] bench_audit_landscape -> BENCH_audit_landscape.json ==="
+  echo "=== [default] audit gate self-test (injected regression) ==="
   cmake --preset default
   cmake --build --preset default -j "$(nproc)" --target bench_audit_landscape
+  # Before trusting the gate, prove it can fail: a short run with the
+  # Bonferroni correction deliberately collapsed to one cell must exit
+  # non-zero against the committed baseline. (The cell-count channel is
+  # trial-count independent, so low trials keep this cheap; the
+  # halve_noise injection is exercised at the comparator level in
+  # tests/audit_gate_test.cc.)
+  if ./build/bench_audit_landscape --trials=200 --pairs=1 \
+      --baseline=BENCH_audit_landscape.json --tolerance=1000 \
+      --inject=drop_bonferroni > /dev/null; then
+    echo "audit gate self-test FAILED: injected regression not detected" >&2
+    exit 1
+  fi
+  echo "audit gate self-test OK (injected regression detected)"
+  echo "=== [default] bench_audit_landscape -> BENCH_audit_landscape.json ==="
+  # Gate mode: the fresh landscape must not regress against the committed
+  # artifact (honest rows stay clean, certified violations stay certified
+  # within --tolerance, Bonferroni cell counts never shrink) — and only
+  # then does it overwrite the artifact.
   ./build/bench_audit_landscape --trials=4000 --pairs=3 \
+    --baseline=BENCH_audit_landscape.json --tolerance=0.1 \
     --json=BENCH_audit_landscape.json
   echo "=== [default] bench_mutation_serving -> BENCH_mutation_serving.json ==="
   cmake --build --preset default -j "$(nproc)" --target bench_mutation_serving

@@ -180,6 +180,148 @@ double TwoProportionZ(uint64_t successes_a, uint64_t trials_a,
   return (pa - pb) / std::sqrt(var);
 }
 
+EpsilonCellEstimate EstimateEpsilonFromOutcomeCells(
+    const OutcomeCellCounts& base_cells,
+    const OutcomeCellCounts& neighbor_cells, uint64_t trials,
+    double confidence, size_t bonferroni_cells, bool include_complements) {
+  EpsilonCellEstimate estimate;
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> cells;
+  for (const auto& [cell, count] : base_cells) cells[cell].first = count;
+  for (const auto& [cell, count] : neighbor_cells) cells[cell].second = count;
+  if (cells.empty() || trials == 0) return estimate;
+  estimate.bonferroni_cells =
+      bonferroni_cells == 0 ? cells.size() : bonferroni_cells;
+
+  // Bonferroni: the certified bound takes a max over 2 CP intervals per
+  // cell, so each interval runs at confidence 1 - (1-γ)/(2m) to keep the
+  // joint "every interval covers" event at >= γ. Complement events reuse
+  // the same two intervals (1-p lives in [1-p_up, 1-p_lo]), so they cost
+  // no additional correction.
+  const double per_interval_confidence =
+      1.0 - (1.0 - confidence) /
+                (2.0 * static_cast<double>(estimate.bonferroni_cells));
+  const double n = static_cast<double>(trials);
+  auto point_ratio = [n](uint64_t a, uint64_t b) {
+    // Half-count floor keeps unseen-on-one-side cells finite (they are
+    // exactly the interesting ones).
+    const double p = std::max(static_cast<double>(a), 0.5) / n;
+    const double q = std::max(static_cast<double>(b), 0.5) / n;
+    return std::fabs(std::log(p / q));
+  };
+  auto certified_ratio = [](const BinomialCi& p_ci, const BinomialCi& q_ci) {
+    // Smallest |ln(p/q)| any point of the joint confidence box achieves.
+    double certified = 0;
+    if (p_ci.lower > 0 && q_ci.upper > 0) {
+      certified = std::max(certified, std::log(p_ci.lower / q_ci.upper));
+    }
+    if (q_ci.lower > 0 && p_ci.upper > 0) {
+      certified = std::max(certified, std::log(q_ci.lower / p_ci.upper));
+    }
+    return certified;
+  };
+  for (const auto& [cell, counts] : cells) {
+    const auto [c_base, c_nb] = counts;
+    double point = point_ratio(c_base, c_nb);
+    if (include_complements) {
+      point = std::max(point, point_ratio(trials - c_base, trials - c_nb));
+    }
+    if (point > estimate.epsilon_hat) {
+      estimate.epsilon_hat = point;
+      estimate.worst_cell = cell;
+    }
+    const BinomialCi p_ci =
+        ClopperPearsonInterval(c_base, trials, per_interval_confidence);
+    const BinomialCi q_ci =
+        ClopperPearsonInterval(c_nb, trials, per_interval_confidence);
+    double certified = certified_ratio(p_ci, q_ci);
+    if (include_complements) {
+      const BinomialCi p_comp{1.0 - p_ci.upper, 1.0 - p_ci.lower};
+      const BinomialCi q_comp{1.0 - q_ci.upper, 1.0 - q_ci.lower};
+      certified = std::max(certified, certified_ratio(p_comp, q_comp));
+    }
+    estimate.epsilon_lower_bound =
+        std::max(estimate.epsilon_lower_bound, certified);
+    estimate.worst_z = std::max(
+        estimate.worst_z,
+        std::fabs(TwoProportionZ(c_base, trials, c_nb, trials)));
+  }
+  return estimate;
+}
+
+void ListOutcomeReduction::AddList(std::span<const uint32_t> items) {
+  ++trials_;
+  for (size_t pos = 0; pos < items.size(); ++pos) {
+    ++marginal_cells_[PositionCell(pos, items[pos])];
+  }
+  // Membership: each distinct item once per trial (peeling never repeats a
+  // concrete node, but every zero-block pick shares one sentinel id).
+  for (size_t i = 0; i < items.size(); ++i) {
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) seen |= items[j] == items[i];
+    if (!seen) ++marginal_cells_[MembershipCell(items[i])];
+  }
+  if (identity_tracked_) {
+    // FNV-1a over the slot sequence: a stable, order-sensitive list id.
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (uint32_t item : items) {
+      hash ^= item;
+      hash *= 0x100000001b3ULL;
+    }
+    ++identity_cells_[hash];
+    if (identity_cells_.size() > kMaxIdentityCells) {
+      identity_cells_.clear();
+      identity_tracked_ = false;
+    }
+  }
+}
+
+EpsilonCellEstimate EstimateEpsilonFromListReductions(
+    const ListOutcomeReduction& base, const ListOutcomeReduction& neighbor,
+    double confidence, size_t bonferroni_override) {
+  PRIVREC_CHECK_EQ(base.trials(), neighbor.trials());
+  const uint64_t trials = base.trials();
+  const bool use_identity =
+      base.identity_tracked() && neighbor.identity_tracked();
+  size_t total_cells = bonferroni_override;
+  if (total_cells == 0) {
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> merged;
+    for (const auto& [cell, count] : base.marginal_cells()) {
+      merged[cell].first = count;
+    }
+    for (const auto& [cell, count] : neighbor.marginal_cells()) {
+      merged[cell].second = count;
+    }
+    total_cells = merged.size();
+    if (use_identity) {
+      merged.clear();
+      for (const auto& [cell, count] : base.identity_cells()) {
+        merged[cell].first = count;
+      }
+      for (const auto& [cell, count] : neighbor.identity_cells()) {
+        merged[cell].second = count;
+      }
+      total_cells += merged.size();
+    }
+  }
+  EpsilonCellEstimate estimate = EstimateEpsilonFromOutcomeCells(
+      base.marginal_cells(), neighbor.marginal_cells(), trials, confidence,
+      total_cells, /*include_complements=*/true);
+  if (use_identity) {
+    const EpsilonCellEstimate identity = EstimateEpsilonFromOutcomeCells(
+        base.identity_cells(), neighbor.identity_cells(), trials, confidence,
+        total_cells, /*include_complements=*/true);
+    if (identity.epsilon_hat > estimate.epsilon_hat) {
+      estimate.epsilon_hat = identity.epsilon_hat;
+      estimate.worst_cell = identity.worst_cell;
+    }
+    estimate.epsilon_lower_bound =
+        std::max(estimate.epsilon_lower_bound, identity.epsilon_lower_bound);
+    estimate.worst_z = std::max(estimate.worst_z, identity.worst_z);
+  }
+  estimate.bonferroni_cells = total_cells;
+  return estimate;
+}
+
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y) {
   if (x.size() != y.size() || x.empty()) return std::nan("");

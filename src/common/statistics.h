@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <span>
 #include <vector>
 
 namespace privrec {
@@ -88,6 +90,116 @@ double ChiSquaredConservativeBound(double dof, double num_sds);
 /// which outcome diverges most between neighboring graphs.
 double TwoProportionZ(uint64_t successes_a, uint64_t trials_a,
                       uint64_t successes_b, uint64_t trials_b);
+
+// ---------------------------------------------------------------------------
+// Outcome-cell epsilon estimation and list-outcome reductions (the DP audit
+// harness's statistical core, usable standalone by tests and benches).
+// ---------------------------------------------------------------------------
+
+/// Per-cell counts over trials: cell id -> number of trials that landed in
+/// the cell. Cells need not partition the outcome space (membership cells
+/// overlap; complement events are derived), so per-trial cell hits are
+/// Bernoulli and Clopper–Pearson applies cell-wise.
+using OutcomeCellCounts = std::map<uint64_t, uint64_t>;
+
+/// Empirical ε estimate over binomial outcome cells; the cell-id-typed
+/// core behind PathEpsilonEstimate (eval/dp_auditor.h).
+struct EpsilonCellEstimate {
+  /// max over cells of |ln(p̂/q̂)| with half-count floors.
+  double epsilon_hat = 0;
+  /// Certified high-probability lower bound: max over cells of the
+  /// smallest |ln(p/q)| any point of the joint Clopper–Pearson box can
+  /// realize, Bonferroni-corrected across cells.
+  double epsilon_lower_bound = 0;
+  /// Cell id achieving epsilon_hat.
+  uint64_t worst_cell = 0;
+  /// Largest |two-proportion z| across cells.
+  double worst_z = 0;
+  /// Cells the Bonferroni correction was split across (2 CP intervals per
+  /// cell). Recorded so the CI regression gate can reject a run whose
+  /// correction silently weakened (fewer cells = optimistically narrow
+  /// intervals).
+  size_t bonferroni_cells = 0;
+};
+
+/// Estimates ε̂ and its certified lower bound from per-cell counts on the
+/// two sides of a neighboring pair, `trials` per side. The Bonferroni
+/// correction splits (1 - confidence) across 2·`bonferroni_cells` CP
+/// intervals; `bonferroni_cells` == 0 means "the number of distinct cells
+/// observed on either side" (the usual case — pass an explicit larger
+/// value when this estimate is one of several sharing a confidence
+/// budget, or a smaller one ONLY for gate self-tests). When
+/// `include_complements` is set, each cell's complement event (trials not
+/// landing in the cell) is tested too, reusing the same CP box — no extra
+/// correction needed, and for membership-style cells the complement
+/// ("never listed") is often the leaky side.
+EpsilonCellEstimate EstimateEpsilonFromOutcomeCells(
+    const OutcomeCellCounts& base_cells,
+    const OutcomeCellCounts& neighbor_cells, uint64_t trials,
+    double confidence, size_t bonferroni_cells = 0,
+    bool include_complements = false);
+
+/// Outcome-space reduction for list-valued releases (top-k serving): a
+/// k-slot list over 32-bit items is reduced to binomial cells that
+/// Clopper–Pearson bounds apply to:
+///   - position-marginal cells (position j, item): trials whose slot j
+///     held the item;
+///   - set-membership cells (item): trials where the item appeared in any
+///     slot (each item counted once per trial);
+///   - list-identity cells (full sequence, order-sensitive): trials that
+///     produced exactly this list, tracked while the number of distinct
+///     lists stays small (kMaxIdentityCells) — on tiny audit fixtures the
+///     joint outcome is where a peeling mechanism's per-slot leaks
+///     compound, and dropping the reduction when the space is large only
+///     lowers (never unsoundly raises) the certified bound.
+/// Every reduction is a post-processing of the list release, so an ε-DP
+/// list mechanism bounds each cell's probability ratio by e^ε — a
+/// certified lower bound on any reduced cell lower-bounds the ε of the
+/// list release itself.
+class ListOutcomeReduction {
+ public:
+  /// Distinct full-list outcomes tracked before the list-identity
+  /// reduction deterministically switches off (both sides of an audit
+  /// must use the same cap so the reductions stay comparable).
+  static constexpr size_t kMaxIdentityCells = 64;
+
+  /// Cell id of the position-marginal cell (slot `position`, `item`).
+  static uint64_t PositionCell(size_t position, uint32_t item) {
+    return ((static_cast<uint64_t>(position) + 1) << 32) |
+           static_cast<uint64_t>(item);
+  }
+  /// Cell id of the set-membership cell for `item`.
+  static uint64_t MembershipCell(uint32_t item) {
+    return static_cast<uint64_t>(item);
+  }
+
+  /// Records one trial's list (slot order significant).
+  void AddList(std::span<const uint32_t> items);
+
+  uint64_t trials() const { return trials_; }
+  /// Position-marginal + membership cells, keyed by the encodings above.
+  const OutcomeCellCounts& marginal_cells() const { return marginal_cells_; }
+  /// Full-list identity counts keyed by sequence hash; empty() once the
+  /// distinct-list cap was exceeded.
+  const OutcomeCellCounts& identity_cells() const { return identity_cells_; }
+  bool identity_tracked() const { return identity_tracked_; }
+
+ private:
+  OutcomeCellCounts marginal_cells_;
+  OutcomeCellCounts identity_cells_;
+  uint64_t trials_ = 0;
+  bool identity_tracked_ = true;
+};
+
+/// Estimates ε̂ of a list release from the two sides' reductions
+/// (`base.trials()` must equal `neighbor.trials()`). Marginal
+/// (position + membership) cells are tested with complement events;
+/// list-identity cells are included only when BOTH sides kept them
+/// tracked. The Bonferroni correction spans every cell used (or
+/// `bonferroni_override` when nonzero — gate self-test only).
+EpsilonCellEstimate EstimateEpsilonFromListReductions(
+    const ListOutcomeReduction& base, const ListOutcomeReduction& neighbor,
+    double confidence, size_t bonferroni_override = 0);
 
 }  // namespace privrec
 

@@ -1,0 +1,171 @@
+#include "eval/audit_gate.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace privrec {
+namespace {
+
+/// Finds `"key":` in `line` and returns the character offset just past the
+/// colon (and any spaces), or npos.
+size_t ValueOffset(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  pos = line.find(':', pos + needle.size());
+  if (pos == std::string::npos) return std::string::npos;
+  ++pos;
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  return pos;
+}
+
+bool ParseStringField(const std::string& line, const std::string& key,
+                      std::string& out) {
+  size_t pos = ValueOffset(line, key);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    return false;
+  }
+  const size_t end = line.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = line.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+bool ParseDoubleField(const std::string& line, const std::string& key,
+                      double& out) {
+  const size_t pos = ValueOffset(line, key);
+  if (pos == std::string::npos) return false;
+  try {
+    out = std::stod(line.substr(pos));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool ParseBoolField(const std::string& line, const std::string& key,
+                    bool& out) {
+  const size_t pos = ValueOffset(line, key);
+  if (pos == std::string::npos) return false;
+  if (line.compare(pos, 4, "true") == 0) {
+    out = true;
+    return true;
+  }
+  if (line.compare(pos, 5, "false") == 0) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string AuditLandscapeRow::Key() const {
+  char eps_buf[32];
+  std::snprintf(eps_buf, sizeof(eps_buf), "%.3f", eps);
+  return utility + "|" + eps_buf + "|" + calibration + "|" + path + "|" +
+         shape;
+}
+
+Result<std::vector<AuditLandscapeRow>> ParseAuditLandscapeJson(
+    const std::string& json_text) {
+  std::vector<AuditLandscapeRow> rows;
+  std::istringstream stream(json_text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Row lines are exactly the ones carrying a utility field; the
+    // description line mentions no "utility": key.
+    if (ValueOffset(line, "utility") == std::string::npos) continue;
+    AuditLandscapeRow row;
+    const bool ok = ParseStringField(line, "utility", row.utility) &&
+                    ParseStringField(line, "calibration", row.calibration) &&
+                    ParseStringField(line, "path", row.path) &&
+                    ParseDoubleField(line, "eps", row.eps) &&
+                    ParseDoubleField(line, "eps_hat", row.eps_hat) &&
+                    ParseDoubleField(line, "certified_lower",
+                                     row.certified_lower) &&
+                    ParseBoolField(line, "violation", row.violation);
+    if (!ok) {
+      return Status::InvalidArgument("malformed audit landscape row at line " +
+                                     std::to_string(line_no) + ": " + line);
+    }
+    // Optional fields (absent in pre-gate artifacts): defaults already set.
+    ParseStringField(line, "shape", row.shape);
+    double cells = 0;
+    if (ParseDoubleField(line, "cells", cells) && cells > 0) {
+      row.cells = static_cast<uint64_t>(cells);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<AuditLandscapeRow>> LoadAuditLandscape(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot read audit landscape at " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return ParseAuditLandscapeJson(text);
+}
+
+std::vector<std::string> CompareAuditLandscapes(
+    const std::vector<AuditLandscapeRow>& baseline,
+    const std::vector<AuditLandscapeRow>& fresh, double tolerance) {
+  std::vector<std::string> failures;
+  std::map<std::string, const AuditLandscapeRow*> fresh_by_key;
+  for (const AuditLandscapeRow& row : fresh) fresh_by_key[row.Key()] = &row;
+
+  for (const AuditLandscapeRow& fresh_row : fresh) {
+    if (fresh_row.calibration == "honest" && fresh_row.violation) {
+      failures.push_back("honest row certified a violation: " +
+                         fresh_row.Key() + " certified_lower=" +
+                         FormatDouble(fresh_row.certified_lower, 4) +
+                         " > eps=" + FormatDouble(fresh_row.eps, 3));
+    }
+  }
+  for (const AuditLandscapeRow& base_row : baseline) {
+    auto it = fresh_by_key.find(base_row.Key());
+    if (it == fresh_by_key.end()) {
+      failures.push_back("baseline row missing from fresh run: " +
+                         base_row.Key());
+      continue;
+    }
+    const AuditLandscapeRow& fresh_row = *it->second;
+    if (base_row.violation) {
+      if (!fresh_row.violation) {
+        failures.push_back("detection lost: " + base_row.Key() +
+                           " was a certified VIOLATION in the baseline but "
+                           "is not flagged in the fresh run");
+      } else if (fresh_row.certified_lower <
+                 base_row.certified_lower - tolerance) {
+        failures.push_back(
+            "detection power regressed: " + base_row.Key() +
+            " certified_lower " + FormatDouble(base_row.certified_lower, 4) +
+            " -> " + FormatDouble(fresh_row.certified_lower, 4) +
+            " (tolerance " + FormatDouble(tolerance, 4) + ")");
+      }
+    }
+    if (base_row.cells > 0 && fresh_row.cells < base_row.cells) {
+      failures.push_back(
+          "Bonferroni correction weakened: " + base_row.Key() + " cells " +
+          std::to_string(base_row.cells) + " -> " +
+          std::to_string(fresh_row.cells));
+    }
+  }
+  return failures;
+}
+
+}  // namespace privrec

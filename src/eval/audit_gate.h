@@ -1,0 +1,69 @@
+#ifndef PRIVREC_EVAL_AUDIT_GATE_H_
+#define PRIVREC_EVAL_AUDIT_GATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace privrec {
+
+/// One row of the audit-landscape artifact (BENCH_audit_landscape.json):
+/// a (utility, ε, calibration, serve path, release shape) cell with its
+/// measured ε̂, certified lower bound, and Bonferroni cell count.
+struct AuditLandscapeRow {
+  std::string utility;
+  /// "honest" or a broken-calibration tag (e.g. "underscaled_half").
+  std::string calibration;
+  /// "cold" / "cache_hit" / "post_mutation" / "multi_shard" /
+  /// "under_mutation".
+  std::string path;
+  /// "single" or "list" (absent in pre-list artifacts => "single").
+  std::string shape = "single";
+  double eps = 0;
+  double eps_hat = 0;
+  double certified_lower = 0;
+  /// Bonferroni cell count behind certified_lower (absent in pre-gate
+  /// artifacts => 0, which the comparator treats as "no constraint").
+  uint64_t cells = 0;
+  /// certified_lower > eps at emit time.
+  bool violation = false;
+
+  /// The identity the gate matches baseline and fresh rows on.
+  std::string Key() const;
+};
+
+/// Parses the bench's own JSON artifact. Deliberately line-oriented: the
+/// bench emits exactly one row object per line (WriteJson in
+/// bench/audit_landscape.cc), so a dependency-free scanner is exact for
+/// the format it gates — NOT a general JSON parser. Lines without a
+/// "utility" field (the header, braces) are skipped; a malformed row line
+/// is an error, not a skip (a gate that drops rows it cannot read would
+/// wave regressions through).
+Result<std::vector<AuditLandscapeRow>> ParseAuditLandscapeJson(
+    const std::string& json_text);
+
+/// Loads and parses the artifact at `path`.
+Result<std::vector<AuditLandscapeRow>> LoadAuditLandscape(
+    const std::string& path);
+
+/// The ε̂-regression gate: compares a freshly measured landscape against
+/// the committed baseline and returns one human-readable failure string
+/// per violated invariant (empty == gate passes):
+///   1. every baseline row must still exist in the fresh run (a vanished
+///      row is an audit that silently stopped running);
+///   2. no fresh HONEST row may be a certified violation;
+///   3. every baseline VIOLATION row must still be flagged, with its
+///      fresh certified bound >= baseline - `tolerance` (detection power
+///      must not regress);
+///   4. no fresh row's Bonferroni cell count may shrink below its
+///      baseline's (fewer cells = a silently weakened correction).
+/// Extra fresh rows are allowed (the landscape grows PR over PR).
+std::vector<std::string> CompareAuditLandscapes(
+    const std::vector<AuditLandscapeRow>& baseline,
+    const std::vector<AuditLandscapeRow>& fresh, double tolerance);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_EVAL_AUDIT_GATE_H_

@@ -37,6 +37,11 @@ struct PathEpsilonEstimate {
   /// Largest |two-proportion z| observed across outcomes (sampling audits
   /// only): a scale-free divergence ranking for dashboards.
   double worst_z = 0;
+  /// Outcome cells the certified bound's Bonferroni correction was split
+  /// across (sampling audits; 0 for closed-form audits). The CI regression
+  /// gate checks this never shrinks: fewer cells means optimistically
+  /// narrow intervals, i.e. a silently weakened certification.
+  uint64_t bonferroni_cells = 0;
 };
 
 /// Result of a differential-privacy audit (exhaustive closed-form or

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <optional>
-#include <set>
+#include <span>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/statistics.h"
 #include "graph/dynamic_graph.h"
+#include "serve/concurrent_driver.h"
 #include "serve/recommendation_service.h"
 
 namespace privrec {
@@ -70,62 +72,273 @@ uint64_t DeriveSeed(uint64_t root, uint64_t path, uint64_t side) {
   return mixer.Next() ^ (side + 1);
 }
 
+/// DeriveSeed path id for the under-mutation audit (0–3 are the
+/// ServeAuditPath values; sides 0/1 = measurement streams, side 2 = the
+/// mirrored mutator's toggle/churn streams).
+constexpr uint64_t kMutationPathId = 4;
+
+/// One serve trial of the configured shape, recorded into `counts`
+/// (single) or `reduction` (list).
+Status RecordShapeTrial(RecommendationService& service, NodeId target,
+                        ServeAuditShape shape, size_t list_k, Rng& rng,
+                        std::map<NodeId, uint64_t>& counts,
+                        ListOutcomeReduction& reduction) {
+  if (shape == ServeAuditShape::kSingle) {
+    PRIVREC_ASSIGN_OR_RETURN(NodeId outcome,
+                             service.ServeForAudit(target, rng));
+    ++counts[outcome];
+    return Status::OK();
+  }
+  PRIVREC_ASSIGN_OR_RETURN(TopKResult list,
+                           service.ServeListForAudit(target, list_k, rng));
+  std::vector<uint32_t> items;
+  items.reserve(list.picks.size());
+  for (const Recommendation& pick : list.picks) {
+    items.push_back(static_cast<uint32_t>(pick.node));
+  }
+  reduction.AddList(items);
+  return Status::OK();
+}
+
+/// Builds the per-path estimate from whichever recorder the shape filled.
+PathEpsilonEstimate EstimateShape(
+    const std::string& path_name, ServeAuditShape shape,
+    const std::map<NodeId, uint64_t>& base_counts,
+    const std::map<NodeId, uint64_t>& neighbor_counts,
+    const ListOutcomeReduction& base_reduction,
+    const ListOutcomeReduction& neighbor_reduction, uint64_t trials,
+    double confidence, size_t bonferroni_override) {
+  if (shape == ServeAuditShape::kSingle) {
+    return EstimateEpsilonFromCounts(path_name, base_counts, neighbor_counts,
+                                     trials, confidence, bonferroni_override);
+  }
+  const EpsilonCellEstimate cells = EstimateEpsilonFromListReductions(
+      base_reduction, neighbor_reduction, confidence, bonferroni_override);
+  PathEpsilonEstimate estimate;
+  estimate.path = path_name;
+  estimate.trials_per_side = trials;
+  estimate.epsilon_hat = cells.epsilon_hat;
+  estimate.epsilon_lower_bound = cells.epsilon_lower_bound;
+  // Cell ids carry (position | item) or a sequence hash; the low 32 bits
+  // are the item for marginal cells, which is the most useful NodeId-sized
+  // projection for dashboards.
+  estimate.worst_outcome = static_cast<NodeId>(cells.worst_cell);
+  estimate.worst_z = cells.worst_z;
+  estimate.bonferroni_cells = cells.bonferroni_cells;
+  return estimate;
+}
+
+/// Largest-remainder apportionment of `total` trials across weights
+/// (deterministic: ties break to the lowest index). Zero/negative weight
+/// vectors fall back to uniform.
+std::vector<uint64_t> Apportion(uint64_t total, std::vector<double> weights) {
+  const size_t n = weights.size();
+  PRIVREC_CHECK_GT(n, 0u);
+  double sum = 0;
+  for (double w : weights) sum += std::max(w, 0.0);
+  if (sum <= 0) {
+    weights.assign(n, 1.0);
+    sum = static_cast<double>(n);
+  }
+  std::vector<uint64_t> alloc(n, 0);
+  std::vector<std::pair<double, size_t>> fractions;
+  fractions.reserve(n);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double quota =
+        static_cast<double>(total) * std::max(weights[i], 0.0) / sum;
+    alloc[i] = static_cast<uint64_t>(quota);
+    assigned += alloc[i];
+    fractions.emplace_back(quota - static_cast<double>(alloc[i]), i);
+  }
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (size_t i = 0; assigned < total; ++i) {
+    ++alloc[fractions[i % n].second];
+    ++assigned;
+  }
+  return alloc;
+}
+
+/// One audited (path, pair) trial engine, both sides. Construction + Init
+/// reproduce the exact service arrangement the one-shot audit used
+/// (fresh graphs per path, warm-up discard, post-mutation toggle), but the
+/// trial loop is callable in slices so the adaptive allocator can keep
+/// spending on the path whose intervals are widest — RNG streams and
+/// service state persist across slices, so (seed → transcript) stays a
+/// pure function no matter how the budget lands.
+class PathTrialDriver {
+ public:
+  PathTrialDriver(const ServiceAuditor::UtilityFactory& factory,
+                  const ServiceAuditOptions& options,
+                  const NeighboringPair& pair, NodeId target,
+                  ServeAuditPath path)
+      : factory_(factory),
+        options_(options),
+        pair_(pair),
+        target_(target),
+        path_(path) {}
+
+  Status Init() {
+    if (path_ == ServeAuditPath::kPostMutation) {
+      toggle_ = ChooseCommonToggle(pair_, target_);
+      if (!toggle_.has_value()) {
+        return Status::FailedPrecondition(
+            "no common edge slot available for the post-mutation toggle");
+      }
+    }
+    for (int side = 0; side < 2; ++side) {
+      SideState& state = sides_[side];
+      const CsrGraph& side_graph = side == 0 ? pair_.base : pair_.neighbor;
+      // Each (path, side) owns a fresh dynamic graph: the post-mutation
+      // path mutates it, and cross-path state bleed would make the audit
+      // depend on path order.
+      state.graph = std::make_unique<DynamicGraph>(side_graph);
+      ServiceOptions service_options;
+      service_options.release_epsilon = options_.release_epsilon;
+      service_options.per_user_budget = options_.release_epsilon;
+      service_options.num_shards = path_ == ServeAuditPath::kMultiShard
+                                       ? options_.multi_shard_count
+                                       : 1;
+      service_options.seed = options_.seed;
+      state.rng = Rng(DeriveSeed(options_.seed, static_cast<uint64_t>(path_),
+                                 static_cast<uint64_t>(side)));
+      if (path_ == ServeAuditPath::kCold) continue;
+      state.service = std::make_unique<RecommendationService>(
+          state.graph.get(), factory_(), service_options);
+      // Warm the cache so the sampled trials sit on the path under audit
+      // (the warm-up draw itself is the cold path; discard it).
+      PRIVREC_RETURN_NOT_OK(Warmup(state));
+      if (path_ == ServeAuditPath::kPostMutation) {
+        const Status mutated =
+            toggle_->present
+                ? state.service->RemoveEdge(toggle_->a, toggle_->b)
+                : state.service->AddEdge(toggle_->a, toggle_->b);
+        PRIVREC_RETURN_NOT_OK(mutated);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RunTrials(uint64_t n) {
+    for (int side = 0; side < 2; ++side) {
+      SideState& state = sides_[side];
+      for (uint64_t t = 0; t < n; ++t) {
+        if (path_ == ServeAuditPath::kCold) {
+          ServiceOptions service_options;
+          service_options.release_epsilon = options_.release_epsilon;
+          service_options.per_user_budget = options_.release_epsilon;
+          service_options.num_shards = 1;
+          service_options.seed = options_.seed;
+          RecommendationService service(state.graph.get(), factory_(),
+                                        service_options);
+          PRIVREC_RETURN_NOT_OK(
+              RecordShapeTrial(service, target_, options_.shape,
+                               options_.list_k, state.rng, state.counts,
+                               state.reduction));
+          continue;
+        }
+        PRIVREC_RETURN_NOT_OK(
+            RecordShapeTrial(*state.service, target_, options_.shape,
+                             options_.list_k, state.rng, state.counts,
+                             state.reduction));
+      }
+    }
+    trials_done_ += n;
+    return Status::OK();
+  }
+
+  uint64_t trials_done() const { return trials_done_; }
+
+  PathEpsilonEstimate Estimate(double confidence) const {
+    return EstimateShape(ServeAuditPathName(path_), options_.shape,
+                         sides_[0].counts, sides_[1].counts,
+                         sides_[0].reduction, sides_[1].reduction,
+                         trials_done_, confidence,
+                         options_.bonferroni_cells_override);
+  }
+
+ private:
+  struct SideState {
+    std::unique_ptr<DynamicGraph> graph;
+    std::unique_ptr<RecommendationService> service;  // null for cold
+    Rng rng{0};
+    std::map<NodeId, uint64_t> counts;
+    ListOutcomeReduction reduction;
+  };
+
+  Status Warmup(SideState& state) {
+    if (options_.shape == ServeAuditShape::kSingle) {
+      return state.service->ServeForAudit(target_, state.rng).status();
+    }
+    return state.service
+        ->ServeListForAudit(target_, options_.list_k, state.rng)
+        .status();
+  }
+
+  const ServiceAuditor::UtilityFactory& factory_;
+  const ServiceAuditOptions& options_;
+  const NeighboringPair& pair_;
+  NodeId target_;
+  ServeAuditPath path_;
+  std::optional<CommonToggle> toggle_;
+  SideState sides_[2];
+  uint64_t trials_done_ = 0;
+};
+
+ServiceStats SumStats(const ServiceStats& a, const ServiceStats& b) {
+  ServiceStats sum = a;
+  sum.served += b.served;
+  sum.refused_budget += b.refused_budget;
+  sum.cache_hits += b.cache_hits;
+  sum.cache_misses += b.cache_misses;
+  sum.cache_invalidations += b.cache_invalidations;
+  sum.sampler_reuses += b.sampler_reuses;
+  sum.audit_serves += b.audit_serves;
+  sum.audit_list_serves += b.audit_list_serves;
+  sum.delta_kept += b.delta_kept;
+  sum.delta_patched += b.delta_patched;
+  sum.delta_recomputed += b.delta_recomputed;
+  sum.journal_fallbacks += b.journal_fallbacks;
+  sum.doomed_evictions += b.doomed_evictions;
+  sum.filter_dropped_deltas += b.filter_dropped_deltas;
+  sum.repair_ns += b.repair_ns;
+  return sum;
+}
+
 }  // namespace
 
 PathEpsilonEstimate EstimateEpsilonFromCounts(
     const std::string& path_name,
     const std::map<NodeId, uint64_t>& base_counts,
     const std::map<NodeId, uint64_t>& neighbor_counts, uint64_t trials,
-    double confidence) {
+    double confidence, size_t bonferroni_override) {
+  // Thin adapter over the shared outcome-cell kit (common/statistics.h):
+  // NodeId outcomes are already 64-bit-safe cell ids, and the kit computes
+  // the identical per-interval confidence 1 - (1-γ)/(2m), half-count
+  // floors, and CP-box certified bounds this function always used.
+  OutcomeCellCounts base_cells;
+  OutcomeCellCounts neighbor_cells;
+  for (const auto& [node, count] : base_counts) {
+    base_cells[static_cast<uint64_t>(node)] = count;
+  }
+  for (const auto& [node, count] : neighbor_counts) {
+    neighbor_cells[static_cast<uint64_t>(node)] = count;
+  }
+  const EpsilonCellEstimate cells = EstimateEpsilonFromOutcomeCells(
+      base_cells, neighbor_cells, trials, confidence, bonferroni_override,
+      /*include_complements=*/false);
   PathEpsilonEstimate estimate;
   estimate.path = path_name;
   estimate.trials_per_side = trials;
-  std::set<NodeId> outcomes;
-  for (const auto& [node, count] : base_counts) outcomes.insert(node);
-  for (const auto& [node, count] : neighbor_counts) outcomes.insert(node);
-  if (outcomes.empty() || trials == 0) return estimate;
-
-  // Bonferroni: the certified bound takes a max over 2·|outcomes| CP
-  // intervals, so each interval runs at confidence 1 - (1-γ)/(2m) to make
-  // the joint "every interval covers" event hold at >= γ.
-  const double per_interval_confidence =
-      1.0 - (1.0 - confidence) / (2.0 * static_cast<double>(outcomes.size()));
-  const double n = static_cast<double>(trials);
-  auto count_of = [](const std::map<NodeId, uint64_t>& counts, NodeId node) {
-    auto it = counts.find(node);
-    return it == counts.end() ? uint64_t{0} : it->second;
-  };
-  for (NodeId node : outcomes) {
-    const uint64_t c_base = count_of(base_counts, node);
-    const uint64_t c_nb = count_of(neighbor_counts, node);
-    // Point estimate with a half-count floor so unseen-on-one-side
-    // outcomes stay finite (they are exactly the interesting ones).
-    const double p_hat = std::max(static_cast<double>(c_base), 0.5) / n;
-    const double q_hat = std::max(static_cast<double>(c_nb), 0.5) / n;
-    const double point = std::fabs(std::log(p_hat / q_hat));
-    if (point > estimate.epsilon_hat) {
-      estimate.epsilon_hat = point;
-      estimate.worst_outcome = node;
-    }
-    const BinomialCi p_ci =
-        ClopperPearsonInterval(c_base, trials, per_interval_confidence);
-    const BinomialCi q_ci =
-        ClopperPearsonInterval(c_nb, trials, per_interval_confidence);
-    // Certified lower bound on |ln(p/q)| for this outcome: the smallest
-    // ratio any (p, q) inside the joint confidence box can achieve.
-    double certified = 0;
-    if (p_ci.lower > 0 && q_ci.upper > 0) {
-      certified = std::max(certified, std::log(p_ci.lower / q_ci.upper));
-    }
-    if (q_ci.lower > 0 && p_ci.upper > 0) {
-      certified = std::max(certified, std::log(q_ci.lower / p_ci.upper));
-    }
-    estimate.epsilon_lower_bound =
-        std::max(estimate.epsilon_lower_bound, certified);
-    estimate.worst_z = std::max(
-        estimate.worst_z, std::fabs(TwoProportionZ(c_base, trials, c_nb,
-                                                   trials)));
-  }
+  estimate.epsilon_hat = cells.epsilon_hat;
+  estimate.epsilon_lower_bound = cells.epsilon_lower_bound;
+  estimate.worst_outcome = static_cast<NodeId>(cells.worst_cell);
+  estimate.worst_z = cells.worst_z;
+  estimate.bonferroni_cells = cells.bonferroni_cells;
   return estimate;
 }
 
@@ -149,7 +362,10 @@ ServiceAuditor::ServiceAuditor(UtilityFactory utility_factory,
       options_(std::move(options)) {
   PRIVREC_CHECK(utility_factory_ != nullptr);
   PRIVREC_CHECK_GT(options_.release_epsilon, 0.0);
-  PRIVREC_CHECK_GT(options_.trials_per_side, 0u);
+  // Uniform mode draws trials_per_side per path; a total_trial_budget
+  // supersedes it (the adaptive loop ignores trials_per_side entirely).
+  PRIVREC_CHECK(options_.trials_per_side > 0 ||
+                options_.total_trial_budget > 0);
   PRIVREC_CHECK_GT(options_.confidence, 0.0);
   PRIVREC_CHECK(options_.confidence < 1.0);
   if (options_.paths.empty()) {
@@ -179,65 +395,203 @@ Result<DpAuditResult> ServiceAuditor::AuditPairAtConfidence(
   result.worst_edge_u = pair.u;
   result.worst_edge_v = pair.v;
 
+  std::vector<std::unique_ptr<PathTrialDriver>> drivers;
+  drivers.reserve(options_.paths.size());
   for (ServeAuditPath path : options_.paths) {
-    std::optional<CommonToggle> toggle;
-    if (path == ServeAuditPath::kPostMutation) {
-      toggle = ChooseCommonToggle(pair, target);
-      if (!toggle.has_value()) {
-        return Status::FailedPrecondition(
-            "no common edge slot available for the post-mutation toggle");
-      }
+    drivers.push_back(std::make_unique<PathTrialDriver>(
+        utility_factory_, options_, pair, target, path));
+    PRIVREC_RETURN_NOT_OK(drivers.back()->Init());
+  }
+
+  if (options_.total_trial_budget == 0) {
+    // Uniform allocation: every path gets trials_per_side, matching the
+    // pre-adaptive audit transcript exactly.
+    for (auto& driver : drivers) {
+      PRIVREC_RETURN_NOT_OK(driver->RunTrials(options_.trials_per_side));
     }
-    std::map<NodeId, uint64_t> counts[2];
-    for (int side = 0; side < 2; ++side) {
-      const CsrGraph& side_graph = side == 0 ? pair.base : pair.neighbor;
-      // Each (path, side) owns a fresh dynamic graph: the post-mutation
-      // path mutates it, and cross-path state bleed would make the audit
-      // depend on path order.
-      DynamicGraph graph(side_graph);
-      ServiceOptions service_options;
-      service_options.release_epsilon = options_.release_epsilon;
-      service_options.per_user_budget = options_.release_epsilon;
-      service_options.num_shards = path == ServeAuditPath::kMultiShard
-                                       ? options_.multi_shard_count
-                                       : 1;
-      service_options.seed = options_.seed;
-      Rng rng(DeriveSeed(options_.seed, static_cast<uint64_t>(path),
-                         static_cast<uint64_t>(side)));
-      auto record = [&](Result<NodeId> outcome) -> Status {
-        PRIVREC_RETURN_NOT_OK(outcome.status());
-        ++counts[side][*outcome];
-        return Status::OK();
-      };
-      if (path == ServeAuditPath::kCold) {
-        for (uint64_t t = 0; t < options_.trials_per_side; ++t) {
-          RecommendationService service(&graph, utility_factory_(),
-                                        service_options);
-          PRIVREC_RETURN_NOT_OK(record(service.ServeForAudit(target, rng)));
+  } else {
+    // Adaptive allocation: spend the fixed total budget round by round,
+    // steering each round's slice toward the paths whose certification
+    // gap (ε̂ − certified bound) is widest. The gap IS the interval
+    // width the CP box leaves unresolved, so trials land where they
+    // shrink uncertainty fastest; round 1 has no estimates yet and
+    // splits uniformly. Total spend is exactly the budget (apportionment
+    // is exact), and determinism holds because each driver's streams
+    // persist across rounds.
+    const uint64_t budget = options_.total_trial_budget;
+    const uint64_t rounds = std::max<uint64_t>(1, options_.adaptive_rounds);
+    for (uint64_t round = 0; round < rounds; ++round) {
+      const uint64_t slice =
+          budget / rounds + (round < budget % rounds ? 1 : 0);
+      if (slice == 0) continue;
+      std::vector<double> widths(drivers.size(), 1.0);
+      if (round > 0) {
+        for (size_t i = 0; i < drivers.size(); ++i) {
+          const PathEpsilonEstimate estimate =
+              drivers[i]->Estimate(confidence);
+          widths[i] = estimate.epsilon_hat - estimate.epsilon_lower_bound;
         }
-        continue;
       }
-      RecommendationService service(&graph, utility_factory_(),
-                                    service_options);
-      // Warm the cache so the sampled trials sit on the path under audit
-      // (the warm-up draw itself is the cold path; discard it).
-      PRIVREC_RETURN_NOT_OK(service.ServeForAudit(target, rng).status());
-      if (path == ServeAuditPath::kPostMutation) {
-        const Status mutated =
-            toggle->present ? service.RemoveEdge(toggle->a, toggle->b)
-                            : service.AddEdge(toggle->a, toggle->b);
-        PRIVREC_RETURN_NOT_OK(mutated);
-      }
-      for (uint64_t t = 0; t < options_.trials_per_side; ++t) {
-        PRIVREC_RETURN_NOT_OK(record(service.ServeForAudit(target, rng)));
+      const std::vector<uint64_t> alloc = Apportion(slice, widths);
+      for (size_t i = 0; i < drivers.size(); ++i) {
+        if (alloc[i] > 0) PRIVREC_RETURN_NOT_OK(drivers[i]->RunTrials(alloc[i]));
       }
     }
-    PathEpsilonEstimate estimate = EstimateEpsilonFromCounts(
-        ServeAuditPathName(path), counts[0], counts[1],
-        options_.trials_per_side, confidence);
+  }
+
+  for (auto& driver : drivers) {
+    PathEpsilonEstimate estimate = driver->Estimate(confidence);
     result.max_abs_log_ratio =
         std::max(result.max_abs_log_ratio, estimate.epsilon_hat);
     result.per_path.push_back(std::move(estimate));
+  }
+  return result;
+}
+
+Result<DpAuditResult> ServiceAuditor::AuditPairUnderMutation(
+    const NeighboringPair& pair, NodeId target,
+    const MutationAuditOptions& mutation, ServiceStats* stats_out) const {
+  if (pair.base.num_nodes() != pair.neighbor.num_nodes() ||
+      pair.base.directed() != pair.neighbor.directed()) {
+    return Status::InvalidArgument(
+        "pair sides disagree on node count or direction");
+  }
+  if (target >= pair.base.num_nodes()) {
+    return Status::InvalidArgument("target out of range");
+  }
+  const uint64_t rounds = std::max<uint64_t>(1, mutation.rounds);
+  const uint64_t trials_per_round = options_.trials_per_side / rounds;
+  if (trials_per_round == 0) {
+    return Status::InvalidArgument(
+        "trials_per_side must cover at least one trial per round");
+  }
+
+  DynamicGraph graphs[2] = {DynamicGraph(pair.base),
+                            DynamicGraph(pair.neighbor)};
+  if (mutation.journal_capacity > 0) {
+    graphs[0].SetJournalCapacity(mutation.journal_capacity);
+    graphs[1].SetJournalCapacity(mutation.journal_capacity);
+  }
+  ServiceOptions service_options;
+  service_options.release_epsilon = options_.release_epsilon;
+  service_options.per_user_budget = options_.release_epsilon;
+  // Two shards: the audited target and the churn users stripe across
+  // shards, so repair, snapshot re-pinning, and sensitivity memos all run
+  // under real shard concurrency — while keeping per-shard state small
+  // enough that every mutation round actually touches it.
+  service_options.num_shards = 2;
+  service_options.seed = options_.seed;
+  RecommendationService base_service(&graphs[0], utility_factory_(),
+                                     service_options);
+  RecommendationService neighbor_service(&graphs[1], utility_factory_(),
+                                         service_options);
+  RecommendationService* services[2] = {&base_service, &neighbor_service};
+  Rng rngs[2] = {Rng(DeriveSeed(options_.seed, kMutationPathId, 0)),
+                 Rng(DeriveSeed(options_.seed, kMutationPathId, 1))};
+  // Warm both sides so round 1's trials already sit on the cached-entry
+  // path that each round's mutations will then have to repair.
+  for (int side = 0; side < 2; ++side) {
+    const Status warm =
+        options_.shape == ServeAuditShape::kSingle
+            ? services[side]->ServeForAudit(target, rngs[side]).status()
+            : services[side]
+                  ->ServeListForAudit(target, options_.list_k, rngs[side])
+                  .status();
+    PRIVREC_RETURN_NOT_OK(warm);
+  }
+
+  MirroredMutatorOptions mutator_options;
+  mutator_options.num_threads = mutation.mutator_threads;
+  mutator_options.toggles_per_thread = mutation.toggles_per_thread_per_round;
+  mutator_options.churn_serves_per_thread =
+      mutation.churn_serves_per_thread_per_round;
+  mutator_options.seed = DeriveSeed(options_.seed, kMutationPathId, 2);
+  MirroredMutator mutator(&base_service, &neighbor_service, pair.base, target,
+                          pair.u, pair.v, mutator_options);
+
+  // Outcome cells are keyed by (round, outcome), not outcome alone. The
+  // round index is public (the auditor controls the schedule), and within
+  // a round the two sides sit in identical-except-toggle states, so every
+  // (round, outcome) cell's probability ratio is e^ε-bounded for an
+  // honest service. Pooling rounds instead would average the per-state
+  // ratios — a mis-calibrated service whose leak peaks in some graph
+  // states would hide behind the states where it happens not to leak.
+  OutcomeCellCounts round_cells[2];
+  std::vector<ListOutcomeReduction> round_reductions[2];
+  for (uint64_t round = 0; round < rounds; ++round) {
+    // Concurrent phase: identical toggle streams + churn on both sides.
+    // RunPhase joins its workers, so the measurement slice below runs
+    // against a settled, deterministic graph state.
+    mutator.RunPhase();
+    for (int side = 0; side < 2; ++side) {
+      if (options_.shape == ServeAuditShape::kList) {
+        round_reductions[side].emplace_back();
+      }
+      for (uint64_t t = 0; t < trials_per_round; ++t) {
+        if (options_.shape == ServeAuditShape::kSingle) {
+          PRIVREC_ASSIGN_OR_RETURN(
+              NodeId outcome,
+              services[side]->ServeForAudit(target, rngs[side]));
+          ++round_cells[side][((round + 1) << 32) |
+                              static_cast<uint64_t>(outcome)];
+        } else {
+          std::map<NodeId, uint64_t> unused;
+          PRIVREC_RETURN_NOT_OK(RecordShapeTrial(
+              *services[side], target, options_.shape, options_.list_k,
+              rngs[side], unused, round_reductions[side].back()));
+        }
+      }
+    }
+  }
+
+  DpAuditResult result;
+  result.pairs_checked = 1;
+  result.worst_edge_u = pair.u;
+  result.worst_edge_v = pair.v;
+  PathEpsilonEstimate estimate;
+  estimate.path = "under_mutation";
+  estimate.trials_per_side = trials_per_round * rounds;
+  if (options_.shape == ServeAuditShape::kSingle) {
+    const EpsilonCellEstimate cells = EstimateEpsilonFromOutcomeCells(
+        round_cells[0], round_cells[1], trials_per_round * rounds,
+        options_.confidence, options_.bonferroni_cells_override,
+        /*include_complements=*/false);
+    estimate.epsilon_hat = cells.epsilon_hat;
+    estimate.epsilon_lower_bound = cells.epsilon_lower_bound;
+    estimate.worst_outcome = static_cast<NodeId>(cells.worst_cell);
+    estimate.worst_z = cells.worst_z;
+    estimate.bonferroni_cells = cells.bonferroni_cells;
+  } else {
+    // Per-round list reductions share one Bonferroni budget: first total
+    // the cells every round contributes, then re-estimate each round at
+    // that shared correction and keep the worst.
+    size_t total_cells = options_.bonferroni_cells_override;
+    if (total_cells == 0) {
+      for (uint64_t round = 0; round < rounds; ++round) {
+        total_cells += EstimateEpsilonFromListReductions(
+                           round_reductions[0][round],
+                           round_reductions[1][round], options_.confidence)
+                           .bonferroni_cells;
+      }
+    }
+    for (uint64_t round = 0; round < rounds; ++round) {
+      const EpsilonCellEstimate cells = EstimateEpsilonFromListReductions(
+          round_reductions[0][round], round_reductions[1][round],
+          options_.confidence, total_cells);
+      if (cells.epsilon_hat > estimate.epsilon_hat) {
+        estimate.epsilon_hat = cells.epsilon_hat;
+        estimate.worst_outcome = static_cast<NodeId>(cells.worst_cell);
+      }
+      estimate.epsilon_lower_bound =
+          std::max(estimate.epsilon_lower_bound, cells.epsilon_lower_bound);
+      estimate.worst_z = std::max(estimate.worst_z, cells.worst_z);
+    }
+    estimate.bonferroni_cells = total_cells;
+  }
+  result.max_abs_log_ratio = estimate.epsilon_hat;
+  result.per_path.push_back(std::move(estimate));
+  if (stats_out != nullptr) {
+    *stats_out = SumStats(base_service.stats(), neighbor_service.stats());
   }
   return result;
 }
@@ -288,6 +642,8 @@ Result<DpAuditResult> ServiceAuditor::AuditEdgeToggles(const CsrGraph& graph,
       existing->epsilon_lower_bound = std::max(existing->epsilon_lower_bound,
                                                estimate.epsilon_lower_bound);
       existing->worst_z = std::max(existing->worst_z, estimate.worst_z);
+      existing->bonferroni_cells =
+          std::max(existing->bonferroni_cells, estimate.bonferroni_cells);
     }
   }
   return merged;

@@ -17,6 +17,8 @@
 
 namespace privrec {
 
+struct ServiceStats;  // serve/recommendation_service.h
+
 /// The serving-stack code paths the black-box auditor drives. Each path is
 /// the REAL production path — the auditor never reimplements the release;
 /// it only arranges the service state (cold cache, warm cache, fresh
@@ -46,18 +48,31 @@ inline constexpr ServeAuditPath kAllServeAuditPaths[] = {
 /// in DpAuditResult::per_path.
 const char* ServeAuditPathName(ServeAuditPath path);
 
+/// The release shape the auditor samples on each path.
+enum class ServeAuditShape {
+  /// ServeForAudit: one node id per trial, counted directly per outcome.
+  kSingle = 0,
+  /// ServeListForAudit: a k-slot peeling top-k list per trial, reduced to
+  /// binomial outcome cells (position marginals, set membership with
+  /// complements, bounded list identity — common/statistics.h
+  /// ListOutcomeReduction) before the Clopper–Pearson machinery runs.
+  kList = 1,
+};
+
 /// The statistical core of the sampling audit, usable standalone (property
 /// tests drive their own serve loops and hand the histograms here): given
 /// per-outcome counts from `trials` draws on each side of a neighboring
 /// pair, returns the point-estimate ε̂ (max |ln(p̂/q̂)| with half-count
 /// floors) and the Clopper–Pearson-certified lower bound (Bonferroni-
 /// corrected across outcomes at `confidence`). `path_name` labels the
-/// resulting entry.
+/// resulting entry. `bonferroni_override` != 0 replaces the correction's
+/// cell count (gate self-tests only — an override below the true cell
+/// count voids the certification).
 PathEpsilonEstimate EstimateEpsilonFromCounts(
     const std::string& path_name,
     const std::map<NodeId, uint64_t>& base_counts,
     const std::map<NodeId, uint64_t>& neighbor_counts, uint64_t trials,
-    double confidence);
+    double confidence, size_t bonferroni_override = 0);
 
 struct ServiceAuditOptions {
   /// ε the audited services are configured to release at (the guarantee
@@ -78,6 +93,47 @@ struct ServiceAuditOptions {
   size_t multi_shard_count = 8;
   /// Which paths to drive. Empty means all four.
   std::vector<ServeAuditPath> paths;
+  /// Release shape sampled on every path (see ServeAuditShape).
+  ServeAuditShape shape = ServeAuditShape::kSingle;
+  /// List length for ServeAuditShape::kList.
+  size_t list_k = 5;
+  /// Adaptive trial allocation: when nonzero, AuditPair ignores
+  /// trials_per_side and instead spends this TOTAL budget (serve trials
+  /// per side, summed across audited paths) over `adaptive_rounds` rounds
+  /// — round 1 splits uniformly, later rounds allocate each round's slice
+  /// proportionally to the paths' current certification gaps
+  /// (ε̂ − certified lower bound), so trials concentrate where the
+  /// Clopper–Pearson intervals are widest. Deterministic: per-path RNG
+  /// streams persist across rounds, so a fixed seed reproduces the audit
+  /// regardless of how the allocation unfolds. 0 = uniform (legacy):
+  /// every path gets trials_per_side.
+  uint64_t total_trial_budget = 0;
+  /// Rounds for the adaptive loop (>= 1; 1 degenerates to uniform).
+  uint64_t adaptive_rounds = 4;
+  /// Nonzero overrides the Bonferroni cell count in every per-path
+  /// estimate. GATE SELF-TEST ONLY: an override below the true cell count
+  /// voids the certification — it exists so ci/sanitize.sh can inject a
+  /// "dropped correction" regression and prove the gate catches it.
+  size_t bonferroni_cells_override = 0;
+};
+
+/// Traffic shape for ServiceAuditor::AuditPairUnderMutation.
+struct MutationAuditOptions {
+  /// Concurrent mirrored-mutator threads (serve/concurrent_driver.h).
+  unsigned mutator_threads = 2;
+  /// Mutation-then-measure rounds. Measurement trials are split evenly
+  /// across rounds (equal per-round counts are what make the aggregated
+  /// counts a sound mixture: each round's state is identical-except-toggle
+  /// on the two sides, so every mixture component is e^ε-bounded).
+  uint64_t rounds = 6;
+  /// Edge toggles each mutator thread applies per round (to both sides).
+  uint64_t toggles_per_thread_per_round = 4;
+  /// Budget-neutral churn serves each mutator thread issues per round.
+  uint64_t churn_serves_per_thread_per_round = 8;
+  /// Edge-delta journal capacity for both sides' graphs; 0 keeps the
+  /// DynamicGraph default. Small values force journal fallbacks, putting
+  /// the full-recompute repair route under audit too.
+  size_t journal_capacity = 0;
 };
 
 /// Black-box, sampling-based DP auditor for the serving stack. Where
@@ -119,6 +175,23 @@ class ServiceAuditor {
   /// max over the K pairs cannot inflate the joint failure probability.
   Result<DpAuditResult> AuditEdgeToggles(const CsrGraph& graph, NodeId target,
                                          size_t max_pairs, Rng& rng) const;
+
+  /// Audits the pair while `mutation.mutator_threads` concurrent workers
+  /// apply IDENTICAL deterministic edge-toggle streams to both sides
+  /// (serve/concurrent_driver.h MirroredMutator) — certifying the
+  /// delta-repair + PatchCsr + affect-filter stack under live load, not
+  /// just after a single pre-audit toggle. Runs `mutation.rounds` phases:
+  /// concurrent mutation+churn, barrier, then a single-threaded
+  /// measurement slice of trials_per_side / rounds trials per side on a
+  /// 2-shard service. The result has one per_path entry named
+  /// "under_mutation" (shape and statistics per ServiceAuditOptions).
+  /// `stats_out`, when non-null, receives the two sides' summed
+  /// ServiceStats — the test hook for asserting the repair machinery
+  /// (delta_kept/patched/recomputed, journal_fallbacks) actually ran.
+  Result<DpAuditResult> AuditPairUnderMutation(
+      const NeighboringPair& pair, NodeId target,
+      const MutationAuditOptions& mutation,
+      ServiceStats* stats_out = nullptr) const;
 
   const ServiceAuditOptions& options() const { return options_; }
 

@@ -329,13 +329,18 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
 
 Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
                                                           NodeId user,
-                                                          size_t k, Rng& rng) {
+                                                          size_t k, Rng& rng,
+                                                          bool charge_budget) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
-  PrivacyAccountant& accountant = AccountantForLocked(shard, user);
   const std::string reason = "top-" + std::to_string(k) + " list";
-  if (!accountant.CanCharge(options_.release_epsilon)) {
-    ++shard.stats.refused_budget;
-    return accountant.Charge(options_.release_epsilon, reason);
+  // The audit path (charge_budget == false) skips the accountant entirely,
+  // mirroring ServeLocked; everything else is byte-identical.
+  if (charge_budget) {
+    PrivacyAccountant& accountant = AccountantForLocked(shard, user);
+    if (!accountant.CanCharge(options_.release_epsilon)) {
+      ++shard.stats.refused_budget;
+      return accountant.Charge(options_.release_epsilon, reason);
+    }
   }
   const DynamicGraph::StampedSnapshot& snap = PinnedSnapshotLocked(shard);
   if (user >= snap.graph->num_nodes()) {
@@ -362,11 +367,20 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
   if (entry->utilities.num_candidates() < k) {
     return Status::FailedPrecondition("fewer candidates than k");
   }
-  PRIVREC_CHECK_OK(accountant.Charge(options_.release_epsilon, reason));
+  if (charge_budget) {
+    PRIVREC_CHECK_OK(AccountantForLocked(shard, user)
+                         .Charge(options_.release_epsilon, reason));
+  }
   auto result = PeelingExponentialTopK(entry->utilities, k,
                                        options_.release_epsilon,
                                        entry->calibration_sensitivity, rng);
-  if (result.ok()) ++shard.stats.served;
+  if (result.ok()) {
+    if (charge_budget) {
+      ++shard.stats.served;
+    } else {
+      ++shard.stats.audit_list_serves;
+    }
+  }
   return result;
 }
 
@@ -417,6 +431,17 @@ Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k) {
   return ServeListLocked(shard, user, k, shard.rng);
 }
 
+Result<TopKResult> RecommendationService::ServeListForAudit(NodeId user,
+                                                            size_t k,
+                                                            Rng& rng) {
+  if (user >= graph_->num_nodes()) {
+    return Status::InvalidArgument("user out of range");
+  }
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ServeListLocked(shard, user, k, rng, /*charge_budget=*/false);
+}
+
 Status RecommendationService::AddEdge(NodeId u, NodeId v) {
   // O(1): the journal records the toggle; stale entries are repaired
   // lazily per shard (see RepairEntryLocked). A shard that never serves
@@ -449,6 +474,7 @@ ServiceStats RecommendationService::stats() const {
     total.cache_invalidations += shard.stats.cache_invalidations;
     total.sampler_reuses += shard.stats.sampler_reuses;
     total.audit_serves += shard.stats.audit_serves;
+    total.audit_list_serves += shard.stats.audit_list_serves;
     total.delta_kept += shard.stats.delta_kept;
     total.delta_patched += shard.stats.delta_patched;
     total.delta_recomputed += shard.stats.delta_recomputed;

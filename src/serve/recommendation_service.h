@@ -83,6 +83,9 @@ struct ServiceStats {
   /// Releases performed by ServeForAudit (not counted in `served` and not
   /// charged against any lifetime budget).
   uint64_t audit_serves = 0;
+  /// List releases performed by ServeListForAudit (same contract as
+  /// audit_serves: not in `served`, budget-neutral).
+  uint64_t audit_list_serves = 0;
   /// Delta-repair outcomes for cached entries visited after the graph
   /// version moved (each stale visit lands in exactly one of these four,
   /// or in cache_invalidations when repair was not attempted):
@@ -231,6 +234,14 @@ class RecommendationService {
   /// lifetime ε that the single real release already spent.
   Result<NodeId> ServeForAudit(NodeId user, Rng& rng);
 
+  /// List-release analog of ServeForAudit: identical to
+  /// ServeList(user, k, rng) through every real code path — candidate
+  /// validation, cache lookup/repair, calibration ratchet, the peeling
+  /// top-k mechanism — except that the lifetime budget is neither checked
+  /// nor charged. Counted in ServiceStats::audit_list_serves, NOT in
+  /// `served`. Same contract and caveats as ServeForAudit.
+  Result<TopKResult> ServeListForAudit(NodeId user, size_t k, Rng& rng);
+
   /// Applies a graph mutation. O(1): the edge-delta journal records the
   /// toggle and stale cache entries are repaired lazily, per shard, on
   /// their next serve (no synchronous sweep). Mutating the DynamicGraph
@@ -336,7 +347,7 @@ class RecommendationService {
   Result<NodeId> ServeLocked(Shard& shard, NodeId user, Rng& rng,
                              bool charge_budget = true);
   Result<TopKResult> ServeListLocked(Shard& shard, NodeId user, size_t k,
-                                     Rng& rng);
+                                     Rng& rng, bool charge_budget = true);
 
   void EvictIfNeededLocked(Shard& shard);
 

@@ -1,0 +1,251 @@
+// Unit tests for the CI ε̂-regression gate (eval/audit_gate.h): the
+// artifact parser against the exact format bench/audit_landscape.cc
+// emits (including pre-gate artifacts missing the optional fields, and
+// malformed rows, which must ERROR rather than be skipped), and the
+// comparator's four rules — including synthetic "halved noise" and
+// "dropped Bonferroni correction" regressions, the two injections
+// ci/sanitize.sh --audit uses to prove the gate can actually fail.
+// Runs under the `audit` ctest label.
+
+#include <string>
+#include <vector>
+
+#include "eval/audit_gate.h"
+#include "gtest/gtest.h"
+
+namespace privrec {
+namespace {
+
+/// A row line in the exact shape WriteJson emits (one object per line).
+std::string RowLine(const std::string& utility, double eps,
+                    const std::string& calibration, const std::string& path,
+                    const std::string& shape, double eps_hat,
+                    double certified, uint64_t cells, bool violation) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    { \"utility\": \"%s\", \"eps\": %.3f, \"calibration\": "
+                "\"%s\", \"path\": \"%s\", \"shape\": \"%s\", \"eps_hat\": "
+                "%.4f, \"certified_lower\": %.4f, \"cells\": %llu, "
+                "\"violation\": %s },",
+                utility.c_str(), eps, calibration.c_str(), path.c_str(),
+                shape.c_str(), eps_hat, certified,
+                static_cast<unsigned long long>(cells),
+                violation ? "true" : "false");
+  return std::string(buf) + "\n";
+}
+
+AuditLandscapeRow MakeRow(const std::string& calibration,
+                          const std::string& path, double eps,
+                          double certified, uint64_t cells, bool violation,
+                          const std::string& shape = "single") {
+  AuditLandscapeRow row;
+  row.utility = "common_neighbors[fixture]";
+  row.calibration = calibration;
+  row.path = path;
+  row.shape = shape;
+  row.eps = eps;
+  row.eps_hat = certified + 0.3;
+  row.certified_lower = certified;
+  row.cells = cells;
+  row.violation = violation;
+  return row;
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(AuditGateParserTest, ParsesBenchEmittedFormat) {
+  std::string json = "{\n  \"description\": \"landscape\",\n  \"rows\": [\n";
+  json += RowLine("common_neighbors", 0.5, "honest", "cold", "single", 0.31,
+                  0.0, 3, false);
+  json += RowLine("common_neighbors[fixture]", 2.0, "underscaled_half",
+                  "multi_shard", "list", 2.83, 2.25, 15, true);
+  json += "  ]\n}\n";
+  auto rows = ParseAuditLandscapeJson(json);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].utility, "common_neighbors");
+  EXPECT_EQ((*rows)[0].calibration, "honest");
+  EXPECT_EQ((*rows)[0].path, "cold");
+  EXPECT_EQ((*rows)[0].shape, "single");
+  EXPECT_DOUBLE_EQ((*rows)[0].eps, 0.5);
+  EXPECT_EQ((*rows)[0].cells, 3u);
+  EXPECT_FALSE((*rows)[0].violation);
+  EXPECT_EQ((*rows)[1].path, "multi_shard");
+  EXPECT_EQ((*rows)[1].shape, "list");
+  EXPECT_DOUBLE_EQ((*rows)[1].eps_hat, 2.83);
+  EXPECT_DOUBLE_EQ((*rows)[1].certified_lower, 2.25);
+  EXPECT_EQ((*rows)[1].cells, 15u);
+  EXPECT_TRUE((*rows)[1].violation);
+  // The key carries every identity field (and not the measurements).
+  EXPECT_EQ((*rows)[1].Key(),
+            "common_neighbors[fixture]|2.000|underscaled_half|multi_shard|"
+            "list");
+}
+
+TEST(AuditGateParserTest, PreGateArtifactDefaultsShapeAndCells) {
+  // PR 3's artifact predates shape/cells; those rows must load with the
+  // documented defaults rather than fail (the first gated run compares
+  // against exactly such a baseline).
+  const std::string json =
+      "{\n"
+      "  \"rows\": [\n"
+      "    { \"utility\": \"cn\", \"eps\": 1.000, \"calibration\": "
+      "\"honest\", \"path\": \"cold\", \"eps_hat\": 0.5000, "
+      "\"certified_lower\": 0.1000, \"violation\": false }\n"
+      "  ]\n}\n";
+  auto rows = ParseAuditLandscapeJson(json);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].shape, "single");
+  EXPECT_EQ((*rows)[0].cells, 0u);
+}
+
+TEST(AuditGateParserTest, MalformedRowIsAnErrorNotASkip) {
+  // A row that names a utility but lost its certified_lower would, if
+  // skipped, let a regression sail through as a "missing row" at worst —
+  // the parser must hard-fail instead.
+  const std::string json =
+      "{\n  \"rows\": [\n"
+      "    { \"utility\": \"cn\", \"eps\": 1.000, \"calibration\": "
+      "\"honest\", \"path\": \"cold\", \"eps_hat\": 0.5000, "
+      "\"violation\": false }\n"
+      "  ]\n}\n";
+  auto rows = ParseAuditLandscapeJson(json);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().ToString().find("malformed"), std::string::npos);
+}
+
+TEST(AuditGateParserTest, NonRowLinesAreSkipped) {
+  auto rows = ParseAuditLandscapeJson(
+      "{\n  \"description\": \"no rows here\",\n  \"rows\": [\n  ]\n}\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+// -------------------------------------------------------------- comparator
+
+TEST(AuditGateComparatorTest, IdenticalLandscapesPass) {
+  const std::vector<AuditLandscapeRow> rows = {
+      MakeRow("honest", "cold", 0.5, 0.0, 3, false),
+      MakeRow("underscaled_half", "cold", 1.0, 1.4, 3, true),
+  };
+  EXPECT_TRUE(CompareAuditLandscapes(rows, rows, 0.1).empty());
+}
+
+TEST(AuditGateComparatorTest, MissingBaselineRowFails) {
+  const std::vector<AuditLandscapeRow> baseline = {
+      MakeRow("honest", "cold", 0.5, 0.0, 3, false),
+      MakeRow("honest", "cache_hit", 0.5, 0.0, 3, false),
+  };
+  const std::vector<AuditLandscapeRow> fresh = {baseline[0]};
+  const auto failures = CompareAuditLandscapes(baseline, fresh, 0.1);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("missing"), std::string::npos);
+  EXPECT_NE(failures[0].find("cache_hit"), std::string::npos);
+}
+
+TEST(AuditGateComparatorTest, ExtraFreshRowsAreAllowed) {
+  // The landscape grows PR over PR; new rows must not trip the gate.
+  const std::vector<AuditLandscapeRow> baseline = {
+      MakeRow("honest", "cold", 0.5, 0.0, 3, false)};
+  std::vector<AuditLandscapeRow> fresh = baseline;
+  fresh.push_back(MakeRow("honest", "under_mutation", 0.5, 0.0, 18, false));
+  fresh.push_back(
+      MakeRow("underscaled_half", "cold", 1.5, 1.62, 15, true, "list"));
+  EXPECT_TRUE(CompareAuditLandscapes(baseline, fresh, 0.1).empty());
+}
+
+TEST(AuditGateComparatorTest, HalvedNoiseRegressionFlipsHonestRows) {
+  // The halve_noise injection: an honest fixture row's service now runs
+  // at Δf/2, so its fresh measurement is a certified violation. Rule 2
+  // must fire even though the row exists in both landscapes and its
+  // certified bound went UP (a power check alone would wave it through).
+  const std::vector<AuditLandscapeRow> baseline = {
+      MakeRow("honest", "cold", 0.5, 0.07, 3, false),
+      MakeRow("honest", "post_mutation", 0.5, 0.09, 3, false),
+  };
+  std::vector<AuditLandscapeRow> fresh = {
+      MakeRow("honest", "cold", 0.5, 0.55, 3, true),
+      MakeRow("honest", "post_mutation", 0.5, 0.52, 3, true),
+  };
+  const auto failures = CompareAuditLandscapes(baseline, fresh, 0.1);
+  ASSERT_EQ(failures.size(), 2u);
+  for (const std::string& failure : failures) {
+    EXPECT_NE(failure.find("honest row certified a violation"),
+              std::string::npos)
+        << failure;
+  }
+}
+
+TEST(AuditGateComparatorTest, LostDetectionFails) {
+  const std::vector<AuditLandscapeRow> baseline = {
+      MakeRow("underscaled_half", "cold", 1.0, 1.4, 3, true)};
+  const std::vector<AuditLandscapeRow> fresh = {
+      MakeRow("underscaled_half", "cold", 1.0, 0.8, 3, false)};
+  const auto failures = CompareAuditLandscapes(baseline, fresh, 0.1);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("detection lost"), std::string::npos);
+}
+
+TEST(AuditGateComparatorTest, PowerRegressionRespectsTolerance) {
+  const std::vector<AuditLandscapeRow> baseline = {
+      MakeRow("underscaled_half", "cold", 1.0, 1.40, 3, true)};
+  // Within tolerance: a certified 1.35 against baseline 1.40 at 0.1.
+  const std::vector<AuditLandscapeRow> ok_fresh = {
+      MakeRow("underscaled_half", "cold", 1.0, 1.35, 3, true)};
+  EXPECT_TRUE(CompareAuditLandscapes(baseline, ok_fresh, 0.1).empty());
+  // Beyond tolerance: still flagged as a violation, but the certified
+  // power dropped by 0.25 — the gradual-decay failure mode rule 3 exists
+  // for (each PR losing "only a little" power until detection dies).
+  const std::vector<AuditLandscapeRow> bad_fresh = {
+      MakeRow("underscaled_half", "cold", 1.0, 1.15, 3, true)};
+  const auto failures = CompareAuditLandscapes(baseline, bad_fresh, 0.1);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("power regressed"), std::string::npos);
+}
+
+TEST(AuditGateComparatorTest, DroppedBonferroniRegressionFails) {
+  // The drop_bonferroni injection: same rows, same (or better) certified
+  // bounds, but the correction collapsed to one cell — the bounds are no
+  // longer sound. Only the cell-count rule can see this.
+  const std::vector<AuditLandscapeRow> baseline = {
+      MakeRow("honest", "cold", 0.5, 0.0, 3, false),
+      MakeRow("underscaled_half", "cold", 1.0, 1.4, 15, true, "list"),
+  };
+  const std::vector<AuditLandscapeRow> fresh = {
+      MakeRow("honest", "cold", 0.5, 0.0, 1, false),
+      MakeRow("underscaled_half", "cold", 1.0, 1.55, 1, true, "list"),
+  };
+  const auto failures = CompareAuditLandscapes(baseline, fresh, 0.1);
+  ASSERT_EQ(failures.size(), 2u);
+  for (const std::string& failure : failures) {
+    EXPECT_NE(failure.find("Bonferroni"), std::string::npos) << failure;
+  }
+}
+
+TEST(AuditGateComparatorTest, ZeroBaselineCellsImposeNoConstraint) {
+  // Pre-gate baseline rows carry cells == 0; the first gated run must not
+  // fail just because the fresh rows now report real counts (any count
+  // >= 0 is an improvement over "unrecorded").
+  const std::vector<AuditLandscapeRow> baseline = {
+      MakeRow("honest", "cold", 0.5, 0.0, 0, false)};
+  const std::vector<AuditLandscapeRow> fresh = {
+      MakeRow("honest", "cold", 0.5, 0.0, 3, false)};
+  EXPECT_TRUE(CompareAuditLandscapes(baseline, fresh, 0.1).empty());
+}
+
+TEST(AuditGateComparatorTest, KeySeparatesShapeAndCalibration) {
+  // A list row and a single row at the same (utility, eps, path) are
+  // different audits; ditto honest vs broken. Conflating them would let
+  // one satisfy the other's baseline.
+  const std::vector<AuditLandscapeRow> baseline = {
+      MakeRow("underscaled_half", "cold", 1.0, 1.4, 3, true, "single")};
+  const std::vector<AuditLandscapeRow> fresh = {
+      MakeRow("underscaled_half", "cold", 1.0, 1.4, 3, true, "list")};
+  const auto failures = CompareAuditLandscapes(baseline, fresh, 0.1);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("missing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privrec

@@ -1,0 +1,310 @@
+// Unit tests for the list-outcome reduction kit behind the ServeList
+// audit (common/statistics.h): hand-computed cell counts on 3-element
+// lists, the Bonferroni accounting cross-checked against manual
+// Clopper–Pearson arithmetic, complement events, half-count floors, and
+// the deterministic list-identity cap switch-off. Everything here is
+// exact — no sampling, no tolerance bands beyond float rounding — so a
+// failure is a kit bug, never a flake. Runs under the `audit` ctest
+// label (ASan+UBSan in ci/sanitize.sh --audit).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/statistics.h"
+#include "gtest/gtest.h"
+
+namespace privrec {
+namespace {
+
+using Cells = OutcomeCellCounts;
+
+/// AddList over std::vector<uint32_t> (span conversion helper).
+void Add(ListOutcomeReduction& reduction,
+         const std::vector<uint32_t>& items) {
+  reduction.AddList(std::span<const uint32_t>(items));
+}
+
+// ------------------------------------------------------------- reductions
+
+TEST(ListOutcomeReductionTest, HandComputedThreeElementListCounts) {
+  ListOutcomeReduction r;
+  Add(r, {1, 2, 3});
+  Add(r, {1, 3, 2});
+  Add(r, {1, 2, 3});
+  EXPECT_EQ(r.trials(), 3u);
+
+  const Cells& m = r.marginal_cells();
+  // Position marginals, computed by hand: slot 0 held item 1 in all three
+  // trials; slot 1 held 2 twice and 3 once; slot 2 the reverse.
+  EXPECT_EQ(m.at(ListOutcomeReduction::PositionCell(0, 1)), 3u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::PositionCell(1, 2)), 2u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::PositionCell(1, 3)), 1u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::PositionCell(2, 3)), 2u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::PositionCell(2, 2)), 1u);
+  // Membership: every item appeared in every trial.
+  EXPECT_EQ(m.at(ListOutcomeReduction::MembershipCell(1)), 3u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::MembershipCell(2)), 3u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::MembershipCell(3)), 3u);
+  // 5 position cells + 3 membership cells, nothing else.
+  EXPECT_EQ(m.size(), 8u);
+
+  // Two distinct full lists: {1,2,3} twice, {1,3,2} once — order matters.
+  ASSERT_TRUE(r.identity_tracked());
+  ASSERT_EQ(r.identity_cells().size(), 2u);
+  uint64_t id_counts[2] = {0, 0};
+  size_t i = 0;
+  for (const auto& [cell, count] : r.identity_cells()) {
+    id_counts[i++] = count;
+  }
+  EXPECT_EQ(id_counts[0] + id_counts[1], 3u);
+  EXPECT_EQ(std::max(id_counts[0], id_counts[1]), 2u);
+}
+
+TEST(ListOutcomeReductionTest, DuplicateItemCountsMembershipOncePerTrial) {
+  ListOutcomeReduction r;
+  Add(r, {5, 5, 7});
+  const Cells& m = r.marginal_cells();
+  // Each slot still gets its own position cell...
+  EXPECT_EQ(m.at(ListOutcomeReduction::PositionCell(0, 5)), 1u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::PositionCell(1, 5)), 1u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::PositionCell(2, 7)), 1u);
+  // ...but membership is a per-trial indicator: item 5 appeared in ONE
+  // trial, not two slots' worth (double counting would make the "cell
+  // hit" non-Bernoulli and void the Clopper–Pearson certification).
+  EXPECT_EQ(m.at(ListOutcomeReduction::MembershipCell(5)), 1u);
+  EXPECT_EQ(m.at(ListOutcomeReduction::MembershipCell(7)), 1u);
+}
+
+TEST(ListOutcomeReductionTest, IdentityTrackingSwitchesOffAtCap) {
+  ListOutcomeReduction r;
+  // kMaxIdentityCells distinct lists: still tracked.
+  for (uint32_t i = 0; i < ListOutcomeReduction::kMaxIdentityCells; ++i) {
+    Add(r, {i});
+  }
+  EXPECT_TRUE(r.identity_tracked());
+  EXPECT_EQ(r.identity_cells().size(),
+            ListOutcomeReduction::kMaxIdentityCells);
+  // One more distinct list crosses the cap: the reduction drops the
+  // identity cells entirely (a partial census would bias the estimate)
+  // and stays off for good.
+  Add(r, {9999});
+  EXPECT_FALSE(r.identity_tracked());
+  EXPECT_TRUE(r.identity_cells().empty());
+  Add(r, {0});  // a previously seen list does not resurrect tracking
+  EXPECT_FALSE(r.identity_tracked());
+  // Marginal cells keep counting regardless.
+  EXPECT_EQ(r.trials(), ListOutcomeReduction::kMaxIdentityCells + 2);
+  EXPECT_EQ(r.marginal_cells().at(ListOutcomeReduction::PositionCell(0, 0)),
+            2u);
+}
+
+TEST(ListOutcomeReductionTest, PositionAndMembershipCellIdsNeverCollide) {
+  // Membership cells live in the low 32 bits; position cells offset the
+  // slot by one before shifting, so slot 0 cannot alias a membership id.
+  EXPECT_NE(ListOutcomeReduction::PositionCell(0, 42),
+            ListOutcomeReduction::MembershipCell(42));
+  EXPECT_EQ(ListOutcomeReduction::MembershipCell(42), 42u);
+  EXPECT_EQ(ListOutcomeReduction::PositionCell(0, 42),
+            (1ull << 32) | 42u);
+}
+
+// ------------------------------------------------- cell-wise ε estimation
+
+TEST(EstimateEpsilonFromOutcomeCellsTest, MatchesManualClopperPearson) {
+  const uint64_t trials = 100;
+  const double confidence = 0.99;
+  Cells base{{0, 80}, {1, 20}};
+  Cells neighbor{{0, 50}, {1, 50}};
+  const EpsilonCellEstimate est = EstimateEpsilonFromOutcomeCells(
+      base, neighbor, trials, confidence);
+
+  // Point estimate: cell 1 realizes |ln(20/50)| = ln(2.5), larger than
+  // cell 0's ln(80/50) = ln(1.6).
+  EXPECT_NEAR(est.epsilon_hat, std::log(2.5), 1e-12);
+  EXPECT_EQ(est.worst_cell, 1u);
+  EXPECT_EQ(est.bonferroni_cells, 2u);
+
+  // Certified bound, recomputed by hand: with 2 cells the (1 - 0.99)
+  // failure budget splits across 2·2 = 4 Clopper–Pearson intervals, so
+  // each runs at confidence 1 - 0.01/4. The certified ratio of a cell is
+  // the smallest |ln(p/q)| over the joint CP box — attained at the box
+  // corners facing each other.
+  const double per_interval = 1.0 - (1.0 - confidence) / 4.0;
+  double expected = 0;
+  const std::pair<uint64_t, uint64_t> cells[2] = {{80, 50}, {20, 50}};
+  for (const auto& [a, b] : cells) {
+    const BinomialCi ci_a = ClopperPearsonInterval(a, trials, per_interval);
+    const BinomialCi ci_b = ClopperPearsonInterval(b, trials, per_interval);
+    const double certified =
+        std::max({std::log(ci_a.lower / ci_b.upper),
+                  std::log(ci_b.lower / ci_a.upper), 0.0});
+    expected = std::max(expected, certified);
+  }
+  EXPECT_NEAR(est.epsilon_lower_bound, expected, 1e-12);
+  EXPECT_GT(est.epsilon_lower_bound, 0.0);
+  EXPECT_LT(est.epsilon_lower_bound, est.epsilon_hat);
+}
+
+TEST(EstimateEpsilonFromOutcomeCellsTest, HalfCountFloorOnOneSidedCells) {
+  // A cell observed on only one side: the absent side's rate is floored
+  // at 0.5/trials instead of dividing by zero, and the Bonferroni count
+  // still includes the cell (it was observed SOMEWHERE).
+  const uint64_t trials = 100;
+  Cells base{{7, 10}};
+  Cells neighbor;
+  const EpsilonCellEstimate est =
+      EstimateEpsilonFromOutcomeCells(base, neighbor, trials, 0.99);
+  EXPECT_NEAR(est.epsilon_hat, std::log(10.0 / 0.5), 1e-12);
+  EXPECT_EQ(est.bonferroni_cells, 1u);
+  EXPECT_EQ(est.worst_cell, 7u);
+}
+
+TEST(EstimateEpsilonFromOutcomeCellsTest, ComplementEventsExposeLeak) {
+  // Membership-style cell where the DIRECT ratio is mild but the
+  // complement ("the item did NOT appear") diverges hard: 99/100 vs
+  // 60/100 is ln(1.65)≈0.5 directly, but 1/100 vs 40/100 is ln(40)≈3.7
+  // on the complement. Without complement events the leak is invisible.
+  const uint64_t trials = 100;
+  Cells base{{3, 99}};
+  Cells neighbor{{3, 60}};
+  const EpsilonCellEstimate without = EstimateEpsilonFromOutcomeCells(
+      base, neighbor, trials, 0.99, /*bonferroni_cells=*/0,
+      /*include_complements=*/false);
+  const EpsilonCellEstimate with = EstimateEpsilonFromOutcomeCells(
+      base, neighbor, trials, 0.99, /*bonferroni_cells=*/0,
+      /*include_complements=*/true);
+  EXPECT_NEAR(without.epsilon_hat, std::log(99.0 / 60.0), 1e-12);
+  EXPECT_NEAR(with.epsilon_hat, std::log(40.0 / 1.0), 1e-12);
+  EXPECT_GT(with.epsilon_lower_bound, without.epsilon_lower_bound);
+  // Complements reuse each cell's CP box — the correction must NOT
+  // double: both estimates split the budget across the same one cell.
+  EXPECT_EQ(with.bonferroni_cells, 1u);
+  EXPECT_EQ(without.bonferroni_cells, 1u);
+}
+
+TEST(EstimateEpsilonFromOutcomeCellsTest, OverrideWeakensTheCorrection) {
+  // A larger Bonferroni cell count means wider per-cell intervals means a
+  // SMALLER certified bound — the override exists so a shared confidence
+  // budget can be enforced across several estimates, and (inverted) so
+  // the CI gate's self-test can inject a dropped correction.
+  const uint64_t trials = 200;
+  Cells base{{0, 150}, {1, 50}};
+  Cells neighbor{{0, 90}, {1, 110}};
+  const EpsilonCellEstimate honest =
+      EstimateEpsilonFromOutcomeCells(base, neighbor, trials, 0.99);
+  const EpsilonCellEstimate dropped = EstimateEpsilonFromOutcomeCells(
+      base, neighbor, trials, 0.99, /*bonferroni_cells=*/1);
+  const EpsilonCellEstimate widened = EstimateEpsilonFromOutcomeCells(
+      base, neighbor, trials, 0.99, /*bonferroni_cells=*/50);
+  EXPECT_EQ(honest.bonferroni_cells, 2u);
+  EXPECT_EQ(dropped.bonferroni_cells, 1u);
+  EXPECT_EQ(widened.bonferroni_cells, 50u);
+  EXPECT_GT(dropped.epsilon_lower_bound, honest.epsilon_lower_bound);
+  EXPECT_LT(widened.epsilon_lower_bound, honest.epsilon_lower_bound);
+  // The point estimate ignores the correction entirely.
+  EXPECT_DOUBLE_EQ(dropped.epsilon_hat, honest.epsilon_hat);
+  EXPECT_DOUBLE_EQ(widened.epsilon_hat, honest.epsilon_hat);
+}
+
+// ------------------------------------------------- list-level estimation
+
+TEST(EstimateEpsilonFromListReductionsTest, HandComputedDeterministicLists) {
+  // Base always serves [1, 2]; neighbor always serves [2, 1]. Every
+  // reduction is deterministic, so the whole estimate is hand-checkable.
+  const uint64_t trials = 50;
+  ListOutcomeReduction base, neighbor;
+  for (uint64_t t = 0; t < trials; ++t) {
+    Add(base, {1, 2});
+    Add(neighbor, {2, 1});
+  }
+  const double confidence = 0.99;
+  const EpsilonCellEstimate est =
+      EstimateEpsilonFromListReductions(base, neighbor, confidence);
+
+  // Cells: 4 position cells (two per side, disjoint across sides),
+  // 2 membership cells (shared), 2 identity cells (one distinct list per
+  // side) — 8 total behind the correction.
+  EXPECT_EQ(est.bonferroni_cells, 8u);
+  // Worst point ratio: any position cell is 50-vs-never, floored at
+  // 0.5/50 on the absent side.
+  EXPECT_NEAR(est.epsilon_hat, std::log(50.0 / 0.5), 1e-12);
+
+  // Certified bound, by hand, for a 50-vs-0 cell at the shared
+  // correction: 16 intervals share the failure budget.
+  const double per_interval = 1.0 - (1.0 - confidence) / 16.0;
+  const BinomialCi all = ClopperPearsonInterval(50, 50, per_interval);
+  const BinomialCi none = ClopperPearsonInterval(0, 50, per_interval);
+  const double expected = std::log(all.lower / none.upper);
+  EXPECT_NEAR(est.epsilon_lower_bound, expected, 1e-12);
+  EXPECT_GT(est.epsilon_lower_bound, 1.0);
+}
+
+TEST(EstimateEpsilonFromListReductionsTest, MembershipAloneIsBlind) {
+  // The same [1,2]-vs-[2,1] pair has IDENTICAL membership sets — only
+  // position and identity cells can see the difference. A kit that
+  // reduced to membership only would certify nothing; this pins why the
+  // reduction carries all three cell families.
+  const uint64_t trials = 50;
+  ListOutcomeReduction base, neighbor;
+  for (uint64_t t = 0; t < trials; ++t) {
+    Add(base, {1, 2});
+    Add(neighbor, {2, 1});
+  }
+  OutcomeCellCounts base_membership, neighbor_membership;
+  for (const auto& [cell, count] : base.marginal_cells()) {
+    if (cell < (1ull << 32)) base_membership[cell] = count;
+  }
+  for (const auto& [cell, count] : neighbor.marginal_cells()) {
+    if (cell < (1ull << 32)) neighbor_membership[cell] = count;
+  }
+  const EpsilonCellEstimate membership_only = EstimateEpsilonFromOutcomeCells(
+      base_membership, neighbor_membership, trials, 0.99,
+      /*bonferroni_cells=*/0, /*include_complements=*/true);
+  EXPECT_DOUBLE_EQ(membership_only.epsilon_hat, 0.0);
+  const EpsilonCellEstimate full =
+      EstimateEpsilonFromListReductions(base, neighbor, 0.99);
+  EXPECT_GT(full.epsilon_lower_bound, 1.0);
+}
+
+TEST(EstimateEpsilonFromListReductionsTest, IdentityCellsRequireBothSides) {
+  // One side trips the identity cap, the other does not: identity cells
+  // must be excluded from BOTH the estimate and the Bonferroni count (a
+  // one-sided census would floor the tracked side's every list against
+  // 0 and fabricate ratios).
+  const uint64_t trials = ListOutcomeReduction::kMaxIdentityCells + 8;
+  ListOutcomeReduction base, neighbor;
+  for (uint32_t t = 0; t < trials; ++t) {
+    Add(base, {t});       // all-distinct: cap exceeded, tracking off
+    Add(neighbor, {1u});  // one list forever: tracking on
+  }
+  ASSERT_FALSE(base.identity_tracked());
+  ASSERT_TRUE(neighbor.identity_tracked());
+  const EpsilonCellEstimate est =
+      EstimateEpsilonFromListReductions(base, neighbor, 0.99);
+  // Marginal cells only: `trials` distinct base items appear as position
+  // AND membership cells, plus the shared item 1 — all observed cells,
+  // no identity contribution.
+  EXPECT_EQ(est.bonferroni_cells, 2u * trials);
+}
+
+TEST(EstimateEpsilonFromListReductionsTest, BonferroniOverrideIsHonored) {
+  const uint64_t trials = 50;
+  ListOutcomeReduction base, neighbor;
+  for (uint64_t t = 0; t < trials; ++t) {
+    Add(base, {1, 2});
+    Add(neighbor, {2, 1});
+  }
+  const EpsilonCellEstimate honest =
+      EstimateEpsilonFromListReductions(base, neighbor, 0.99);
+  const EpsilonCellEstimate overridden = EstimateEpsilonFromListReductions(
+      base, neighbor, 0.99, /*bonferroni_override=*/1);
+  EXPECT_EQ(overridden.bonferroni_cells, 1u);
+  // Fewer claimed cells -> narrower intervals -> a LARGER (unsound)
+  // certified bound: exactly the regression the CI gate's cell-count
+  // rule exists to catch.
+  EXPECT_GT(overridden.epsilon_lower_bound, honest.epsilon_lower_bound);
+}
+
+}  // namespace
+}  // namespace privrec
