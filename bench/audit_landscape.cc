@@ -34,8 +34,20 @@
 //                      can be exercised end to end: "halve_noise" swaps
 //                      every honest service for a Δf/2 one;
 //                      "drop_bonferroni" collapses the correction to one
-//                      cell. A clean gate run after an injected failure is
-//                      the gate's own acceptance test.
+//                      cell; "uncap_projection" serves the honest NODE-DP
+//                      rows on the raw graph while they keep claiming the
+//                      capped calibration. A clean gate run after an
+//                      injected failure is the gate's own acceptance test.
+//
+// Node-DP rows (PrivacyModel::kNode): the services behind rows whose
+// utility carries a "[node…]" tag run in node-DP mode — degree-capped
+// projected serving view, NodeSensitivityBound calibration — and are
+// audited against node-REWIRING pairs (gen/neighboring.h), that mode's
+// neighboring relation. Honest rows must certify no violation; the
+// "node_uncapped" rows (projection skipped, capped calibration kept) and
+// "node_edge_charged" rows (projection kept, calibration from the EDGE
+// bound only) are the two canonical broken node-DP deployments and must
+// be certified as violations.
 
 #include <cstdio>
 #include <memory>
@@ -56,6 +68,7 @@
 #include "utility/adamic_adar.h"
 #include "utility/common_neighbors.h"
 #include "utility/link_predictors.h"
+#include "utility/personalized_pagerank.h"
 
 namespace privrec {
 namespace bench {
@@ -72,6 +85,18 @@ class UnderscaledCn : public CommonNeighborsUtility {
 
  private:
   double factor_;
+};
+
+/// Resource allocation whose node bound is the EDGE bound: the service
+/// projects honestly but charges node-DP releases as if one rewiring
+/// could only move one edge — the "forgot to multiply by D" deployment
+/// the node_edge_charged rows certify.
+class EdgeChargedOnlyRa : public ResourceAllocationUtility {
+ public:
+  double NodeSensitivityBound(const CsrGraph& projected,
+                              uint32_t /*degree_cap*/) const override {
+    return SensitivityBound(projected);
+  }
 };
 
 struct SweepRow {
@@ -159,7 +184,9 @@ int Run(int argc, char** argv) {
   const std::string inject = flags.GetString("inject", "");
   const bool inject_halve = inject == "halve_noise";
   const bool inject_drop_bonferroni = inject == "drop_bonferroni";
-  PRIVREC_CHECK(inject.empty() || inject_halve || inject_drop_bonferroni);
+  const bool inject_uncap = inject == "uncap_projection";
+  PRIVREC_CHECK(inject.empty() || inject_halve || inject_drop_bonferroni ||
+                inject_uncap);
 
   // Load the baseline BEFORE running (and before --json possibly
   // overwrites the very file it points at).
@@ -329,6 +356,115 @@ int Run(int argc, char** argv) {
       rows.push_back({"common_neighbors[fixture]", eps, broken,
                       broken ? "underscaled_quarter" : "honest", "single",
                       *audit});
+    }
+  }
+
+  // --- Node-DP rows ------------------------------------------------------
+  // The audited services run under PrivacyModel::kNode and are driven with
+  // node-REWIRING pairs on MakeNodeAuditFixture (gen/fixtures.h documents
+  // the trip-wire arithmetic). The degree cap differs per row family on
+  // purpose — each is a deployment someone could plausibly ship:
+  //   - honest rows cap at D=2: the projected worst-case swing (D/2) stays
+  //     an order of magnitude inside 2*D*Δf_edge, while the
+  //     uncap_projection injection (raw view u(x)=zs/2=16 against the
+  //     capped calibration) is decisively certified at eps >= 1;
+  //   - node_uncapped trip-wires cap at D=1: the claimed calibration
+  //     shrinks with D while the raw swing does not — the maximal gap;
+  //   - node_edge_charged trip-wires cap at D=16: the projected swing
+  //     (D/2 = 8) dwarfs the edge bound (Δf = 2) they mis-charge with.
+  const CsrGraph node_graph = MakeNodeAuditFixture();
+  const NeighboringPair node_pair = MakeNodeAuditRewiringPair();
+  auto node_audit_options = [&](double eps, uint32_t cap, bool uncap) {
+    ServiceAuditOptions options = base_audit_options(eps);
+    options.privacy_model = PrivacyModel::kNode;
+    options.degree_cap = cap;
+    options.uncap_projection = uncap;
+    return options;
+  };
+  auto ra_factory = [] {
+    return std::make_unique<ResourceAllocationUtility>();
+  };
+  // Honest node rows on the worst-case deterministic rewiring pair (the
+  // adversary's best shot at this fixture). These are the gate's
+  // uncap_projection trip wire: injected runs serve them on the raw graph
+  // while the rows keep claiming calibration "honest", so the eps >= 1
+  // rows flip to VIOLATION and gate rule 2 fires.
+  for (double eps : {0.25, 0.5, 1.0, 2.0}) {
+    ServiceAuditOptions options = node_audit_options(eps, 2, inject_uncap);
+    ServiceAuditor auditor(ra_factory, options);
+    auto audit = auditor.AuditPair(node_pair, /*target=*/0);
+    PRIVREC_CHECK_OK(audit.status());
+    rows.push_back({"resource_allocation[node]", eps, /*broken=*/false,
+                    "honest", "single", *audit});
+  }
+  // Sampled random rewirings (AuditNodeRewirings): the non-adversarial
+  // complement of the worst-case pair above.
+  {
+    ServiceAuditOptions options = node_audit_options(0.5, 2, inject_uncap);
+    ServiceAuditor auditor(ra_factory, options);
+    Rng pair_rng(kTargetSeed + 11);
+    auto audit =
+        auditor.AuditNodeRewirings(node_graph, /*target=*/0, pairs, pair_rng);
+    PRIVREC_CHECK_OK(audit.status());
+    rows.push_back({"resource_allocation[node_sampled]", 0.5,
+                    /*broken=*/false, "honest", "single", *audit});
+  }
+  // List shape under kNode: the peeling top-k release on the projected
+  // view (32 candidates at D=2, k=5). Not part of the uncap injection:
+  // the raw view leaves only 2 candidates (< k), so an uncapped list on
+  // this fixture cannot serve at all — the single-shape rows above are
+  // the trip wire.
+  for (double eps : {0.5, 1.0}) {
+    ServiceAuditOptions options = node_audit_options(eps, 2, /*uncap=*/false);
+    options.shape = ServeAuditShape::kList;
+    options.list_k = 5;
+    ServiceAuditor auditor(ra_factory, options);
+    auto audit = auditor.AuditPair(node_pair, /*target=*/0);
+    PRIVREC_CHECK_OK(audit.status());
+    rows.push_back({"resource_allocation[node]", eps, /*broken=*/false,
+                    "honest", "list", *audit});
+  }
+  // Walk-based utilities: their node bounds rest on different arguments
+  // (Katz: capped walk-count growth; PPR: the cap-independent
+  // 2(1-alpha)/alpha coupling bound) — one row each keeps both
+  // calibrations under empirical watch.
+  {
+    ServiceAuditOptions options = node_audit_options(0.5, 2, inject_uncap);
+    ServiceAuditor katz_auditor(
+        [] { return std::make_unique<KatzUtility>(); }, options);
+    auto katz_audit = katz_auditor.AuditPair(node_pair, /*target=*/0);
+    PRIVREC_CHECK_OK(katz_audit.status());
+    rows.push_back({"katz[node]", 0.5, /*broken=*/false, "honest", "single",
+                    *katz_audit});
+    ServiceAuditor ppr_auditor(
+        [] { return std::make_unique<PersonalizedPageRankUtility>(); },
+        options);
+    auto ppr_audit = ppr_auditor.AuditPair(node_pair, /*target=*/0);
+    PRIVREC_CHECK_OK(ppr_audit.status());
+    rows.push_back({"personalized_pagerank[node]", 0.5, /*broken=*/false,
+                    "honest", "single", *ppr_audit});
+  }
+  // The two canonical broken node-DP deployments, certified on all four
+  // serve paths at every eps point.
+  for (double eps : {0.5, 1.0, 2.0}) {
+    {
+      ServiceAuditOptions options =
+          node_audit_options(eps, /*cap=*/1, /*uncap=*/true);
+      ServiceAuditor auditor(ra_factory, options);
+      auto audit = auditor.AuditPair(node_pair, /*target=*/0);
+      PRIVREC_CHECK_OK(audit.status());
+      rows.push_back({"resource_allocation[node]", eps, /*broken=*/true,
+                      "node_uncapped", "single", *audit});
+    }
+    {
+      ServiceAuditOptions options =
+          node_audit_options(eps, /*cap=*/16, /*uncap=*/false);
+      ServiceAuditor auditor(
+          [] { return std::make_unique<EdgeChargedOnlyRa>(); }, options);
+      auto audit = auditor.AuditPair(node_pair, /*target=*/0);
+      PRIVREC_CHECK_OK(audit.status());
+      rows.push_back({"resource_allocation[node]", eps, /*broken=*/true,
+                      "node_edge_charged", "single", *audit});
     }
   }
   PrintRows(rows);

@@ -106,6 +106,19 @@ if [[ "$run_audit" == "1" ]]; then
     exit 1
   fi
   echo "audit gate self-test OK (injected regression detected)"
+  # Same proof for the node-DP trip wire: serving the honest node rows on
+  # the raw graph (projection skipped, capped calibration kept —
+  # ServiceOptions::uncap_projection) must flip them to certified
+  # violations while they keep claiming "honest", and the gate must fail.
+  # 800 trials/side keep the Clopper-Pearson bounds decisive on the
+  # node-audit fixture at every swept eps.
+  if ./build/bench_audit_landscape --trials=800 --pairs=1 \
+      --baseline=BENCH_audit_landscape.json --tolerance=1000 \
+      --inject=uncap_projection > /dev/null; then
+    echo "audit gate self-test FAILED: uncapped projection not detected" >&2
+    exit 1
+  fi
+  echo "audit gate self-test OK (uncapped projection detected)"
   echo "=== [default] bench_audit_landscape -> BENCH_audit_landscape.json ==="
   # Gate mode: the fresh landscape must not regress against the committed
   # artifact (honest rows stay clean, certified violations stay certified

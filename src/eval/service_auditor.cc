@@ -65,6 +65,24 @@ std::optional<CommonToggle> ChooseCommonToggle(const NeighboringPair& pair,
   return std::nullopt;
 }
 
+/// The one place audit-side ServiceOptions are built: every driver
+/// (per-path, cold per-trial, under-mutation) must configure the audited
+/// services identically — privacy model, degree cap, and the
+/// uncap_projection trip-wire included — or the audit would measure a
+/// service nobody deploys.
+ServiceOptions MakeAuditServiceOptions(const ServiceAuditOptions& options,
+                                       size_t num_shards) {
+  ServiceOptions service_options;
+  service_options.release_epsilon = options.release_epsilon;
+  service_options.per_user_budget = options.release_epsilon;
+  service_options.num_shards = num_shards;
+  service_options.seed = options.seed;
+  service_options.privacy_model = options.privacy_model;
+  service_options.degree_cap = options.degree_cap;
+  service_options.uncap_projection = options.uncap_projection;
+  return service_options;
+}
+
 uint64_t DeriveSeed(uint64_t root, uint64_t path, uint64_t side) {
   SplitMix64 mixer(root ^ (path * 0x9e3779b97f4a7c15ULL));
   mixer.Next();
@@ -197,13 +215,10 @@ class PathTrialDriver {
       // path mutates it, and cross-path state bleed would make the audit
       // depend on path order.
       state.graph = std::make_unique<DynamicGraph>(side_graph);
-      ServiceOptions service_options;
-      service_options.release_epsilon = options_.release_epsilon;
-      service_options.per_user_budget = options_.release_epsilon;
-      service_options.num_shards = path_ == ServeAuditPath::kMultiShard
-                                       ? options_.multi_shard_count
-                                       : 1;
-      service_options.seed = options_.seed;
+      const ServiceOptions service_options = MakeAuditServiceOptions(
+          options_,
+          path_ == ServeAuditPath::kMultiShard ? options_.multi_shard_count
+                                               : 1);
       state.rng = Rng(DeriveSeed(options_.seed, static_cast<uint64_t>(path_),
                                  static_cast<uint64_t>(side)));
       if (path_ == ServeAuditPath::kCold) continue;
@@ -228,13 +243,8 @@ class PathTrialDriver {
       SideState& state = sides_[side];
       for (uint64_t t = 0; t < n; ++t) {
         if (path_ == ServeAuditPath::kCold) {
-          ServiceOptions service_options;
-          service_options.release_epsilon = options_.release_epsilon;
-          service_options.per_user_budget = options_.release_epsilon;
-          service_options.num_shards = 1;
-          service_options.seed = options_.seed;
           RecommendationService service(state.graph.get(), factory_(),
-                                        service_options);
+                                        MakeAuditServiceOptions(options_, 1));
           PRIVREC_RETURN_NOT_OK(
               RecordShapeTrial(service, target_, options_.shape,
                                options_.list_k, state.rng, state.counts,
@@ -306,6 +316,9 @@ ServiceStats SumStats(const ServiceStats& a, const ServiceStats& b) {
   sum.doomed_evictions += b.doomed_evictions;
   sum.filter_dropped_deltas += b.filter_dropped_deltas;
   sum.repair_ns += b.repair_ns;
+  sum.refused_window += b.refused_window;
+  sum.degraded_serves += b.degraded_serves;
+  sum.window_refreshes += b.window_refreshes;
   return sum;
 }
 
@@ -472,15 +485,11 @@ Result<DpAuditResult> ServiceAuditor::AuditPairUnderMutation(
     graphs[0].SetJournalCapacity(mutation.journal_capacity);
     graphs[1].SetJournalCapacity(mutation.journal_capacity);
   }
-  ServiceOptions service_options;
-  service_options.release_epsilon = options_.release_epsilon;
-  service_options.per_user_budget = options_.release_epsilon;
   // Two shards: the audited target and the churn users stripe across
   // shards, so repair, snapshot re-pinning, and sensitivity memos all run
   // under real shard concurrency — while keeping per-shard state small
   // enough that every mutation round actually touches it.
-  service_options.num_shards = 2;
-  service_options.seed = options_.seed;
+  const ServiceOptions service_options = MakeAuditServiceOptions(options_, 2);
   RecommendationService base_service(&graphs[0], utility_factory_(),
                                      service_options);
   RecommendationService neighbor_service(&graphs[1], utility_factory_(),
@@ -606,6 +615,24 @@ Result<DpAuditResult> ServiceAuditor::AuditEdgeToggles(const CsrGraph& graph,
   if (pairs.empty()) {
     return Status::InvalidArgument("no eligible neighboring pairs");
   }
+  return AuditPairsMerged(pairs, target);
+}
+
+Result<DpAuditResult> ServiceAuditor::AuditNodeRewirings(const CsrGraph& graph,
+                                                         NodeId target,
+                                                         size_t max_pairs,
+                                                         Rng& rng) const {
+  PRIVREC_ASSIGN_OR_RETURN(
+      std::vector<NeighboringPair> pairs,
+      SampleNodeRewiringPairs(graph, target, max_pairs, rng));
+  if (pairs.empty()) {
+    return Status::InvalidArgument("no eligible neighboring pairs");
+  }
+  return AuditPairsMerged(pairs, target);
+}
+
+Result<DpAuditResult> ServiceAuditor::AuditPairsMerged(
+    const std::vector<NeighboringPair>& pairs, NodeId target) const {
   // The merged bound takes a max over the pairs, so the per-pair
   // confidence must absorb a Bonferroni factor of K for the merged result
   // to stay certified at options_.confidence.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/privacy_accountant.h"
 #include "eval/dp_auditor.h"
 #include "gen/neighboring.h"
 #include "graph/csr_graph.h"
@@ -115,6 +116,20 @@ struct ServiceAuditOptions {
   /// voids the certification — it exists so ci/sanitize.sh can inject a
   /// "dropped correction" regression and prove the gate catches it.
   size_t bonferroni_cells_override = 0;
+  /// Privacy model the audited services run in (threaded into every
+  /// ServiceOptions the auditor constructs). Under kNode, drive the audit
+  /// with node-rewiring pairs (AuditNodeRewirings /
+  /// SampleNodeRewiringPairs) — that IS the kNode neighboring relation,
+  /// and an honest service must hold ε̂ <= ε on them.
+  PrivacyModel privacy_model = PrivacyModel::kEdge;
+  /// Degree cap of the audited services' node-DP projection (kNode only).
+  /// Small by default: the tighter the cap relative to the fixture's
+  /// degrees, the more work the projection actually does under audit.
+  uint32_t degree_cap = 8;
+  /// TRIP-WIRE: audit services that serve on the raw graph while
+  /// calibrating to the capped node bound (ServiceOptions::
+  /// uncap_projection). The audit must certify these as violations.
+  bool uncap_projection = false;
 };
 
 /// Traffic shape for ServiceAuditor::AuditPairUnderMutation.
@@ -176,6 +191,17 @@ class ServiceAuditor {
   Result<DpAuditResult> AuditEdgeToggles(const CsrGraph& graph, NodeId target,
                                          size_t max_pairs, Rng& rng) const;
 
+  /// Node-DP analog of AuditEdgeToggles: samples up to `max_pairs`
+  /// node-rewiring pairs (gen/neighboring.h) and audits each through the
+  /// same per-path machinery, merging per path by max with the same
+  /// Bonferroni-split confidence. The meaningful combination is
+  /// options().privacy_model == kNode — node rewiring is that mode's
+  /// neighboring relation; under kEdge the merged ε̂ measures Appendix A's
+  /// edge-vs-node gap instead and must not be asserted <= ε.
+  Result<DpAuditResult> AuditNodeRewirings(const CsrGraph& graph,
+                                           NodeId target, size_t max_pairs,
+                                           Rng& rng) const;
+
   /// Audits the pair while `mutation.mutator_threads` concurrent workers
   /// apply IDENTICAL deterministic edge-toggle streams to both sides
   /// (serve/concurrent_driver.h MirroredMutator) — certifying the
@@ -201,6 +227,12 @@ class ServiceAuditor {
   Result<DpAuditResult> AuditPairAtConfidence(const NeighboringPair& pair,
                                               NodeId target,
                                               double confidence) const;
+
+  /// Audits every pair at the Bonferroni-split per-pair confidence and
+  /// merges per path by max (the shared tail of AuditEdgeToggles /
+  /// AuditNodeRewirings; `pairs` must be non-empty).
+  Result<DpAuditResult> AuditPairsMerged(
+      const std::vector<NeighboringPair>& pairs, NodeId target) const;
 
   UtilityFactory utility_factory_;
   ServiceAuditOptions options_;

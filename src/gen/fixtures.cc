@@ -79,4 +79,29 @@ bool IsPersonProductEdge(NodeId u, NodeId v, void* context) {
   return (u < boundary) != (v < boundary);
 }
 
+CsrGraph MakeNodeAuditFixture(NodeId zs) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(zs + 3);
+  for (NodeId z = 3; z < zs + 3; ++z) {
+    builder.AddEdge(0, z);  // r -- z
+    builder.AddEdge(1, z);  // x -- z
+  }
+  // c=2 stays isolated: a zero-utility candidate on every view, keeping
+  // the raw candidate set at {x, c} so the audit always has two outcomes.
+  return builder.Build();
+}
+
+NeighboringPair MakeNodeAuditRewiringPair(NodeId zs) {
+  GraphBuilder builder(/*directed=*/false);
+  builder.SetNumNodes(zs + 3);
+  for (NodeId z = 3; z < zs + 3; ++z) builder.AddEdge(0, z);
+  NeighboringPair pair;
+  pair.base = MakeNodeAuditFixture(zs);
+  pair.neighbor = builder.Build();  // x's entire adjacency removed
+  pair.kind = NeighboringPair::Kind::kNodeRewired;
+  pair.u = 1;
+  pair.v = 1;
+  return pair;
+}
+
 }  // namespace privrec

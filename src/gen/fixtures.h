@@ -1,6 +1,7 @@
 #ifndef PRIVREC_GEN_FIXTURES_H_
 #define PRIVREC_GEN_FIXTURES_H_
 
+#include "gen/neighboring.h"
 #include "graph/csr_graph.h"
 
 namespace privrec {
@@ -53,6 +54,31 @@ inline constexpr NodeId kPeopleProductBoundary = 4;
 /// edges as the sensitive relation. `context` must point to a NodeId
 /// holding the people/product id boundary (first product id).
 bool IsPersonProductEdge(NodeId u, NodeId v, void* context);
+
+/// Node-DP audit fixture: target r=0, hub x=1, isolated bystander c=2,
+/// and a z-block of `zs` nodes (ids 3..zs+2) each adjacent to BOTH r and
+/// x (deg(z) = 2). Undirected. Designed so one node rewiring (emptying
+/// x's adjacency, MakeNodeAuditRewiringPair) moves resource-allocation
+/// utilities as far as the graph allows:
+///   - raw view: candidates are {x, c}; u_RA(x) = zs/2 on the base side
+///     and 0 on the rewired side — a swing that dwarfs any edge-DP
+///     calibration, so a kNode service that skipped the projection
+///     (ServiceOptions::uncap_projection) is certified as a violation;
+///   - degree-capped view at cap D: r's projected prefix keeps D z's, so
+///     u_RA(x) = D/2 → 0 — a swing within D·Δf_edge, so an honest kNode
+///     service passes, while one calibrated to the EDGE bound only
+///     (satellite EdgeChargedOnly wrapper) is certified at moderate caps.
+/// The bystander c keeps the raw candidate set at two outcomes (the
+/// audit needs a comparison cell even when x's utility collapses).
+CsrGraph MakeNodeAuditFixture(NodeId zs = 32);
+
+/// The worst-case node-rewiring pair on MakeNodeAuditFixture(zs):
+/// neighbor = fixture with hub x's adjacency replaced by the empty set
+/// (kind kNodeRewired, u = v = x = 1). Deterministic — unlike
+/// MakeNodeRewiringPair's random replacement, which on this dense fixture
+/// usually re-wires x right back into r's neighborhood and mutes the
+/// swing the trip-wire rows need.
+NeighboringPair MakeNodeAuditRewiringPair(NodeId zs = 32);
 
 }  // namespace privrec
 

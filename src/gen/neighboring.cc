@@ -113,4 +113,28 @@ Result<NeighboringPair> MakeNodeRewiringPair(const CsrGraph& graph,
   return pair;
 }
 
+Result<std::vector<NeighboringPair>> SampleNodeRewiringPairs(
+    const CsrGraph& graph, NodeId target, size_t max_pairs, Rng& rng) {
+  if (target >= graph.num_nodes()) {
+    return Status::InvalidArgument("target out of range");
+  }
+  const NodeId n = graph.num_nodes();
+  if (n < 2) {
+    return Status::InvalidArgument("need a non-target node to rewire");
+  }
+  std::vector<NeighboringPair> pairs;
+  std::set<NodeId> seen;
+  const size_t want =
+      static_cast<size_t>(std::min<uint64_t>(max_pairs, n - 1));
+  pairs.reserve(want);
+  while (pairs.size() < want) {
+    const NodeId node = static_cast<NodeId>(rng.NextBounded(n));
+    if (node == target || !seen.insert(node).second) continue;
+    PRIVREC_ASSIGN_OR_RETURN(NeighboringPair pair,
+                             MakeNodeRewiringPair(graph, target, node, rng));
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
 }  // namespace privrec

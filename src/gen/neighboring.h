@@ -56,13 +56,23 @@ Result<std::vector<NeighboringPair>> SampleEdgeTogglePairs(
 /// target's own adjacency is kept fixed (edges between `node` and `target`
 /// are preserved) so the candidate sets of the two graphs coincide —
 /// mirroring AuditNodeDpSampled's convention. InvalidArgument when `node`
-/// == `target` or out of range. Note: node-rewiring pairs measure the
-/// *node-DP* leakage of an edge-DP mechanism; the empirical ε̂ they produce
-/// is expected to exceed the edge-ε (that gap is Appendix A's point), so
-/// don't assert ε̂ <= ε on them.
+/// == `target` or out of range. Note: against an EDGE-DP service these
+/// pairs measure node-DP leakage the service never promised to bound; the
+/// empirical ε̂ they produce is expected to exceed the edge-ε (that gap is
+/// Appendix A's point), so don't assert ε̂ <= ε on them there. A service
+/// running in PrivacyModel::kNode (degree-capped projection +
+/// NodeSensitivityBound calibration) DOES promise the bound — node
+/// rewiring is exactly its neighboring relation, and ε̂ <= ε is the
+/// assertion the node-DP audit suites make.
 Result<NeighboringPair> MakeNodeRewiringPair(const CsrGraph& graph,
                                              NodeId target, NodeId node,
                                              Rng& rng);
+
+/// Samples up to `max_pairs` node-rewiring pairs with DISTINCT rewired
+/// nodes != target — the node-DP analog of SampleEdgeTogglePairs. Returns
+/// fewer only when the graph has fewer non-target nodes.
+Result<std::vector<NeighboringPair>> SampleNodeRewiringPairs(
+    const CsrGraph& graph, NodeId target, size_t max_pairs, Rng& rng);
 
 }  // namespace privrec
 

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "graph/csr_patch.h"
+#include "graph/degree_cap.h"
 #include "graph/graph_builder.h"
 
 namespace privrec {
@@ -163,6 +164,18 @@ void DynamicGraph::SetSnapshotPatchThreshold(size_t max_deltas) {
   snapshot_patch_threshold_ = max_deltas;
 }
 
+void DynamicGraph::SetDegreeCap(uint32_t cap) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (degree_cap_.load(std::memory_order_relaxed) == cap) return;
+  degree_cap_.store(cap, std::memory_order_release);
+  // Invalidate the published snapshot so the next reader materializes one
+  // whose projected companion matches the new cap. Dropping the pointer
+  // (rather than re-projecting eagerly) keeps this O(1); the mutation-path
+  // patch refuses stale caps via VersionedCsr::degree_cap anyway.
+  std::lock_guard<std::mutex> publish_lock(snapshot_mu_);
+  snapshot_.reset();
+}
+
 std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::BuildLocked()
     const {
   GraphBuilder builder(directed_);
@@ -186,10 +199,18 @@ std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::BuildLocked()
     }
     in_graph.emplace(reverse_builder.Build());
   }
+  CsrGraph forward = builder.Build();
+  std::optional<CsrGraph> projected;
+  const uint32_t cap = degree_cap_.load(std::memory_order_relaxed);
+  if (cap > 0) {
+    projected.emplace(ProjectDegreeCapped(forward, cap));
+    projection_builds_.fetch_add(1, std::memory_order_acq_rel);
+  }
   auto built = std::make_shared<VersionedCsr>(
       VersionedCsr{version_.load(std::memory_order_relaxed),
                    num_edges_.load(std::memory_order_relaxed),
-                   builder.Build(), std::move(in_graph)});
+                   std::move(forward), std::move(in_graph),
+                   std::move(projected), cap});
   snapshot_builds_.fetch_add(1, std::memory_order_acq_rel);
   return built;
 }
@@ -222,9 +243,29 @@ std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::TryPatchLocked(
     if (!reverse.ok()) return nullptr;
     in_graph.emplace(*std::move(reverse));
   }
+  // Projected companion: O(Δ) splice when the previous snapshot projected
+  // at the same cap, full re-projection otherwise (cap just turned on or
+  // changed — the snapshot reset in SetDegreeCap makes that path rare).
+  std::optional<CsrGraph> projected;
+  const uint32_t cap = degree_cap_.load(std::memory_order_relaxed);
+  if (cap > 0) {
+    if (prev->projected.has_value() && prev->degree_cap == cap) {
+      Result<CsrGraph> patched_projection =
+          PatchProjectedCsr(*prev->projected, *forward, *window, cap);
+      if (patched_projection.ok()) {
+        projected.emplace(*std::move(patched_projection));
+        projection_patches_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    if (!projected.has_value()) {
+      projected.emplace(ProjectDegreeCapped(*forward, cap));
+      projection_builds_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
   auto built = std::make_shared<VersionedCsr>(
       VersionedCsr{version, num_edges_.load(std::memory_order_relaxed),
-                   *std::move(forward), std::move(in_graph)});
+                   *std::move(forward), std::move(in_graph),
+                   std::move(projected), cap});
   // The patched CSR must materialize exactly the journal's idea of the
   // current edge count; a disagreement would be a journal bug, not a
   // recoverable condition.
@@ -237,11 +278,15 @@ namespace {
 
 DynamicGraph::StampedSnapshot MakeStamped(
     std::shared_ptr<const void> owner, const CsrGraph* graph,
-    const CsrGraph* in_graph, uint64_t version, uint64_t num_edges) {
+    const CsrGraph* in_graph, const CsrGraph* projected, uint64_t version,
+    uint64_t num_edges) {
   return DynamicGraph::StampedSnapshot{
       std::shared_ptr<const CsrGraph>(owner, graph),
-      std::shared_ptr<const CsrGraph>(std::move(owner), in_graph), version,
-      num_edges};
+      std::shared_ptr<const CsrGraph>(owner, in_graph),
+      projected == nullptr
+          ? std::shared_ptr<const CsrGraph>()
+          : std::shared_ptr<const CsrGraph>(std::move(owner), projected),
+      version, num_edges};
 }
 
 }  // namespace
@@ -261,8 +306,10 @@ DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
       current->version == version_.load(std::memory_order_acquire)) {
     const CsrGraph* reverse =
         current->in_graph.has_value() ? &*current->in_graph : &current->graph;
-    return MakeStamped(current, &current->graph, reverse, current->version,
-                       current->num_edges);
+    const CsrGraph* projected =
+        current->projected.has_value() ? &*current->projected : nullptr;
+    return MakeStamped(current, &current->graph, reverse, projected,
+                       current->version, current->num_edges);
   }
   // Slow path: rebuild under the writer mutex (excludes mutators, and
   // collapses concurrent rebuilders into one build via the re-check).
@@ -283,8 +330,10 @@ DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
   }
   const CsrGraph* reverse =
       current->in_graph.has_value() ? &*current->in_graph : &current->graph;
-  return MakeStamped(current, &current->graph, reverse, current->version,
-                     current->num_edges);
+  const CsrGraph* projected =
+      current->projected.has_value() ? &*current->projected : nullptr;
+  return MakeStamped(current, &current->graph, reverse, projected,
+                     current->version, current->num_edges);
 }
 
 }  // namespace privrec

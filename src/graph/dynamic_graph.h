@@ -96,6 +96,12 @@ class DynamicGraph {
     /// incrementally-maintained transpose, materialized at the same
     /// version.
     std::shared_ptr<const CsrGraph> in_graph;
+    /// Degree-capped projected companion (graph/degree_cap.h), published
+    /// at the same stamp when SetDegreeCap(D > 0) is active; null
+    /// otherwise. Node-DP serving computes utilities and candidate sets
+    /// against this view so one user's rewired neighborhood moves at most
+    /// D arcs per list.
+    std::shared_ptr<const CsrGraph> projected;
     /// version() at build time.
     uint64_t version = 0;
     /// num_edges() at build time (== graph->num_edges(); the redundancy
@@ -218,6 +224,30 @@ class DynamicGraph {
     return snapshot_patches_.load(std::memory_order_acquire);
   }
 
+  /// Enables (cap > 0) or disables (cap == 0) the degree-capped projected
+  /// companion: subsequent snapshots carry StampedSnapshot::projected ==
+  /// ProjectDegreeCapped(graph, cap), maintained O(Δ) on the mutation path
+  /// alongside PatchCsr (PatchProjectedCsr re-derives only the delta
+  /// endpoints' kept prefixes). Changing the cap invalidates the published
+  /// snapshot, so the next reader materializes a fresh pair; previously
+  /// pinned snapshots keep their old (or absent) projection.
+  void SetDegreeCap(uint32_t cap);
+
+  /// The active projection cap (0 = no projected companion).
+  uint32_t degree_cap() const {
+    return degree_cap_.load(std::memory_order_acquire);
+  }
+
+  /// Number of from-scratch ProjectDegreeCapped materializations /
+  /// O(Δ) PatchProjectedCsr splices, mirroring snapshot_builds() /
+  /// snapshot_patches() for the projected companion.
+  uint64_t projection_builds() const {
+    return projection_builds_.load(std::memory_order_acquire);
+  }
+  uint64_t projection_patches() const {
+    return projection_patches_.load(std::memory_order_acquire);
+  }
+
   /// Caps the journal-window size eligible for patched publication; wider
   /// windows (and windows the journal cannot replay) rebuild from
   /// scratch. 0 disables patching entirely — every mutation costs the
@@ -235,6 +265,11 @@ class DynamicGraph {
     /// Transposed arcs; engaged iff the graph is directed (undirected
     /// snapshots alias `graph` as their own reverse).
     std::optional<CsrGraph> in_graph;
+    /// Degree-capped projection of `graph`; engaged iff degree_cap > 0.
+    std::optional<CsrGraph> projected;
+    /// The cap `projected` was derived at (0 = no projection). Recorded so
+    /// TryPatchLocked refuses to splice across a cap change.
+    uint32_t degree_cap = 0;
   };
 
   Status ValidateEndpoints(NodeId u, NodeId v) const;
@@ -287,6 +322,9 @@ class DynamicGraph {
   std::atomic<uint64_t> journal_floor_version_{0};
   size_t journal_capacity_ = kDefaultJournalCapacity;
   size_t snapshot_patch_threshold_ = kDefaultSnapshotPatchThreshold;
+  /// Active projection cap; atomic so degree_cap() is lock-free, written
+  /// only under writer_mu_.
+  std::atomic<uint32_t> degree_cap_{0};
 
   /// Publication point: guards only the pointer hand-off (one shared_ptr
   /// copy). Lock order: writer_mu_ before snapshot_mu_; mutators never
@@ -295,6 +333,8 @@ class DynamicGraph {
   mutable std::shared_ptr<const VersionedCsr> snapshot_;  // null until asked
   mutable std::atomic<uint64_t> snapshot_builds_{0};
   mutable std::atomic<uint64_t> snapshot_patches_{0};
+  mutable std::atomic<uint64_t> projection_builds_{0};
+  mutable std::atomic<uint64_t> projection_patches_{0};
 };
 
 }  // namespace privrec

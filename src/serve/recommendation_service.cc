@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -27,6 +28,53 @@ size_t ResolveShardCount(size_t requested) {
   return RoundUpPow2(std::min<size_t>(n, 64));
 }
 
+/// Resolves a peeled list's zero-block sentinel picks to DISTINCT uniform
+/// zero-utility candidates of `view` — the contract TopKResult documents
+/// but defers to the release path. The resolution is part of the privacy
+/// argument, not cosmetics: a released sentinel says "this slot's utility
+/// is exactly 0", an outcome with probability 0 on the side of a
+/// neighboring pair where that candidate's utility is positive — an
+/// infinite probability ratio. (The node-DP audit certified exactly that
+/// before lists were resolved; single serves always resolved.) Uniform
+/// without-replacement resolution makes zero picks exchangeable with
+/// positive picks, restoring the peeling mechanism's e^ε bound.
+Status ResolveZeroPicks(const CsrGraph& view, const UtilityVector& utilities,
+                        TopKResult& result, Rng& rng) {
+  std::unordered_set<NodeId> excluded;
+  excluded.reserve(utilities.nonzero().size() + result.picks.size());
+  for (const UtilityEntry& e : utilities.nonzero()) excluded.insert(e.node);
+  const NodeId target = utilities.target();
+  auto eligible = [&](NodeId v) {
+    return v != target && !view.HasEdge(target, v) && excluded.count(v) == 0;
+  };
+  for (Recommendation& pick : result.picks) {
+    if (!pick.from_zero_block) continue;
+    NodeId resolved = kUnresolvedZeroNode;
+    // Rejection over uniform node draws conditioned on eligibility is
+    // uniform over the remaining zero block; the peeling never draws the
+    // zero slot more often than the block has members, so the scan
+    // fallback below always finds one.
+    for (int attempt = 0; attempt < 256 && resolved == kUnresolvedZeroNode;
+         ++attempt) {
+      const NodeId v = static_cast<NodeId>(rng.NextBounded(view.num_nodes()));
+      if (eligible(v)) resolved = v;
+    }
+    if (resolved == kUnresolvedZeroNode) {
+      std::vector<NodeId> pool;
+      for (NodeId v = 0; v < view.num_nodes(); ++v) {
+        if (eligible(v)) pool.push_back(v);
+      }
+      if (pool.empty()) {
+        return Status::Internal("zero-utility list bookkeeping mismatch");
+      }
+      resolved = pool[rng.NextBounded(pool.size())];
+    }
+    pick.node = resolved;
+    excluded.insert(resolved);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 RecommendationService::RecommendationService(
@@ -38,6 +86,18 @@ RecommendationService::RecommendationService(
   PRIVREC_CHECK_GT(options.release_epsilon, 0.0);
   PRIVREC_CHECK_GE(options.per_user_budget, options.release_epsilon);
   PRIVREC_CHECK_GT(options.cache_capacity, 0u);
+  if (options.privacy_model == PrivacyModel::kNode) {
+    // Node-DP serving is only sound against the degree-capped projection:
+    // installing the cap here makes every snapshot the shards pin carry
+    // the projected view alongside the raw CSR. The uncap_projection
+    // trip-wire skips the install — serves then read the raw graph while
+    // calibrating to the capped bound, the broken deployment the audit
+    // harness certifies.
+    PRIVREC_CHECK_GT(options.degree_cap, 0u);
+    if (!options.uncap_projection) {
+      graph_->SetDegreeCap(options.degree_cap);
+    }
+  }
   const size_t num_shards = ResolveShardCount(options.num_shards);
   shard_mask_ = num_shards - 1;
   per_shard_capacity_ = std::max<size_t>(1, options.cache_capacity / num_shards);
@@ -57,12 +117,30 @@ size_t RecommendationService::ShardIndex(NodeId user) const {
   return static_cast<size_t>(h >> 32) & shard_mask_;
 }
 
+const CsrGraph& RecommendationService::ServingView(
+    const DynamicGraph::StampedSnapshot& snap) const {
+  if (options_.privacy_model == PrivacyModel::kNode &&
+      snap.projected != nullptr) {
+    return *snap.projected;
+  }
+  return *snap.graph;
+}
+
 double RecommendationService::SensitivityForLocked(
     Shard& shard, const DynamicGraph::StampedSnapshot& snap) {
   // Computed against this call's own snapshot — never a torn mix of "old
   // utilities, new sensitivity".
   if (!shard.sensitivity_valid || shard.sensitivity_version != snap.version) {
-    shard.sensitivity = utility_->SensitivityBound(*snap.graph);
+    if (options_.privacy_model == PrivacyModel::kNode) {
+      // Node bound on the SAME view the utilities are computed on. Under
+      // the uncap_projection trip-wire this evaluates the capped bound
+      // against the raw graph — deliberately miscalibrated, so the audit
+      // can certify it.
+      shard.sensitivity =
+          utility_->NodeSensitivityBound(ServingView(snap), options_.degree_cap);
+    } else {
+      shard.sensitivity = utility_->SensitivityBound(*snap.graph);
+    }
     shard.sensitivity_version = snap.version;
     shard.sensitivity_valid = true;
   }
@@ -119,7 +197,8 @@ PrivacyAccountant& RecommendationService::AccountantForLocked(Shard& shard,
   auto it = shard.accountants.find(user);
   if (it == shard.accountants.end()) {
     it = shard.accountants
-             .emplace(user, PrivacyAccountant(options_.per_user_budget))
+             .emplace(user, PrivacyAccountant(options_.per_user_budget,
+                                              options_.budget_window))
              .first;
   }
   return it->second;
@@ -128,7 +207,15 @@ PrivacyAccountant& RecommendationService::AccountantForLocked(Shard& shard,
 void RecommendationService::RepairEntryLocked(
     Shard& shard, NodeId user, const DynamicGraph::StampedSnapshot& snap,
     double sensitivity, CacheEntry& entry) {
-  if (options_.enable_delta_repair && utility_->SupportsIncrementalUpdate()) {
+  // Journal repair is an EDGE-model tool: the journal records raw-graph
+  // toggles, but under kNode the serve path reads the projected view, and
+  // a raw delta (u,v) can evict a third arc (u,w) from u's capped prefix —
+  // an arc change no raw-journal keep test can see. Until a
+  // projected-delta journal exists (follow-up in ROADMAP), kNode entries
+  // recompute against the view on every version change (the baseline path
+  // below), which is exact and still touches no other entry.
+  if (options_.privacy_model == PrivacyModel::kEdge &&
+      options_.enable_delta_repair && utility_->SupportsIncrementalUpdate()) {
     auto deltas = graph_->EdgeDeltasBetween(entry.version, snap.version);
     if (deltas.ok()) {
       // Membership against the post-batch snapshot is exact as long as the
@@ -218,8 +305,9 @@ void RecommendationService::RepairEntryLocked(
     ++shard.stats.journal_fallbacks;
   }
   // Baseline path: the pre-incremental design would have erased this entry
-  // at mutation time; recompute it in place now.
-  entry.utilities = utility_->Compute(*snap.graph, user, shard.workspace);
+  // at mutation time; recompute it in place now (against the serving view:
+  // raw under kEdge, projected under kNode).
+  entry.utilities = utility_->Compute(ServingView(snap), user, shard.workspace);
   entry.version = snap.version;
   entry.calibration_sensitivity = sensitivity;
   entry.sampler.reset();
@@ -238,7 +326,7 @@ RecommendationService::GetEntryLocked(
     ++shard.stats.cache_misses;
     // Shared snapshot (no copy) + per-shard workspace: a cache miss costs
     // only the utility traversal, not an O(n + m) graph materialization.
-    CacheEntry entry{utility_->Compute(*snap.graph, user, shard.workspace),
+    CacheEntry entry{utility_->Compute(ServingView(snap), user, shard.workspace),
                      snap.version,
                      shard.clock,
                      sensitivity,
@@ -294,14 +382,37 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
   // post-charge zero-block resolution runs against exactly the state the
   // entry reflects; if it still fails, charging without releasing is the
   // conservative direction for privacy.)
-  // The audit path (charge_budget == false) skips the accountant entirely;
-  // everything else is byte-identical to the production path.
+  // The audit path (charge_budget == false) skips the accountant entirely
+  // — lifetime AND window state, so audits are budget-neutral in both
+  // ledgers; everything else is byte-identical to the production path.
+  double charge_eps = options_.release_epsilon;
+  bool degraded = false;
   if (charge_budget) {
     PrivacyAccountant& accountant = AccountantForLocked(shard, user);
-    if (!accountant.CanCharge(options_.release_epsilon)) {
+    // The request clock ticks exactly once per charged request, before any
+    // affordability check: refused requests still age the window, so a
+    // throttled user recovers by waiting, not by hammering.
+    if (accountant.AdvanceWindow()) ++shard.stats.window_refreshes;
+    if (!accountant.CanCharge(charge_eps)) {
       ++shard.stats.refused_budget;
-      return accountant.Charge(options_.release_epsilon,
+      return accountant.Charge(charge_eps,
                                "single recommendation");  // descriptive refusal
+    }
+    if (!accountant.CanChargeInWindow(charge_eps)) {
+      // Window exhausted while lifetime budget still has room. kDegrade
+      // retries at the cheaper epsilon (noisier answer, never
+      // over-budget); kReject — or a window too tight even for the
+      // degraded charge — refuses until the window turns over.
+      const BudgetWindowPolicy& policy = accountant.window_policy();
+      if (policy.exhaustion == BudgetWindowPolicy::Exhaustion::kDegrade) {
+        charge_eps = options_.release_epsilon / policy.degrade_factor;
+        degraded = accountant.CanChargeInWindow(charge_eps) &&
+                   accountant.CanCharge(charge_eps);
+      }
+      if (!degraded) {
+        ++shard.stats.refused_window;
+        return accountant.Charge(charge_eps, "single recommendation");
+      }
     }
   }
   const DynamicGraph::StampedSnapshot& snap = PinnedSnapshotLocked(shard);
@@ -311,20 +422,35 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
     return Status::InvalidArgument("user out of range");
   }
   const double sensitivity = SensitivityForLocked(shard, snap);
+  // A degraded serve cannot draw from the frozen sampler (built at the
+  // full release_epsilon), so it skips freezing one and samples from a
+  // throwaway mechanism below — the frozen sampler stays valid for the
+  // full-epsilon serves of the next window.
   PRIVREC_ASSIGN_OR_RETURN(
       CacheEntry * entry,
-      GetEntryLocked(shard, user, snap, sensitivity, /*need_sampler=*/true));
+      GetEntryLocked(shard, user, snap, sensitivity,
+                     /*need_sampler=*/!degraded));
+  std::optional<RecommendationSampler> degraded_sampler;
+  if (degraded) {
+    // Built BEFORE the charge so a sampler failure never spends ε it
+    // released nothing for (the refuse-or-commit idiom above).
+    ExponentialMechanism mechanism(charge_eps, entry->calibration_sensitivity);
+    PRIVREC_ASSIGN_OR_RETURN(RecommendationSampler sampler,
+                             mechanism.MakeSampler(entry->utilities));
+    degraded_sampler.emplace(std::move(sampler));
+  }
   if (charge_budget) {
     PRIVREC_CHECK_OK(AccountantForLocked(shard, user)
-                         .Charge(options_.release_epsilon,
-                                 "single recommendation"));
+                         .Charge(charge_eps, "single recommendation"));
     ++shard.stats.served;
+    if (degraded) ++shard.stats.degraded_serves;
   } else {
     ++shard.stats.audit_serves;
   }
-  const Recommendation rec = entry->sampler->Draw(rng);
+  const Recommendation rec =
+      degraded ? degraded_sampler->Draw(rng) : entry->sampler->Draw(rng);
   if (!rec.from_zero_block) return rec.node;
-  return ResolveZeroUtilityNode(*snap.graph, entry->utilities, rng);
+  return ResolveZeroUtilityNode(ServingView(snap), entry->utilities, rng);
 }
 
 Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
@@ -335,11 +461,28 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
   const std::string reason = "top-" + std::to_string(k) + " list";
   // The audit path (charge_budget == false) skips the accountant entirely,
   // mirroring ServeLocked; everything else is byte-identical.
+  double charge_eps = options_.release_epsilon;
+  bool degraded = false;
   if (charge_budget) {
     PrivacyAccountant& accountant = AccountantForLocked(shard, user);
-    if (!accountant.CanCharge(options_.release_epsilon)) {
+    // Same window flow as ServeLocked: tick the request clock exactly
+    // once, before the affordability checks.
+    if (accountant.AdvanceWindow()) ++shard.stats.window_refreshes;
+    if (!accountant.CanCharge(charge_eps)) {
       ++shard.stats.refused_budget;
-      return accountant.Charge(options_.release_epsilon, reason);
+      return accountant.Charge(charge_eps, reason);
+    }
+    if (!accountant.CanChargeInWindow(charge_eps)) {
+      const BudgetWindowPolicy& policy = accountant.window_policy();
+      if (policy.exhaustion == BudgetWindowPolicy::Exhaustion::kDegrade) {
+        charge_eps = options_.release_epsilon / policy.degrade_factor;
+        degraded = accountant.CanChargeInWindow(charge_eps) &&
+                   accountant.CanCharge(charge_eps);
+      }
+      if (!degraded) {
+        ++shard.stats.refused_window;
+        return accountant.Charge(charge_eps, reason);
+      }
     }
   }
   const DynamicGraph::StampedSnapshot& snap = PinnedSnapshotLocked(shard);
@@ -348,9 +491,12 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
   }
   // Pre-validate what PeelingExponentialTopK would reject — cheap snapshot
   // arithmetic (the paper's candidate convention: everyone but the user
-  // and their neighbors), before any cache work or budget commitment.
-  const uint64_t candidates = static_cast<uint64_t>(snap.graph->num_nodes()) -
-                              1 - snap.graph->OutDegree(user);
+  // and their neighbors), before any cache work or budget commitment. Read
+  // from the serving view: under kNode the capped out-degree is what the
+  // utility vector will exclude.
+  const CsrGraph& view = ServingView(snap);
+  const uint64_t candidates =
+      static_cast<uint64_t>(view.num_nodes()) - 1 - view.OutDegree(user);
   if (candidates < k) {
     return Status::FailedPrecondition("fewer candidates than k");
   }
@@ -368,15 +514,21 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
     return Status::FailedPrecondition("fewer candidates than k");
   }
   if (charge_budget) {
-    PRIVREC_CHECK_OK(AccountantForLocked(shard, user)
-                         .Charge(options_.release_epsilon, reason));
+    PRIVREC_CHECK_OK(AccountantForLocked(shard, user).Charge(charge_eps,
+                                                             reason));
   }
-  auto result = PeelingExponentialTopK(entry->utilities, k,
-                                       options_.release_epsilon,
+  // Degraded lists run the same peeling mechanism at the cheaper total ε
+  // (split ε/k per slot inside) — noisier picks, identical shape.
+  auto result = PeelingExponentialTopK(entry->utilities, k, charge_eps,
                                        entry->calibration_sensitivity, rng);
   if (result.ok()) {
+    // Resolve zero-block picks to concrete distinct candidates — released
+    // sentinels would leak "utility exactly 0" (see ResolveZeroPicks).
+    PRIVREC_RETURN_NOT_OK(
+        ResolveZeroPicks(view, entry->utilities, *result, rng));
     if (charge_budget) {
       ++shard.stats.served;
+      if (degraded) ++shard.stats.degraded_serves;
     } else {
       ++shard.stats.audit_list_serves;
     }
@@ -462,6 +614,13 @@ double RecommendationService::RemainingBudget(NodeId user) const {
                                        : it->second.remaining();
 }
 
+double RecommendationService::WindowSpent(NodeId user) const {
+  const Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.accountants.find(user);
+  return it == shard.accountants.end() ? 0.0 : it->second.window_spent();
+}
+
 ServiceStats RecommendationService::stats() const {
   ServiceStats total;
   for (const auto& shard_ptr : shards_) {
@@ -482,6 +641,9 @@ ServiceStats RecommendationService::stats() const {
     total.doomed_evictions += shard.stats.doomed_evictions;
     total.filter_dropped_deltas += shard.stats.filter_dropped_deltas;
     total.repair_ns += shard.stats.repair_ns;
+    total.refused_window += shard.stats.refused_window;
+    total.degraded_serves += shard.stats.degraded_serves;
+    total.window_refreshes += shard.stats.window_refreshes;
   }
   return total;
 }

@@ -61,6 +61,28 @@ struct ServiceOptions {
   /// kept reachable for differential tests and the skewed-write bench
   /// contrast (bench/mutation_serving.cc).
   bool enable_affect_filter = true;
+  /// Which neighboring relation the service's DP guarantee is stated
+  /// against (core/privacy_accountant.h). kEdge (default): neighbors
+  /// differ in one edge; every release runs on the raw snapshot and
+  /// calibrates with SensitivityBound. kNode: neighbors differ in one
+  /// node's ENTIRE adjacency (Appendix A's rewiring pairs); every release
+  /// then runs on the degree-capped projected view (degree_cap,
+  /// graph/degree_cap.h) and calibrates with the utility's
+  /// NodeSensitivityBound on that view — without the cap, one rewired hub
+  /// has unbounded influence and no finite calibration is sound.
+  PrivacyModel privacy_model = PrivacyModel::kEdge;
+  /// Degree cap D of the node-DP projection (ignored under kEdge; must be
+  /// > 0 under kNode). Each node keeps its D smallest out-neighbors.
+  uint32_t degree_cap = 16;
+  /// TRIP-WIRE / TEST ONLY: under kNode, serve on the RAW graph while
+  /// still calibrating to the capped NodeSensitivityBound — the canonical
+  /// broken node-DP deployment the audit harness must certify as a
+  /// violation (eval/service_auditor.h, bench/audit_landscape.cc). Never
+  /// enable in production.
+  bool uncap_projection = false;
+  /// Continual-observation budget windows layered over the lifetime
+  /// budget (core/privacy_accountant.h). Disabled by default.
+  BudgetWindowPolicy budget_window;
 };
 
 /// Serving statistics. Returned by value from stats(): an exact sum of the
@@ -128,6 +150,18 @@ struct ServiceStats {
   /// excluded, so repair_ns / (delta_patched + delta_recomputed) is the
   /// average price of a repair under the current traffic.
   uint64_t repair_ns = 0;
+  /// Serves refused because the user's current budget WINDOW was
+  /// exhausted while the lifetime budget still had room
+  /// (BudgetWindowPolicy). Under kDegrade, only the serves that could not
+  /// even afford the degraded epsilon land here.
+  uint64_t refused_window = 0;
+  /// Serves completed at the degraded epsilon (release_epsilon /
+  /// degrade_factor) because the window could not afford the full charge
+  /// (BudgetWindowPolicy::Exhaustion::kDegrade). Also counted in `served`.
+  uint64_t degraded_serves = 0;
+  /// Budget-window rollovers observed across all users (each is one
+  /// user's window spend resetting at a tumbling-window boundary).
+  uint64_t window_refreshes = 0;
 };
 
 /// The production wrapper a deployment would put around this library:
@@ -252,6 +286,11 @@ class RecommendationService {
   /// Remaining lifetime ε for `user` (full budget if never served).
   double RemainingBudget(NodeId user) const;
 
+  /// ε spent inside `user`'s CURRENT budget window (0 if never served or
+  /// the window policy is disabled). Observability for the
+  /// continual-observation tests and dashboards.
+  double WindowSpent(NodeId user) const;
+
   /// Sum of the per-shard counters.
   ServiceStats stats() const;
 
@@ -313,6 +352,14 @@ class RecommendationService {
     return *shards_[ShardIndex(user)];
   }
   size_t ShardIndex(NodeId user) const;
+
+  /// The graph every serve-path read goes through: the degree-capped
+  /// projected view under kNode (unless the uncap_projection trip-wire
+  /// left the snapshot unprojected), the raw snapshot otherwise.
+  /// Sensitivity, candidate counts, utility computation, and zero-block
+  /// resolution must all read the SAME view — a mixed read de-calibrates
+  /// the release.
+  const CsrGraph& ServingView(const DynamicGraph::StampedSnapshot& snap) const;
 
   /// The utility's sensitivity for `snap`'s version, memoized per shard.
   /// Caller holds `shard.mu`.

@@ -100,6 +100,25 @@ UtilityVector PatchJaccardUtility(const CsrGraph& graph,
                                   NodeId target, const UtilityVector& cached,
                                   UtilityWorkspace& workspace);
 
+/// Exact affectedness test for truncated-walk utilities (Katz, personalized
+/// PageRank): true iff some window delta's changed out-list can be READ by
+/// a walk of at most `max_hops` arcs from `target` — i.e. some delta TAIL
+/// (the arc's source; both endpoints on undirected graphs) is the target
+/// itself or reachable from it within `max_hops` hops. Reachability runs
+/// over the UNION of the post-window snapshot's arcs and every window arc
+/// (injected regardless of add/remove): the union is a supergraph of every
+/// intermediate state, so "tail unreachable in the union" proves no walk in
+/// ANY state of the window touches a changed list — the cached vector is
+/// exactly current and may be kept.
+///
+/// BFS never re-expands `target`, which matches both walk conventions:
+/// Katz walks avoid the target as an intermediate, and for PPR (walks may
+/// revisit the target) any walk through the target has a suffix from the
+/// target at most as long, so plain BFS reachability is equivalent.
+bool WindowWithinWalkCone(const CsrGraph& graph,
+                          std::span<const EdgeDelta> window, NodeId target,
+                          int max_hops);
+
 }  // namespace privrec
 
 #endif  // PRIVREC_UTILITY_INCREMENTAL_H_

@@ -289,6 +289,53 @@ UtilityVector KatzUtility::Compute(const CsrGraph& graph, NodeId target,
   return FinalizeUtilityScores(graph, target, scores, workspace);
 }
 
+UtilityVector KatzUtility::ApplyEdgeDelta(const CsrGraph& graph,
+                                          const EdgeDelta& delta,
+                                          NodeId target,
+                                          const UtilityVector& cached,
+                                          UtilityWorkspace& workspace) const {
+  if (!WindowWithinWalkCone(graph, std::span<const EdgeDelta>(&delta, 1),
+                            target, max_length_ - 1)) {
+    return cached;
+  }
+  return Compute(graph, target, workspace);
+}
+
+UtilityVector KatzUtility::ApplyEdgeDeltaBatch(
+    const CsrGraph& graph, std::span<const EdgeDelta> deltas, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  if (!WindowWithinWalkCone(graph, deltas, target, max_length_ - 1)) {
+    return cached;
+  }
+  return Compute(graph, target, workspace);
+}
+
+bool KatzUtility::EdgeDeltaAffects(const CsrGraph& graph,
+                                   const EdgeDelta& delta, NodeId target,
+                                   const UtilityVector& /*cached*/) const {
+  // A length-l walk uses arc (u, v) only after a length-(l-1) prefix
+  // reaches u; truncation at L bounds the prefix by L-1 hops.
+  return WindowWithinWalkCone(graph, std::span<const EdgeDelta>(&delta, 1),
+                              target, max_length_ - 1);
+}
+
+bool KatzUtility::EdgeDeltaWindowAffects(
+    const CsrGraph& graph, std::span<const EdgeDelta> deltas, NodeId target,
+    const UtilityVector& /*cached*/) const {
+  // One union-graph BFS for the whole window: conservative against every
+  // intermediate state at the cost of a single cone traversal, instead of
+  // the default's per-delta OR.
+  return WindowWithinWalkCone(graph, deltas, target, max_length_ - 1);
+}
+
+void KatzUtility::FilterAffectingWindow(const CsrGraph& /*graph*/,
+                                        std::span<const EdgeDelta> deltas,
+                                        NodeId /*target*/,
+                                        const UtilityVector& /*cached*/,
+                                        std::vector<EdgeDelta>& out) const {
+  out.insert(out.end(), deltas.begin(), deltas.end());
+}
+
 double KatzUtility::SensitivityBound(const CsrGraph& graph) const {
   // Each truncated walk through the toggled edge has weight <= β^l; the
   // number of length-l walks through a fixed edge is <= l·d_max^{l-2}.

@@ -164,6 +164,47 @@ class KatzUtility : public UtilityFunction {
   UtilityVector Compute(const CsrGraph& graph, NodeId target,
                         UtilityWorkspace& workspace) const override;
 
+  /// Incremental maintenance via the truncated-walk cone: a toggle whose
+  /// changed out-list no length-<=(L-1) walk from the target can read
+  /// provably leaves the vector untouched (WindowWithinWalkCone in
+  /// utility/incremental.h — the keep test is exact, so far-away toggles
+  /// stop invalidating cached entries). Affected entries recompute inside
+  /// the patch route: per-level walk counts are not recoverable from the
+  /// cached scores (one float per candidate, L unknowns), so no O(Δ)
+  /// numeric splice can reproduce Compute's accumulation — the same
+  /// recompute-internally contract directed Jaccard repairs use. Results
+  /// are trivially bitwise-identical to a fresh Compute.
+  bool SupportsIncrementalUpdate() const override { return true; }
+  bool SupportsIncrementalBatch() const override { return true; }
+  UtilityVector ApplyEdgeDelta(const CsrGraph& graph, const EdgeDelta& delta,
+                               NodeId target, const UtilityVector& cached,
+                               UtilityWorkspace& workspace) const override;
+  UtilityVector ApplyEdgeDeltaBatch(const CsrGraph& graph,
+                                    std::span<const EdgeDelta> deltas,
+                                    NodeId target, const UtilityVector& cached,
+                                    UtilityWorkspace& workspace) const override;
+
+  /// Walk-cone test (depth L-1), replacing the structural 2-hop default
+  /// which is wrong for a 3+-hop utility in BOTH directions (it would keep
+  /// entries a 3-hop walk invalidated, and invalidate entries no walk can
+  /// see).
+  bool EdgeDeltaAffects(const CsrGraph& graph, const EdgeDelta& delta,
+                        NodeId target,
+                        const UtilityVector& cached) const override;
+  bool EdgeDeltaWindowAffects(const CsrGraph& graph,
+                              std::span<const EdgeDelta> deltas,
+                              NodeId target,
+                              const UtilityVector& cached) const override;
+
+  /// Keeps the window intact: cone membership is a whole-window property
+  /// and the patch route recomputes, so dropping deltas buys nothing and
+  /// the structural default could unsoundly filter a 3-hop-affecting
+  /// window to empty.
+  void FilterAffectingWindow(const CsrGraph& graph,
+                             std::span<const EdgeDelta> deltas, NodeId target,
+                             const UtilityVector& cached,
+                             std::vector<EdgeDelta>& out) const override;
+
   /// Geometric series bound: a toggled edge can appear in at most
   /// L·d_max^{L-2} truncated walks per orientation, each weighted <= β²
   /// for walks of length >= 2; dominated by β·(1 + L·(β·d_max)^{L-2})…

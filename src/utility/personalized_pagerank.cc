@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "graph/traversal.h"
+#include "utility/incremental.h"
 
 namespace privrec {
 
@@ -63,6 +64,55 @@ UtilityVector PersonalizedPageRankUtility::Compute(
 double PersonalizedPageRankUtility::SensitivityBound(
     const CsrGraph& /*graph*/) const {
   return 2.0 * (1.0 - restart_) / restart_;
+}
+
+double PersonalizedPageRankUtility::NodeSensitivityBound(
+    const CsrGraph& projected, uint32_t /*degree_cap*/) const {
+  // One rewired row of the transition matrix: the edge bound's coupling
+  // argument applies unchanged (see header).
+  return SensitivityBound(projected);
+}
+
+UtilityVector PersonalizedPageRankUtility::ApplyEdgeDelta(
+    const CsrGraph& graph, const EdgeDelta& delta, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  if (!WindowWithinWalkCone(graph, std::span<const EdgeDelta>(&delta, 1),
+                            target, iterations_ - 1)) {
+    return cached;
+  }
+  return Compute(graph, target, workspace);
+}
+
+UtilityVector PersonalizedPageRankUtility::ApplyEdgeDeltaBatch(
+    const CsrGraph& graph, std::span<const EdgeDelta> deltas, NodeId target,
+    const UtilityVector& cached, UtilityWorkspace& workspace) const {
+  if (!WindowWithinWalkCone(graph, deltas, target, iterations_ - 1)) {
+    return cached;
+  }
+  return Compute(graph, target, workspace);
+}
+
+bool PersonalizedPageRankUtility::EdgeDeltaAffects(
+    const CsrGraph& graph, const EdgeDelta& delta, NodeId target,
+    const UtilityVector& /*cached*/) const {
+  // Mass first reaches a node at hop h and its out-list (including the
+  // dangling-restart behavior of a degree-0 node) is only read in rounds
+  // after that, so `iterations - 1` hops bound every readable tail.
+  return WindowWithinWalkCone(graph, std::span<const EdgeDelta>(&delta, 1),
+                              target, iterations_ - 1);
+}
+
+bool PersonalizedPageRankUtility::EdgeDeltaWindowAffects(
+    const CsrGraph& graph, std::span<const EdgeDelta> deltas, NodeId target,
+    const UtilityVector& /*cached*/) const {
+  return WindowWithinWalkCone(graph, deltas, target, iterations_ - 1);
+}
+
+void PersonalizedPageRankUtility::FilterAffectingWindow(
+    const CsrGraph& /*graph*/, std::span<const EdgeDelta> deltas,
+    NodeId /*target*/, const UtilityVector& /*cached*/,
+    std::vector<EdgeDelta>& out) const {
+  out.insert(out.end(), deltas.begin(), deltas.end());
 }
 
 double PersonalizedPageRankUtility::EdgeAlterationsT(

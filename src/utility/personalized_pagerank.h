@@ -30,6 +30,51 @@ class PersonalizedPageRankUtility : public UtilityFunction {
   /// when calibrating on a concrete graph.
   double SensitivityBound(const CsrGraph& graph) const override;
 
+  /// Tighter-than-default node bound, independent of the degree cap:
+  /// rewiring one node's neighborhood changes that node's out-list — ONE
+  /// row of the walk's transition matrix — no matter how many arcs inside
+  /// the row move, and the coupling argument behind the edge bound (walks
+  /// agree until they first leave the changed row) bounds ||Δppr||_1 by
+  /// the same 2(1-α)/α. The default D·Δf_edge envelope would be D times
+  /// looser for no reason. (The projected view is still required: the cap
+  /// bounds how much probability mass one rewired row can redirect per
+  /// step in the multi-release composition the auditor measures.)
+  double NodeSensitivityBound(const CsrGraph& projected,
+                              uint32_t degree_cap) const override;
+
+  /// Incremental maintenance via the push-cone keep test: a toggle whose
+  /// changed out-list no mass can reach within `iterations` push rounds
+  /// provably leaves the vector untouched (WindowWithinWalkCone, depth
+  /// iterations-1). Affected entries recompute inside the patch route —
+  /// residual-bounded re-propagation needs per-node mass history that the
+  /// cached score vector does not retain (one float per candidate, all
+  /// rounds summed), so a numeric re-push could not reproduce Compute's
+  /// accumulation bitwise. Same recompute-internally contract as directed
+  /// Jaccard and Katz.
+  bool SupportsIncrementalUpdate() const override { return true; }
+  bool SupportsIncrementalBatch() const override { return true; }
+  UtilityVector ApplyEdgeDelta(const CsrGraph& graph, const EdgeDelta& delta,
+                               NodeId target, const UtilityVector& cached,
+                               UtilityWorkspace& workspace) const override;
+  UtilityVector ApplyEdgeDeltaBatch(const CsrGraph& graph,
+                                    std::span<const EdgeDelta> deltas,
+                                    NodeId target, const UtilityVector& cached,
+                                    UtilityWorkspace& workspace) const override;
+  bool EdgeDeltaAffects(const CsrGraph& graph, const EdgeDelta& delta,
+                        NodeId target,
+                        const UtilityVector& cached) const override;
+  bool EdgeDeltaWindowAffects(const CsrGraph& graph,
+                              std::span<const EdgeDelta> deltas,
+                              NodeId target,
+                              const UtilityVector& cached) const override;
+
+  /// Keeps the window intact (cone membership is whole-window; the patch
+  /// route recomputes — see KatzUtility::FilterAffectingWindow).
+  void FilterAffectingWindow(const CsrGraph& graph,
+                             std::span<const EdgeDelta> deltas, NodeId target,
+                             const UtilityVector& cached,
+                             std::vector<EdgeDelta>& out) const override;
+
   /// Promotion argument as for common neighbors: wiring the promoted node
   /// to all of r's neighbors captures the bulk of 2-hop PPR mass; +2
   /// bookkeeping edges.

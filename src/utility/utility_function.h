@@ -50,6 +50,27 @@ class UtilityFunction {
   /// use). This calibrates the Laplace/Exponential mechanisms.
   virtual double SensitivityBound(const CsrGraph& graph) const = 0;
 
+  /// Conservative L1 sensitivity under the NODE neighboring relation
+  /// (Appendix A: one node's entire neighborhood rewired), evaluated
+  /// against the degree-capped projected view the node-DP serving mode
+  /// computes on (`projected` = ProjectDegreeCapped(base, degree_cap), so
+  /// every adjacency list the utility reads has length <= degree_cap).
+  ///
+  /// Default: degree_cap · Δf_edge(projected). Rewiring node x changes at
+  /// most degree_cap kept arcs out of x plus degree_cap kept arcs into x
+  /// per side; for the 2-hop weighted-count family each arc's influence is
+  /// bounded by the edge sensitivity, giving the D·Δf_edge envelope the
+  /// ISSUE names. This is an engineering bound, not a closed-form optimum
+  /// — the audit harness (eval/service_auditor.h, node-rewiring pairs)
+  /// empirically certifies that serving calibrated this way stays <= ε;
+  /// utilities with tighter closed forms override (personalized PageRank's
+  /// bound is cap-independent: rewiring one node's out-list changes a
+  /// single row of the walk matrix).
+  virtual double NodeSensitivityBound(const CsrGraph& projected,
+                                      uint32_t degree_cap) const {
+    return static_cast<double>(degree_cap) * SensitivityBound(projected);
+  }
+
   /// Incremental-maintenance capability (see README "Incremental
   /// maintenance"): true iff ApplyEdgeDelta is overridden with an O(Δ)
   /// patch whose result is exactly equal to a fresh Compute on the

@@ -387,5 +387,120 @@ TEST(ConcurrentServiceTest, DriverReportsConsistentTallies) {
   EXPECT_EQ(service.stats().served, report.serve_ok);
 }
 
+// -------------------------------------------- continual-observation windows
+
+TEST(ConcurrentServiceTest, WindowBudgetsStayExactAcrossEightThreads) {
+  // 8 threads hammer 64 users (disjoint per-thread user sets, so every
+  // user's request ordering is deterministic even though the 8 shards are
+  // under concurrent load from all threads). With a tumbling window of 10
+  // requests and 0.5 ε refresh at 0.25 ε per serve, every user's traffic
+  // resolves to EXACT per-window arithmetic: 2 served then 8 refused per
+  // full window, and the per-user/per-shard tallies must sum with no
+  // charge lost or double-counted under the races.
+  DynamicGraph graph = StressGraph(41);
+  ServiceOptions options = StressOptions();
+  options.per_user_budget = 100.0;  // lifetime never binds; windows do
+  options.budget_window.enabled = true;
+  options.budget_window.window_length = 10;
+  options.budget_window.refresh_epsilon = 0.5;
+  options.budget_window.exhaustion = BudgetWindowPolicy::Exhaustion::kReject;
+  RecommendationService service(
+      &graph, std::make_unique<CommonNeighborsUtility>(), options);
+
+  constexpr unsigned kThreads = 8;
+  constexpr NodeId kUsersPerThread = 8;
+  constexpr uint64_t kRequestsPerUser = 25;  // 2 full windows + 5
+  std::atomic<uint64_t> served{0}, refused{0}, other_failures{0};
+  RunWorkers(kThreads, [&](unsigned w) {
+    for (NodeId offset = 0; offset < kUsersPerThread; ++offset) {
+      const NodeId user = static_cast<NodeId>(w * kUsersPerThread + offset);
+      for (uint64_t i = 0; i < kRequestsPerUser; ++i) {
+        auto rec = service.ServeRecommendation(user);
+        if (rec.ok()) {
+          served.fetch_add(1);
+        } else if (IsBudgetExhausted(rec.status())) {
+          refused.fetch_add(1);
+        } else {
+          other_failures.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(other_failures.load(), 0u);
+
+  // Per user: windows [1..10], [11..20] serve 2 and refuse 8 each; the
+  // 5-request tail window serves 2 and refuses 3. AdvanceWindow crosses a
+  // boundary at requests 11 and 21.
+  constexpr uint64_t kUsers = kThreads * kUsersPerThread;
+  EXPECT_EQ(served.load(), kUsers * 6);
+  EXPECT_EQ(refused.load(), kUsers * 19);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.served, kUsers * 6);
+  EXPECT_EQ(stats.refused_window, kUsers * 19);
+  EXPECT_EQ(stats.refused_budget, 0u);
+  EXPECT_EQ(stats.window_refreshes, kUsers * 2);
+  EXPECT_EQ(stats.degraded_serves, 0u);
+  for (NodeId user = 0; user < kUsers; ++user) {
+    // Tail window: two 0.25 ε serves landed, so the window ledger reads
+    // exactly the refresh budget; lifetime spend is 6 serves.
+    EXPECT_NEAR(service.WindowSpent(user), 0.5, 1e-9) << "user " << user;
+    EXPECT_NEAR(service.RemainingBudget(user), 100.0 - 6 * 0.25, 1e-9)
+        << "user " << user;
+  }
+}
+
+TEST(ConcurrentServiceTest, WindowExhaustionDegradeReplaysDeterministically) {
+  // kDegrade flow, replayed twice with identical seeds: request 1 serves
+  // at full ε (0.8), request 2 no longer fits the 1.0 refresh budget and
+  // serves degraded at ε/4 (0.2, topping the window off exactly), requests
+  // 3..6 are refused; the second window repeats the pattern. Both runs
+  // must produce byte-identical outcome sequences AND recommendations —
+  // the degraded path shares the deterministic per-shard RNG stream.
+  auto run = [](std::vector<std::pair<int, NodeId>>& outcomes) {
+    DynamicGraph graph = StressGraph(43);
+    ServiceOptions options = StressOptions();
+    options.num_shards = 1;  // single user -> single deterministic stream
+    options.release_epsilon = 0.8;
+    options.per_user_budget = 100.0;
+    options.budget_window.enabled = true;
+    options.budget_window.window_length = 6;
+    options.budget_window.refresh_epsilon = 1.0;
+    options.budget_window.exhaustion =
+        BudgetWindowPolicy::Exhaustion::kDegrade;
+    options.budget_window.degrade_factor = 4.0;
+    RecommendationService service(
+        &graph, std::make_unique<CommonNeighborsUtility>(), options);
+    for (int i = 0; i < 12; ++i) {
+      auto rec = service.ServeRecommendation(7);
+      if (rec.ok()) {
+        outcomes.emplace_back(0, *rec);
+      } else {
+        EXPECT_TRUE(IsBudgetExhausted(rec.status())) << rec.status().message();
+        outcomes.emplace_back(1, 0);
+      }
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.served, 4u);           // 2 full + 2 degraded
+    EXPECT_EQ(stats.degraded_serves, 2u);
+    EXPECT_EQ(stats.refused_window, 8u);
+    EXPECT_EQ(stats.refused_budget, 0u);
+    EXPECT_EQ(stats.window_refreshes, 1u);  // crossing at request 7
+    // Both windows were topped off exactly: 0.8 + 0.2 = 1.0 each.
+    EXPECT_NEAR(service.WindowSpent(7), 1.0, 1e-9);
+    EXPECT_NEAR(service.RemainingBudget(7), 100.0 - 2 * (0.8 + 0.2), 1e-9);
+  };
+  std::vector<std::pair<int, NodeId>> first, second;
+  run(first);
+  run(second);
+  ASSERT_EQ(first.size(), 12u);
+  EXPECT_EQ(first, second) << "degrade replay diverged across identical runs";
+  // Shape: [serve, degraded-serve, refuse x4] twice.
+  for (int w = 0; w < 2; ++w) {
+    EXPECT_EQ(first[w * 6].first, 0);
+    EXPECT_EQ(first[w * 6 + 1].first, 0);
+    for (int i = 2; i < 6; ++i) EXPECT_EQ(first[w * 6 + i].first, 1);
+  }
+}
+
 }  // namespace
 }  // namespace privrec

@@ -16,6 +16,7 @@
 // the worst case sub-second either way.
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <thread>
@@ -31,6 +32,8 @@
 #include "random/rng.h"
 #include "serve/recommendation_service.h"
 #include "utility/common_neighbors.h"
+#include "utility/link_predictors.h"
+#include "utility/personalized_pagerank.h"
 
 // Sanitized builds (TSAN/ASan runs in ci/sanitize.sh) pay a ~10x
 // slowdown; the heavyweight statistical assertions scale their trial
@@ -629,6 +632,318 @@ TEST(UnderMutationAuditTest, QuarterScaledNoiseIsCertifiedUnderChurn) {
   EXPECT_GT(estimate.epsilon_lower_bound, options.release_epsilon)
       << "broken calibration escaped certification under mutation";
 #endif
+}
+
+// ---------------------------------------------------------------- node-DP
+// The kNode surface: node-rewiring pairs (Appendix A) drive the same four
+// serve paths, but the service now serves off the degree-capped projected
+// view and calibrates with NodeSensitivityBound. The honest suites pin
+// the ≤ ε side on the trip-wire fixture (gen/fixtures.h — hub x adjacent
+// to every z, so an uncapped rewiring swings 2·zs·Δf of raw utility); the
+// broken suites are the two ways a service can claim node-DP and lie:
+// skipping the projection while keeping the capped calibration, and
+// charging only edge sensitivity under node-rewiring adversaries.
+
+ServiceAuditOptions NodeAuditOptions(double epsilon, uint32_t degree_cap) {
+  ServiceAuditOptions options;
+  options.release_epsilon = epsilon;
+  options.trials_per_side = AuditTrialsPerSide();
+  options.confidence = 0.99;
+  options.seed = 20260808;
+  options.multi_shard_count = 8;
+  options.privacy_model = PrivacyModel::kNode;
+  options.degree_cap = degree_cap;
+  return options;
+}
+
+/// Resource allocation that charges its EDGE sensitivity under kNode — the
+/// "forgot to multiply by the cap" bug class. Invisible to accuracy tests
+/// and to every edge-DP audit; only node-rewiring pairs expose it.
+class EdgeChargedOnlyRa : public ResourceAllocationUtility {
+ public:
+  double NodeSensitivityBound(const CsrGraph& projected,
+                              uint32_t /*degree_cap*/) const override {
+    return SensitivityBound(projected);
+  }
+};
+
+TEST(NodeDpAuditTest, HonestNodeServiceHonorsEpsilonOnAllFourPaths) {
+  ServiceAuditOptions options = NodeAuditOptions(/*epsilon=*/0.5,
+                                                 /*degree_cap=*/2);
+  ServiceAuditor auditor(
+      [] { return std::make_unique<ResourceAllocationUtility>(); }, options);
+  auto audit = auditor.AuditPair(MakeNodeAuditRewiringPair(), /*target=*/0);
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  ASSERT_EQ(audit->per_path.size(), 4u);
+  for (const char* path :
+       {"cold", "cache_hit", "post_mutation", "multi_shard"}) {
+    const PathEpsilonEstimate* estimate = audit->FindPath(path);
+    ASSERT_NE(estimate, nullptr) << path;
+    // Projected at D=2, the rewired hub moves each candidate's utility by
+    // at most the capped prefix — the realized ratio sits near ε/4, so a
+    // certified bound above the configured ε would be a real node-DP
+    // leak, not noise.
+    EXPECT_LE(estimate->epsilon_lower_bound, options.release_epsilon)
+        << path << ": honest node-DP service certified a violation";
+    EXPECT_LE(estimate->epsilon_hat, options.release_epsilon + 0.3) << path;
+  }
+  EXPECT_EQ(audit->pairs_checked, 1u);
+}
+
+TEST(NodeDpAuditTest, HonestKatzAndPprHonorEpsilonUnderNodeModel) {
+  // The non-default sensitivity forms: Katz inherits the D·Δf_edge
+  // envelope, PPR overrides with the cap-independent 2(1-α)/α closed
+  // form. Both must stay ≤ ε on the same trip-wire pair.
+  struct NamedFactory {
+    const char* name;
+    std::function<std::unique_ptr<UtilityFunction>()> make;
+  };
+  const NamedFactory factories[] = {
+      {"katz", [] { return std::make_unique<KatzUtility>(0.05, 3); }},
+      {"ppr",
+       [] { return std::make_unique<PersonalizedPageRankUtility>(0.2, 8); }},
+  };
+  for (const NamedFactory& factory : factories) {
+    ServiceAuditOptions options = NodeAuditOptions(/*epsilon=*/0.5,
+                                                   /*degree_cap=*/2);
+    options.trials_per_side = PRIVREC_TEST_SANITIZED ? 400 : 1500;
+    ServiceAuditor auditor(factory.make, options);
+    auto audit = auditor.AuditPair(MakeNodeAuditRewiringPair(), /*target=*/0);
+    ASSERT_TRUE(audit.ok()) << factory.name << ": "
+                            << audit.status().ToString();
+    ASSERT_EQ(audit->per_path.size(), 4u) << factory.name;
+    for (const PathEpsilonEstimate& estimate : audit->per_path) {
+      EXPECT_LE(estimate.epsilon_lower_bound, options.release_epsilon)
+          << factory.name << "/" << estimate.path;
+    }
+  }
+}
+
+TEST(NodeDpAuditTest, HonestNodeListServiceHonorsEpsilon) {
+  ServiceAuditOptions options = NodeAuditOptions(/*epsilon=*/0.5,
+                                                 /*degree_cap=*/2);
+  options.shape = ServeAuditShape::kList;
+  options.list_k = 5;
+  ServiceAuditor auditor(
+      [] { return std::make_unique<ResourceAllocationUtility>(); }, options);
+  auto audit = auditor.AuditPair(MakeNodeAuditRewiringPair(), /*target=*/0);
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  ASSERT_EQ(audit->per_path.size(), 4u);
+  for (const PathEpsilonEstimate& estimate : audit->per_path) {
+    // This assertion is the regression pin for the zero-block fix in
+    // ServeListLocked (ResolveZeroPicks): releasing unresolved
+    // zero-utility sentinels made exactly this reduction certify an
+    // infinite-ratio distinguisher on node pairs, because the rewiring
+    // moves candidate utilities across zero.
+    EXPECT_LE(estimate.epsilon_lower_bound, options.release_epsilon)
+        << estimate.path << ": honest node-DP list release certified a "
+                            "violation (zero-block sentinel leak?)";
+    EXPECT_GE(estimate.bonferroni_cells, 32u) << estimate.path;
+  }
+}
+
+TEST(NodeDpAuditTest, SampledNodeRewiringsMergePairsPerPath) {
+  const CsrGraph graph = MakeNodeAuditFixture();
+  ServiceAuditOptions options = NodeAuditOptions(/*epsilon=*/1.0,
+                                                 /*degree_cap=*/2);
+  options.trials_per_side = 400;  // smoke coverage, not power
+  ServiceAuditor auditor(
+      [] { return std::make_unique<ResourceAllocationUtility>(); }, options);
+  Rng pair_rng(17);
+  auto audit = auditor.AuditNodeRewirings(graph, /*target=*/0,
+                                          /*max_pairs=*/3, pair_rng);
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_EQ(audit->pairs_checked, 3u);
+  ASSERT_EQ(audit->per_path.size(), 4u);
+  for (const PathEpsilonEstimate& estimate : audit->per_path) {
+    EXPECT_EQ(estimate.trials_per_side, 400u);
+    EXPECT_LE(estimate.epsilon_lower_bound, options.release_epsilon)
+        << estimate.path;
+  }
+}
+
+TEST(NodeDpAuditTest, UncappedProjectionIsCertifiedOnEveryPath) {
+  // The projection trip wire: ServiceOptions::uncap_projection serves on
+  // the RAW view while keeping the capped calibration — exactly what a
+  // service that "supports kNode" but forgot to project would do. On the
+  // fixture the hub's raw utility swing is 2·zs·Δf against a D·Δf noise
+  // scale, an order-of-magnitude under-noising.
+  ServiceAuditOptions options = NodeAuditOptions(/*epsilon=*/1.0,
+                                                 /*degree_cap=*/1);
+  options.uncap_projection = true;
+  options.trials_per_side = PRIVREC_TEST_SANITIZED ? 600 : 2000;
+  ServiceAuditor auditor(
+      [] { return std::make_unique<ResourceAllocationUtility>(); }, options);
+  auto audit = auditor.AuditPair(MakeNodeAuditRewiringPair(), /*target=*/0);
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  ASSERT_EQ(audit->per_path.size(), 4u);
+  for (const PathEpsilonEstimate& estimate : audit->per_path) {
+    EXPECT_GT(estimate.epsilon_hat, options.release_epsilon) << estimate.path;
+#if !PRIVREC_TEST_SANITIZED
+    // At 2000 trials the certified bound lands ≈2.9 — far above the
+    // configured ε=1 on every serve path.
+    EXPECT_GT(estimate.epsilon_lower_bound, options.release_epsilon)
+        << estimate.path << ": uncapped projection escaped certification";
+#endif
+  }
+  EXPECT_GT(audit->max_abs_log_ratio, options.release_epsilon);
+}
+
+TEST(NodeDpAuditTest, EdgeChargedOnlyServiceIsCertifiedOnEveryPath) {
+  // The accounting trip wire: projection honored (D=16 keeps the whole
+  // fixture), but noise calibrated to edge sensitivity only. Every edge-DP
+  // audit in this file passes such a service; the node-rewiring pair is
+  // the one adversary that bills all 2·zs moved arcs at once.
+  ServiceAuditOptions options = NodeAuditOptions(/*epsilon=*/0.5,
+                                                 /*degree_cap=*/16);
+  options.trials_per_side = PRIVREC_TEST_SANITIZED ? 600 : 2500;
+  ServiceAuditor auditor([] { return std::make_unique<EdgeChargedOnlyRa>(); },
+                         options);
+  auto audit = auditor.AuditPair(MakeNodeAuditRewiringPair(), /*target=*/0);
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  ASSERT_EQ(audit->per_path.size(), 4u);
+  for (const PathEpsilonEstimate& estimate : audit->per_path) {
+    EXPECT_GT(estimate.epsilon_hat, options.release_epsilon) << estimate.path;
+#if !PRIVREC_TEST_SANITIZED
+    EXPECT_GT(estimate.epsilon_lower_bound, options.release_epsilon)
+        << estimate.path << ": edge-charged-only service escaped "
+                            "node-DP certification";
+#endif
+  }
+}
+
+TEST(NodeDpAuditTest, AuditServesChargeNoBudgetOrWindowUnderNodeModel) {
+  // Audit-hook neutrality must survive the kNode + window-budget stack:
+  // 300 audit serves and 100 audit lists later, the lifetime budget, the
+  // tumbling window, and every window counter are untouched — the audit
+  // traffic cannot perturb the continual-observation state it measures.
+  DynamicGraph graph(MakeNodeAuditFixture());
+  ServiceOptions options;
+  options.release_epsilon = 0.5;
+  options.per_user_budget = 2.0;
+  options.num_shards = 2;
+  options.privacy_model = PrivacyModel::kNode;
+  options.degree_cap = 2;
+  options.budget_window.enabled = true;
+  options.budget_window.window_length = 10;
+  options.budget_window.refresh_epsilon = 0.5;
+  RecommendationService service(
+      &graph, std::make_unique<ResourceAllocationUtility>(), options);
+  Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(service.ServeForAudit(0, rng).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto list = service.ServeListForAudit(0, /*k=*/5, rng);
+    ASSERT_TRUE(list.ok()) << list.status().ToString();
+    ASSERT_EQ(list->picks.size(), 5u);
+  }
+  EXPECT_DOUBLE_EQ(service.RemainingBudget(0), 2.0);
+  EXPECT_DOUBLE_EQ(service.WindowSpent(0), 0.0);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.audit_serves, 300u);
+  EXPECT_EQ(stats.audit_list_serves, 100u);
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_EQ(stats.window_refreshes, 0u);
+  EXPECT_EQ(stats.refused_window, 0u);
+  // The charged path still charges: the 0.5-refresh window affords one
+  // release, the second refuses on the window (not the lifetime budget).
+  EXPECT_TRUE(service.ServeRecommendation(0, rng).ok());
+  EXPECT_TRUE(
+      IsBudgetExhausted(service.ServeRecommendation(0, rng).status()));
+  EXPECT_DOUBLE_EQ(service.RemainingBudget(0), 1.5);
+  EXPECT_DOUBLE_EQ(service.WindowSpent(0), 0.5);
+  stats = service.stats();
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.refused_window, 1u);
+  EXPECT_EQ(stats.refused_budget, 0u);
+}
+
+// ----------------------------------------------- Katz/PPR serve differential
+// The incremental-update satellite's end-to-end pin: a delta-repaired
+// service over KatzUtility / PersonalizedPageRankUtility must serve
+// BYTE-IDENTICAL sequences to the recompute-everything baseline (their
+// keep test is the exact walk/push cone; their patch route recomputes
+// internally, so repair changes cost, never outcomes).
+
+TEST(NodeDpAuditTest, KatzAndPprDeltaModeServeIdenticallyToBaseline) {
+  struct NamedFactory {
+    const char* name;
+    std::function<std::unique_ptr<UtilityFunction>()> make;
+  };
+  const NamedFactory factories[] = {
+      {"katz", [] { return std::make_unique<KatzUtility>(0.05, 3); }},
+      {"ppr",
+       [] { return std::make_unique<PersonalizedPageRankUtility>(0.2, 4); }},
+  };
+  for (const NamedFactory& factory : factories) {
+    // Sparse 300-node graph: most toggles fall outside a cached target's
+    // walk/push cone (delta_kept), while near-target toggles drive the
+    // patch route (delta_patched) — both must run for the differential
+    // to certify anything.
+    Rng graph_rng(71);
+    auto base = ErdosRenyiGnm(300, 450, /*directed=*/false, graph_rng);
+    ASSERT_TRUE(base.ok()) << factory.name;
+    DynamicGraph graph_delta(*base);
+    DynamicGraph graph_baseline(*base);
+    ServiceOptions options;
+    options.release_epsilon = 0.25;
+    options.per_user_budget = 1e6;
+    options.cache_capacity = 256;
+    options.num_shards = 4;
+    options.seed = 2026;
+    options.enable_delta_repair = true;
+    RecommendationService delta_service(&graph_delta, factory.make(), options);
+    options.enable_delta_repair = false;
+    RecommendationService baseline_service(&graph_baseline, factory.make(),
+                                           options);
+    Rng ops_rng(73);
+    const int ops = PRIVREC_TEST_SANITIZED ? 250 : 600;
+    for (int op = 0; op < ops; ++op) {
+      if (ops_rng.NextBernoulli(0.15)) {
+        const NodeId u = static_cast<NodeId>(ops_rng.NextBounded(300));
+        const NodeId v = static_cast<NodeId>(ops_rng.NextBounded(300));
+        if (u == v) continue;
+        if (graph_delta.HasEdge(u, v)) {
+          ASSERT_TRUE(delta_service.RemoveEdge(u, v).ok());
+          ASSERT_TRUE(baseline_service.RemoveEdge(u, v).ok());
+        } else {
+          ASSERT_TRUE(delta_service.AddEdge(u, v).ok());
+          ASSERT_TRUE(baseline_service.AddEdge(u, v).ok());
+        }
+      } else if (ops_rng.NextBernoulli(0.2)) {
+        const NodeId user = static_cast<NodeId>(ops_rng.NextBounded(300));
+        auto list_a = delta_service.ServeList(user, 3);
+        auto list_b = baseline_service.ServeList(user, 3);
+        ASSERT_EQ(list_a.ok(), list_b.ok()) << factory.name << " op " << op;
+        if (!list_a.ok()) continue;
+        ASSERT_EQ(list_a->picks.size(), list_b->picks.size());
+        for (size_t p = 0; p < list_a->picks.size(); ++p) {
+          ASSERT_EQ(list_a->picks[p].node, list_b->picks[p].node)
+              << factory.name << " op " << op << " pick " << p;
+        }
+      } else {
+        const NodeId user = static_cast<NodeId>(ops_rng.NextBounded(300));
+        auto rec_a = delta_service.ServeRecommendation(user);
+        auto rec_b = baseline_service.ServeRecommendation(user);
+        ASSERT_EQ(rec_a.ok(), rec_b.ok()) << factory.name << " op " << op;
+        if (rec_a.ok()) {
+          ASSERT_EQ(*rec_a, *rec_b) << factory.name << " op " << op;
+        }
+      }
+    }
+    const ServiceStats delta_stats = delta_service.stats();
+    const ServiceStats baseline_stats = baseline_service.stats();
+    EXPECT_EQ(delta_stats.served, baseline_stats.served) << factory.name;
+    // The differential is only meaningful if both repair verdicts ran:
+    // cone-keeps on far toggles AND recompute-inside-patch near the target.
+    EXPECT_GT(delta_stats.delta_kept, 0u) << factory.name;
+    EXPECT_GT(delta_stats.delta_patched, 0u) << factory.name;
+    EXPECT_EQ(baseline_stats.delta_kept, 0u) << factory.name;
+    EXPECT_EQ(baseline_stats.delta_patched, 0u) << factory.name;
+    EXPECT_GT(delta_stats.cache_hits, baseline_stats.cache_hits)
+        << factory.name;
+  }
 }
 
 }  // namespace
