@@ -26,6 +26,17 @@
 #                             # bench_mutation_serving /
 #                             # bench_two_hop_kernels with their output
 #                             # wired into the checked-in BENCH JSONs
+#   ci/sanitize.sh --faults   # additionally the fault-injection /
+#                             # overload-ladder / audited-degradation
+#                             # suites (`faults` label) under BOTH
+#                             # sanitizers (TSAN for the 8-thread
+#                             # overload stress, ASan+UBSan for the
+#                             # fallback routes), a gate self-test (an
+#                             # injected unretried fail-serve plan must
+#                             # make bench_fault_matrix --audit refuse
+#                             # and exit non-zero), then the real
+#                             # audited-degradation gate refreshing
+#                             # BENCH_fault_matrix.json
 #   ci/sanitize.sh --native   # additionally a PRIVREC_NATIVE_ARCH=ON
 #                             # (-march=native) smoke build running the
 #                             # kernel differential + incremental suites,
@@ -37,11 +48,13 @@ cd "$(dirname "$0")/.."
 
 run_asan=0
 run_audit=0
+run_faults=0
 run_native=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --audit) run_audit=1 ;;
+    --faults) run_faults=1 ;;
     --native) run_native=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -133,6 +146,47 @@ if [[ "$run_audit" == "1" ]]; then
   echo "=== [default] bench_two_hop_kernels -> BENCH_two_hop_kernels.json ==="
   cmake --build --preset default -j "$(nproc)" --target bench_two_hop_kernels
   ./build/bench_two_hop_kernels --json=BENCH_two_hop_kernels.json
+fi
+
+if [[ "$run_faults" == "1" ]]; then
+  echo "=== [tsan] ctest -L faults ==="
+  # The faults label under TSAN is the overload-ladder stress: 8 threads
+  # against fault-stalled shards with admission control + budget-aware
+  # shedding armed, plus the mirrored fault-audit drive loops. Any race
+  # between the injector's counters, the per-shard inflight gauges, and
+  # the accountant fails here before it can corrupt a budget.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}" \
+    ctest --preset tsan-faults
+  echo "=== [asan] ctest -L faults ==="
+  # Same suites under ASan+UBSan: the forced fallback routes (full
+  # rebuilds, doomed-window recomputes, abandoned repairs) are exactly the
+  # rarely-taken allocation-heavy paths where lifetime bugs hide.
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ctest --preset asan-faults
+  echo "=== [default] fault gate self-test (injected fail-serve) ==="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target bench_fault_matrix
+  # Before trusting the gate, prove it can fail: an unretried fail_serve
+  # plan fails every trial's serve, so AuditPairUnderFaults must REFUSE to
+  # certify and the binary must exit non-zero. A zero exit means the gate
+  # would certify a service that refused to serve — fail CI.
+  if ./build/bench_fault_matrix --inject=snapshot_patch_fail \
+      --trials=100 > /dev/null; then
+    echo "fault gate self-test FAILED: unretried fail-serve not refused" >&2
+    exit 1
+  fi
+  echo "fault gate self-test OK (audit refused the failed service)"
+  echo "=== [default] bench_fault_matrix --audit -> BENCH_fault_matrix.json ==="
+  # The real gate: degradation matrix + overload ladder (budget exactness
+  # checked in-binary) + one AuditPairUnderFaults per fault point; any
+  # certified violation, audit error, or never-firing fault point exits
+  # non-zero, and only a clean run refreshes the checked-in artifact.
+  ./build/bench_fault_matrix --audit --json=BENCH_fault_matrix.json
 fi
 
 if [[ "$run_native" == "1" ]]; then

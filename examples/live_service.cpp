@@ -4,8 +4,17 @@
 // enforced by sequential composition.
 //
 //   $ ./live_service [--users=5000] [--release-epsilon=0.5] [--budget=3]
+//                    [--fault-period=4]
+//
+// Day two of the simulation is an incident drill: deterministic faults are
+// injected (repair failures, journal compactions, shard stalls) and eight
+// threads hammer the hot shard with overload shedding armed — the
+// fault/overload/degradation tallies at the end show the ladder working.
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/logging.h"
@@ -14,6 +23,7 @@
 #include "gen/generators.h"
 #include "graph/dynamic_graph.h"
 #include "random/rng.h"
+#include "serve/fault_injection.h"
 #include "serve/recommendation_service.h"
 #include "utility/common_neighbors.h"
 
@@ -27,6 +37,17 @@ int main(int argc, char** argv) {
   options.release_epsilon = flags.GetDouble("release-epsilon", 0.5);
   options.per_user_budget = flags.GetDouble("budget", 3.0);
   options.cache_capacity = 512;
+  // The full degradation ladder, armed from the start: a shared fault
+  // injector (disarmed = one relaxed load per hook), per-shard admission
+  // control with budget-aware shedding, and bounded deterministic retries.
+  FaultInjector injector;
+  options.fault_injector = &injector;
+  options.overload.enabled = true;
+  options.overload.max_inflight_per_shard = 2;
+  options.overload.max_queue_depth = 6;
+  options.overload.shed_budget_fraction = 0.25;
+  options.retry.max_retries = 2;
+  options.retry.backoff_micros = 20;
 
   Rng gen_rng(404);
   auto weights = PowerLawWeights(users, 2.1);
@@ -42,6 +63,19 @@ int main(int argc, char** argv) {
               graph.num_nodes(),
               static_cast<unsigned long long>(graph.num_edges()),
               options.release_epsilon, options.per_user_budget);
+
+  // Day one runs with a light fault plan installed: every fault-period-th
+  // cache repair is abandoned (forcing the exact full-recompute fallback)
+  // and an occasional journal compaction dooms pinned windows — the faults
+  // production would see, made deterministic.
+  const int fault_period = static_cast<int>(flags.GetInt("fault-period", 4));
+  if (fault_period > 0) {
+    FaultPlan day_plan;
+    day_plan.Enable(FaultPoint::kRepairFail,
+                    static_cast<uint32_t>(fault_period));
+    day_plan.Enable(FaultPoint::kJournalCompaction, /*period=*/40);
+    injector.Install(day_plan);
+  }
 
   // Simulate a day of traffic: queries skewed toward a handful of hot
   // users (so budgets actually deplete), interleaved with edge churn.
@@ -73,6 +107,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Day two: the overload drill. Arm a deterministic shard stall (every
+  // serve sleeps 200us under the shard mutex) and hammer the hot users
+  // from 8 threads. Admission control sheds in O(1) before the mutex —
+  // budget-poor users first — so the stalled shard degrades instead of
+  // queueing unboundedly, and shed requests spend no privacy budget.
+  {
+    FaultPlan drill;
+    drill.Enable(FaultPoint::kShardStall);
+    drill.rule(FaultPoint::kShardStall).stall_micros = 200;
+    injector.Install(drill);
+    std::atomic<int> drill_ok{0}, drill_shed{0}, drill_refused{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t]() {
+        for (int q = 0; q < 50; ++q) {
+          // Half the drill traffic is the budget-exhausted hot set, half
+          // fresh users: under pressure the ladder sheds the budget-poor
+          // requests and keeps serving the budget-rich ones.
+          const NodeId user =
+              q % 2 == 0 ? static_cast<NodeId>((t + q) % 16)
+                         : static_cast<NodeId>(100 + t * 50 + q);
+          auto rec = service.ServeRecommendation(user);
+          if (rec.ok()) {
+            ++drill_ok;
+          } else if (rec.status().IsUnavailable()) {
+            ++drill_shed;
+          } else {
+            ++drill_refused;
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    injector.Clear();
+    std::printf("overload drill (8 threads, stalled shards): %d answered, "
+                "%d shed, %d refused on budget\n\n",
+                drill_ok.load(), drill_shed.load(), drill_refused.load());
+  }
+
   const ServiceStats& stats = service.stats();
   TablePrinter table({"metric", "value"});
   table.AddRow({"answers served", std::to_string(answered)});
@@ -94,6 +167,16 @@ int main(int argc, char** argv) {
   table.AddRow({"journal fallbacks", std::to_string(stats.journal_fallbacks)});
   table.AddRow({"doomed entries evicted",
                 std::to_string(stats.doomed_evictions)});
+  // The degradation ladder's tallies: injected faults fired, forced
+  // fallback serves (every one still exact and fully calibrated),
+  // overload sheds (budget-neutral by construction), and bounded retries.
+  table.AddRow({"injected faults fired",
+                std::to_string(stats.injected_faults)});
+  table.AddRow({"forced-fallback serves",
+                std::to_string(stats.stale_fallback_serves)});
+  table.AddRow({"requests shed under overload",
+                std::to_string(stats.shed_overload)});
+  table.AddRow({"transient retries", std::to_string(stats.retries)});
   table.Print();
   // The graph layer publishes mutation-path snapshots by splicing the
   // journal into the previous CSR instead of rebuilding (O(Δ), see README

@@ -19,6 +19,12 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  /// Transient refusal: the caller did nothing wrong and the request may
+  /// succeed if retried (shard overloaded and the request was shed, or an
+  /// injected transient fault with no fallback configured). The serving
+  /// layer's RetryPolicy retries exactly this code; budget exhaustion is
+  /// kFailedPrecondition and is never retried.
+  kUnavailable = 8,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -62,6 +68,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +87,7 @@ class Status {
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

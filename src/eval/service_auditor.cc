@@ -95,6 +95,10 @@ uint64_t DeriveSeed(uint64_t root, uint64_t path, uint64_t side) {
 /// mirrored mutator's toggle/churn streams).
 constexpr uint64_t kMutationPathId = 4;
 
+/// DeriveSeed path id for the under-faults audit (sides 0/1 = measurement
+/// streams).
+constexpr uint64_t kFaultPathId = 5;
+
 /// One serve trial of the configured shape, recorded into `counts`
 /// (single) or `reduction` (list).
 Status RecordShapeTrial(RecommendationService& service, NodeId target,
@@ -319,6 +323,10 @@ ServiceStats SumStats(const ServiceStats& a, const ServiceStats& b) {
   sum.refused_window += b.refused_window;
   sum.degraded_serves += b.degraded_serves;
   sum.window_refreshes += b.window_refreshes;
+  sum.shed_overload += b.shed_overload;
+  sum.retries += b.retries;
+  sum.stale_fallback_serves += b.stale_fallback_serves;
+  sum.injected_faults += b.injected_faults;
   return sum;
 }
 
@@ -601,6 +609,156 @@ Result<DpAuditResult> ServiceAuditor::AuditPairUnderMutation(
   result.per_path.push_back(std::move(estimate));
   if (stats_out != nullptr) {
     *stats_out = SumStats(base_service.stats(), neighbor_service.stats());
+  }
+  return result;
+}
+
+Result<DpAuditResult> ServiceAuditor::AuditPairUnderFaults(
+    const NeighboringPair& pair, NodeId target,
+    const FaultAuditOptions& faults, ServiceStats* stats_out) const {
+  if (pair.base.num_nodes() != pair.neighbor.num_nodes() ||
+      pair.base.directed() != pair.neighbor.directed()) {
+    return Status::InvalidArgument(
+        "pair sides disagree on node count or direction");
+  }
+  if (target >= pair.base.num_nodes()) {
+    return Status::InvalidArgument("target out of range");
+  }
+  const uint64_t trials = std::max<uint64_t>(1, options_.trials_per_side);
+
+  DynamicGraph graphs[2] = {DynamicGraph(pair.base),
+                            DynamicGraph(pair.neighbor)};
+  if (faults.journal_capacity > 0) {
+    graphs[0].SetJournalCapacity(faults.journal_capacity);
+    graphs[1].SetJournalCapacity(faults.journal_capacity);
+  }
+  // One injector per side: identical plans driven by the mirrored call
+  // sequence below fire identically, so the two sides stay in lockstep
+  // fault states (equal fire counts are asserted at the end).
+  FaultInjector injectors[2];
+  std::unique_ptr<RecommendationService> services[2];
+  Rng rngs[2] = {Rng(DeriveSeed(options_.seed, kFaultPathId, 0)),
+                 Rng(DeriveSeed(options_.seed, kFaultPathId, 1))};
+  for (int side = 0; side < 2; ++side) {
+    ServiceOptions service_options = MakeAuditServiceOptions(options_, 2);
+    service_options.fault_injector = &injectors[side];
+    service_options.retry = faults.retry;
+    services[side] = std::make_unique<RecommendationService>(
+        &graphs[side], utility_factory_(), service_options);
+  }
+  // Warm both sides BEFORE arming the plan: the measured trials then sit
+  // on the cached-entry path, which is the path the injected faults
+  // (repair failure, journal compaction, patch failures) actually bend.
+  for (int side = 0; side < 2; ++side) {
+    const Status warm =
+        options_.shape == ServeAuditShape::kSingle
+            ? services[side]->ServeForAudit(target, rngs[side]).status()
+            : services[side]
+                  ->ServeListForAudit(target, options_.list_k, rngs[side])
+                  .status();
+    PRIVREC_RETURN_NOT_OK(warm);
+  }
+  injectors[0].Install(faults.plan);
+  injectors[1].Install(faults.plan);
+
+  std::optional<CommonToggle> toggle;
+  if (faults.mutations_between_trials > 0) {
+    toggle = ChooseCommonToggle(pair, target);
+    if (!toggle.has_value()) {
+      return Status::FailedPrecondition(
+          "no common edge slot available for the under-faults toggles");
+    }
+  }
+  bool present = toggle.has_value() && toggle->present;
+
+  // Outcome cells are keyed by (parity, outcome): the common slot cycles
+  // the graph state with period 2, the parity schedule is public, and at
+  // equal parity the two sides are neighbors — so each cell of an honest
+  // service is e^ε-bounded, exactly the under-mutation argument with the
+  // round index collapsed to the toggle parity.
+  OutcomeCellCounts parity_cells[2];
+  ListOutcomeReduction parity_reductions[2][2];  // [side][parity]
+  uint64_t parity_trials[2] = {0, 0};
+  for (uint64_t t = 0; t < trials; ++t) {
+    for (uint64_t m = 0; m < faults.mutations_between_trials; ++m) {
+      for (int side = 0; side < 2; ++side) {
+        const Status mutated =
+            present ? services[side]->RemoveEdge(toggle->a, toggle->b)
+                    : services[side]->AddEdge(toggle->a, toggle->b);
+        PRIVREC_RETURN_NOT_OK(mutated);
+      }
+      present = !present;
+    }
+    const uint64_t parity =
+        (toggle.has_value() && present != toggle->present) ? 1 : 0;
+    ++parity_trials[parity];
+    for (int side = 0; side < 2; ++side) {
+      if (options_.shape == ServeAuditShape::kSingle) {
+        PRIVREC_ASSIGN_OR_RETURN(
+            NodeId outcome, services[side]->ServeForAudit(target, rngs[side]));
+        ++parity_cells[side][((parity + 1) << 32) |
+                             static_cast<uint64_t>(outcome)];
+      } else {
+        std::map<NodeId, uint64_t> unused;
+        PRIVREC_RETURN_NOT_OK(RecordShapeTrial(
+            *services[side], target, options_.shape, options_.list_k,
+            rngs[side], unused, parity_reductions[side][parity]));
+      }
+    }
+  }
+  // The determinism contract made observable: mirrored plans + mirrored
+  // drive sequences must have produced identical fire counts.
+  PRIVREC_CHECK_EQ(injectors[0].total_fires(), injectors[1].total_fires());
+
+  DpAuditResult result;
+  result.pairs_checked = 1;
+  result.worst_edge_u = pair.u;
+  result.worst_edge_v = pair.v;
+  PathEpsilonEstimate estimate;
+  estimate.path = "under_faults";
+  estimate.trials_per_side = trials;
+  if (options_.shape == ServeAuditShape::kSingle) {
+    const EpsilonCellEstimate cells = EstimateEpsilonFromOutcomeCells(
+        parity_cells[0], parity_cells[1], trials, options_.confidence,
+        options_.bonferroni_cells_override,
+        /*include_complements=*/false);
+    estimate.epsilon_hat = cells.epsilon_hat;
+    estimate.epsilon_lower_bound = cells.epsilon_lower_bound;
+    estimate.worst_outcome = static_cast<NodeId>(cells.worst_cell);
+    estimate.worst_z = cells.worst_z;
+    estimate.bonferroni_cells = cells.bonferroni_cells;
+  } else {
+    // Per-parity list reductions share one Bonferroni budget, mirroring
+    // the under-mutation per-round merge.
+    size_t total_cells = options_.bonferroni_cells_override;
+    if (total_cells == 0) {
+      for (int parity = 0; parity < 2; ++parity) {
+        if (parity_trials[parity] == 0) continue;
+        total_cells += EstimateEpsilonFromListReductions(
+                           parity_reductions[0][parity],
+                           parity_reductions[1][parity], options_.confidence)
+                           .bonferroni_cells;
+      }
+    }
+    for (int parity = 0; parity < 2; ++parity) {
+      if (parity_trials[parity] == 0) continue;
+      const EpsilonCellEstimate cells = EstimateEpsilonFromListReductions(
+          parity_reductions[0][parity], parity_reductions[1][parity],
+          options_.confidence, total_cells);
+      if (cells.epsilon_hat > estimate.epsilon_hat) {
+        estimate.epsilon_hat = cells.epsilon_hat;
+        estimate.worst_outcome = static_cast<NodeId>(cells.worst_cell);
+      }
+      estimate.epsilon_lower_bound =
+          std::max(estimate.epsilon_lower_bound, cells.epsilon_lower_bound);
+      estimate.worst_z = std::max(estimate.worst_z, cells.worst_z);
+    }
+    estimate.bonferroni_cells = total_cells;
+  }
+  result.max_abs_log_ratio = estimate.epsilon_hat;
+  result.per_path.push_back(std::move(estimate));
+  if (stats_out != nullptr) {
+    *stats_out = SumStats(services[0]->stats(), services[1]->stats());
   }
   return result;
 }

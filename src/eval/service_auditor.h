@@ -14,6 +14,7 @@
 #include "gen/neighboring.h"
 #include "graph/csr_graph.h"
 #include "random/rng.h"
+#include "serve/fault_injection.h"
 #include "utility/utility_function.h"
 
 namespace privrec {
@@ -151,6 +152,29 @@ struct MutationAuditOptions {
   size_t journal_capacity = 0;
 };
 
+/// Fault schedule for ServiceAuditor::AuditPairUnderFaults.
+struct FaultAuditOptions {
+  /// Installed IDENTICALLY on both sides' injectors (FaultPlan is
+  /// comparable precisely so this symmetry is checkable). Identical plans
+  /// driven by identical call sequences fire identically, so the two sides
+  /// stay in mirrored fault states and every (parity, outcome) cell of an
+  /// honest service remains e^ε-bounded — faults included.
+  FaultPlan plan;
+  /// Mirrored toggles of one common edge slot applied to BOTH sides
+  /// between consecutive trials, so the fault points that only arm under
+  /// mutation (journal compaction, patch failures, repair failure) keep
+  /// firing throughout the audit. 0 = static graphs.
+  uint64_t mutations_between_trials = 1;
+  /// Retry policy for both sides' services. Left at the default (fail
+  /// fast), a fail_serve plan makes the audit return an error — the CI
+  /// gate's self-test relies on exactly that.
+  RetryPolicy retry;
+  /// Edge-delta journal capacity for both sides' graphs (0 keeps the
+  /// DynamicGraph default). Small values compose with kJournalCompaction
+  /// to force journal fallbacks under audit.
+  size_t journal_capacity = 0;
+};
+
 /// Black-box, sampling-based DP auditor for the serving stack. Where
 /// AuditEdgeDp checks a mechanism's closed-form distribution on a static
 /// CsrGraph, this auditor stands up two live RecommendationService
@@ -217,6 +241,27 @@ class ServiceAuditor {
   Result<DpAuditResult> AuditPairUnderMutation(
       const NeighboringPair& pair, NodeId target,
       const MutationAuditOptions& mutation,
+      ServiceStats* stats_out = nullptr) const;
+
+  /// Audits the pair with `faults.plan` installed IDENTICALLY on both
+  /// sides: between trials, one common edge slot is toggled on both
+  /// services (keeping them neighbors), and the injected faults force the
+  /// rare fallback routes — journal compaction under a pinned window,
+  /// snapshot/projection patch failure, repair abandonment, shard stalls —
+  /// to be the routes actually under audit. Outcome cells are keyed by
+  /// toggle parity (the graph state cycles with period 2; the parity is
+  /// public schedule, and at equal parity the two sides are neighbors), so
+  /// every cell of an honest service is e^ε-bounded even though each
+  /// trial's graph state differs. The result has one per_path entry named
+  /// "under_faults". A fail_serve plan whose failures outlast
+  /// `faults.retry` makes the audit return the Unavailable error instead
+  /// of a result — refusing to certify a service that refused to serve.
+  /// `stats_out`, when non-null, receives the two sides' summed
+  /// ServiceStats (injected_faults / stale_fallback_serves /
+  /// journal_fallbacks prove the faults actually fired).
+  Result<DpAuditResult> AuditPairUnderFaults(
+      const NeighboringPair& pair, NodeId target,
+      const FaultAuditOptions& faults,
       ServiceStats* stats_out = nullptr) const;
 
   const ServiceAuditOptions& options() const { return options_; }

@@ -69,6 +69,15 @@ Status SaveBinaryGraph(const CsrGraph& graph, const std::string& path) {
 Result<CsrGraph> LoadBinaryGraph(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return Status::IOError("cannot open '" + path + "'");
+  // Measure the file before trusting any header count: allocation sizes
+  // below are derived from the header, and a corrupt num_nodes/num_arcs
+  // must fail with a Status, not an attempted multi-gigabyte allocation.
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (file_size < static_cast<std::streamoff>(sizeof(Header))) {
+    return Status::InvalidArgument("'" + path + "' is not a PRVG file");
+  }
   Header header{};
   in.read(reinterpret_cast<char*>(&header), sizeof(header));
   if (!in.good() || header.magic != kMagic) {
@@ -78,8 +87,19 @@ Result<CsrGraph> LoadBinaryGraph(const std::string& path) {
     return Status::InvalidArgument("unsupported PRVG version " +
                                    std::to_string(header.version));
   }
-  std::vector<uint64_t> offsets(static_cast<size_t>(header.num_nodes) + 1);
-  std::vector<NodeId> targets(header.num_arcs);
+  const uint64_t num_offsets = static_cast<uint64_t>(header.num_nodes) + 1;
+  const uint64_t expected_size = sizeof(Header) +
+                                 num_offsets * sizeof(uint64_t) +
+                                 header.num_arcs * sizeof(NodeId) +
+                                 sizeof(uint64_t);
+  if (static_cast<uint64_t>(file_size) != expected_size) {
+    return Status::InvalidArgument(
+        "'" + path + "' is truncated or its header counts are corrupt (" +
+        std::to_string(file_size) + " bytes, header implies " +
+        std::to_string(expected_size) + ")");
+  }
+  std::vector<uint64_t> offsets(static_cast<size_t>(num_offsets));
+  std::vector<NodeId> targets(static_cast<size_t>(header.num_arcs));
   in.read(reinterpret_cast<char*>(offsets.data()),
           static_cast<std::streamsize>(offsets.size() * sizeof(uint64_t)));
   in.read(reinterpret_cast<char*>(targets.data()),
@@ -93,8 +113,27 @@ Result<CsrGraph> LoadBinaryGraph(const std::string& path) {
   if (Checksum(offsets, targets) != stored_checksum) {
     return Status::IOError("'" + path + "' failed checksum verification");
   }
+  // Full structural validation before handing the arrays to CsrGraph: a
+  // non-monotone offset or out-of-range target would be UB in every
+  // neighbor scan downstream, and the checksum only defends against
+  // accidental corruption of a once-valid file, not against a file that
+  // was written broken.
   if (offsets.front() != 0 || offsets.back() != targets.size()) {
     return Status::InvalidArgument("'" + path + "' has corrupt offsets");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::InvalidArgument(
+          "'" + path + "' has non-monotone offsets at node " +
+          std::to_string(i - 1));
+    }
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] >= header.num_nodes) {
+      return Status::InvalidArgument(
+          "'" + path + "' has out-of-range target " +
+          std::to_string(targets[i]) + " at arc " + std::to_string(i));
+    }
   }
   return CsrGraph(std::move(offsets), std::move(targets),
                   (header.flags & kFlagDirected) != 0);

@@ -18,6 +18,11 @@ namespace privrec {
 /// refuses files with a different version rather than migrating them.
 Status SaveBinaryGraph(const CsrGraph& graph, const std::string& path);
 
+/// Hardened against malformed input: the file size is validated against
+/// the header's counts BEFORE any allocation (a corrupt count fails with
+/// InvalidArgument instead of an attempted huge allocation), offsets are
+/// checked monotone, every target is checked < num_nodes, and truncation
+/// or checksum mismatch is a Status — never UB downstream.
 Result<CsrGraph> LoadBinaryGraph(const std::string& path);
 
 }  // namespace privrec

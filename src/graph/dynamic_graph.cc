@@ -70,6 +70,19 @@ void DynamicGraph::JournalAppendLocked(NodeId u, NodeId v, bool added) {
     journal_.pop_front();
     journal_floor_version_.fetch_add(1, std::memory_order_acq_rel);
   }
+  // Injected ring compaction (FaultPoint::kJournalCompaction): discard the
+  // whole retained window as if capacity had just overflowed past it.
+  // Readers pinned below the new floor — stale cache entries, the snapshot
+  // patcher — hit the same OutOfRange fallback a production undersized
+  // journal produces, deterministically.
+  if (FaultInjector* injector =
+          fault_injector_.load(std::memory_order_acquire)) {
+    if (injector->ShouldFire(FaultPoint::kJournalCompaction)) {
+      journal_.clear();
+      journal_floor_version_.store(version_.load(std::memory_order_relaxed),
+                                   std::memory_order_release);
+    }
+  }
 }
 
 Status DynamicGraph::AddEdge(NodeId u, NodeId v) {
@@ -218,6 +231,14 @@ std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::BuildLocked()
 std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::TryPatchLocked(
     const std::shared_ptr<const VersionedCsr>& prev) const {
   if (prev == nullptr || snapshot_patch_threshold_ == 0) return nullptr;
+  FaultInjector* injector = fault_injector_.load(std::memory_order_acquire);
+  // Injected splice failure (FaultPoint::kSnapshotPatchFail): behave as if
+  // PatchCsr had reported an inconsistency — null routes the caller onto
+  // the BuildLocked rebuild, the same exact fallback.
+  if (injector != nullptr &&
+      injector->ShouldFire(FaultPoint::kSnapshotPatchFail)) {
+    return nullptr;
+  }
   // AddNode clears the journal (the window check below fails too), but the
   // node-count comparison keeps the fallback decision independent of
   // journal bookkeeping.
@@ -249,7 +270,14 @@ std::shared_ptr<const DynamicGraph::VersionedCsr> DynamicGraph::TryPatchLocked(
   std::optional<CsrGraph> projected;
   const uint32_t cap = degree_cap_.load(std::memory_order_relaxed);
   if (cap > 0) {
-    if (prev->projected.has_value() && prev->degree_cap == cap) {
+    // Injected projection-splice failure (kProjectionPatchFail): skip the
+    // PatchProjectedCsr attempt so the companion takes the full
+    // ProjectDegreeCapped re-projection below — the node-DP rebuild path.
+    const bool force_projection_rebuild =
+        injector != nullptr &&
+        injector->ShouldFire(FaultPoint::kProjectionPatchFail);
+    if (!force_projection_rebuild && prev->projected.has_value() &&
+        prev->degree_cap == cap) {
       Result<CsrGraph> patched_projection =
           PatchProjectedCsr(*prev->projected, *forward, *window, cap);
       if (patched_projection.ok()) {

@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "graph/csr_graph.h"
 #include "graph/edge_delta.h"
+#include "serve/fault_injection.h"
 
 namespace privrec {
 
@@ -255,6 +256,18 @@ class DynamicGraph {
   /// and differential tests use this). Takes effect on the next snapshot.
   void SetSnapshotPatchThreshold(size_t max_deltas);
 
+  /// Installs (or, with nullptr, removes) the deterministic fault injector
+  /// whose graph-layer points this class evaluates
+  /// (serve/fault_injection.h): kJournalCompaction after each journal
+  /// append, kSnapshotPatchFail / kProjectionPatchFail inside
+  /// TryPatchLocked. The injector is not owned and must outlive its
+  /// installation; when none is installed every hook site costs one
+  /// relaxed atomic pointer load. RecommendationService installs its
+  /// ServiceOptions::fault_injector here automatically.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
  private:
   /// The unit the atomic pointer publishes: stamp + CSR (+ reverse CSR for
   /// directed graphs) in one immutable allocation.
@@ -322,6 +335,9 @@ class DynamicGraph {
   std::atomic<uint64_t> journal_floor_version_{0};
   size_t journal_capacity_ = kDefaultJournalCapacity;
   size_t snapshot_patch_threshold_ = kDefaultSnapshotPatchThreshold;
+  /// Non-owning fault injector; null = no plan, hook sites cost one
+  /// relaxed load (see SetFaultInjector).
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
   /// Active projection cap; atomic so degree_cap() is lock-free, written
   /// only under writer_mu_.
   std::atomic<uint32_t> degree_cap_{0};

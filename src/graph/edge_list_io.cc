@@ -1,6 +1,8 @@
 #include "graph/edge_list_io.h"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <unordered_map>
 
 #include "common/string_util.h"
@@ -39,14 +41,32 @@ Result<CsrGraph> LoadEdgeList(const std::string& path,
       return Status::InvalidArgument("non-integer node id at " + path + ":" +
                                      std::to_string(line_number));
     }
-    if (!options.relabel && (*src < 0 || *dst < 0)) {
+    if (*src < 0 || *dst < 0) {
       return Status::InvalidArgument("negative node id at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    // Range-check before the NodeId cast: an id past max_node_id (or the
+    // NodeId range) would silently truncate and/or drive a huge builder
+    // allocation.
+    const uint64_t cap = std::min<uint64_t>(
+        options.max_node_id, std::numeric_limits<NodeId>::max());
+    if (!options.relabel && (static_cast<uint64_t>(*src) > cap ||
+                             static_cast<uint64_t>(*dst) > cap)) {
+      return Status::InvalidArgument("node id out of range at " + path + ":" +
                                      std::to_string(line_number));
     }
     // Sequence the two map_id calls: first-seen relabeling must follow
     // source-then-destination order regardless of argument evaluation order.
     NodeId from = map_id(*src);
     NodeId to = map_id(*dst);
+    // Under relabeling the cap bounds the dense id space instead: checked
+    // after mapping, so it trips exactly when a fresh id exceeds it.
+    if (options.relabel &&
+        (static_cast<uint64_t>(from) > cap || static_cast<uint64_t>(to) > cap)) {
+      return Status::InvalidArgument("too many distinct node ids in '" + path +
+                                     "' (limit " + std::to_string(cap + 1) +
+                                     ")");
+    }
     builder.AddEdge(from, to);
   }
   if (in.bad()) return Status::IOError("read error on '" + path + "'");

@@ -15,12 +15,18 @@ struct EdgeListOptions {
   /// Relabel arbitrary node ids to a dense [0, n) range in first-seen
   /// order. SNAP datasets (e.g. wiki-Vote) need this.
   bool relabel = true;
+  /// Largest node id accepted without relabeling (and largest dense node
+  /// count with it). A malformed line claiming node 10^15 then fails with
+  /// InvalidArgument instead of driving a huge builder allocation. The
+  /// default admits the full NodeId range.
+  uint64_t max_node_id = 0xffffffffu;
 };
 
 /// Loads a whitespace-separated edge list (SNAP text format). Lines starting
 /// with '#' or '%' are comments; each data line is "<src> <dst>".
 /// Returns IOError if the file is unreadable, InvalidArgument on a
-/// malformed line.
+/// malformed line, a negative or over-max_node_id id, or (with relabel) a
+/// file with more distinct nodes than NodeId can index.
 Result<CsrGraph> LoadEdgeList(const std::string& path,
                               const EdgeListOptions& options);
 

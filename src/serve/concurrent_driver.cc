@@ -16,7 +16,8 @@ ConcurrentDriverReport RunConcurrentDriver(
     const ConcurrentDriverOptions& options) {
   const NodeId num_users =
       options.num_users == 0 ? graph.num_nodes() : options.num_users;
-  std::atomic<uint64_t> serve_ok{0}, serve_refused{0}, serve_failed{0};
+  std::atomic<uint64_t> serve_ok{0}, serve_refused{0}, serve_shed{0},
+      serve_failed{0};
   std::atomic<uint64_t> mutate_ok{0}, mutate_noop{0};
 
   // Per-worker request streams: splittable seeding, so the traffic shape
@@ -29,7 +30,8 @@ ConcurrentDriverReport RunConcurrentDriver(
   Stopwatch watch;
   RunWorkers(options.num_threads, [&](unsigned w) {
     Rng rng(worker_seeds[w]);
-    uint64_t ok = 0, refused = 0, failed = 0, mut_ok = 0, mut_noop = 0;
+    uint64_t ok = 0, refused = 0, shed = 0, failed = 0, mut_ok = 0,
+             mut_noop = 0;
     for (uint64_t op = 0; op < options.ops_per_thread; ++op) {
       if (options.mutate_fraction > 0 &&
           rng.NextBernoulli(options.mutate_fraction)) {
@@ -60,6 +62,8 @@ ConcurrentDriverReport RunConcurrentDriver(
           ++ok;
         } else if (IsBudgetExhausted(list.status())) {
           ++refused;
+        } else if (list.status().IsUnavailable()) {
+          ++shed;
         } else {
           ++failed;
         }
@@ -69,6 +73,8 @@ ConcurrentDriverReport RunConcurrentDriver(
           ++ok;
         } else if (IsBudgetExhausted(rec.status())) {
           ++refused;
+        } else if (rec.status().IsUnavailable()) {
+          ++shed;
         } else {
           ++failed;
         }
@@ -76,6 +82,7 @@ ConcurrentDriverReport RunConcurrentDriver(
     }
     serve_ok.fetch_add(ok, std::memory_order_acq_rel);
     serve_refused.fetch_add(refused, std::memory_order_acq_rel);
+    serve_shed.fetch_add(shed, std::memory_order_acq_rel);
     serve_failed.fetch_add(failed, std::memory_order_acq_rel);
     mutate_ok.fetch_add(mut_ok, std::memory_order_acq_rel);
     mutate_noop.fetch_add(mut_noop, std::memory_order_acq_rel);
@@ -85,6 +92,7 @@ ConcurrentDriverReport RunConcurrentDriver(
   report.wall_seconds = watch.ElapsedSeconds();
   report.serve_ok = serve_ok.load();
   report.serve_refused = serve_refused.load();
+  report.serve_shed = serve_shed.load();
   report.serve_failed = serve_failed.load();
   report.mutate_ok = mutate_ok.load();
   report.mutate_noop = mutate_noop.load();
@@ -92,8 +100,8 @@ ConcurrentDriverReport RunConcurrentDriver(
   report.serves_per_second = static_cast<double>(report.serve_ok) / wall;
   report.ops_per_second =
       static_cast<double>(report.serve_ok + report.serve_refused +
-                          report.serve_failed + report.mutate_ok +
-                          report.mutate_noop) /
+                          report.serve_shed + report.serve_failed +
+                          report.mutate_ok + report.mutate_noop) /
       wall;
   return report;
 }

@@ -38,6 +38,10 @@ struct ConcurrentDriverReport {
   /// Serves refused because the user's lifetime budget was spent (the
   /// sound failure mode, expected under sustained per-user traffic).
   uint64_t serve_refused = 0;
+  /// Serves shed by the overload ladder or failed by an injected
+  /// no-fallback fault (kUnavailable — the transient failure mode,
+  /// expected when OverloadPolicy or a fail_serve FaultPlan is active).
+  uint64_t serve_shed = 0;
   /// Serves failed for any other reason (should be 0 on healthy graphs).
   uint64_t serve_failed = 0;
   uint64_t mutate_ok = 0;

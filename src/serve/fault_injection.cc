@@ -1,0 +1,117 @@
+#include "serve/fault_injection.h"
+
+namespace privrec {
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kJournalCompaction:
+      return "journal_compaction";
+    case FaultPoint::kSnapshotPatchFail:
+      return "snapshot_patch_fail";
+    case FaultPoint::kProjectionPatchFail:
+      return "projection_patch_fail";
+    case FaultPoint::kRepairFail:
+      return "repair_fail";
+    case FaultPoint::kShardStall:
+      return "shard_stall";
+  }
+  return "unknown";
+}
+
+std::optional<FaultPoint> FaultPointFromName(std::string_view name) {
+  for (FaultPoint point : kAllFaultPoints) {
+    if (name == FaultPointName(point)) return point;
+  }
+  return std::nullopt;
+}
+
+FaultPlan& FaultPlan::Enable(FaultPoint point, uint32_t period, uint32_t skip,
+                             uint64_t max_fires) {
+  FaultRule& r = rule(point);
+  r.enabled = true;
+  r.period = period;
+  r.skip = skip;
+  r.max_fires = max_fires;
+  r.fail_serve = false;
+  return *this;
+}
+
+FaultPlan& FaultPlan::FailServe(FaultPoint point, uint32_t period,
+                                uint32_t skip, uint64_t max_fires) {
+  Enable(point, period, skip, max_fires);
+  rule(point).fail_serve = true;
+  return *this;
+}
+
+bool FaultPlan::any_enabled() const {
+  for (const FaultRule& r : rules) {
+    if (r.enabled) return true;
+  }
+  return false;
+}
+
+void FaultInjector::Install(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  evals_.fill(0);
+  fires_.fill(0);
+  armed_.store(plan_.any_enabled(), std::memory_order_release);
+}
+
+void FaultInjector::Clear() { Install(FaultPlan{}); }
+
+FaultPlan FaultInjector::plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+bool FaultInjector::FireLocked(size_t index, bool fail_serve_site) {
+  const FaultRule& r = plan_.rules[index];
+  // A rule belongs to exactly one site kind; the other site must not even
+  // consume an evaluation, or two equal plans driven by equal sequences
+  // could diverge on which evaluations they count.
+  if (!r.enabled || r.fail_serve != fail_serve_site) return false;
+  const uint64_t eval = evals_[index]++;
+  if (eval < r.skip) return false;
+  if (r.max_fires != 0 && fires_[index] >= r.max_fires) return false;
+  const uint64_t period = r.period == 0 ? 1 : r.period;
+  if ((eval - r.skip) % period != 0) return false;
+  ++fires_[index];
+  return true;
+}
+
+bool FaultInjector::EvaluateSlow(FaultPoint point, bool fail_serve_site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FireLocked(static_cast<size_t>(point), fail_serve_site);
+}
+
+std::optional<FaultPoint> FaultInjector::FailServeSlow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FaultPoint point : kAllFaultPoints) {
+    if (FireLocked(static_cast<size_t>(point), /*fail_serve_site=*/true)) {
+      return point;
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t FaultInjector::fires(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fires_[static_cast<size_t>(point)];
+}
+
+uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t f : fires_) total += f;
+  return total;
+}
+
+uint64_t FaultInjector::graph_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fires_[static_cast<size_t>(FaultPoint::kJournalCompaction)] +
+         fires_[static_cast<size_t>(FaultPoint::kSnapshotPatchFail)] +
+         fires_[static_cast<size_t>(FaultPoint::kProjectionPatchFail)];
+}
+
+}  // namespace privrec

@@ -1,6 +1,7 @@
 #include "serve/recommendation_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <unordered_set>
 
@@ -98,6 +99,12 @@ RecommendationService::RecommendationService(
       graph_->SetDegreeCap(options.degree_cap);
     }
   }
+  if (options.fault_injector != nullptr) {
+    // One injector covers the whole stack: the service evaluates the
+    // serve-path points itself and arms the graph-layer points here, so a
+    // single Install reaches journal compaction and both patch sites too.
+    graph_->SetFaultInjector(options.fault_injector);
+  }
   const size_t num_shards = ResolveShardCount(options.num_shards);
   shard_mask_ = num_shards - 1;
   per_shard_capacity_ = std::max<size_t>(1, options.cache_capacity / num_shards);
@@ -192,6 +199,76 @@ void RecommendationService::EvictIfNeededLocked(Shard& shard) {
   shard.cache.erase(victim);
 }
 
+Status RecommendationService::InjectServeFaultsLocked(Shard& shard) {
+  FaultInjector* injector = options_.fault_injector;
+  if (injector == nullptr || !injector->armed()) return Status::OK();
+  if (std::optional<FaultPoint> point = injector->ShouldFailServe()) {
+    ++shard.stats.injected_faults;
+    return Status::Unavailable(std::string("injected fault: ") +
+                               FaultPointName(*point));
+  }
+  if (injector->ShouldFire(FaultPoint::kShardStall)) {
+    ++shard.stats.injected_faults;
+    const uint32_t micros =
+        injector->plan().rule(FaultPoint::kShardStall).stall_micros;
+    if (micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    }
+  }
+  return Status::OK();
+}
+
+bool RecommendationService::AdmitOrShed(Shard& shard, NodeId user,
+                                        Status* shed_status) {
+  const OverloadPolicy& policy = options_.overload;
+  if (!policy.enabled) return true;
+  const uint32_t depth = shard.inflight.load(std::memory_order_acquire);
+  if (policy.max_queue_depth > 0 && depth >= policy.max_queue_depth) {
+    shard.shed_overload.fetch_add(1, std::memory_order_relaxed);
+    *shed_status = Status::Unavailable("shard overloaded: queue-depth cap");
+    return false;
+  }
+  if (policy.max_inflight_per_shard == 0 ||
+      depth < policy.max_inflight_per_shard) {
+    return true;
+  }
+  // Over the soft cap: shed the requests with the least lifetime budget
+  // left (they are closest to a refusal anyway), queue the rest. The hint
+  // map is the accountant's last published remaining() — admission must
+  // not take shard.mu, so it reads this snapshot instead.
+  double remaining = options_.per_user_budget;
+  {
+    std::lock_guard<std::mutex> lock(shard.budget_mu);
+    auto it = shard.remaining_hint.find(user);
+    if (it != shard.remaining_hint.end()) remaining = it->second;
+  }
+  if (remaining <= policy.shed_budget_fraction * options_.per_user_budget) {
+    shard.shed_overload.fetch_add(1, std::memory_order_relaxed);
+    *shed_status =
+        Status::Unavailable("shard overloaded: low-budget request shed");
+    return false;
+  }
+  return true;
+}
+
+void RecommendationService::UpdateBudgetHintLocked(Shard& shard, NodeId user) {
+  if (!options_.overload.enabled) return;
+  auto it = shard.accountants.find(user);
+  const double remaining = it == shard.accountants.end()
+                               ? options_.per_user_budget
+                               : it->second.remaining();
+  std::lock_guard<std::mutex> lock(shard.budget_mu);
+  shard.remaining_hint[user] = remaining;
+}
+
+void RecommendationService::DeterministicBackoff(uint32_t attempt) const {
+  const uint64_t micros =
+      static_cast<uint64_t>(attempt) * options_.retry.backoff_micros;
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
 PrivacyAccountant& RecommendationService::AccountantForLocked(Shard& shard,
                                                               NodeId user) {
   auto it = shard.accountants.find(user);
@@ -214,8 +291,22 @@ void RecommendationService::RepairEntryLocked(
   // projected-delta journal exists (follow-up in ROADMAP), kNode entries
   // recompute against the view on every version change (the baseline path
   // below), which is exact and still touches no other entry.
-  if (options_.privacy_model == PrivacyModel::kEdge &&
-      options_.enable_delta_repair && utility_->SupportsIncrementalUpdate()) {
+  // Distinguishes the FORCED fallback (journal could not replay the
+  // window, or an injected kRepairFail) from repair being structurally
+  // unavailable — only the former counts as a stale_fallback_serve.
+  bool forced_fallback = false;
+  bool attempt_repair = options_.privacy_model == PrivacyModel::kEdge &&
+                        options_.enable_delta_repair &&
+                        utility_->SupportsIncrementalUpdate();
+  if (attempt_repair && options_.fault_injector != nullptr &&
+      options_.fault_injector->ShouldFire(FaultPoint::kRepairFail)) {
+    // Injected repair failure: abandon the journal without draining it and
+    // take the exact full-recompute fallback below.
+    ++shard.stats.injected_faults;
+    forced_fallback = true;
+    attempt_repair = false;
+  }
+  if (attempt_repair) {
     auto deltas = graph_->EdgeDeltasBetween(entry.version, snap.version);
     if (deltas.ok()) {
       // Membership against the post-batch snapshot is exact as long as the
@@ -303,6 +394,7 @@ void RecommendationService::RepairEntryLocked(
       return;
     }
     ++shard.stats.journal_fallbacks;
+    forced_fallback = true;
   }
   // Baseline path: the pre-incremental design would have erased this entry
   // at mutation time; recompute it in place now (against the serving view:
@@ -314,6 +406,7 @@ void RecommendationService::RepairEntryLocked(
   entry.sampler_sensitivity = 0;
   ++shard.stats.cache_misses;
   ++shard.stats.cache_invalidations;
+  if (forced_fallback) ++shard.stats.stale_fallback_serves;
 }
 
 Result<RecommendationService::CacheEntry*>
@@ -385,6 +478,9 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
   // The audit path (charge_budget == false) skips the accountant entirely
   // — lifetime AND window state, so audits are budget-neutral in both
   // ledgers; everything else is byte-identical to the production path.
+  // Injected serve faults surface here too, BEFORE the accountant: a
+  // failed attempt spends nothing, so retrying it is privacy-neutral.
+  PRIVREC_RETURN_NOT_OK(InjectServeFaultsLocked(shard));
   double charge_eps = options_.release_epsilon;
   bool degraded = false;
   if (charge_budget) {
@@ -395,6 +491,7 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
     if (accountant.AdvanceWindow()) ++shard.stats.window_refreshes;
     if (!accountant.CanCharge(charge_eps)) {
       ++shard.stats.refused_budget;
+      UpdateBudgetHintLocked(shard, user);
       return accountant.Charge(charge_eps,
                                "single recommendation");  // descriptive refusal
     }
@@ -411,6 +508,7 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
       }
       if (!degraded) {
         ++shard.stats.refused_window;
+        UpdateBudgetHintLocked(shard, user);
         return accountant.Charge(charge_eps, "single recommendation");
       }
     }
@@ -442,6 +540,7 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
   if (charge_budget) {
     PRIVREC_CHECK_OK(AccountantForLocked(shard, user)
                          .Charge(charge_eps, "single recommendation"));
+    UpdateBudgetHintLocked(shard, user);
     ++shard.stats.served;
     if (degraded) ++shard.stats.degraded_serves;
   } else {
@@ -460,7 +559,9 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
   if (k == 0) return Status::InvalidArgument("k must be positive");
   const std::string reason = "top-" + std::to_string(k) + " list";
   // The audit path (charge_budget == false) skips the accountant entirely,
-  // mirroring ServeLocked; everything else is byte-identical.
+  // mirroring ServeLocked; everything else is byte-identical. Injected
+  // serve faults surface before the accountant, as in ServeLocked.
+  PRIVREC_RETURN_NOT_OK(InjectServeFaultsLocked(shard));
   double charge_eps = options_.release_epsilon;
   bool degraded = false;
   if (charge_budget) {
@@ -470,6 +571,7 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
     if (accountant.AdvanceWindow()) ++shard.stats.window_refreshes;
     if (!accountant.CanCharge(charge_eps)) {
       ++shard.stats.refused_budget;
+      UpdateBudgetHintLocked(shard, user);
       return accountant.Charge(charge_eps, reason);
     }
     if (!accountant.CanChargeInWindow(charge_eps)) {
@@ -481,6 +583,7 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
       }
       if (!degraded) {
         ++shard.stats.refused_window;
+        UpdateBudgetHintLocked(shard, user);
         return accountant.Charge(charge_eps, reason);
       }
     }
@@ -516,6 +619,7 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
   if (charge_budget) {
     PRIVREC_CHECK_OK(AccountantForLocked(shard, user).Charge(charge_eps,
                                                              reason));
+    UpdateBudgetHintLocked(shard, user);
   }
   // Degraded lists run the same peeling mechanism at the cheaper total ε
   // (split ε/k per slot inside) — noisier picks, identical shape.
@@ -536,14 +640,21 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
   return result;
 }
 
+// Every public serve wrapper — audit overloads included, so audits
+// exercise the same ladder — runs through ServeWithPolicies: admission
+// (shed in O(1) before the mutex), the locked serve body, bounded retry on
+// transient failure.
+
 Result<NodeId> RecommendationService::ServeRecommendation(NodeId user,
                                                           Rng& rng) {
   if (user >= graph_->num_nodes()) {
     return Status::InvalidArgument("user out of range");
   }
   Shard& shard = ShardFor(user);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return ServeLocked(shard, user, rng);
+  return ServeWithPolicies(shard, user, [&]() -> Result<NodeId> {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return ServeLocked(shard, user, rng);
+  });
 }
 
 Result<NodeId> RecommendationService::ServeRecommendation(NodeId user) {
@@ -551,8 +662,10 @@ Result<NodeId> RecommendationService::ServeRecommendation(NodeId user) {
     return Status::InvalidArgument("user out of range");
   }
   Shard& shard = ShardFor(user);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return ServeLocked(shard, user, shard.rng);
+  return ServeWithPolicies(shard, user, [&]() -> Result<NodeId> {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return ServeLocked(shard, user, shard.rng);
+  });
 }
 
 Result<NodeId> RecommendationService::ServeForAudit(NodeId user, Rng& rng) {
@@ -560,8 +673,10 @@ Result<NodeId> RecommendationService::ServeForAudit(NodeId user, Rng& rng) {
     return Status::InvalidArgument("user out of range");
   }
   Shard& shard = ShardFor(user);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return ServeLocked(shard, user, rng, /*charge_budget=*/false);
+  return ServeWithPolicies(shard, user, [&]() -> Result<NodeId> {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return ServeLocked(shard, user, rng, /*charge_budget=*/false);
+  });
 }
 
 Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k,
@@ -570,8 +685,10 @@ Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k,
     return Status::InvalidArgument("user out of range");
   }
   Shard& shard = ShardFor(user);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return ServeListLocked(shard, user, k, rng);
+  return ServeWithPolicies(shard, user, [&]() -> Result<TopKResult> {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return ServeListLocked(shard, user, k, rng);
+  });
 }
 
 Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k) {
@@ -579,8 +696,10 @@ Result<TopKResult> RecommendationService::ServeList(NodeId user, size_t k) {
     return Status::InvalidArgument("user out of range");
   }
   Shard& shard = ShardFor(user);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return ServeListLocked(shard, user, k, shard.rng);
+  return ServeWithPolicies(shard, user, [&]() -> Result<TopKResult> {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return ServeListLocked(shard, user, k, shard.rng);
+  });
 }
 
 Result<TopKResult> RecommendationService::ServeListForAudit(NodeId user,
@@ -590,8 +709,10 @@ Result<TopKResult> RecommendationService::ServeListForAudit(NodeId user,
     return Status::InvalidArgument("user out of range");
   }
   Shard& shard = ShardFor(user);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return ServeListLocked(shard, user, k, rng, /*charge_budget=*/false);
+  return ServeWithPolicies(shard, user, [&]() -> Result<TopKResult> {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return ServeListLocked(shard, user, k, rng, /*charge_budget=*/false);
+  });
 }
 
 Status RecommendationService::AddEdge(NodeId u, NodeId v) {
@@ -644,6 +765,17 @@ ServiceStats RecommendationService::stats() const {
     total.refused_window += shard.stats.refused_window;
     total.degraded_serves += shard.stats.degraded_serves;
     total.window_refreshes += shard.stats.window_refreshes;
+    total.stale_fallback_serves += shard.stats.stale_fallback_serves;
+    total.injected_faults += shard.stats.injected_faults;
+    total.shed_overload +=
+        shard.shed_overload.load(std::memory_order_relaxed);
+    total.retries += shard.retries.load(std::memory_order_relaxed);
+  }
+  if (options_.fault_injector != nullptr) {
+    // Graph-layer fires (journal compaction + patch fails) are recorded by
+    // the injector, not any shard; fold them in once so injected_faults
+    // covers the whole stack.
+    total.injected_faults += options_.fault_injector->graph_fires();
   }
   return total;
 }

@@ -1,6 +1,7 @@
 #ifndef PRIVREC_SERVE_RECOMMENDATION_SERVICE_H_
 #define PRIVREC_SERVE_RECOMMENDATION_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "core/topk.h"
 #include "graph/dynamic_graph.h"
 #include "random/rng.h"
+#include "serve/fault_injection.h"
 #include "utility/utility_function.h"
 
 namespace privrec {
@@ -83,6 +85,20 @@ struct ServiceOptions {
   /// Continual-observation budget windows layered over the lifetime
   /// budget (core/privacy_accountant.h). Disabled by default.
   BudgetWindowPolicy budget_window;
+  /// Deterministic fault injector (serve/fault_injection.h), not owned;
+  /// must outlive the service. The constructor also installs it on the
+  /// graph, arming the graph-layer points (journal compaction, snapshot /
+  /// projection patch failure); the service itself evaluates kRepairFail,
+  /// kShardStall, and fail_serve rules. nullptr (default) leaves every
+  /// hook at its one-relaxed-load disarmed cost.
+  FaultInjector* fault_injector = nullptr;
+  /// Per-shard admission control + budget-aware load shedding
+  /// (serve/fault_injection.h). Disabled by default.
+  OverloadPolicy overload;
+  /// Bounded retries with deterministic backoff for transient
+  /// (kUnavailable) failures: injected no-fallback faults and shed
+  /// requests. Default: fail fast.
+  RetryPolicy retry;
 };
 
 /// Serving statistics. Returned by value from stats(): an exact sum of the
@@ -162,6 +178,30 @@ struct ServiceStats {
   /// Budget-window rollovers observed across all users (each is one
   /// user's window spend resetting at a tumbling-window boundary).
   uint64_t window_refreshes = 0;
+  /// Requests shed by the overload ladder before touching the shard mutex
+  /// (OverloadPolicy): hard queue-depth cap or budget-aware shedding. Shed
+  /// requests never reach the accountant, so they are not in served /
+  /// refused_budget and spend no ε.
+  uint64_t shed_overload = 0;
+  /// Retry attempts the bounded-retry wrapper issued after a transient
+  /// (kUnavailable) failure (RetryPolicy). Each retry is one extra pass
+  /// through the serve path; the final outcome lands in the usual
+  /// counters.
+  uint64_t retries = 0;
+  /// Serves whose cached entry was refreshed through the FORCED
+  /// full-recompute fallback — the journal could not replay the window
+  /// (journal_fallbacks) or an injected kRepairFail abandoned repair —
+  /// as opposed to repair being structurally unavailable. The fallback is
+  /// exact (fresh Compute against the pinned snapshot), so these serves
+  /// release correct, fully calibrated answers; the counter tracks how
+  /// often the degraded route ran, not an accuracy loss.
+  uint64_t stale_fallback_serves = 0;
+  /// Fault-point fires observed by this service: serve-path evaluations
+  /// (kRepairFail, kShardStall, fail_serve admission faults) counted per
+  /// shard, plus — folded in by stats() — the graph-layer fires
+  /// (journal compaction, snapshot/projection patch failure) of the
+  /// installed injector. 0 unless a FaultPlan is armed.
+  uint64_t injected_faults = 0;
 };
 
 /// The production wrapper a deployment would put around this library:
@@ -341,6 +381,21 @@ class RecommendationService {
     double sensitivity = 0;
     uint64_t sensitivity_version = 0;
     bool sensitivity_valid = false;
+    /// Requests admitted (or queued on `mu`) but not yet finished. Read
+    /// lock-free by the admission check; maintained by InflightGuard.
+    std::atomic<uint32_t> inflight{0};
+    /// Overload/retry tallies live outside `mu` (they are incremented
+    /// before it is ever taken), hence atomics rather than ServiceStats
+    /// fields; stats() folds them in.
+    std::atomic<uint64_t> shed_overload{0};
+    std::atomic<uint64_t> retries{0};
+    /// Remaining-budget hints for budget-aware shedding. A side map, NOT
+    /// the accountants: admission must not take `mu`, so it reads a
+    /// cheap snapshot maintained after every charge/refusal under this
+    /// dedicated mutex (lock order: mu -> budget_mu; admission takes
+    /// budget_mu alone). Absent user => full per_user_budget.
+    mutable std::mutex budget_mu;
+    std::unordered_map<NodeId, double> remaining_hint;
 
     explicit Shard(uint64_t seed) : rng(seed) {}
   };
@@ -397,6 +452,72 @@ class RecommendationService {
                                      Rng& rng, bool charge_budget = true);
 
   void EvictIfNeededLocked(Shard& shard);
+
+  /// Evaluates the injector's serve-path faults for this request: a firing
+  /// fail_serve rule returns kUnavailable (no fallback — the RetryPolicy's
+  /// food), a firing kShardStall sleeps stall_micros under the shard
+  /// mutex. Runs BEFORE any accountant work, so injected failures are
+  /// budget-neutral. Caller holds `shard.mu`.
+  Status InjectServeFaultsLocked(Shard& shard);
+
+  /// Overload-ladder admission (OverloadPolicy), checked BEFORE the shard
+  /// mutex. Returns true to admit; false to shed, with *shed_status set to
+  /// kUnavailable and the shard's shed_overload bumped. Never touches the
+  /// accountant.
+  bool AdmitOrShed(Shard& shard, NodeId user, Status* shed_status);
+
+  /// Refreshes the user's remaining-budget hint from their accountant.
+  /// Caller holds `shard.mu` (takes budget_mu inside; lock order
+  /// mu -> budget_mu).
+  void UpdateBudgetHintLocked(Shard& shard, NodeId user);
+
+  /// Deterministic linear backoff before retry attempt `attempt`
+  /// (1-based): sleeps attempt * retry.backoff_micros.
+  void DeterministicBackoff(uint32_t attempt) const;
+
+  /// RAII in-flight tracking for the admission check's queue-depth read.
+  struct InflightGuard {
+    explicit InflightGuard(Shard& s) : shard(s) {
+      shard.inflight.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InflightGuard() {
+      shard.inflight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    Shard& shard;
+  };
+
+  /// The overload/degradation ladder every public serve wrapper runs
+  /// through: admission (shed in O(1) before the mutex) -> `body` (which
+  /// takes shard.mu itself) -> bounded retry with deterministic backoff on
+  /// transient (kUnavailable) failures. Retries re-run admission: a shard
+  /// that is still saturated sheds the retry too. Budget-neutral by
+  /// construction — kUnavailable is returned before any charge.
+  template <typename Fn>
+  auto ServeWithPolicies(Shard& shard, NodeId user, Fn body)
+      -> decltype(body()) {
+    uint32_t attempt = 0;
+    for (;;) {
+      Status shed_status;
+      if (!AdmitOrShed(shard, user, &shed_status)) {
+        if (attempt < options_.retry.max_retries) {
+          shard.retries.fetch_add(1, std::memory_order_relaxed);
+          DeterministicBackoff(++attempt);
+          continue;
+        }
+        return decltype(body())(shed_status);
+      }
+      {
+        InflightGuard guard(shard);
+        auto result = body();
+        if (result.ok() || result.status().code() != StatusCode::kUnavailable ||
+            attempt >= options_.retry.max_retries) {
+          return result;
+        }
+      }
+      shard.retries.fetch_add(1, std::memory_order_relaxed);
+      DeterministicBackoff(++attempt);
+    }
+  }
 
   DynamicGraph* graph_;
   std::unique_ptr<UtilityFunction> utility_;
