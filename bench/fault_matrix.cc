@@ -20,23 +20,40 @@
 //               non-zero. ci/sanitize.sh --faults runs this first and
 //               fails CI if the exit code is ZERO — before trusting the
 //               gate, prove it can fail.
+//   --inject-recovery=P
+//               recovery gate self-test: crash point P is armed for
+//               AuditAcrossRecovery WITHOUT recovery compensation. For
+//               ledger_partial_append the recovered spend under-counts
+//               the pre-crash charges, the audit must REFUSE
+//               (FailedPrecondition), and the binary exits non-zero —
+//               ci/sanitize.sh --durability's proof the refusal gate
+//               can fail.
+//
+// The default matrix additionally measures the recovery rows: checkpoint
+// write cost, WAL replay throughput, and total recovery time vs
+// journal-window size (deltas accumulated past the last checkpoint).
+// --audit also runs one AuditAcrossRecovery per crash point: the
+// recoverable points must certify eps-hat <= eps with the crash actually
+// fired, and the ledger tear must be refused.
 //
 // Output: tables, plus (with --json=PATH) a machine-readable dump;
 // BENCH_fault_matrix.json in the repo root is a checked-in --audit run
-// (refreshed by ci/sanitize.sh --faults).
+// (refreshed by ci/sanitize.sh --faults and --durability).
 //
 // Flags (defaults sized for the 1-vCPU CI container):
 //   --users=U     warm-cache users per matrix row (default 200)
 //   --ops=K       operations per matrix row, ~10% writes (default 6000)
 //   --threads=T   overload-ladder hammer threads (default 8)
 //   --trials=N    audit trials per side per fault point (default 1200)
-//   --audit       run the audited-degradation gate after the matrix
+//   --audit       run the audited-degradation + audited-recovery gates
 //   --inject=P    fail-serve self-test for fault point P (see above)
+//   --inject-recovery=P  recovery refusal self-test (see above)
 //   --json=PATH   write results as JSON
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -53,6 +70,9 @@
 #include "gen/generators.h"
 #include "gen/neighboring.h"
 #include "graph/dynamic_graph.h"
+#include "persist/budget_ledger.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
 #include "random/rng.h"
 #include "serve/fault_injection.h"
 #include "serve/recommendation_service.h"
@@ -266,6 +286,98 @@ FaultPlan CasePlan(const MatrixCase& c) {
   return plan;
 }
 
+// ----------------------------------------------------------- recovery rows
+
+struct RecoveryRow {
+  uint64_t journal_window = 0;     // WAL deltas accumulated past checkpoint
+  double checkpoint_write_us = 0;  // SaveCheckpoint (snapshot+manifest+trunc)
+  double recover_graph_us = 0;     // manifest + .prvg load + WAL replay
+  double total_recovery_us = 0;    // + WAL open + ledger open/fold
+  double replay_deltas_per_sec = 0;
+  uint64_t replayed = 0;
+};
+
+std::string RecoveryScratchDir(const std::string& tag) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / ("privrec_fault_matrix_" + tag)).string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  return dir;
+}
+
+/// One recovery row: a durable service checkpoints, accumulates `window`
+/// edge deltas in the WAL past it (plus charged serves so the ledger has
+/// spend to recover), then every in-memory structure is dropped and
+/// recovery is timed cold: WAL open (torn-tail scan), RecoverGraph
+/// (checkpoint load + strict replay), ledger open + spend fold.
+RecoveryRow MeasureRecoveryRow(const CsrGraph& base, uint64_t window,
+                               uint64_t seed) {
+  const std::string dir =
+      RecoveryScratchDir("recovery_" + std::to_string(window));
+  auto wal = WriteAheadLog::Open(dir + "/wal");
+  PRIVREC_CHECK_OK(wal.status());
+  auto ledger = BudgetLedger::Open(dir + "/ledger");
+  PRIVREC_CHECK_OK(ledger.status());
+  auto graph = std::make_unique<DynamicGraph>(base);
+  ServiceOptions options;
+  options.release_epsilon = 0.1;
+  options.per_user_budget = 1e9;
+  options.num_shards = 8;
+  options.seed = seed;
+  options.wal = wal->get();
+  options.budget_ledger = ledger->get();
+  auto service = std::make_unique<RecommendationService>(
+      graph.get(), std::make_unique<CommonNeighborsUtility>(), options);
+  for (NodeId user = 0; user < 32; ++user) {
+    (void)service->ServeRecommendation(user);
+  }
+
+  RecoveryRow row;
+  row.journal_window = window;
+  Stopwatch checkpoint_watch;
+  PRIVREC_CHECK_OK(service->SaveCheckpoint(dir));
+  row.checkpoint_write_us = checkpoint_watch.ElapsedSeconds() * 1e6;
+
+  Rng rng(seed * 31 + 7);
+  uint64_t applied = 0;
+  while (applied < window) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(base.num_nodes()));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(base.num_nodes()));
+    if (u == v) continue;
+    const Status status = graph->HasEdge(u, v) ? service->RemoveEdge(u, v)
+                                               : service->AddEdge(u, v);
+    if (status.ok()) ++applied;
+  }
+  PRIVREC_CHECK_OK((*wal)->Sync());
+  service.reset();
+  graph.reset();
+  wal->reset();
+  ledger->reset();
+
+  Stopwatch total_watch;
+  auto recovered_wal = WriteAheadLog::Open(dir + "/wal");
+  PRIVREC_CHECK_OK(recovered_wal.status());
+  Stopwatch replay_watch;
+  RecoveryReport report;
+  auto recovered = RecoverGraph(dir, **recovered_wal, &report);
+  PRIVREC_CHECK_OK(recovered.status());
+  row.recover_graph_us = replay_watch.ElapsedSeconds() * 1e6;
+  auto recovered_ledger = BudgetLedger::Open(dir + "/ledger");
+  PRIVREC_CHECK_OK(recovered_ledger.status());
+  const auto spent = (*recovered_ledger)->SpentByUser();
+  PRIVREC_CHECK(!spent.empty());
+  row.total_recovery_us = total_watch.ElapsedSeconds() * 1e6;
+  row.replayed = report.replayed_records;
+  PRIVREC_CHECK_EQ(row.replayed, window);
+  row.replay_deltas_per_sec =
+      static_cast<double>(row.replayed) / (row.recover_graph_us * 1e-6);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return row;
+}
+
 // ------------------------------------------------------ audited degradation
 
 struct AuditRow {
@@ -395,12 +507,154 @@ int RunInjectSelfTest(FaultPoint point, uint64_t trials) {
   return 0;
 }
 
+// --------------------------------------------------------- audited recovery
+
+struct RecoveryAuditRow {
+  std::string name;
+  double epsilon = 0;
+  double epsilon_hat = 0;
+  double lower_bound = 0;
+  std::string result;  // "certified" | "refused" | "VIOLATION" | "ERROR"
+  uint64_t injected_faults = 0;
+  uint64_t trials_per_side = 0;
+};
+
+/// One AuditAcrossRecovery per crash point, all against the same fixture
+/// the degradation gate audits. The recoverable points (clean crash,
+/// wal_torn_write, checkpoint_crash) must complete and certify with the
+/// crash actually fired; ledger_partial_append loses a durable charge, so
+/// the audit MUST refuse — a certification there fails the gate just as
+/// hard as a violation elsewhere.
+bool RunRecoveryAuditGate(uint64_t trials, std::vector<RecoveryAuditRow>* rows) {
+  constexpr double kEpsilon = 0.8;
+  bool ok = true;
+  auto run_case = [&](const std::string& name, const FaultPlan& plan,
+                      bool expect_refusal, bool require_fires) {
+    ServiceAuditOptions options;
+    options.release_epsilon = kEpsilon;
+    options.trials_per_side = trials;
+    options.confidence = 0.99;
+    options.seed = 20260808;
+    ServiceAuditor auditor(FactoryFor(false), options);
+    RecoveryAuditOptions recovery;
+    recovery.plan = plan;
+    recovery.state_dir = RecoveryScratchDir("audit_" + name);
+    ServiceStats stats;
+    auto audit = auditor.AuditAcrossRecovery(AuditFixturePair(), /*target=*/0,
+                                             recovery, &stats);
+    RecoveryAuditRow row;
+    row.name = name;
+    row.epsilon = kEpsilon;
+    row.trials_per_side = trials;
+    row.injected_faults = stats.injected_faults;
+    if (expect_refusal) {
+      if (audit.ok()) {
+        std::fprintf(stderr,
+                     "recovery audit[%s] FAILED: certified a recovery whose "
+                     "ledger lost a charge\n",
+                     name.c_str());
+        row.result = "VIOLATION";
+        ok = false;
+      } else if (audit.status().IsFailedPrecondition()) {
+        row.result = "refused";
+      } else {
+        std::fprintf(stderr, "recovery audit[%s] ERROR: %s\n", name.c_str(),
+                     audit.status().ToString().c_str());
+        row.result = "ERROR";
+        ok = false;
+      }
+    } else if (!audit.ok()) {
+      std::fprintf(stderr, "recovery audit[%s] ERROR: %s\n", name.c_str(),
+                   audit.status().ToString().c_str());
+      row.result = "ERROR";
+      ok = false;
+    } else {
+      const PathEpsilonEstimate* path = audit->FindPath("across_recovery");
+      PRIVREC_CHECK(path != nullptr);
+      row.epsilon_hat = path->epsilon_hat;
+      row.lower_bound = path->epsilon_lower_bound;
+      row.result = path->epsilon_lower_bound <= kEpsilon ? "certified"
+                                                         : "VIOLATION";
+      if (row.result == "VIOLATION") {
+        std::fprintf(stderr,
+                     "recovery audit[%s] VIOLATION: certified bound %.4f > "
+                     "eps %.2f\n",
+                     name.c_str(), row.lower_bound, kEpsilon);
+        ok = false;
+      }
+      if (require_fires && row.injected_faults == 0) {
+        std::fprintf(stderr,
+                     "recovery audit[%s] HOLLOW: the crash point never "
+                     "fired — the audited boundary was crash-free\n",
+                     name.c_str());
+        ok = false;
+      }
+    }
+    rows->push_back(row);
+  };
+
+  // A clean crash: no injected fault, just teardown + recovery mid-audit.
+  run_case("clean_crash", FaultPlan{}, /*expect_refusal=*/false,
+           /*require_fires=*/false);
+  {
+    FaultPlan plan;
+    plan.Enable(FaultPoint::kWalTornWrite, /*period=*/1, /*skip=*/4,
+                /*max_fires=*/1);
+    run_case("wal_torn_write", plan, /*expect_refusal=*/false,
+             /*require_fires=*/true);
+  }
+  {
+    FaultPlan plan;
+    plan.Enable(FaultPoint::kCheckpointCrash, /*period=*/1, /*skip=*/0,
+                /*max_fires=*/1);
+    run_case("checkpoint_crash", plan, /*expect_refusal=*/false,
+             /*require_fires=*/true);
+  }
+  {
+    FaultPlan plan;
+    plan.Enable(FaultPoint::kLedgerPartialAppend, /*period=*/1, /*skip=*/1,
+                /*max_fires=*/1);
+    run_case("ledger_partial_append", plan, /*expect_refusal=*/true,
+             /*require_fires=*/false);
+  }
+  return ok;
+}
+
+/// Recovery gate self-test: arm `point` for AuditAcrossRecovery and map
+/// the audit's refusal to a NON-ZERO exit. ci/sanitize.sh --durability
+/// runs `--inject-recovery=ledger_partial_append` first and fails CI when
+/// the exit code is zero — i.e. when the audit certified a recovery that
+/// forgot spent budget.
+int RunInjectRecoverySelfTest(FaultPoint point, uint64_t trials) {
+  ServiceAuditOptions options;
+  options.release_epsilon = 0.8;
+  options.trials_per_side = std::min<uint64_t>(trials, 200);
+  options.seed = 20260808;
+  ServiceAuditor auditor(FactoryFor(false), options);
+  RecoveryAuditOptions recovery;
+  recovery.plan.Enable(point, /*period=*/1, /*skip=*/1, /*max_fires=*/1);
+  recovery.state_dir = RecoveryScratchDir("inject_recovery");
+  auto audit =
+      auditor.AuditAcrossRecovery(AuditFixturePair(), /*target=*/0, recovery);
+  if (!audit.ok()) {
+    std::printf("inject-recovery self-test: audit refused as expected (%s)\n",
+                audit.status().ToString().c_str());
+    return 1;  // the gate asserts this run exits non-zero
+  }
+  std::fprintf(stderr,
+               "inject-recovery self-test FAILED: the audit certified a "
+               "recovery with %s armed\n",
+               FaultPointName(point));
+  return 0;
+}
+
 // --------------------------------------------------------------- reporting
 
 void WriteJson(const std::string& path, NodeId users, uint64_t ops,
                int threads, const std::vector<MatrixRow>& matrix,
-               const MatrixRow& overload,
-               const std::vector<AuditRow>& audits) {
+               const MatrixRow& overload, const std::vector<AuditRow>& audits,
+               const std::vector<RecoveryRow>& recovery,
+               const std::vector<RecoveryAuditRow>& recovery_audits) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -468,6 +722,20 @@ void WriteJson(const std::string& path, NodeId users, uint64_t ops,
       static_cast<unsigned long long>(overload.stats.retries),
       overload.median_serve_us, overload.serves_per_sec,
       static_cast<unsigned long long>(overload.stats.injected_faults));
+  std::fprintf(f, "  \"recovery_matrix\": [\n");
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryRow& row = recovery[i];
+    std::fprintf(
+        f,
+        "    { \"journal_window\": %llu, \"checkpoint_write_us\": %.1f, "
+        "\"recover_graph_us\": %.1f, \"total_recovery_us\": %.1f, "
+        "\"replayed_deltas\": %llu, \"replay_deltas_per_sec\": %.0f }%s\n",
+        static_cast<unsigned long long>(row.journal_window),
+        row.checkpoint_write_us, row.recover_graph_us, row.total_recovery_us,
+        static_cast<unsigned long long>(row.replayed),
+        row.replay_deltas_per_sec, i + 1 < recovery.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"audited_degradation\": [\n");
   for (size_t i = 0; i < audits.size(); ++i) {
     const AuditRow& row = audits[i];
@@ -481,6 +749,21 @@ void WriteJson(const std::string& path, NodeId users, uint64_t ops,
         static_cast<unsigned long long>(row.trials_per_side),
         static_cast<unsigned long long>(row.injected_faults),
         i + 1 < audits.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"audited_recovery\": [\n");
+  for (size_t i = 0; i < recovery_audits.size(); ++i) {
+    const RecoveryAuditRow& row = recovery_audits[i];
+    std::fprintf(
+        f,
+        "    { \"crash_point\": \"%s\", \"epsilon\": %.2f, \"epsilon_hat\": "
+        "%.4f, \"certified_lower_bound\": %.4f, \"result\": \"%s\", "
+        "\"trials_per_side\": %llu, \"injected_faults\": %llu }%s\n",
+        row.name.c_str(), row.epsilon, row.epsilon_hat, row.lower_bound,
+        row.result.c_str(),
+        static_cast<unsigned long long>(row.trials_per_side),
+        static_cast<unsigned long long>(row.injected_faults),
+        i + 1 < recovery_audits.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(
@@ -501,7 +784,21 @@ void WriteJson(const std::string& path, NodeId users, uint64_t ops,
       "audit error, or a fault point that never fired\",\n"
       "    \"the --inject self-test proves the gate can fail: a "
       "fail_serve plan with retries disabled makes the audit refuse to "
-      "certify, and CI asserts the resulting non-zero exit\"\n"
+      "certify, and CI asserts the resulting non-zero exit\",\n"
+      "    \"recovery_matrix rows run a durable service (WAL + budget "
+      "ledger + checkpoint) on the same graph: checkpoint_write_us is "
+      "SaveCheckpoint (atomic snapshot + manifest rename + WAL "
+      "truncation + ledger compaction), recover_graph_us is checkpoint "
+      "load + strict WAL replay of journal_window deltas, "
+      "total_recovery_us adds the WAL torn-tail scan and the ledger "
+      "open/spend fold\",\n"
+      "    \"audited_recovery is ServiceAuditor::AuditAcrossRecovery per "
+      "crash point: trials straddle a kill+recover boundary, recovered "
+      "per-user spend must be >= pre-crash charged, and the "
+      "ledger_partial_append row must be REFUSED (a lying fsync loses a "
+      "durable charge; certifying it would bless a recovery that forgot "
+      "spent budget). ci/sanitize.sh --durability proves the refusal "
+      "via --inject-recovery first, then gates on these rows\"\n"
       "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -517,6 +814,7 @@ int Main(int argc, char** argv) {
   const uint64_t trials = static_cast<uint64_t>(flags.GetInt("trials", 1200));
   const bool run_audit = flags.GetBool("audit", false);
   const std::string inject = flags.GetString("inject", "");
+  const std::string inject_recovery = flags.GetString("inject-recovery", "");
   const std::string json_path = flags.GetString("json", "");
 
   if (!inject.empty()) {
@@ -526,6 +824,15 @@ int Main(int argc, char** argv) {
       return 2;
     }
     return RunInjectSelfTest(*point, trials);
+  }
+  if (!inject_recovery.empty()) {
+    const auto point = FaultPointFromName(inject_recovery);
+    if (!point.has_value()) {
+      std::fprintf(stderr, "unknown fault point: %s\n",
+                   inject_recovery.c_str());
+      return 2;
+    }
+    return RunInjectRecoverySelfTest(*point, trials);
   }
 
   const CsrGraph base = MatrixGraph();
@@ -547,6 +854,14 @@ int Main(int argc, char** argv) {
   }
   const MatrixRow overload =
       MeasureOverloadLadder(threads, /*requests_per_thread=*/60, /*seed=*/41);
+
+  // Recovery rows: how a crash costs scale with the journal window (the
+  // deltas accumulated past the last checkpoint — the knob SaveCheckpoint
+  // frequency controls).
+  std::vector<RecoveryRow> recovery;
+  for (const uint64_t window : {256ull, 1024ull, 4096ull}) {
+    recovery.push_back(MeasureRecoveryRow(base, window, /*seed=*/83));
+  }
 
   const double clean_edge_us = matrix[0].median_serve_us;
   const double clean_node_us = matrix[1].median_serve_us;
@@ -579,7 +894,23 @@ int Main(int argc, char** argv) {
       static_cast<unsigned long long>(overload.stats.retries),
       overload.median_serve_us, overload.serves_per_sec);
 
+  std::printf(
+      "\nrecovery matrix: cold crash recovery (WAL open + checkpoint load + "
+      "strict replay +\nledger fold) vs journal-window size.\n");
+  TablePrinter recovery_table({"journal window", "checkpoint us",
+                               "recover graph us", "total recovery us",
+                               "replay deltas/s"});
+  for (const RecoveryRow& row : recovery) {
+    recovery_table.AddRow({std::to_string(row.journal_window),
+                           FormatDouble(row.checkpoint_write_us, 0),
+                           FormatDouble(row.recover_graph_us, 0),
+                           FormatDouble(row.total_recovery_us, 0),
+                           FormatDouble(row.replay_deltas_per_sec, 0)});
+  }
+  recovery_table.Print();
+
   std::vector<AuditRow> audits;
+  std::vector<RecoveryAuditRow> recovery_audits;
   bool gate_ok = true;
   if (run_audit) {
     std::printf("\naudited degradation (%llu trials/side, eps 0.8):\n",
@@ -597,10 +928,31 @@ int Main(int argc, char** argv) {
     std::printf(gate_ok ? "\naudited degradation: OK (every forced "
                           "fallback certified <= eps)\n"
                         : "\naudited degradation: FAILED\n");
+
+    std::printf("\naudited recovery (%llu trials/side straddling a "
+                "kill+recover boundary, eps 0.8):\n",
+                static_cast<unsigned long long>(trials));
+    const bool recovery_gate_ok =
+        RunRecoveryAuditGate(trials, &recovery_audits);
+    gate_ok = gate_ok && recovery_gate_ok;
+    TablePrinter recovery_audit_table(
+        {"crash point", "eps-hat", "certified >=", "result", "fires"});
+    for (const RecoveryAuditRow& row : recovery_audits) {
+      recovery_audit_table.AddRow({row.name, FormatDouble(row.epsilon_hat, 4),
+                                   FormatDouble(row.lower_bound, 4),
+                                   row.result,
+                                   std::to_string(row.injected_faults)});
+    }
+    recovery_audit_table.Print();
+    std::printf(recovery_gate_ok
+                    ? "\naudited recovery: OK (crash points certified, "
+                      "ledger tear refused)\n"
+                    : "\naudited recovery: FAILED\n");
   }
 
   if (!json_path.empty()) {
-    WriteJson(json_path, users, ops, threads, matrix, overload, audits);
+    WriteJson(json_path, users, ops, threads, matrix, overload, audits,
+              recovery, recovery_audits);
   }
   return gate_ok ? 0 : 1;
 }

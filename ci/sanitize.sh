@@ -37,6 +37,16 @@
 #                             # and exit non-zero), then the real
 #                             # audited-degradation gate refreshing
 #                             # BENCH_fault_matrix.json
+#   ci/sanitize.sh --durability # additionally the crash-safety suites
+#                             # (`durability` label: WAL, budget ledger,
+#                             # checkpoint/recovery, DP-audited recovery,
+#                             # torn-write IO hardening) under BOTH
+#                             # sanitizers, a gate self-test (an injected
+#                             # ledger_partial_append without recovery
+#                             # must make AuditAcrossRecovery REFUSE and
+#                             # bench_fault_matrix exit non-zero), then
+#                             # the audited-recovery gate refreshing the
+#                             # recovery rows in BENCH_fault_matrix.json
 #   ci/sanitize.sh --native   # additionally a PRIVREC_NATIVE_ARCH=ON
 #                             # (-march=native) smoke build running the
 #                             # kernel differential + incremental suites,
@@ -49,12 +59,14 @@ cd "$(dirname "$0")/.."
 run_asan=0
 run_audit=0
 run_faults=0
+run_durability=0
 run_native=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --audit) run_audit=1 ;;
     --faults) run_faults=1 ;;
+    --durability) run_durability=1 ;;
     --native) run_native=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -186,6 +198,48 @@ if [[ "$run_faults" == "1" ]]; then
   # checked in-binary) + one AuditPairUnderFaults per fault point; any
   # certified violation, audit error, or never-firing fault point exits
   # non-zero, and only a clean run refreshes the checked-in artifact.
+  ./build/bench_fault_matrix --audit --json=BENCH_fault_matrix.json
+fi
+
+if [[ "$run_durability" == "1" ]]; then
+  echo "=== [tsan] ctest -L durability ==="
+  # The durability label under TSAN: SaveCheckpoint's atomic snapshot view
+  # racing mutators, WAL group commit under the writer path, and the
+  # recovery audit's mirrored services. fsync-ordering bugs don't race,
+  # but the in-memory bookkeeping around them can.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}" \
+    ctest --preset tsan-durability
+  echo "=== [asan] ctest -L durability ==="
+  # Same suites under ASan+UBSan: torn-tail truncation, record parsing of
+  # crash-shaped files, and the teardown/recovery object lifecycles are
+  # exactly where use-after-free and off-by-one reads would hide.
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}" \
+    ctest --preset asan-durability
+  echo "=== [default] recovery gate self-test (injected ledger tear) ==="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target bench_fault_matrix
+  # Before trusting the gate, prove it can fail: a lying-fsync ledger tear
+  # (ledger_partial_append) loses a durable charge, so the recovered spend
+  # under-counts what the pre-crash service charged and AuditAcrossRecovery
+  # must REFUSE to certify — the binary must exit non-zero. A zero exit
+  # means the gate would certify a recovery that forgot spent budget.
+  if ./build/bench_fault_matrix --inject-recovery=ledger_partial_append \
+      --trials=100 > /dev/null; then
+    echo "recovery gate self-test FAILED: ledger tear not refused" >&2
+    exit 1
+  fi
+  echo "recovery gate self-test OK (audit refused the torn ledger)"
+  echo "=== [default] bench_fault_matrix --audit -> BENCH_fault_matrix.json ==="
+  # The real gate: one AuditAcrossRecovery per recoverable crash point plus
+  # the recovery perf rows (checkpoint write cost, WAL replay throughput,
+  # recovery time vs journal-window size); any certified violation, audit
+  # error, or never-firing crash point exits non-zero, and only a clean run
+  # refreshes the checked-in artifact.
   ./build/bench_fault_matrix --audit --json=BENCH_fault_matrix.json
 fi
 

@@ -1,0 +1,35 @@
+#include "common/checksum.h"
+
+#include <cstring>
+
+namespace privrec {
+
+uint64_t ChecksumCsrArrays(std::span<const uint64_t> offsets,
+                           std::span<const uint32_t> targets) {
+  XorFoldChecksum checksum;
+  for (uint64_t offset : offsets) checksum.Mix64(offset);
+  for (uint32_t target : targets) checksum.Mix32(target);
+  return checksum.value();
+}
+
+uint64_t ChecksumBytes(const void* data, size_t size) {
+  XorFoldChecksum checksum;
+  checksum.Mix64(size);
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, bytes + i, 8);
+    checksum.Mix64(word);
+  }
+  if (i < size) {
+    unsigned char tail[8] = {0};
+    std::memcpy(tail, bytes + i, size - i);
+    uint64_t word = 0;
+    std::memcpy(&word, tail, 8);
+    checksum.Mix64(word);
+  }
+  return checksum.value();
+}
+
+}  // namespace privrec

@@ -1,0 +1,55 @@
+#ifndef PRIVREC_COMMON_CHECKSUM_H_
+#define PRIVREC_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace privrec {
+
+/// XOR-fold with position mixing: cheap, order-sensitive, catches
+/// truncation and byte corruption (not an adversarial MAC). This is the
+/// `.prvg` trailer checksum factored out of graph/binary_io.cc so the
+/// write-ahead log and the budget ledger share one integrity idiom; the
+/// bytes it produces for a CSR array pair are identical to what binary_io
+/// always wrote.
+class XorFoldChecksum {
+ public:
+  /// Folds a 64-bit word with the `.prvg` offsets-array mixing: the
+  /// position multiplier runs 1, 2, 3, ... (pre-incremented), matching
+  /// the historical `0x632be59bd9b4e019ULL * (i + 1)` term.
+  void Mix64(uint64_t word) {
+    acc_ ^= word + 0x632be59bd9b4e019ULL * (++words64_);
+    acc_ = (acc_ << 7) | (acc_ >> 57);
+  }
+
+  /// Folds a 32-bit word with the `.prvg` targets-array mixing: the
+  /// position addend runs 0, 1, 2, ... (post-incremented), matching the
+  /// historical `targets[i] + i` term.
+  void Mix32(uint32_t word) {
+    acc_ ^= static_cast<uint64_t>(word) + words32_++;
+    acc_ = (acc_ << 13) | (acc_ >> 51);
+  }
+
+  uint64_t value() const { return acc_; }
+
+ private:
+  uint64_t acc_ = 0x9e3779b97f4a7c15ULL;
+  uint64_t words64_ = 0;
+  uint64_t words32_ = 0;
+};
+
+/// The exact `.prvg` trailer checksum over a CSR offsets/targets pair
+/// (spans so common/ stays free of graph types; NodeId converts).
+uint64_t ChecksumCsrArrays(std::span<const uint64_t> offsets,
+                           std::span<const uint32_t> targets);
+
+/// Checksum over an arbitrary byte range: folds the length first (so a
+/// truncated range cannot collide with its prefix), then the bytes as
+/// little-endian 64-bit words with the tail zero-padded. Used for the
+/// fixed-size WAL and ledger record prefixes.
+uint64_t ChecksumBytes(const void* data, size_t size);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_COMMON_CHECKSUM_H_

@@ -82,6 +82,14 @@ Status PrivacyAccountant::Charge(double epsilon, const std::string& reason) {
   return Status::OK();
 }
 
+void PrivacyAccountant::RestoreSpent(double spent,
+                                     const std::string& reason) {
+  if (spent <= spent_) return;
+  const double delta = spent - spent_;
+  spent_ = spent;  // may exceed budget_: remaining() < 0 refuses everything
+  ledger_.push_back({delta, reason});
+}
+
 bool IsBudgetExhausted(const Status& status) {
   return status.IsFailedPrecondition() &&
          status.message().rfind(kExhaustedPrefix, 0) == 0;

@@ -78,6 +78,16 @@ class PrivacyAccountant {
   /// Largest ε that can still be charged.
   double MaxAffordable() const { return remaining(); }
 
+  /// RECOVERY ONLY: raises spent() to `spent` (no-op when already at or
+  /// above it), recording the delta as a ledger entry. Unlike Charge()
+  /// this may push spent() past the budget — the recovered service then
+  /// refuses every charge, which is the correct conservative posture when
+  /// the durable ledger says a user already spent more than this
+  /// accountant's cap. Never lowers spent(), and deliberately bypasses
+  /// the window machinery: windows are request-clock-relative and the
+  /// clock restarts with the process, while the lifetime spend must not.
+  void RestoreSpent(double spent, const std::string& reason);
+
   /// Ledger of successful charges, in order.
   struct Entry {
     double epsilon;

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/statistics.h"
 #include "graph/dynamic_graph.h"
+#include "persist/budget_ledger.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
 #include "serve/concurrent_driver.h"
 #include "serve/recommendation_service.h"
 
@@ -98,6 +103,12 @@ constexpr uint64_t kMutationPathId = 4;
 /// DeriveSeed path id for the under-faults audit (sides 0/1 = measurement
 /// streams).
 constexpr uint64_t kFaultPathId = 5;
+
+/// DeriveSeed path id for the across-recovery audit (sides 0/1 =
+/// measurement streams; each stream spans the crash boundary — the
+/// recovered half continues where the pre-crash half stopped, identically
+/// on both sides).
+constexpr uint64_t kRecoveryPathId = 6;
 
 /// One serve trial of the configured shape, recorded into `counts`
 /// (single) or `reduction` (list).
@@ -759,6 +770,275 @@ Result<DpAuditResult> ServiceAuditor::AuditPairUnderFaults(
   result.per_path.push_back(std::move(estimate));
   if (stats_out != nullptr) {
     *stats_out = SumStats(services[0]->stats(), services[1]->stats());
+  }
+  return result;
+}
+
+Result<DpAuditResult> ServiceAuditor::AuditAcrossRecovery(
+    const NeighboringPair& pair, NodeId target,
+    const RecoveryAuditOptions& recovery, ServiceStats* stats_out) const {
+  if (options_.shape != ServeAuditShape::kSingle) {
+    return Status::InvalidArgument(
+        "AuditAcrossRecovery supports ServeAuditShape::kSingle only");
+  }
+  if (recovery.state_dir.empty()) {
+    return Status::InvalidArgument(
+        "RecoveryAuditOptions::state_dir is required");
+  }
+  if (pair.base.num_nodes() != pair.neighbor.num_nodes() ||
+      pair.base.directed() != pair.neighbor.directed()) {
+    return Status::InvalidArgument(
+        "pair sides disagree on node count or direction");
+  }
+  if (target >= pair.base.num_nodes()) {
+    return Status::InvalidArgument("target out of range");
+  }
+  // At least one trial on each side of the crash boundary — the boundary
+  // IS the path under audit.
+  const uint64_t trials = std::max<uint64_t>(2, options_.trials_per_side);
+  const uint64_t phase0_trials = trials / 2;
+
+  // Per-side durable state, wiped on entry so a fixed seed reproduces the
+  // audit byte for byte.
+  std::string side_dirs[2];
+  for (int side = 0; side < 2; ++side) {
+    side_dirs[side] = recovery.state_dir + "/side" + std::to_string(side);
+    std::error_code ec;
+    std::filesystem::remove_all(side_dirs[side], ec);
+    std::filesystem::create_directories(side_dirs[side], ec);
+    if (ec) {
+      return Status::IOError("cannot create audit state dir '" +
+                             side_dirs[side] + "'");
+    }
+  }
+  auto wal_dir = [&](int side) { return side_dirs[side] + "/wal"; };
+  auto ledger_dir = [&](int side) { return side_dirs[side] + "/ledger"; };
+  auto ckpt_dir = [&](int side) { return side_dirs[side] + "/ckpt"; };
+
+  // Headroom for the charged pre-crash traffic: the audit serves
+  // themselves stay budget-neutral, but the charged serves must fit.
+  const double per_user_budget =
+      options_.release_epsilon *
+      static_cast<double>(recovery.charged_serves_per_side + 1);
+
+  FaultInjector injectors[2];
+  std::unique_ptr<WriteAheadLog> wals[2];
+  std::unique_ptr<BudgetLedger> ledgers[2];
+  std::unique_ptr<DynamicGraph> graphs[2];
+  std::unique_ptr<RecommendationService> services[2];
+  Rng rngs[2] = {Rng(DeriveSeed(options_.seed, kRecoveryPathId, 0)),
+                 Rng(DeriveSeed(options_.seed, kRecoveryPathId, 1))};
+
+  auto build_service = [&](int side) -> Status {
+    ServiceOptions service_options = MakeAuditServiceOptions(options_, 2);
+    service_options.per_user_budget = per_user_budget;
+    service_options.fault_injector = &injectors[side];
+    service_options.retry = recovery.retry;
+    service_options.wal = wals[side].get();
+    service_options.budget_ledger = ledgers[side].get();
+    services[side] = std::make_unique<RecommendationService>(
+        graphs[side].get(), utility_factory_(), service_options);
+    return Status::OK();
+  };
+  for (int side = 0; side < 2; ++side) {
+    graphs[side] = std::make_unique<DynamicGraph>(side == 0 ? pair.base
+                                                            : pair.neighbor);
+    if (recovery.journal_capacity > 0) {
+      graphs[side]->SetJournalCapacity(recovery.journal_capacity);
+    }
+    WalOptions wal_options;
+    wal_options.fault_injector = &injectors[side];
+    PRIVREC_ASSIGN_OR_RETURN(wals[side],
+                             WriteAheadLog::Open(wal_dir(side), wal_options));
+    LedgerOptions ledger_options;
+    ledger_options.fault_injector = &injectors[side];
+    PRIVREC_ASSIGN_OR_RETURN(
+        ledgers[side], BudgetLedger::Open(ledger_dir(side), ledger_options));
+    PRIVREC_RETURN_NOT_OK(build_service(side));
+    // Initial checkpoint BEFORE the plan is armed: recovery always has an
+    // authoritative manifest to start from, whatever the plan breaks.
+    PRIVREC_RETURN_NOT_OK(services[side]->SaveCheckpoint(ckpt_dir(side)));
+    // Warm before arming, mirroring AuditPairUnderFaults: measured trials
+    // sit on the cached-entry path.
+    PRIVREC_RETURN_NOT_OK(
+        services[side]->ServeForAudit(target, rngs[side]).status());
+  }
+  injectors[0].Install(recovery.plan);
+  injectors[1].Install(recovery.plan);
+
+  // Charged pre-crash traffic: the serves the durable ledger must
+  // survive. Mirrored; only identical ok-ness is required (a refusal is
+  // budget-neutral on both sides).
+  for (uint64_t i = 0; i < recovery.charged_serves_per_side; ++i) {
+    const Status s0 =
+        services[0]->ServeRecommendation(target, rngs[0]).status();
+    const Status s1 =
+        services[1]->ServeRecommendation(target, rngs[1]).status();
+    if (s0.ok() != s1.ok()) {
+      return Status::Internal("mirrored charged serves diverged: '" +
+                              s0.message() + "' vs '" + s1.message() + "'");
+    }
+  }
+  const double pre_crash_charged[2] = {
+      per_user_budget - services[0]->RemainingBudget(target),
+      per_user_budget - services[1]->RemainingBudget(target)};
+
+  std::optional<CommonToggle> toggle;
+  if (recovery.mutations_between_trials > 0) {
+    toggle = ChooseCommonToggle(pair, target);
+    if (!toggle.has_value()) {
+      return Status::FailedPrecondition(
+          "no common edge slot available for the across-recovery toggles");
+    }
+  }
+  bool present = toggle.has_value() && toggle->present;
+  // A torn WAL rejects mutations from then on; the schedule freezes
+  // SYMMETRICALLY (equal plans fire equally), keeping the parity cells
+  // sound. Divergent ok-ness is the one impossible state worth failing on.
+  bool mutations_alive = toggle.has_value();
+  OutcomeCellCounts parity_cells[2];
+  auto run_trials = [&](uint64_t count) -> Status {
+    for (uint64_t t = 0; t < count; ++t) {
+      if (mutations_alive) {
+        for (uint64_t m = 0; m < recovery.mutations_between_trials; ++m) {
+          const Status m0 = present
+                                ? services[0]->RemoveEdge(toggle->a, toggle->b)
+                                : services[0]->AddEdge(toggle->a, toggle->b);
+          const Status m1 = present
+                                ? services[1]->RemoveEdge(toggle->a, toggle->b)
+                                : services[1]->AddEdge(toggle->a, toggle->b);
+          if (m0.ok() != m1.ok()) {
+            return Status::Internal("mirrored toggles diverged: '" +
+                                    m0.message() + "' vs '" + m1.message() +
+                                    "'");
+          }
+          if (!m0.ok()) {
+            mutations_alive = false;
+            break;
+          }
+          present = !present;
+        }
+      }
+      const uint64_t parity =
+          (toggle.has_value() && present != toggle->present) ? 1 : 0;
+      for (int side = 0; side < 2; ++side) {
+        PRIVREC_ASSIGN_OR_RETURN(
+            NodeId outcome, services[side]->ServeForAudit(target, rngs[side]));
+        ++parity_cells[side][((parity + 1) << 32) |
+                             static_cast<uint64_t>(outcome)];
+      }
+    }
+    return Status::OK();
+  };
+  PRIVREC_RETURN_NOT_OK(run_trials(phase0_trials));
+
+  // Mid-audit checkpoint attempt, faults still armed: under
+  // kCheckpointCrash this dies before the manifest commit (on both sides
+  // identically) and the initial checkpoint stays authoritative.
+  {
+    const Status c0 = services[0]->SaveCheckpoint(ckpt_dir(0));
+    const Status c1 = services[1]->SaveCheckpoint(ckpt_dir(1));
+    if (c0.ok() != c1.ok()) {
+      return Status::Internal("mirrored checkpoints diverged: '" +
+                              c0.message() + "' vs '" + c1.message() + "'");
+    }
+  }
+
+  // ---- The crash. ----
+  PRIVREC_CHECK_EQ(injectors[0].total_fires(), injectors[1].total_fires());
+  const ServiceStats pre_crash_stats =
+      SumStats(services[0]->stats(), services[1]->stats());
+  for (int side = 0; side < 2; ++side) {
+    wals[side]->SimulateCrash();
+    ledgers[side]->SimulateCrash();
+  }
+  // Teardown order mirrors ownership: services reference graphs, graphs
+  // reference WALs.
+  for (int side = 0; side < 2; ++side) services[side].reset();
+  for (int side = 0; side < 2; ++side) graphs[side].reset();
+  for (int side = 0; side < 2; ++side) {
+    wals[side].reset();
+    ledgers[side].reset();
+  }
+  // Post-recovery runs clean; the fire counts above are already folded
+  // into pre_crash_stats.
+  injectors[0].Clear();
+  injectors[1].Clear();
+
+  // ---- Recovery. ----
+  for (int side = 0; side < 2; ++side) {
+    PRIVREC_ASSIGN_OR_RETURN(wals[side], WriteAheadLog::Open(wal_dir(side)));
+    RecoveryReport report;
+    PRIVREC_ASSIGN_OR_RETURN(
+        graphs[side], RecoverGraph(ckpt_dir(side), *wals[side], &report));
+    if (recovery.journal_capacity > 0) {
+      graphs[side]->SetJournalCapacity(recovery.journal_capacity);
+    }
+    PRIVREC_ASSIGN_OR_RETURN(ledgers[side],
+                             BudgetLedger::Open(ledger_dir(side)));
+    const std::unordered_map<NodeId, double> recovered_spend =
+        ledgers[side]->SpentByUser();
+    auto it = recovered_spend.find(target);
+    const double recovered = it == recovered_spend.end() ? 0.0 : it->second;
+    if (recovered + 1e-9 < pre_crash_charged[side]) {
+      // The one unrecoverable state: durable spend below what was charged
+      // in memory means a charge was lost (torn ledger append). Refusing
+      // is the only sound posture — certifying would launder the loss.
+      return Status::FailedPrecondition(
+          "budget ledger unrecoverable on side " + std::to_string(side) +
+          ": recovered spend " + std::to_string(recovered) +
+          " < pre-crash charged " +
+          std::to_string(pre_crash_charged[side]) +
+          " — refusing to certify across this recovery");
+    }
+    PRIVREC_RETURN_NOT_OK(build_service(side));
+    services[side]->ImportSpentBudgets(recovered_spend);
+    PRIVREC_RETURN_NOT_OK(
+        services[side]->ServeForAudit(target, rngs[side]).status());
+  }
+  // Re-derive the parity anchor from the RECOVERED graphs: recovery is
+  // exact, so both sides must agree — and agree with the pre-crash
+  // schedule.
+  if (toggle.has_value()) {
+    const bool p0 = graphs[0]->VersionedSnapshot().graph->HasEdge(toggle->a,
+                                                                  toggle->b);
+    const bool p1 = graphs[1]->VersionedSnapshot().graph->HasEdge(toggle->a,
+                                                                  toggle->b);
+    if (p0 != p1) {
+      return Status::Internal(
+          "recovered sides disagree on the common toggle slot");
+    }
+    if (p0 != present) {
+      return Status::Internal(
+          "recovered graph state disagrees with the pre-crash toggle "
+          "schedule");
+    }
+    mutations_alive = true;  // fresh WAL: toggles flow again
+  }
+  PRIVREC_RETURN_NOT_OK(run_trials(trials - phase0_trials));
+  PRIVREC_CHECK_EQ(injectors[0].total_fires(), injectors[1].total_fires());
+
+  DpAuditResult result;
+  result.pairs_checked = 1;
+  result.worst_edge_u = pair.u;
+  result.worst_edge_v = pair.v;
+  PathEpsilonEstimate estimate;
+  estimate.path = "across_recovery";
+  estimate.trials_per_side = trials;
+  const EpsilonCellEstimate cells = EstimateEpsilonFromOutcomeCells(
+      parity_cells[0], parity_cells[1], trials, options_.confidence,
+      options_.bonferroni_cells_override,
+      /*include_complements=*/false);
+  estimate.epsilon_hat = cells.epsilon_hat;
+  estimate.epsilon_lower_bound = cells.epsilon_lower_bound;
+  estimate.worst_outcome = static_cast<NodeId>(cells.worst_cell);
+  estimate.worst_z = cells.worst_z;
+  estimate.bonferroni_cells = cells.bonferroni_cells;
+  result.max_abs_log_ratio = estimate.epsilon_hat;
+  result.per_path.push_back(std::move(estimate));
+  if (stats_out != nullptr) {
+    *stats_out = SumStats(pre_crash_stats,
+                          SumStats(services[0]->stats(), services[1]->stats()));
   }
   return result;
 }

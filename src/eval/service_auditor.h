@@ -175,6 +175,35 @@ struct FaultAuditOptions {
   size_t journal_capacity = 0;
 };
 
+/// Crash/recovery schedule for ServiceAuditor::AuditAcrossRecovery.
+struct RecoveryAuditOptions {
+  /// Installed IDENTICALLY on both sides before the pre-crash traffic
+  /// (same symmetry contract as FaultAuditOptions::plan). The interesting
+  /// plans enable the persist-layer crash points — kWalTornWrite,
+  /// kLedgerPartialAppend, kCheckpointCrash; the plan is disarmed after
+  /// the crash, so the post-recovery half runs clean.
+  FaultPlan plan;
+  /// Mirrored common-slot toggles applied to BOTH sides between
+  /// consecutive trials (0 = static graphs). These go through the WAL, so
+  /// kWalTornWrite actually bites; a torn WAL rejects the toggle on both
+  /// sides identically and freezes the parity schedule symmetrically.
+  uint64_t mutations_between_trials = 1;
+  /// Budget-CHARGING mirrored serves of the target issued after the plan
+  /// is armed and before the crash — the traffic the durable ledger must
+  /// survive. The audit REFUSES (FailedPrecondition) when the recovered
+  /// ledger spend is below what these serves charged in memory: that is
+  /// the one state where certifying would launder a lost charge.
+  uint64_t charged_serves_per_side = 4;
+  /// Directory holding the two sides' durable state (WAL segments, budget
+  /// ledger, checkpoints). REQUIRED. Wiped and recreated on entry so a
+  /// fixed seed reproduces the audit byte for byte.
+  std::string state_dir;
+  /// Retry policy for both sides' services.
+  RetryPolicy retry;
+  /// Edge-delta journal capacity (0 keeps the DynamicGraph default).
+  size_t journal_capacity = 0;
+};
+
 /// Black-box, sampling-based DP auditor for the serving stack. Where
 /// AuditEdgeDp checks a mechanism's closed-form distribution on a static
 /// CsrGraph, this auditor stands up two live RecommendationService
@@ -262,6 +291,33 @@ class ServiceAuditor {
   Result<DpAuditResult> AuditPairUnderFaults(
       const NeighboringPair& pair, NodeId target,
       const FaultAuditOptions& faults,
+      ServiceStats* stats_out = nullptr) const;
+
+  /// Audits the pair ACROSS a crash/recovery boundary, on both sides
+  /// symmetrically: stand the services up on durable state (WAL + budget
+  /// ledger + an initial checkpoint under `recovery.state_dir`), arm
+  /// `recovery.plan`, run charged traffic and the first half of the
+  /// trials, attempt a mid-audit checkpoint, then simulate a process
+  /// death (SimulateCrash on WAL and ledger, services destroyed) and
+  /// recover — WAL replay past the authoritative checkpoint, accountants
+  /// reseeded from the recovered ledger — before running the second half
+  /// of the trials on the recovered services. Outcome cells are keyed by
+  /// toggle parity exactly as in AuditPairUnderFaults (recovery is exact,
+  /// so the parity→graph-state mapping survives the boundary) and the
+  /// estimate pools both halves: an honest, crash-safe service keeps
+  /// every cell e^ε-bounded even when half its samples were served by a
+  /// different process incarnation. The result has one per_path entry
+  /// named "across_recovery".
+  ///
+  /// Refusals (no certification): FailedPrecondition when the recovered
+  /// per-target ledger spend is LESS than what the pre-crash services
+  /// charged in memory (a lost charge — the kLedgerPartialAppend state);
+  /// any WAL/ledger/checkpoint recovery error propagates. Single shape
+  /// only (kList → InvalidArgument). `stats_out` receives the four
+  /// services' summed stats (pre-crash + recovered).
+  Result<DpAuditResult> AuditAcrossRecovery(
+      const NeighboringPair& pair, NodeId target,
+      const RecoveryAuditOptions& recovery,
       ServiceStats* stats_out = nullptr) const;
 
   const ServiceAuditOptions& options() const { return options_; }

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <vector>
 
+#include "common/checksum.h"
+
 namespace privrec {
 namespace {
 
@@ -21,18 +23,9 @@ struct Header {
 
 uint64_t Checksum(const std::vector<uint64_t>& offsets,
                   const std::vector<NodeId>& targets) {
-  // XOR-fold with position mixing: cheap, order-sensitive, catches
-  // truncation and byte corruption (not an adversarial MAC).
-  uint64_t acc = 0x9e3779b97f4a7c15ULL;
-  for (size_t i = 0; i < offsets.size(); ++i) {
-    acc ^= offsets[i] + 0x632be59bd9b4e019ULL * (i + 1);
-    acc = (acc << 7) | (acc >> 57);
-  }
-  for (size_t i = 0; i < targets.size(); ++i) {
-    acc ^= static_cast<uint64_t>(targets[i]) + i;
-    acc = (acc << 13) | (acc >> 51);
-  }
-  return acc;
+  // Shared XOR-fold (common/checksum.h) — the WAL and the budget ledger
+  // use the same idiom; the trailer bytes on disk are unchanged.
+  return ChecksumCsrArrays(offsets, targets);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include "graph/csr_patch.h"
 #include "graph/degree_cap.h"
 #include "graph/graph_builder.h"
+#include "persist/wal.h"
 
 namespace privrec {
 
@@ -28,8 +29,23 @@ DynamicGraph::DynamicGraph(const CsrGraph& graph)
   num_edges_.store(graph.num_edges(), std::memory_order_release);
 }
 
+void DynamicGraph::AttachWal(WriteAheadLog* wal) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  wal_ = wal;
+  wal_last_seq_ = wal == nullptr ? 0 : wal->next_seq() - 1;
+}
+
 NodeId DynamicGraph::AddNode() {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  if (wal_ != nullptr) {
+    // A node append cannot be rejected (no precondition can fail), so a
+    // WAL that cannot take the record is fatal rather than reportable:
+    // injected torn writes must target edge appends, which CAN refuse.
+    Result<uint64_t> seq = wal_->Append(
+        WalRecordKind::kAddNode, static_cast<uint32_t>(adjacency_.size()), 0);
+    PRIVREC_CHECK_OK(seq.status());
+    wal_last_seq_ = *seq;
+  }
   adjacency_.emplace_back();
   if (directed_) in_adjacency_.emplace_back();
   const NodeId id = static_cast<NodeId>(adjacency_.size() - 1);
@@ -88,8 +104,21 @@ void DynamicGraph::JournalAppendLocked(NodeId u, NodeId v, bool added) {
 Status DynamicGraph::AddEdge(NodeId u, NodeId v) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   PRIVREC_RETURN_NOT_OK(ValidateEndpoints(u, v));
-  if (!adjacency_[u].insert(v).second) {
-    return Status::FailedPrecondition("edge already present");
+  if (wal_ == nullptr) {
+    // No WAL: keep the single-hash-lookup hot path.
+    if (!adjacency_[u].insert(v).second) {
+      return Status::FailedPrecondition("edge already present");
+    }
+  } else {
+    // WAL-first: presence-check without mutating, make the record durable,
+    // THEN apply. A failed append (torn write, crashed log) rejects the
+    // mutation, so applied state never runs ahead of the durable log.
+    if (adjacency_[u].count(v) > 0) {
+      return Status::FailedPrecondition("edge already present");
+    }
+    PRIVREC_ASSIGN_OR_RETURN(
+        wal_last_seq_, wal_->Append(WalRecordKind::kAddEdge, u, v));
+    adjacency_[u].insert(v);
   }
   if (directed_) {
     in_adjacency_[v].insert(u);
@@ -105,8 +134,17 @@ Status DynamicGraph::AddEdge(NodeId u, NodeId v) {
 Status DynamicGraph::RemoveEdge(NodeId u, NodeId v) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   PRIVREC_RETURN_NOT_OK(ValidateEndpoints(u, v));
-  if (adjacency_[u].erase(v) == 0) {
-    return Status::FailedPrecondition("edge not present");
+  if (wal_ == nullptr) {
+    if (adjacency_[u].erase(v) == 0) {
+      return Status::FailedPrecondition("edge not present");
+    }
+  } else {
+    if (adjacency_[u].count(v) == 0) {
+      return Status::FailedPrecondition("edge not present");
+    }
+    PRIVREC_ASSIGN_OR_RETURN(
+        wal_last_seq_, wal_->Append(WalRecordKind::kRemoveEdge, u, v));
+    adjacency_[u].erase(v);
   }
   if (directed_) {
     in_adjacency_[v].erase(u);
@@ -342,6 +380,11 @@ DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
   // Slow path: rebuild under the writer mutex (excludes mutators, and
   // collapses concurrent rebuilders into one build via the re-check).
   std::lock_guard<std::mutex> lock(writer_mu_);
+  return SnapshotWriterLocked();
+}
+
+DynamicGraph::StampedSnapshot DynamicGraph::SnapshotWriterLocked() const {
+  std::shared_ptr<const VersionedCsr> current;
   {
     std::lock_guard<std::mutex> publish_lock(snapshot_mu_);
     current = snapshot_;
@@ -362,6 +405,18 @@ DynamicGraph::StampedSnapshot DynamicGraph::VersionedSnapshot() const {
       current->projected.has_value() ? &*current->projected : nullptr;
   return MakeStamped(current, &current->graph, reverse, projected,
                      current->version, current->num_edges);
+}
+
+DynamicGraph::CheckpointView DynamicGraph::AtomicCheckpointView() const {
+  // Writer mutex held across BOTH the snapshot materialization and the
+  // WAL-position read: no mutation can land between them, so the pair is
+  // exact — the snapshot is the graph state immediately after WAL record
+  // wal_seq.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  CheckpointView view;
+  view.snapshot = SnapshotWriterLocked();
+  view.wal_seq = wal_last_seq_;
+  return view;
 }
 
 }  // namespace privrec

@@ -17,6 +17,8 @@
 
 namespace privrec {
 
+class WriteAheadLog;  // persist/wal.h
+
 /// Mutable adjacency-set graph for the dynamic-network setting the paper
 /// flags as future work (Section 8: "Social networks clearly change over
 /// time (and rather rapidly)"). Supports O(1) expected edge insertion,
@@ -268,6 +270,28 @@ class DynamicGraph {
     fault_injector_.store(injector, std::memory_order_release);
   }
 
+  /// Attaches (nullptr detaches) a write-ahead log. Once attached, every
+  /// mutation is WAL-FIRST: validated, presence-checked, appended to the
+  /// WAL, and only then applied — so the durable log never lags the
+  /// applied state, and a failed append (torn write, crashed log) rejects
+  /// the mutation outright. The log is not owned and must outlive the
+  /// attachment; with none attached the mutation hot path is unchanged.
+  /// Call only while the graph's state matches the log's tail (a fresh
+  /// graph with a fresh log, or a recovered graph with the log it was
+  /// replayed from).
+  void AttachWal(WriteAheadLog* wal);
+
+  /// A mutually consistent (snapshot, WAL position) pair for
+  /// checkpointing: the snapshot materializes exactly the state after the
+  /// WAL record `wal_seq`, taken atomically under the writer mutex so no
+  /// mutation can slip between the two. wal_seq is 0 when no WAL is
+  /// attached.
+  struct CheckpointView {
+    StampedSnapshot snapshot;
+    uint64_t wal_seq = 0;
+  };
+  CheckpointView AtomicCheckpointView() const;
+
  private:
   /// The unit the atomic pointer publishes: stamp + CSR (+ reverse CSR for
   /// directed graphs) in one immutable allocation.
@@ -312,6 +336,12 @@ class DynamicGraph {
   std::shared_ptr<const VersionedCsr> TryPatchLocked(
       const std::shared_ptr<const VersionedCsr>& prev) const;
 
+  /// The snapshot slow path factored out so AtomicCheckpointView can run
+  /// it while already holding writer_mu_: re-checks the published
+  /// pointer, patches or rebuilds, publishes, and returns the stamped
+  /// view. Caller must hold writer_mu_.
+  StampedSnapshot SnapshotWriterLocked() const;
+
   bool directed_;
   std::atomic<NodeId> num_nodes_{0};
   std::atomic<uint64_t> num_edges_{0};
@@ -332,6 +362,12 @@ class DynamicGraph {
   /// cache's eviction heuristic can read it without the writer mutex;
   /// writes still happen only under writer_mu_.
   std::deque<EdgeDelta> journal_;
+  /// Write-ahead log (guarded by writer_mu_ like the adjacency): null
+  /// until AttachWal; wal_last_seq_ is the sequence of the last record
+  /// this graph appended — the WAL position AtomicCheckpointView pairs
+  /// with its snapshot.
+  WriteAheadLog* wal_ = nullptr;
+  uint64_t wal_last_seq_ = 0;
   std::atomic<uint64_t> journal_floor_version_{0};
   size_t journal_capacity_ = kDefaultJournalCapacity;
   size_t snapshot_patch_threshold_ = kDefaultSnapshotPatchThreshold;

@@ -1,0 +1,61 @@
+#ifndef PRIVREC_PERSIST_CHECKPOINT_H_
+#define PRIVREC_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
+#include "persist/wal.h"
+#include "serve/fault_injection.h"
+
+namespace privrec {
+
+/// What the committed MANIFEST records: which graph file is the
+/// checkpoint, and where in the WAL (and in the graph's own version
+/// clock) it was cut.
+struct CheckpointManifest {
+  uint64_t wal_seq = 0;
+  uint64_t graph_version = 0;
+  std::string graph_file;
+};
+
+/// What recovery did, for logs and assertions.
+struct RecoveryReport {
+  bool checkpoint_found = false;
+  CheckpointManifest manifest;
+  /// WAL records applied on top of the checkpoint.
+  uint64_t replayed_records = 0;
+};
+
+/// Writes `graph` as `graph-<wal_seq>.prvg` (SaveBinaryGraph: the
+/// checksummed `.prvg` format) and commits it by renaming MANIFEST.tmp to
+/// MANIFEST — the rename is the single commit point, so a crash anywhere
+/// before it leaves the previous checkpoint authoritative and the new
+/// graph file as harmless garbage. FaultPoint::kCheckpointCrash (when
+/// `injector` is non-null) kills the write exactly there: graph file
+/// durable, manifest not renamed.
+Status WriteCheckpoint(const std::string& dir, const CsrGraph& graph,
+                       uint64_t wal_seq, uint64_t graph_version,
+                       FaultInjector* injector = nullptr);
+
+/// The committed MANIFEST, or FailedPrecondition if the directory has
+/// none (a genesis checkpoint must be written before the first crash),
+/// IOError on corruption.
+Result<CheckpointManifest> ReadCheckpointManifest(const std::string& dir);
+
+/// Full graph recovery: load the checkpoint `.prvg`, rebuild a
+/// DynamicGraph from it, then strictly replay every WAL record past the
+/// checkpoint's wal_seq. Replay failures are Internal — a record was
+/// WAL'd only after its mutation passed validation, so replay must
+/// reproduce it exactly. Call on a freshly Open()ed WAL (whose open
+/// already truncated any torn tail).
+Result<std::unique_ptr<DynamicGraph>> RecoverGraph(
+    const std::string& dir, const WriteAheadLog& wal,
+    RecoveryReport* report = nullptr);
+
+}  // namespace privrec
+
+#endif  // PRIVREC_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,151 @@
+#ifndef PRIVREC_PERSIST_WAL_H_
+#define PRIVREC_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/fault_injection.h"
+
+namespace privrec {
+
+/// The mutations the write-ahead log journals. Matches DynamicGraph's
+/// mutation surface: edge toggles plus node appends (a node append is the
+/// one mutation no edge delta describes, so the WAL must carry it for
+/// replay to reconstruct the graph exactly).
+enum class WalRecordKind : uint32_t {
+  kAddEdge = 0,
+  kRemoveEdge = 1,
+  kAddNode = 2,
+};
+
+/// One decoded WAL record. `seq` is the log-wide sequence number (1-based,
+/// consecutive, no gaps) — the replay cursor checkpoints are keyed by.
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kAddEdge;
+  uint32_t u = 0;
+  uint32_t v = 0;
+  uint64_t seq = 0;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+struct WalOptions {
+  /// Records per segment file before the log rotates to a fresh segment.
+  /// Segments are the truncation unit: checkpointing drops whole segments
+  /// whose records are all covered by the checkpoint.
+  uint64_t segment_max_records = 4096;
+  /// Group commit: appends are buffered and flushed+fsync'd once this many
+  /// records accumulate (1 = every append is durable before it returns,
+  /// the conservative default). Larger values amortize the fsync across a
+  /// mutation burst; Sync() forces the buffer down at any time, and
+  /// durable_seq() reports how far durability has actually advanced.
+  uint64_t group_commit_records = 1;
+  /// Optional crash injection (FaultPoint::kWalTornWrite). Not owned.
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// Segmented append-only write-ahead log for edge deltas.
+///
+/// On-disk format, all little-endian, one file per segment named
+/// `wal-<first_seq, 20 digits>.seg`:
+///   segment header (16 bytes): u32 magic "PRVW", u32 version,
+///                              u64 first_seq
+///   record (32 bytes):         u32 kind, u32 u, u32 v, u32 pad,
+///                              u64 seq, u64 checksum
+/// where checksum = ChecksumBytes over the record's first 24 bytes (the
+/// shared `.prvg` XOR-fold, common/checksum.h). Sequence numbers are
+/// consecutive across segments with no gaps.
+///
+/// Open() validates the whole chain. A short, checksum-bad, or
+/// out-of-sequence record at the very tail of the LAST segment is a torn
+/// write — the tail is truncated (ftruncate) and appending resumes from
+/// the last intact record; the same damage anywhere else is corruption
+/// and Open() rejects with IOError. truncated_tail_bytes() reports what
+/// the last Open() cut.
+///
+/// Crash semantics under FaultPoint::kWalTornWrite: Append() persists
+/// only the first half of the record, fsyncs (the torn bytes ARE on
+/// disk, as after a real mid-write power cut), marks the log crashed,
+/// and returns IOError — so the caller rejects the mutation and applied
+/// state never runs ahead of durable state. Every subsequent durable
+/// operation on a crashed log returns FailedPrecondition; recovery goes
+/// through a fresh Open() of the same directory.
+///
+/// Thread safety: all methods serialize on one internal mutex.
+class WriteAheadLog {
+ public:
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& dir,
+                                                     WalOptions options = {});
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record and returns its assigned sequence number. The
+  /// record is durable when this returns only if the group-commit buffer
+  /// flushed (group_commit_records = 1, a rotation, or an explicit
+  /// Sync()); durable_seq() always tells the truth.
+  Result<uint64_t> Append(WalRecordKind kind, uint32_t u, uint32_t v);
+
+  /// Flushes and fsyncs the group-commit buffer.
+  Status Sync();
+
+  /// Sequence number the next Append will assign.
+  uint64_t next_seq() const;
+
+  /// Highest sequence number known durable (flushed + fsync'd).
+  uint64_t durable_seq() const;
+
+  /// Bytes the last Open() truncated off a torn tail (0 = clean open).
+  uint64_t truncated_tail_bytes() const { return truncated_tail_bytes_; }
+
+  /// All durable records with seq > after_seq, in order. Reads the
+  /// segment files, not the group-commit buffer — call Sync() first if
+  /// buffered records must be included. IOError on any mid-chain
+  /// corruption (Open() already truncated the only legal torn tail).
+  Result<std::vector<WalRecord>> ReadAfter(uint64_t after_seq) const;
+
+  /// Deletes whole segments whose every record has sequence <= seq; the
+  /// active segment is never deleted. Called after a checkpoint commits
+  /// at `seq` so the journal window on disk stays bounded.
+  Status TruncateSegmentsUpTo(uint64_t seq);
+
+  /// Kills the log in-process the way a crash would: the group-commit
+  /// buffer is dropped un-flushed, the file descriptor is closed without
+  /// further writes, and every later durable operation refuses. What is
+  /// on disk afterwards is exactly the durable prefix.
+  void SimulateCrash();
+
+  /// True once a torn write or SimulateCrash killed this instance.
+  bool crashed() const;
+
+ private:
+  WriteAheadLog(std::string dir, WalOptions options);
+
+  Status OpenLocked();
+  Status FlushLocked();
+  Status RotateLocked();
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  bool crashed_ = false;
+  uint64_t next_seq_ = 1;
+  uint64_t durable_seq_ = 0;
+  uint64_t truncated_tail_bytes_ = 0;
+  /// First sequence of the active segment and records already durable in
+  /// it (rotation bookkeeping).
+  uint64_t active_first_seq_ = 1;
+  uint64_t active_records_ = 0;
+  /// Encoded records awaiting group commit.
+  std::vector<unsigned char> buffer_;
+};
+
+}  // namespace privrec
+
+#endif  // PRIVREC_PERSIST_WAL_H_

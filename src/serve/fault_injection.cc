@@ -14,6 +14,12 @@ const char* FaultPointName(FaultPoint point) {
       return "repair_fail";
     case FaultPoint::kShardStall:
       return "shard_stall";
+    case FaultPoint::kWalTornWrite:
+      return "wal_torn_write";
+    case FaultPoint::kLedgerPartialAppend:
+      return "ledger_partial_append";
+    case FaultPoint::kCheckpointCrash:
+      return "checkpoint_crash";
   }
   return "unknown";
 }
@@ -112,6 +118,13 @@ uint64_t FaultInjector::graph_fires() const {
   return fires_[static_cast<size_t>(FaultPoint::kJournalCompaction)] +
          fires_[static_cast<size_t>(FaultPoint::kSnapshotPatchFail)] +
          fires_[static_cast<size_t>(FaultPoint::kProjectionPatchFail)];
+}
+
+uint64_t FaultInjector::persist_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fires_[static_cast<size_t>(FaultPoint::kWalTornWrite)] +
+         fires_[static_cast<size_t>(FaultPoint::kLedgerPartialAppend)] +
+         fires_[static_cast<size_t>(FaultPoint::kCheckpointCrash)];
 }
 
 }  // namespace privrec

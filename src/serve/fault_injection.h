@@ -31,23 +31,47 @@ namespace privrec {
 ///  - kShardStall: the serve path sleeps FaultRule::stall_micros while
 ///    holding the shard mutex — the deterministic slow-shard generator the
 ///    overload/admission tests are built on.
+///
+/// The crash points simulate a process death at a durability boundary,
+/// in-process: the persist layer leaves its files exactly as a real crash
+/// would (half a record fsync'd, a checkpoint without its manifest) and
+/// the test/audit harness then recovers from those bytes:
+///  - kWalTornWrite: WriteAheadLog::Append persists only the first half of
+///    the record, marks the log crashed (every later durable operation
+///    refuses), and fails the append — the mutation is rejected, so
+///    applied state never runs ahead of durable state. Recovery must
+///    truncate the torn tail.
+///  - kLedgerPartialAppend: BudgetLedger::AppendCharge persists half a
+///    record but REPORTS SUCCESS (a lying-fsync disk), and silently drops
+///    all later appends. The service keeps charging and serving; recovery
+///    then finds less durable spend than was charged — the one state
+///    AuditAcrossRecovery must refuse to certify.
+///  - kCheckpointCrash: WriteCheckpoint dies after writing the graph file
+///    but before the manifest rename that commits it — the previous
+///    checkpoint stays authoritative and recovery replays the longer WAL
+///    suffix.
 enum class FaultPoint : uint32_t {
   kJournalCompaction = 0,
   kSnapshotPatchFail = 1,
   kProjectionPatchFail = 2,
   kRepairFail = 3,
   kShardStall = 4,
+  kWalTornWrite = 5,
+  kLedgerPartialAppend = 6,
+  kCheckpointCrash = 7,
 };
 
-inline constexpr size_t kNumFaultPoints = 5;
+inline constexpr size_t kNumFaultPoints = 8;
 
 inline constexpr FaultPoint kAllFaultPoints[] = {
     FaultPoint::kJournalCompaction, FaultPoint::kSnapshotPatchFail,
     FaultPoint::kProjectionPatchFail, FaultPoint::kRepairFail,
-    FaultPoint::kShardStall};
+    FaultPoint::kShardStall, FaultPoint::kWalTornWrite,
+    FaultPoint::kLedgerPartialAppend, FaultPoint::kCheckpointCrash};
 
 /// "journal_compaction" / "snapshot_patch_fail" / "projection_patch_fail" /
-/// "repair_fail" / "shard_stall".
+/// "repair_fail" / "shard_stall" / "wal_torn_write" /
+/// "ledger_partial_append" / "checkpoint_crash".
 const char* FaultPointName(FaultPoint point);
 
 /// Inverse of FaultPointName (bench/CI --inject flags); nullopt on an
@@ -163,6 +187,12 @@ class FaultInjector {
   /// ServiceStats::injected_faults on top of its per-shard serve-path
   /// counts, so one counter covers the whole stack.
   uint64_t graph_fires() const;
+
+  /// Fires at the persist-layer crash points (torn WAL write, partial
+  /// ledger append, checkpoint crash): the durability analog of
+  /// graph_fires(), folded into ServiceStats::injected_faults the same
+  /// way.
+  uint64_t persist_fires() const;
 
  private:
   bool EvaluateSlow(FaultPoint point, bool fail_serve_site);

@@ -8,6 +8,9 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/mechanism.h"
+#include "persist/budget_ledger.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
 
 namespace privrec {
 namespace {
@@ -104,6 +107,12 @@ RecommendationService::RecommendationService(
     // serve-path points itself and arms the graph-layer points here, so a
     // single Install reaches journal compaction and both patch sites too.
     graph_->SetFaultInjector(options.fault_injector);
+  }
+  if (options.wal != nullptr) {
+    // WAL-first mutations: from here on every graph toggle is durable
+    // before it is visible; SaveCheckpoint/RecoverGraph complete the
+    // crash-safety loop.
+    graph_->AttachWal(options.wal);
   }
   const size_t num_shards = ResolveShardCount(options.num_shards);
   shard_mask_ = num_shards - 1;
@@ -538,6 +547,14 @@ Result<NodeId> RecommendationService::ServeLocked(Shard& shard, NodeId user,
     degraded_sampler.emplace(std::move(sampler));
   }
   if (charge_budget) {
+    if (options_.budget_ledger != nullptr) {
+      // Ledger-before-release: the charge is durable before the noised
+      // answer exists. A failed append refuses the serve with nothing
+      // charged in memory either — utility lost, privacy intact.
+      PRIVREC_RETURN_NOT_OK(
+          options_.budget_ledger->AppendCharge(user, charge_eps));
+      ++shard.stats.ledger_appends;
+    }
     PRIVREC_CHECK_OK(AccountantForLocked(shard, user)
                          .Charge(charge_eps, "single recommendation"));
     UpdateBudgetHintLocked(shard, user);
@@ -617,6 +634,12 @@ Result<TopKResult> RecommendationService::ServeListLocked(Shard& shard,
     return Status::FailedPrecondition("fewer candidates than k");
   }
   if (charge_budget) {
+    if (options_.budget_ledger != nullptr) {
+      // Same ledger-before-release rule as ServeLocked.
+      PRIVREC_RETURN_NOT_OK(
+          options_.budget_ledger->AppendCharge(user, charge_eps));
+      ++shard.stats.ledger_appends;
+    }
     PRIVREC_CHECK_OK(AccountantForLocked(shard, user).Charge(charge_eps,
                                                              reason));
     UpdateBudgetHintLocked(shard, user);
@@ -727,6 +750,40 @@ Status RecommendationService::RemoveEdge(NodeId u, NodeId v) {
   return graph_->RemoveEdge(u, v);
 }
 
+Status RecommendationService::SaveCheckpoint(const std::string& dir) {
+  if (options_.wal == nullptr) {
+    return Status::FailedPrecondition(
+        "SaveCheckpoint requires ServiceOptions::wal");
+  }
+  // Flush first so AtomicCheckpointView's wal_seq is a DURABLE seq: the
+  // manifest must never claim coverage past what the WAL fsynced.
+  PRIVREC_RETURN_NOT_OK(options_.wal->Sync());
+  const DynamicGraph::CheckpointView view = graph_->AtomicCheckpointView();
+  PRIVREC_RETURN_NOT_OK(WriteCheckpoint(dir, *view.snapshot.graph,
+                                        view.wal_seq, view.snapshot.version,
+                                        options_.fault_injector));
+  // Post-commit pruning is best-effort durability hygiene: a crash here
+  // leaves extra (idempotent-to-ignore) journal behind, never a gap.
+  PRIVREC_RETURN_NOT_OK(options_.wal->TruncateSegmentsUpTo(view.wal_seq));
+  if (options_.budget_ledger != nullptr) {
+    PRIVREC_RETURN_NOT_OK(options_.budget_ledger->Compact());
+  }
+  return Status::OK();
+}
+
+void RecommendationService::ImportSpentBudget(NodeId user, double spent) {
+  Shard& shard = ShardFor(user);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  AccountantForLocked(shard, user)
+      .RestoreSpent(spent, "recovered ledger spend");
+  UpdateBudgetHintLocked(shard, user);
+}
+
+void RecommendationService::ImportSpentBudgets(
+    const std::unordered_map<NodeId, double>& spent) {
+  for (const auto& [user, eps] : spent) ImportSpentBudget(user, eps);
+}
+
 double RecommendationService::RemainingBudget(NodeId user) const {
   const Shard& shard = ShardFor(user);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -767,15 +824,18 @@ ServiceStats RecommendationService::stats() const {
     total.window_refreshes += shard.stats.window_refreshes;
     total.stale_fallback_serves += shard.stats.stale_fallback_serves;
     total.injected_faults += shard.stats.injected_faults;
+    total.ledger_appends += shard.stats.ledger_appends;
     total.shed_overload +=
         shard.shed_overload.load(std::memory_order_relaxed);
     total.retries += shard.retries.load(std::memory_order_relaxed);
   }
   if (options_.fault_injector != nullptr) {
-    // Graph-layer fires (journal compaction + patch fails) are recorded by
-    // the injector, not any shard; fold them in once so injected_faults
-    // covers the whole stack.
+    // Graph-layer fires (journal compaction + patch fails) and
+    // persist-layer fires (torn WAL/ledger appends, checkpoint crashes)
+    // are recorded by the injector, not any shard; fold them in once so
+    // injected_faults covers the whole stack.
     total.injected_faults += options_.fault_injector->graph_fires();
+    total.injected_faults += options_.fault_injector->persist_fires();
   }
   return total;
 }

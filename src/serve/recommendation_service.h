@@ -20,6 +20,9 @@
 
 namespace privrec {
 
+class BudgetLedger;
+class WriteAheadLog;
+
 /// Configuration of a RecommendationService.
 struct ServiceOptions {
   /// ε charged per single recommendation served.
@@ -99,6 +102,21 @@ struct ServiceOptions {
   /// (kUnavailable) failures: injected no-fallback faults and shed
   /// requests. Default: fail fast.
   RetryPolicy retry;
+  /// Durable edge-delta journal (persist/wal.h), not owned; must outlive
+  /// the service. The constructor attaches it to the graph, which then
+  /// appends every mutation to the WAL BEFORE applying it in memory —
+  /// recovery (persist/checkpoint.h) replays the suffix past the last
+  /// checkpoint. nullptr (default) leaves mutations memory-only, the
+  /// pre-durability fast path.
+  WriteAheadLog* wal = nullptr;
+  /// Durable per-user privacy-charge ledger (persist/budget_ledger.h), not
+  /// owned; must outlive the service. When set, every budget-charging
+  /// serve appends its charge to the ledger — and fsyncs — BEFORE the
+  /// noised release leaves the service. A crash between the append and the
+  /// release loses utility (a charge with no answer), never privacy: the
+  /// recovered accountants can only over-count, not under-count. nullptr
+  /// (default) keeps accounting memory-only.
+  BudgetLedger* budget_ledger = nullptr;
 };
 
 /// Serving statistics. Returned by value from stats(): an exact sum of the
@@ -200,8 +218,15 @@ struct ServiceStats {
   /// (kRepairFail, kShardStall, fail_serve admission faults) counted per
   /// shard, plus — folded in by stats() — the graph-layer fires
   /// (journal compaction, snapshot/projection patch failure) of the
-  /// installed injector. 0 unless a FaultPlan is armed.
+  /// installed injector. 0 unless a FaultPlan is armed. When a WAL or
+  /// ledger shares the injector, stats() folds their persist-layer fires
+  /// (torn appends, checkpoint crashes) in here too.
   uint64_t injected_faults = 0;
+  /// Durable ledger records appended by the ledger-before-release rule
+  /// (ServiceOptions::budget_ledger). Equals the number of charged serves
+  /// completed since the ledger was attached, except when a crash landed
+  /// between the append and the release.
+  uint64_t ledger_appends = 0;
 };
 
 /// The production wrapper a deployment would put around this library:
@@ -333,6 +358,30 @@ class RecommendationService {
 
   /// Sum of the per-shard counters.
   ServiceStats stats() const;
+
+  /// Writes a crash-consistent checkpoint of the current graph state to
+  /// `dir` and prunes the durable journals behind it:
+  ///  1. flush + fsync the WAL (group-commit buffer included),
+  ///  2. atomically capture {snapshot, last WAL seq} under the graph's
+  ///     writer lock (DynamicGraph::AtomicCheckpointView — no mutation can
+  ///     land between the snapshot and the recorded seq),
+  ///  3. write the graph file + manifest durably (tmp + fsync + rename;
+  ///     the manifest rename is the commit point),
+  ///  4. truncate fully-covered WAL segments and compact the budget
+  ///     ledger.
+  /// Requires ServiceOptions::wal. On any failure the previous checkpoint
+  /// (or none) stays authoritative — recovery just replays a longer WAL
+  /// suffix.
+  Status SaveCheckpoint(const std::string& dir);
+
+  /// RECOVERY ONLY: seeds `user`'s accountant with a durably recorded
+  /// lifetime spend (BudgetLedger::SpentByUser) after a restart. Routes to
+  /// PrivacyAccountant::RestoreSpent — raises only, may exceed the budget
+  /// (the accountant then refuses everything, the conservative posture).
+  void ImportSpentBudget(NodeId user, double spent);
+
+  /// Convenience over ImportSpentBudget for a whole recovered ledger map.
+  void ImportSpentBudgets(const std::unordered_map<NodeId, double>& spent);
 
   size_t num_shards() const { return shards_.size(); }
 

@@ -2,11 +2,14 @@
 // input files must surface as Status errors — never a crash, a huge
 // allocation, or UB-feeding arrays handed to CsrGraph. Covers the binary
 // PRVG loader (size-vs-header validation BEFORE allocation, monotone
-// offsets, in-range targets, checksum) and the text edge-list loader
-// (negative ids, over-cap ids, relabel overflow, malformed lines).
+// offsets, in-range targets, checksum), the text edge-list loader
+// (negative ids, over-cap ids, relabel overflow, malformed lines), and
+// torn-write shapes a crash leaves behind (PRVG cut mid-trailer, WAL
+// segment cut mid-record).
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "graph/csr_graph.h"
 #include "graph/edge_list_io.h"
 #include "gtest/gtest.h"
+#include "persist/wal.h"
 #include "random/rng.h"
 
 namespace privrec {
@@ -206,6 +210,89 @@ TEST(BinaryIoHardeningTest, CorruptFirstOffsetIsRejected) {
   const std::string path = TempPath("badfront.prvg");
   WriteCraftedPrvg(path, {1, 1, 2}, {0, 1});
   EXPECT_FALSE(LoadBinaryGraph(path).ok());
+}
+
+// ------------------------------------------------------------ torn writes
+
+TEST(TornWriteHardeningTest, PrvgTruncatedMidTrailerIsACleanRefusal) {
+  // A crash during checkpointing can cut the file INSIDE the final 8-byte
+  // checksum trailer: every array is complete, only the trailer is short.
+  // That must refuse like any other truncation — never read past the end
+  // or accept a partial checksum as valid.
+  const CsrGraph graph = SmallGraph();
+  const std::string path = TempPath("midtrailer.prvg");
+  ASSERT_TRUE(SaveBinaryGraph(graph, path).ok());
+  const std::string bytes = ReadWholeFile(path);
+  for (const size_t missing : {1u, 4u, 7u}) {
+    WriteWholeFile(path, bytes.substr(0, bytes.size() - missing));
+    auto loaded = LoadBinaryGraph(path);
+    ASSERT_FALSE(loaded.ok()) << "missing " << missing << " trailer bytes";
+  }
+  // The intact file still loads — the refusals above were the tear, not
+  // collateral damage from the writes.
+  WriteWholeFile(path, bytes);
+  EXPECT_TRUE(LoadBinaryGraph(path).ok());
+}
+
+TEST(TornWriteHardeningTest, WalSegmentTruncatedMidRecordKeepsThePrefix) {
+  // The WAL analogue: a record cut mid-write in the LAST segment is a
+  // torn tail — truncated on open, intact prefix preserved, appends
+  // resume. Every truncation offset inside the final record must land on
+  // the same durable prefix.
+  const std::string dir = ::testing::TempDir() + "/io_torn_wal";
+  const uint64_t header = 16, record = 32;
+  for (const uint64_t keep_extra : {1ull, 16ull, 31ull}) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    {
+      auto wal = WriteAheadLog::Open(dir);
+      ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+      for (uint32_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE((*wal)->Append(WalRecordKind::kAddEdge, i, i + 1).ok());
+      }
+    }
+    std::string segment;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      segment = entry.path().string();
+    }
+    ASSERT_EQ(std::filesystem::file_size(segment), header + 3 * record);
+    const std::string bytes = ReadWholeFile(segment);
+    WriteWholeFile(segment, bytes.substr(0, header + 2 * record + keep_extra));
+    auto wal = WriteAheadLog::Open(dir);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    EXPECT_EQ((*wal)->truncated_tail_bytes(), keep_extra);
+    auto records = (*wal)->ReadAfter(0);
+    ASSERT_TRUE(records.ok());
+    EXPECT_EQ(records->size(), 2u) << "keep_extra=" << keep_extra;
+    EXPECT_EQ((*wal)->next_seq(), 3u);
+  }
+}
+
+TEST(TornWriteHardeningTest, FlippedWalRecordByteIsCutNotReplayed) {
+  // Checksummed records: bit rot inside the tail record must be treated
+  // as a tear (cut), never replayed into the graph as a bogus mutation.
+  const std::string dir = ::testing::TempDir() + "/io_flipped_wal";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  {
+    auto wal = WriteAheadLog::Open(dir);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordKind::kAddEdge, 1, 2).ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordKind::kAddEdge, 3, 4).ok());
+  }
+  std::string segment;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    segment = entry.path().string();
+  }
+  std::string bytes = ReadWholeFile(segment);
+  bytes[16 + 32 + 4] ^= 0x40;  // corrupt the tail record's `u` field
+  WriteWholeFile(segment, bytes);
+  auto wal = WriteAheadLog::Open(dir);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  auto records = (*wal)->ReadAfter(0);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].u, 1u);
 }
 
 // -------------------------------------------------------------- edge list
